@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the paper's core algorithms: mixed-radix
+//! decomposition/composition (Algorithms 1–2), whole-world reordering
+//! maps, permutation generation (Heap vs lexicographic), the two
+//! characterization metrics, and core selection (Algorithm 3).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mre_core::core_select::map_cpu_list;
+use mre_core::metrics::{pairs_per_level, ring_cost};
+use mre_core::permutation::heap_permutations;
+use mre_core::subcomm::{subcommunicators, ColorScheme};
+use mre_core::{coordinates, reorder_rank, Hierarchy, Permutation, RankReordering};
+
+fn bench_decompose(c: &mut Criterion) {
+    let lumi = Hierarchy::new(vec![16, 2, 4, 2, 8]).unwrap();
+    let sigma = Permutation::parse("1-2-3-0-4").unwrap();
+    c.bench_function("decompose/coordinates_2048", |b| {
+        b.iter(|| {
+            for r in 0..2048 {
+                black_box(coordinates(&lumi, black_box(r)).unwrap());
+            }
+        })
+    });
+    c.bench_function("decompose/reorder_rank_2048", |b| {
+        b.iter(|| {
+            for r in 0..2048 {
+                black_box(reorder_rank(&lumi, black_box(r), &sigma).unwrap());
+            }
+        })
+    });
+    let mut group = c.benchmark_group("decompose/rank_reordering_build");
+    for &nodes in &[16usize, 64, 256] {
+        let machine = Hierarchy::new(vec![nodes, 2, 4, 2, 8]).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(nodes * 128), &machine, |b, m| {
+            b.iter(|| RankReordering::new(black_box(m), &sigma).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_permutations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permutations");
+    for &n in &[4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("heap", n), &n, |b, &n| {
+            b.iter(|| heap_permutations(black_box(n)).count())
+        });
+        group.bench_with_input(BenchmarkId::new("lexicographic", n), &n, |b, &n| {
+            b.iter(|| Permutation::all(black_box(n)).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let lumi = Hierarchy::new(vec![16, 2, 4, 2, 8]).unwrap();
+    let mut group = c.benchmark_group("metrics");
+    for &size in &[16usize, 64, 256] {
+        let layout = subcommunicators(
+            &lumi,
+            &Permutation::parse("1-2-3-0-4").unwrap(),
+            size,
+            ColorScheme::Quotient,
+        )
+        .unwrap();
+        let members = layout.members(0).to_vec();
+        group.bench_with_input(BenchmarkId::new("ring_cost", size), &members, |b, m| {
+            b.iter(|| ring_cost(black_box(&lumi), black_box(m)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("pairs_per_level", size),
+            &members,
+            |b, m| b.iter(|| pairs_per_level(black_box(&lumi), black_box(m))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_core_select(c: &mut Criterion) {
+    let node = Hierarchy::new(vec![2, 4, 2, 8]).unwrap();
+    let sigma = Permutation::parse("2-1-0-3").unwrap();
+    c.bench_function("core_select/map_cpu_list_128", |b| {
+        b.iter(|| map_cpu_list(black_box(&node), &sigma, black_box(64)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_decompose, bench_permutations, bench_metrics, bench_core_select
+}
+criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! Ablation studies for the design choices DESIGN.md §6 calls out:
+//!
+//! 1. **Quotient vs modulo subcommunicator coloring** — §4.1.1's phrasing
+//!    ("color = reordered_rank % subcomm_size") contradicts Fig. 2; we
+//!    implement both and show the modulo scheme scrambles the locality the
+//!    order was chosen for.
+//! 2. **Collective algorithm choice** — ring vs recursive doubling vs
+//!    Bruck under the same mapping: the paper attributes rank-order
+//!    sensitivity "mostly to the collective algorithm".
+//! 3. **Fake level on/off** — Hydra as ⟦16,2,16⟧ vs ⟦16,2,2,8⟧: the fake
+//!    level exposes strictly more mappings, including better ones.
+//! 4. **Contention model** — max-min fair water-filling vs naive equal
+//!    split.
+//! 5. **1 vs 2 NICs** — the node-uplink scaling of Fig. 8b at the
+//!    micro-benchmark level.
+
+use mre_core::subcomm::ColorScheme;
+use mre_core::{Hierarchy, Permutation};
+use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
+use mre_simnet::presets::hydra_network;
+use mre_simnet::ContentionMode;
+use mre_workloads::microbench::{Collective, Microbench};
+
+fn hydra16() -> Hierarchy {
+    Hierarchy::new(vec![16, 2, 2, 8]).expect("static hierarchy")
+}
+
+fn bench(order: &str, collective: Collective, size: u64) -> Microbench {
+    Microbench {
+        machine: hydra16(),
+        order: Permutation::parse(order).expect("static order"),
+        subcomm_size: 16,
+        collective,
+        total_bytes: size,
+    }
+}
+
+fn main() {
+    let net = hydra_network(16, 1);
+    let size = 4 << 20;
+
+    println!("# Ablation 1: quotient vs modulo coloring (Alltoall, 4 MB, 32 comms)");
+    for order in ["3-2-1-0", "0-1-2-3"] {
+        let b = bench(order, Collective::Alltoall(AlltoallAlg::Auto), size);
+        let q = b.run_with_scheme(&net, ColorScheme::Quotient).unwrap();
+        let m = b.run_with_scheme(&net, ColorScheme::Modulo).unwrap();
+        println!(
+            "  order [{order}]: quotient {:>8.1} MB/s   modulo {:>8.1} MB/s",
+            q.simultaneous_bandwidth(size) / 1e6,
+            m.simultaneous_bandwidth(size) / 1e6
+        );
+    }
+    println!("  (modulo coloring destroys the packed order's locality — the paper's");
+    println!("   figures are only reproducible with quotient coloring, as Fig. 2 shows)");
+
+    println!("\n# Ablation 2: collective algorithm choice (order [3-1-0-2], 4 MB, alone)");
+    let cases: [(&str, Collective); 5] = [
+        ("allgather ring", Collective::Allgather(AllgatherAlg::Ring)),
+        ("allgather bruck", Collective::Allgather(AllgatherAlg::Bruck)),
+        ("allgather rec-dbl", Collective::Allgather(AllgatherAlg::RecursiveDoubling)),
+        ("allreduce ring", Collective::Allreduce(AllreduceAlg::Ring)),
+        ("allreduce rec-dbl", Collective::Allreduce(AllreduceAlg::RecursiveDoubling)),
+    ];
+    for (name, collective) in cases {
+        let scattered = bench("1-3-0-2", collective, size).run(&net).unwrap();
+        let sequential = bench("3-1-0-2", collective, size).run(&net).unwrap();
+        println!(
+            "  {name:<18} ring-cost-45 order {:>9.1} MB/s   ring-cost-17 order {:>9.1} MB/s   ratio {:.2}",
+            size as f64 / scattered.single_duration / 1e6,
+            size as f64 / sequential.single_duration / 1e6,
+            scattered.single_duration / sequential.single_duration
+        );
+    }
+    println!("  (ring algorithms reward low ring cost; doubling/Bruck are less sensitive)");
+
+    println!("\n# Ablation 3: fake level on/off (same physical machine, 16-proc comms)");
+    // The fake level only changes the *description*: the machine — and the
+    // network model — stay identical. A 3-level ⟦16,2,16⟧ order maps to
+    // the 4-level order that keeps the fake group and core levels
+    // adjacent; the faked description reaches all 24 orders, the unfaked
+    // one only the 6 embedded below.
+    let embed = |sigma3: &Permutation| -> Permutation {
+        let mut image = Vec::with_capacity(4);
+        for &l in sigma3.as_slice() {
+            match l {
+                2 => {
+                    image.push(3); // cores vary faster than groups
+                    image.push(2);
+                }
+                other => image.push(other),
+            }
+        }
+        Permutation::new(image).expect("embedding preserves bijectivity")
+    };
+    let alltoall_contended = |sigma: &Permutation| {
+        Microbench {
+            machine: hydra16(),
+            order: sigma.clone(),
+            subcomm_size: 16,
+            collective: Collective::Alltoall(AlltoallAlg::Auto),
+            total_bytes: size,
+        }
+        .run(&net)
+        .unwrap()
+        .simultaneous_duration
+    };
+    let (best3, order3) = Permutation::all(3)
+        .iter()
+        .map(|s3| {
+            let s4 = embed(s3);
+            (alltoall_contended(&s4), s3.to_string())
+        })
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .unwrap();
+    let (best4, order4) = Permutation::all(4)
+        .iter()
+        .map(|s4| (alltoall_contended(s4), s4.to_string()))
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .unwrap();
+    println!(
+        "  without fake level: 6 orders, best [{order3}] at {:>9.1} MB/s",
+        size as f64 / best3 / 1e6
+    );
+    println!(
+        "  with fake level:   24 orders, best [{order4}] at {:>9.1} MB/s",
+        size as f64 / best4 / 1e6
+    );
+    println!("  (the faked description can only match or beat the unfaked one)");
+
+    println!("\n# Ablation 4: contention model (max-min fair vs naive equal split)");
+    // For uniform collectives the two models agree — the round time is
+    // the globally most-contended flow, whose max-min rate *is* its equal
+    // share. They diverge when a large message rides a link whose other
+    // flows are bottlenecked elsewhere: max-min redistributes their unused
+    // share, equal split does not. A bulk transfer sharing a NIC with
+    // three control messages squeezed by one core uplink shows it:
+    use mre_simnet::Message;
+    let naive_net = hydra_network(16, 1).with_contention_mode(ContentionMode::EqualShare);
+    let node1 = 32; // first core of node 1
+    let round = [
+        Message::new(0, node1, 1024),     // three flows from core 0 share
+        Message::new(0, node1 + 1, 1024), // its 9 GB/s uplink (3 GB/s each)
+        Message::new(0, node1 + 2, 1024),
+        Message::new(1, node1 + 3, 256 << 20), // bulk flow on the same NIC
+    ];
+    let fair = net.round_time(&round);
+    let naive = naive_net.round_time(&round);
+    println!(
+        "    max-min fair {fair:.4} s   equal split {naive:.4} s   (naive {:.0} % slower:",
+        100.0 * (naive - fair) / fair
+    );
+    println!("     it pins the bulk flow at NIC/4 instead of NIC − core-uplink)");
+
+    println!("\n# Ablation 5: lockstep rounds vs fluid (barrier-free) simulation");
+    // The lockstep model freezes every round's rates until its slowest
+    // message finishes; the fluid simulator re-solves rates the moment any
+    // flow completes. Symmetric communicators agree under both; the
+    // barrier artifact appears when communicators with very different
+    // message sizes share links — the bulk communicator never reclaims
+    // the bandwidth its small-message neighbors stop using mid-round.
+    {
+        use mre_core::subcommunicators_ragged;
+        use mre_mpi::schedules::alltoall_pairwise;
+        use mre_simnet::fluid_time;
+        let sizes: Vec<usize> = vec![16, 16, 480];
+        let ragged = subcommunicators_ragged(
+            &hydra16(),
+            &Permutation::parse("0-1-2-3").unwrap(),
+            &sizes,
+        )
+        .unwrap();
+        // Two bulk communicators (1 MB/pair) race one wide communicator of
+        // small messages (16 KB/pair) over the same NICs.
+        let schedules = vec![
+            alltoall_pairwise(ragged.members(0), 1 << 20),
+            alltoall_pairwise(ragged.members(1), 1 << 20),
+            alltoall_pairwise(ragged.members(2), 16 * 1024),
+        ];
+        let lockstep = net.concurrent_time(&schedules);
+        let fluid = fluid_time(&net, &schedules);
+        println!("  2×16-proc bulk (1 MB/pair) + 1×480-proc small (16 KB/pair):");
+        println!(
+            "    lockstep {lockstep:.4} s   fluid {fluid:.4} s   (round barrier costs {:.1} %)",
+            100.0 * (lockstep - fluid) / fluid
+        );
+    }
+
+    println!("\n# Ablation 6: 1 vs 2 NICs (spread Alltoall, 4 MB)");
+    let two = hydra_network(16, 2);
+    let b = bench("0-1-2-3", Collective::Alltoall(AlltoallAlg::Auto), size);
+    let one_nic = b.run(&net).unwrap();
+    let two_nic = b.run(&two).unwrap();
+    println!(
+        "  1 NIC: alone {:>8.1} MB/s, contended {:>8.1} MB/s",
+        one_nic.single_bandwidth(size) / 1e6,
+        one_nic.simultaneous_bandwidth(size) / 1e6
+    );
+    println!(
+        "  2 NIC: alone {:>8.1} MB/s, contended {:>8.1} MB/s",
+        two_nic.single_bandwidth(size) / 1e6,
+        two_nic.simultaneous_bandwidth(size) / 1e6
+    );
+}

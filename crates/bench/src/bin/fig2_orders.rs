@@ -1,0 +1,36 @@
+//! Reproduces **Figure 2** of the paper: all 6 enumeration orders of the
+//! ⟦2,2,4⟧ machine (2 nodes × 2 sockets × 4 cores), showing the reordered
+//! rank of every core, the 4-process subcommunicator each core joins, and
+//! the equivalent Slurm `--distribution` spelling (or "not possible").
+
+use mre_core::subcomm::{subcommunicators, ColorScheme};
+use mre_core::{Hierarchy, Permutation, RankReordering};
+use mre_slurm::Distribution;
+
+fn main() {
+    let h = Hierarchy::new(vec![2, 2, 4]).expect("static hierarchy");
+    println!("Figure 2: all orders of hierarchy {h}, subcommunicators of 4 processes\n");
+    for sigma in Permutation::all(h.depth()) {
+        let reordering = RankReordering::new(&h, &sigma).expect("matching depth");
+        let spelling = Distribution::from_order(&h, &sigma)
+            .map(|d| d.spelling())
+            .unwrap_or_else(|| "not possible with --distribution".into());
+        println!("Order [{sigma}]  —  Slurm: {spelling}");
+        for node in 0..h.level(0) {
+            for socket in 0..h.level(1) {
+                let base = node * 8 + socket * 4;
+                let ranks: Vec<String> = (0..h.level(2))
+                    .map(|core| format!("{:>2}", reordering.new_rank(base + core)))
+                    .collect();
+                println!("  node {node} socket {socket}:  {}", ranks.join(" "));
+            }
+        }
+        let layout = subcommunicators(&h, &sigma, 4, ColorScheme::Quotient)
+            .expect("16 divides by 4");
+        let comms: Vec<String> = (0..layout.count())
+            .map(|c| format!("comm {c} = cores {:?}", layout.members(c)))
+            .collect();
+        println!("  {}", comms.join("; "));
+        println!();
+    }
+}

@@ -1,0 +1,25 @@
+//! Reproduces **Figure 4**: `MPI_Alltoall` on 16 Hydra nodes (512 ranks),
+//! 128 processes per communicator — 1 vs 4 simultaneous communicators.
+
+use mre_bench::{default_sizes, full_sweep_requested, orders, CollectiveFigure};
+use mre_core::{Hierarchy, Permutation};
+use mre_mpi::AlltoallAlg;
+use mre_simnet::presets::hydra_network;
+use mre_workloads::microbench::Collective;
+
+fn main() {
+    let fig = CollectiveFigure {
+        label: "Figure 4: 16 Hydra nodes, 512 ranks, MPI_Alltoall, 128 procs/comm",
+        machine: Hierarchy::new(vec![16, 2, 2, 8]).expect("static hierarchy"),
+        orders: orders(&[
+            "0-1-2-3", "2-1-0-3", "1-3-0-2", "3-1-0-2", "1-3-2-0", "3-2-1-0",
+        ]),
+        slurm_default: Some(Permutation::parse("1-3-2-0").expect("static order")),
+        subcomm_size: 128,
+        collective: Collective::Alltoall(AlltoallAlg::Auto),
+        sizes: default_sizes(full_sweep_requested()),
+    };
+    let net = hydra_network(16, 1);
+    fig.print(&net, &mut std::io::stdout().lock())
+        .expect("writing to stdout");
+}

@@ -1,0 +1,28 @@
+//! Reproduces **Figure 6**: `MPI_Allreduce` on 16 Hydra nodes (512 ranks),
+//! 64 processes per communicator — 1 vs 8 simultaneous communicators.
+//! Orders with the same resource mapping but different ring costs
+//! (e.g. `[1,3,0,2]` vs `[3,1,0,2]`) diverge here: the ring algorithm sees
+//! the rank order inside the communicator.
+
+use mre_bench::{default_sizes, full_sweep_requested, orders, CollectiveFigure};
+use mre_core::{Hierarchy, Permutation};
+use mre_mpi::AllreduceAlg;
+use mre_simnet::presets::hydra_network;
+use mre_workloads::microbench::Collective;
+
+fn main() {
+    let fig = CollectiveFigure {
+        label: "Figure 6: 16 Hydra nodes, 512 ranks, MPI_Allreduce, 64 procs/comm",
+        machine: Hierarchy::new(vec![16, 2, 2, 8]).expect("static hierarchy"),
+        orders: orders(&[
+            "0-1-2-3", "2-1-0-3", "1-3-0-2", "3-1-0-2", "1-3-2-0", "3-2-1-0",
+        ]),
+        slurm_default: Some(Permutation::parse("1-3-2-0").expect("static order")),
+        subcomm_size: 64,
+        collective: Collective::Allreduce(AllreduceAlg::Auto),
+        sizes: default_sizes(full_sweep_requested()),
+    };
+    let net = hydra_network(16, 1);
+    fig.print(&net, &mut std::io::stdout().lock())
+        .expect("writing to stdout");
+}

@@ -1,0 +1,29 @@
+//! Reproduces **Figure 7**: `MPI_Allgather` on 16 LUMI nodes (2048 ranks),
+//! 256 processes per communicator — 1 vs 8 simultaneous communicators.
+
+use mre_bench::{default_sizes, full_sweep_requested, orders, CollectiveFigure};
+use mre_core::{Hierarchy, Permutation};
+use mre_mpi::AllgatherAlg;
+use mre_simnet::presets::lumi_network;
+use mre_workloads::microbench::Collective;
+
+fn main() {
+    let fig = CollectiveFigure {
+        label: "Figure 7: 16 LUMI nodes, 2048 ranks, MPI_Allgather, 256 procs/comm",
+        machine: Hierarchy::new(vec![16, 2, 4, 2, 8]).expect("static hierarchy"),
+        orders: orders(&[
+            "0-1-2-3-4",
+            "1-2-3-0-4",
+            "3-4-0-1-2",
+            "3-2-1-4-0",
+            "4-3-2-1-0",
+        ]),
+        slurm_default: Some(Permutation::parse("4-3-2-1-0").expect("static order")),
+        subcomm_size: 256,
+        collective: Collective::Allgather(AllgatherAlg::Auto),
+        sizes: default_sizes(full_sweep_requested()),
+    };
+    let net = lumi_network(16);
+    fig.print(&net, &mut std::io::stdout().lock())
+        .expect("writing to stdout");
+}

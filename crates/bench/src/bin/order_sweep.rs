@@ -1,0 +1,109 @@
+//! General order-exploration tool: for any machine hierarchy, collective,
+//! subcommunicator size and message size, evaluate every
+//! mapping-equivalence-class representative under the simulator and print
+//! a ranked table — the "which order should I use?" workflow the paper's
+//! §5 sketches.
+//!
+//! ```text
+//! order_sweep [HIERARCHY] [SUBCOMM] [COLLECTIVE] [SIZE_BYTES]
+//! order_sweep 16,2,2,8 16 alltoall 4194304
+//! ```
+//!
+//! `HIERARCHY` must be one of the calibrated machines (a Hydra-shaped
+//! `nodes,2,2,8` or a LUMI-shaped `nodes,2,4,2,8`); `COLLECTIVE` is
+//! `alltoall`, `allreduce` or `allgather`.
+
+use mre_core::order_search::{rank_orders_by, spreadness};
+use mre_core::Hierarchy;
+use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
+use mre_simnet::presets::{hydra_network, lumi_network};
+use mre_simnet::NetworkModel;
+use mre_slurm::Distribution;
+use mre_workloads::microbench::{Collective, Microbench};
+
+fn network_for(machine: &Hierarchy) -> Option<NetworkModel> {
+    match machine.levels() {
+        [nodes, 2, 2, 8] => Some(hydra_network(*nodes, 1)),
+        [nodes, 2, 4, 2, 8] => Some(lumi_network(*nodes)),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let hierarchy_text = args.get(1).map(String::as_str).unwrap_or("16,2,2,8");
+    let subcomm: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(16);
+    let collective_name = args.get(3).map(String::as_str).unwrap_or("alltoall");
+    let size: u64 = args.get(4).and_then(|a| a.parse().ok()).unwrap_or(4 << 20);
+
+    let machine = match Hierarchy::parse(hierarchy_text) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bad hierarchy {hierarchy_text:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(net) = network_for(&machine) else {
+        eprintln!(
+            "no calibrated network for {machine}; use nodes,2,2,8 (Hydra) or nodes,2,4,2,8 (LUMI)"
+        );
+        std::process::exit(1);
+    };
+    let collective = match collective_name {
+        "alltoall" => Collective::Alltoall(AlltoallAlg::Auto),
+        "allreduce" => Collective::Allreduce(AllreduceAlg::Auto),
+        "allgather" => Collective::Allgather(AllgatherAlg::Auto),
+        other => {
+            eprintln!("unknown collective {other:?} (alltoall|allreduce|allgather)");
+            std::process::exit(1);
+        }
+    };
+    if machine.size() % subcomm != 0 {
+        eprintln!("subcommunicator size {subcomm} must divide {}", machine.size());
+        std::process::exit(1);
+    }
+
+    println!(
+        "machine {machine} ({} cores), {collective_name}, {} comms x {subcomm} procs, {} bytes",
+        machine.size(),
+        machine.size() / subcomm,
+        size
+    );
+    println!("(one representative per mapping-equivalence class, ranked by contended duration)\n");
+    let ranked = rank_orders_by(&machine, subcomm, |sigma| {
+        Microbench {
+            machine: machine.clone(),
+            order: sigma.clone(),
+            subcomm_size: subcomm,
+            collective,
+            total_bytes: size,
+        }
+        .run(&net)
+        .expect("valid configuration")
+        .simultaneous_duration
+    })
+    .expect("valid configuration");
+
+    println!(
+        "{:<44} {:>10} {:>12}           slurm",
+        "order (ring cost - % pairs/level)", "MB/s", "spreadness"
+    );
+    for (c, duration) in &ranked {
+        let s = spreadness(&machine, &c.order, subcomm).expect("valid order");
+        let slurm = Distribution::from_order(&machine, &c.order)
+            .map(|d| d.spelling())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<44} {:>10.1} {:>12.3}           {}",
+            c.legend(),
+            size as f64 / duration / 1e6,
+            s,
+            slurm
+        );
+    }
+    let best = &ranked.first().expect("non-empty order space").0;
+    println!(
+        "\nrecommended order: [{}] — apply with world.split(0, reordered_rank) or a rankfile",
+        best.order
+    );
+}

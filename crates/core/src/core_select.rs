@@ -1,0 +1,336 @@
+//! Core selection for jobs that do not use every core (§3.4, Algorithm 3).
+//!
+//! Slurm's `--distribution` can only change the policy at the node and
+//! socket levels. By generating an explicit `--cpu-bind=map_cpu:<list>`
+//! core list from a mixed-radix enumeration, any hierarchy level —
+//! including fake levels — can participate in the placement policy.
+//!
+//! [`map_cpu_list`] is Algorithm 3 verbatim: it enumerates all cores of one
+//! compute node, keeps those whose reordered rank falls below the requested
+//! process count, and orders the list by reordered rank (so the list index
+//! is the MPI rank on that node).
+//!
+//! [`selected_hierarchy`] derives the hierarchy formed by the *selected*
+//! cores, which is the hierarchy to feed into the second, rank-reordering
+//! step (the paper's example: selecting one full socket on each of two
+//! Fig. 1 nodes yields `⟦2,4⟧`; selecting two cores per socket yields
+//! `⟦2,2,2⟧`).
+
+use crate::decompose::reorder_rank;
+use crate::error::Error;
+use crate::hierarchy::Hierarchy;
+use crate::permutation::Permutation;
+use std::collections::BTreeMap;
+
+/// A distinct selected core set (sorted) together with every order that
+/// selects it — one bar-color group of the paper's Fig. 9.
+pub type CoreSetGroup = (Vec<usize>, Vec<Permutation>);
+
+/// Algorithm 3: the `--cpu-bind=map_cpu` list for one compute node.
+///
+/// `node_h` is the hierarchy of a single compute node, `sigma` the
+/// enumeration order, `n` the number of cores to use on the node. Returns
+/// `l` with `l[r] = c`: the process with node-local rank `r` binds to
+/// physical core `c`.
+///
+/// ```
+/// use mre_core::{Hierarchy, Permutation, core_select::map_cpu_list};
+/// // A node with 2 sockets × 4 cores; use 4 cores, enumerating sockets
+/// // fastest: cores 0,4 then 1,5.
+/// let node = Hierarchy::new(vec![2, 4]).unwrap();
+/// let sigma = Permutation::new(vec![0, 1]).unwrap();
+/// assert_eq!(map_cpu_list(&node, &sigma, 4).unwrap(), vec![0, 4, 1, 5]);
+/// ```
+pub fn map_cpu_list(
+    node_h: &Hierarchy,
+    sigma: &Permutation,
+    n: usize,
+) -> Result<Vec<usize>, Error> {
+    let total = node_h.size();
+    if n == 0 || n > total {
+        return Err(Error::TooManyCores { requested: n, available: total });
+    }
+    if sigma.len() != node_h.depth() {
+        return Err(Error::PermutationDepthMismatch {
+            hierarchy: node_h.depth(),
+            permutation: sigma.len(),
+        });
+    }
+    let mut list = vec![usize::MAX; n];
+    for c in 0..total {
+        let r = reorder_rank(node_h, c, sigma)?;
+        if r < n {
+            list[r] = c;
+        }
+    }
+    debug_assert!(list.iter().all(|&c| c != usize::MAX));
+    Ok(list)
+}
+
+/// Formats a core list as the Slurm option value
+/// `map_cpu:0,4,1,5`.
+pub fn format_map_cpu(list: &[usize]) -> String {
+    let ids = list
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("map_cpu:{ids}")
+}
+
+/// Derives the hierarchy formed by the first `n` cores of the enumeration
+/// (the cores [`map_cpu_list`] selects) — the hierarchy for the second,
+/// rank-reordering step of §3.4.
+///
+/// This exists only when the selection is *regular*: `n` must factor as
+/// `h[σ(0)] · h[σ(1)] · … · h[σ(t−1)] · q` with `q` dividing into
+/// `h[σ(t)]`. Levels that are only partially used contribute their used
+/// count; levels fixed at coordinate 0 are dropped. The returned levels are
+/// in the *original* hierarchy order (outermost first).
+///
+/// ```
+/// use mre_core::{Hierarchy, Permutation, core_select::selected_hierarchy};
+/// let node = Hierarchy::new(vec![2, 4]).unwrap(); // sockets × cores
+/// // Enumerate cores fastest: first 4 cores = socket 0 → hierarchy ⟦4⟧.
+/// let fill = Permutation::new(vec![1, 0]).unwrap();
+/// assert_eq!(selected_hierarchy(&node, &fill, 4).unwrap().levels(), &[4]);
+/// // Enumerate sockets fastest: 2 cores on each socket → ⟦2,2⟧.
+/// let spread = Permutation::new(vec![0, 1]).unwrap();
+/// assert_eq!(selected_hierarchy(&node, &spread, 4).unwrap().levels(), &[2, 2]);
+/// ```
+pub fn selected_hierarchy(
+    node_h: &Hierarchy,
+    sigma: &Permutation,
+    n: usize,
+) -> Result<Hierarchy, Error> {
+    let total = node_h.size();
+    if n == 0 || n > total {
+        return Err(Error::TooManyCores { requested: n, available: total });
+    }
+    if sigma.len() != node_h.depth() {
+        return Err(Error::PermutationDepthMismatch {
+            hierarchy: node_h.depth(),
+            permutation: sigma.len(),
+        });
+    }
+    // used[level] = how many coordinate values of that level the first n
+    // enumeration points cover.
+    let mut used = vec![1usize; node_h.depth()];
+    let mut remaining = n;
+    for i in 0..sigma.len() {
+        let level = sigma.apply(i);
+        let radix = node_h.level(level);
+        if remaining >= radix {
+            if !remaining.is_multiple_of(radix) {
+                return Err(Error::IndivisibleLevel {
+                    level,
+                    size: radix,
+                    factor: remaining,
+                });
+            }
+            used[level] = radix;
+            remaining /= radix;
+        } else {
+            if remaining > 1 {
+                used[level] = remaining;
+                remaining = 1;
+            }
+            // Remaining levels stay fixed at coordinate 0.
+        }
+    }
+    if remaining != 1 {
+        return Err(Error::TooManyCores { requested: n, available: total });
+    }
+    let mut levels = Vec::new();
+    let mut names = Vec::new();
+    for (i, &u) in used.iter().enumerate() {
+        if u > 1 {
+            levels.push(u);
+            names.push(node_h.name(i).to_string());
+        }
+    }
+    if levels.is_empty() {
+        // n == 1: a degenerate single-resource hierarchy.
+        levels.push(1);
+        names.push(node_h.name(node_h.depth() - 1).to_string());
+    }
+    Hierarchy::with_names(levels, names)
+}
+
+/// Groups all `k!` orders by the *set* of cores they select (ignoring the
+/// order within the set). Figure 9 colors bars by exactly this grouping:
+/// orders in the same group use the same cores with different MPI rank
+/// mappings.
+///
+/// Returns the groups keyed by the sorted selected core list, each group
+/// listing its orders in lexicographic order.
+pub fn distinct_core_sets(
+    node_h: &Hierarchy,
+    n: usize,
+) -> Result<Vec<CoreSetGroup>, Error> {
+    let mut groups: BTreeMap<Vec<usize>, Vec<Permutation>> = BTreeMap::new();
+    for sigma in Permutation::all(node_h.depth()) {
+        let mut set = map_cpu_list(node_h, &sigma, n)?;
+        set.sort_unstable();
+        groups.entry(set).or_default().push(sigma);
+    }
+    Ok(groups.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(order: &[usize]) -> Permutation {
+        Permutation::new(order.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn algorithm3_full_node_is_reordering() {
+        // Using every core, map_cpu degenerates to the inverse reordering.
+        let node = Hierarchy::new(vec![2, 4]).unwrap();
+        let sigma = sig(&[0, 1]);
+        let list = map_cpu_list(&node, &sigma, 8).unwrap();
+        assert_eq!(list, vec![0, 4, 1, 5, 2, 6, 3, 7]);
+    }
+
+    #[test]
+    fn algorithm3_partial_selection() {
+        let node = Hierarchy::new(vec![2, 4]).unwrap();
+        // Fill socket 0 first.
+        assert_eq!(map_cpu_list(&node, &sig(&[1, 0]), 4).unwrap(), vec![0, 1, 2, 3]);
+        // Alternate sockets.
+        assert_eq!(map_cpu_list(&node, &sig(&[0, 1]), 4).unwrap(), vec![0, 4, 1, 5]);
+        // Two processes.
+        assert_eq!(map_cpu_list(&node, &sig(&[0, 1]), 2).unwrap(), vec![0, 4]);
+        assert_eq!(map_cpu_list(&node, &sig(&[1, 0]), 2).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn lumi_node_figure9_core_ids() {
+        // One LUMI node: ⟦2,4,2,8⟧ (socket, NUMA, L3, core), 128 cores.
+        // Fig. 9, 2 processes: order [0,1,2,3] selects cores 0 and 64 (first
+        // core of each socket); [1,0,2,3] selects 0 and 16 (first core of
+        // each NUMA... of the first two NUMA domains); [2,0,1,3] → 0,8;
+        // [3,0,1,2] → 0,1.
+        let node = Hierarchy::new(vec![2, 4, 2, 8]).unwrap();
+        assert_eq!(map_cpu_list(&node, &sig(&[0, 1, 2, 3]), 2).unwrap(), vec![0, 64]);
+        assert_eq!(map_cpu_list(&node, &sig(&[1, 0, 2, 3]), 2).unwrap(), vec![0, 16]);
+        assert_eq!(map_cpu_list(&node, &sig(&[2, 0, 1, 3]), 2).unwrap(), vec![0, 8]);
+        assert_eq!(map_cpu_list(&node, &sig(&[3, 0, 1, 2]), 2).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn lumi_node_figure9_four_processes() {
+        // Fig. 9, 4 processes: [0,1,2,3] → 0,64,16,80 (annotated
+        // "0,16,64,80" as a set); [2,1,0,3] → one core per L3 cache of the
+        // first two NUMA nodes: set {0,8,16,24}.
+        let node = Hierarchy::new(vec![2, 4, 2, 8]).unwrap();
+        let l = map_cpu_list(&node, &sig(&[0, 1, 2, 3]), 4).unwrap();
+        let mut set = l.clone();
+        set.sort_unstable();
+        assert_eq!(set, vec![0, 16, 64, 80]);
+        let mut set = map_cpu_list(&node, &sig(&[2, 1, 0, 3]), 4).unwrap();
+        set.sort_unstable();
+        assert_eq!(set, vec![0, 8, 16, 24]);
+        // [3,0,1,2] packs: cores 0-3.
+        assert_eq!(map_cpu_list(&node, &sig(&[3, 0, 1, 2]), 4).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn map_cpu_rejects_bad_counts() {
+        let node = Hierarchy::new(vec![2, 4]).unwrap();
+        assert!(map_cpu_list(&node, &sig(&[0, 1]), 0).is_err());
+        assert!(map_cpu_list(&node, &sig(&[0, 1]), 9).is_err());
+    }
+
+    #[test]
+    fn format_matches_slurm_option() {
+        assert_eq!(format_map_cpu(&[0, 4, 1, 5]), "map_cpu:0,4,1,5");
+    }
+
+    #[test]
+    fn selected_hierarchy_paper_examples() {
+        // §3.4: Fig. 1 nodes (⟦2,4⟧ per node). Selecting all cores of the
+        // first socket ⇒ per-node hierarchy ⟦4⟧; two cores per socket ⇒
+        // ⟦2,2⟧.
+        let node = Hierarchy::new(vec![2, 4]).unwrap();
+        assert_eq!(selected_hierarchy(&node, &sig(&[1, 0]), 4).unwrap().levels(), &[4]);
+        assert_eq!(selected_hierarchy(&node, &sig(&[0, 1]), 4).unwrap().levels(), &[2, 2]);
+    }
+
+    #[test]
+    fn selected_hierarchy_keeps_level_names() {
+        let node = Hierarchy::with_names(
+            vec![2, 4, 2, 8],
+            vec!["socket".into(), "numa".into(), "l3".into(), "core".into()],
+        )
+        .unwrap();
+        let h = selected_hierarchy(&node, &sig(&[2, 1, 0, 3]), 16).unwrap();
+        // 16 = 2 (l3) × 4 (numa) × 2 (socket): one core per L3 everywhere.
+        assert_eq!(h.levels(), &[2, 4, 2]);
+        assert_eq!(h.names(), &["socket".to_string(), "numa".into(), "l3".into()]);
+    }
+
+    #[test]
+    fn selected_hierarchy_single_core() {
+        let node = Hierarchy::new(vec![2, 4]).unwrap();
+        assert_eq!(selected_hierarchy(&node, &sig(&[0, 1]), 1).unwrap().levels(), &[1]);
+    }
+
+    #[test]
+    fn selected_hierarchy_rejects_ragged() {
+        // 3 cores with socket-fastest enumeration covers socket 0 twice and
+        // socket 1 once — not a box.
+        let node = Hierarchy::new(vec![2, 4]).unwrap();
+        assert!(selected_hierarchy(&node, &sig(&[0, 1]), 3).is_err());
+        // But 3 cores filling sequentially is a partial innermost level: ⟦3⟧.
+        assert_eq!(selected_hierarchy(&node, &sig(&[1, 0]), 3).unwrap().levels(), &[3]);
+    }
+
+    #[test]
+    fn selected_set_is_prefix_of_enumeration() {
+        // The selected cores must always be the first n of the full
+        // enumeration.
+        let node = Hierarchy::new(vec![2, 2, 8]).unwrap();
+        for sigma in Permutation::all(3) {
+            let full = map_cpu_list(&node, &sigma, node.size()).unwrap();
+            for n in [1, 2, 4, 8, 16] {
+                let partial = map_cpu_list(&node, &sigma, n).unwrap();
+                assert_eq!(partial.as_slice(), &full[..n], "order {sigma}, n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_core_sets_groups_orders() {
+        // LUMI node, 128 processes: every order uses all cores — a single
+        // group of 24 orders (Fig. 9 bottom block is one color).
+        let node = Hierarchy::new(vec![2, 4, 2, 8]).unwrap();
+        let groups = distinct_core_sets(&node, 128).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].1.len(), 24);
+        // 2 processes: Fig. 9 top block shows 4 distinct core sets.
+        let groups = distinct_core_sets(&node, 2).unwrap();
+        assert_eq!(groups.len(), 4);
+        let sets: Vec<_> = groups.iter().map(|(s, _)| s.clone()).collect();
+        assert!(sets.contains(&vec![0, 1]));
+        assert!(sets.contains(&vec![0, 8]));
+        assert!(sets.contains(&vec![0, 16]));
+        assert!(sets.contains(&vec![0, 64]));
+    }
+
+    #[test]
+    fn figure9_64_proc_core_sets() {
+        // Fig. 9, 64 processes on a LUMI node: 4 distinct sets, among them
+        // "0-63" (first socket) and "0-31,64-95".
+        let node = Hierarchy::new(vec![2, 4, 2, 8]).unwrap();
+        let groups = distinct_core_sets(&node, 64).unwrap();
+        assert_eq!(groups.len(), 4);
+        let sets: Vec<_> = groups.iter().map(|(s, _)| s.clone()).collect();
+        let first_socket: Vec<usize> = (0..64).collect();
+        assert!(sets.contains(&first_socket));
+        let half_each: Vec<usize> = (0..32).chain(64..96).collect();
+        assert!(sets.contains(&half_each));
+    }
+}

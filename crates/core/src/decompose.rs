@@ -1,0 +1,341 @@
+//! Mixed-radix decomposition and recomposition — Algorithms 1 and 2 of the
+//! paper (Equations 1 and 2).
+//!
+//! * [`coordinates`] implements **Algorithm 1**: given the hierarchy `h` and
+//!   a rank `r` in the sequential numbering, produce the coordinate vector
+//!   `c` (outermost level first), i.e. the position of the core in the
+//!   multi-dimensional space spanned by the hierarchy levels.
+//! * [`compose`] implements **Algorithm 2 / Equation 2**: given coordinates
+//!   and an order σ, produce the new rank where level σ(0) varies fastest.
+//! * [`reorder_rank`] chains both, and [`RankReordering`] materializes the
+//!   whole-world bijection (forward and inverse) for a given order.
+
+use crate::error::Error;
+use crate::hierarchy::Hierarchy;
+use crate::permutation::Permutation;
+
+/// Algorithm 1: decomposes `rank` into per-level coordinates, outermost
+/// level first.
+///
+/// The initial numbering is assumed *sequential*: all cores of a component
+/// are enumerated before moving to the next component of the same level
+/// (Fig. 1 of the paper). If that assumption is violated the resulting
+/// coordinates do not correspond to hardware positions and the reordering
+/// pipeline built on top is meaningless (the paper makes the same caveat).
+///
+/// ```
+/// use mre_core::{Hierarchy, decompose};
+/// let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+/// assert_eq!(decompose::coordinates(&h, 10).unwrap(), vec![1, 0, 2]);
+/// ```
+pub fn coordinates(h: &Hierarchy, rank: usize) -> Result<Vec<usize>, Error> {
+    if rank >= h.size() {
+        return Err(Error::RankOutOfRange { rank, size: h.size() });
+    }
+    let k = h.depth();
+    let mut c = vec![0usize; k];
+    let mut r = rank;
+    for i in (0..k).rev() {
+        c[i] = r % h.level(i);
+        r /= h.level(i);
+    }
+    Ok(c)
+}
+
+/// Recomposes a coordinate vector into the sequential rank (the inverse of
+/// [`coordinates`], i.e. Algorithm 2 with the reversal order).
+pub fn rank_from_coordinates(h: &Hierarchy, c: &[usize]) -> Result<usize, Error> {
+    validate_coordinates(h, c)?;
+    let mut r = 0usize;
+    for (i, &ci) in c.iter().enumerate() {
+        r = r * h.level(i) + ci;
+    }
+    Ok(r)
+}
+
+/// Algorithm 2 / Equation 2: computes the reordered rank from coordinates
+/// `c` and order `sigma`; level `sigma[0]` varies fastest in the new
+/// numbering.
+///
+/// ```
+/// use mre_core::{Hierarchy, Permutation, decompose};
+/// let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+/// let c = decompose::coordinates(&h, 10).unwrap();
+/// let sigma = Permutation::new(vec![0, 2, 1]).unwrap();
+/// assert_eq!(decompose::compose(&h, &c, &sigma).unwrap(), 5); // Table 1
+/// ```
+pub fn compose(h: &Hierarchy, c: &[usize], sigma: &Permutation) -> Result<usize, Error> {
+    validate_coordinates(h, c)?;
+    if sigma.len() != h.depth() {
+        return Err(Error::PermutationDepthMismatch {
+            hierarchy: h.depth(),
+            permutation: sigma.len(),
+        });
+    }
+    let mut r = 0usize;
+    let mut f = 1usize;
+    for i in 0..h.depth() {
+        let level = sigma.apply(i);
+        r += c[level] * f;
+        f *= h.level(level);
+    }
+    Ok(r)
+}
+
+/// Applies Algorithm 1 followed by Algorithm 2: the reordered rank of
+/// `rank` under order `sigma`.
+pub fn reorder_rank(h: &Hierarchy, rank: usize, sigma: &Permutation) -> Result<usize, Error> {
+    let c = coordinates(h, rank)?;
+    compose(h, &c, sigma)
+}
+
+fn validate_coordinates(h: &Hierarchy, c: &[usize]) -> Result<(), Error> {
+    if c.len() != h.depth() {
+        return Err(Error::CoordinateDepthMismatch {
+            expected: h.depth(),
+            got: c.len(),
+        });
+    }
+    for (level, (&coordinate, &radix)) in c.iter().zip(h.levels()).enumerate() {
+        if coordinate >= radix {
+            return Err(Error::CoordinateOutOfRange { level, coordinate, radix });
+        }
+    }
+    Ok(())
+}
+
+/// The whole-world rank bijection induced by an order: for every sequential
+/// rank the reordered rank, and the inverse.
+///
+/// * `new_rank(old)` — the rank the process on core `old` receives in the
+///   reordered communicator (Alg. 1 + Alg. 2).
+/// * `old_rank(new)` — which core (sequential id) holds reordered rank
+///   `new`; this is the *enumeration sequence* of the cores: walking
+///   `new = 0, 1, 2, …` visits the cores in the order's enumeration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankReordering {
+    forward: Vec<usize>,
+    inverse: Vec<usize>,
+}
+
+impl RankReordering {
+    /// Builds the bijection for `hierarchy` under `sigma`.
+    pub fn new(hierarchy: &Hierarchy, sigma: &Permutation) -> Result<Self, Error> {
+        if sigma.len() != hierarchy.depth() {
+            return Err(Error::PermutationDepthMismatch {
+                hierarchy: hierarchy.depth(),
+                permutation: sigma.len(),
+            });
+        }
+        let size = hierarchy.size();
+        let mut forward = vec![0usize; size];
+        let mut inverse = vec![0usize; size];
+        // Incremental mixed-radix walk: iterate sequential ranks and update
+        // coordinates with carries instead of redoing the full division
+        // chain for every rank.
+        let k = hierarchy.depth();
+        let mut c = vec![0usize; k];
+        // Precompute the factor of each level position in the new numbering.
+        let mut factors = vec![0usize; k]; // factors[level] = weight of c[level]
+        {
+            let mut f = 1usize;
+            for i in 0..k {
+                let level = sigma.apply(i);
+                factors[level] = f;
+                f *= hierarchy.level(level);
+            }
+        }
+        let mut new_rank = 0usize;
+        #[allow(clippy::needless_range_loop)] // old_rank is the datum, not just an index
+        for old_rank in 0..size {
+            forward[old_rank] = new_rank;
+            inverse[new_rank] = old_rank;
+            // Increment the sequential coordinates (innermost varies
+            // fastest) and keep `new_rank` in sync.
+            let mut i = k;
+            while i > 0 {
+                i -= 1;
+                c[i] += 1;
+                new_rank += factors[i];
+                if c[i] < hierarchy.level(i) {
+                    break;
+                }
+                new_rank -= c[i] * factors[i];
+                c[i] = 0;
+            }
+        }
+        Ok(Self { forward, inverse })
+    }
+
+    /// Number of ranks in the bijection.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// The reordered rank of sequential rank `old`.
+    pub fn new_rank(&self, old: usize) -> usize {
+        self.forward[old]
+    }
+
+    /// The sequential rank (core) holding reordered rank `new`.
+    pub fn old_rank(&self, new: usize) -> usize {
+        self.inverse[new]
+    }
+
+    /// The full forward map (`old → new`).
+    pub fn forward(&self) -> &[usize] {
+        &self.forward
+    }
+
+    /// The full inverse map (`new → old`), i.e. the enumeration sequence of
+    /// cores.
+    pub fn inverse(&self) -> &[usize] {
+        &self.inverse
+    }
+
+    /// Whether the reordering is the identity (order = reversal).
+    pub fn is_identity(&self) -> bool {
+        self.forward.iter().enumerate().all(|(i, &v)| i == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h224() -> Hierarchy {
+        Hierarchy::new(vec![2, 2, 4]).unwrap()
+    }
+
+    #[test]
+    fn figure1_rank10_coordinates() {
+        // Rank 10 is on node 1, socket 0, core 2 (Fig. 1).
+        assert_eq!(coordinates(&h224(), 10).unwrap(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn coordinates_rejects_out_of_range() {
+        assert!(coordinates(&h224(), 16).is_err());
+        assert!(coordinates(&h224(), 15).is_ok());
+    }
+
+    #[test]
+    fn rank_from_coordinates_inverts_algorithm1() {
+        let h = h224();
+        for r in 0..h.size() {
+            let c = coordinates(&h, r).unwrap();
+            assert_eq!(rank_from_coordinates(&h, &c).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn rank_from_coordinates_validates() {
+        let h = h224();
+        assert!(rank_from_coordinates(&h, &[0, 0]).is_err());
+        assert!(rank_from_coordinates(&h, &[0, 0, 4]).is_err());
+        assert!(rank_from_coordinates(&h, &[2, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn table1_all_orders_of_rank_10() {
+        // Table 1 of the paper: rank 10 (coordinates [1,0,2]) on [2,2,4].
+        let h = h224();
+        let cases = [
+            (vec![0, 1, 2], 9),
+            (vec![0, 2, 1], 5),
+            (vec![1, 0, 2], 10),
+            (vec![1, 2, 0], 12),
+            (vec![2, 0, 1], 6),
+            (vec![2, 1, 0], 10),
+        ];
+        for (order, expected) in cases {
+            let sigma = Permutation::new(order.clone()).unwrap();
+            assert_eq!(
+                reorder_rank(&h, 10, &sigma).unwrap(),
+                expected,
+                "order {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reversal_order_is_identity() {
+        // The order [k-1,…,0] reproduces the original numbering (paper
+        // §3.1, Fig. 2f).
+        let h = h224();
+        let sigma = Permutation::reversal(3);
+        for r in 0..h.size() {
+            assert_eq!(reorder_rank(&h, r, &sigma).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn reordering_is_a_bijection() {
+        let h = Hierarchy::new(vec![3, 2, 4]).unwrap();
+        for sigma in Permutation::all(3) {
+            let mut seen = vec![false; h.size()];
+            for r in 0..h.size() {
+                let n = reorder_rank(&h, r, &sigma).unwrap();
+                assert!(!seen[n], "duplicate image {n} under {sigma}");
+                seen[n] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn rank_reordering_matches_pointwise_computation() {
+        let h = Hierarchy::new(vec![4, 3, 2, 5]).unwrap();
+        for sigma in Permutation::all(4) {
+            let map = RankReordering::new(&h, &sigma).unwrap();
+            for r in 0..h.size() {
+                assert_eq!(map.new_rank(r), reorder_rank(&h, r, &sigma).unwrap());
+                assert_eq!(map.old_rank(map.new_rank(r)), r);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_reordering_identity_detection() {
+        let h = h224();
+        let id = RankReordering::new(&h, &Permutation::reversal(3)).unwrap();
+        assert!(id.is_identity());
+        let not_id = RankReordering::new(&h, &Permutation::identity(3)).unwrap();
+        assert!(!not_id.is_identity());
+    }
+
+    #[test]
+    fn figure2_order_012_layout() {
+        // Fig. 2a: order [0,1,2] on [2,2,4] yields, reading node 0 socket 0
+        // cores 0..3, the reordered ranks 0,4,8,12.
+        let h = h224();
+        let map = RankReordering::new(&h, &Permutation::new(vec![0, 1, 2]).unwrap()).unwrap();
+        assert_eq!(&map.forward()[0..4], &[0, 4, 8, 12]);
+        // node 0 socket 1: 2,6,10,14 — node 1 socket 0: 1,5,9,13.
+        assert_eq!(&map.forward()[4..8], &[2, 6, 10, 14]);
+        assert_eq!(&map.forward()[8..12], &[1, 5, 9, 13]);
+        assert_eq!(&map.forward()[12..16], &[3, 7, 11, 15]);
+    }
+
+    #[test]
+    fn figure2_order_201_layout() {
+        // Fig. 2e: order [2,0,1] = "plane=4": node 0 socket 0 cores get
+        // 0,1,2,3; node 0 socket 1 gets 8,9,10,11; node 1 socket 0 gets
+        // 4,5,6,7.
+        let h = h224();
+        let map = RankReordering::new(&h, &Permutation::new(vec![2, 0, 1]).unwrap()).unwrap();
+        assert_eq!(&map.forward()[0..4], &[0, 1, 2, 3]);
+        assert_eq!(&map.forward()[4..8], &[8, 9, 10, 11]);
+        assert_eq!(&map.forward()[8..12], &[4, 5, 6, 7]);
+        assert_eq!(&map.forward()[12..16], &[12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn depth_mismatch_is_rejected() {
+        let h = h224();
+        let sigma = Permutation::identity(4);
+        assert!(reorder_rank(&h, 0, &sigma).is_err());
+        assert!(RankReordering::new(&h, &sigma).is_err());
+        assert!(compose(&h, &[0, 0, 0], &sigma).is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! Hierarchy descriptions: the mixed-radix base.
+//!
+//! A [`Hierarchy`] is the radix vector `⟦h₀, …, h₍ₖ₋₁₎⟧` of the paper: the
+//! number of sub-components at each level of the machine, *outermost level
+//! first*. A machine with two compute nodes, two sockets per node and four
+//! cores per socket is `⟦2, 2, 4⟧` and describes `2·2·4 = 16` cores.
+//!
+//! Levels can carry names (`"node"`, `"socket"`, …) purely for display; all
+//! algorithms only consume the radixes.
+
+use crate::error::Error;
+use std::fmt;
+
+/// The mixed-radix base describing a machine's hierarchy, outermost level
+/// first.
+///
+/// Invariants enforced at construction:
+/// * at least one level,
+/// * every level has size ≥ 1 (the paper requires > 1 for uniqueness of the
+///   decomposition; size-1 levels are accepted because they are harmless and
+///   convenient — e.g. a single-node job — but they generate redundant
+///   orders),
+/// * the product of all levels fits in `usize`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Hierarchy {
+    levels: Vec<usize>,
+    names: Vec<String>,
+}
+
+impl Hierarchy {
+    /// Creates a hierarchy from level sizes, outermost first.
+    ///
+    /// ```
+    /// use mre_core::Hierarchy;
+    /// let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+    /// assert_eq!(h.size(), 16);
+    /// assert_eq!(h.depth(), 3);
+    /// ```
+    pub fn new(levels: Vec<usize>) -> Result<Self, Error> {
+        let names = default_names(levels.len());
+        Self::with_names(levels, names)
+    }
+
+    /// Creates a hierarchy with explicit level names (outermost first).
+    ///
+    /// `names` must have exactly one entry per level.
+    pub fn with_names(levels: Vec<usize>, names: Vec<String>) -> Result<Self, Error> {
+        if levels.is_empty() {
+            return Err(Error::EmptyHierarchy);
+        }
+        if let Some(level) = levels.iter().position(|&s| s == 0) {
+            return Err(Error::ZeroLevel { level });
+        }
+        let mut product: usize = 1;
+        for &s in &levels {
+            product = product.checked_mul(s).ok_or(Error::HierarchyOverflow)?;
+        }
+        if names.len() != levels.len() {
+            return Err(Error::Parse {
+                message: format!(
+                    "{} names provided for {} levels",
+                    names.len(),
+                    levels.len()
+                ),
+            });
+        }
+        Ok(Self { levels, names })
+    }
+
+    /// Parses textual forms like `"2x2x4"`, `"2,2,4"` or `"[2, 2, 4]"`.
+    pub fn parse(text: &str) -> Result<Self, Error> {
+        let trimmed = text.trim().trim_start_matches('[').trim_end_matches(']');
+        let sep = if trimmed.contains('x') { 'x' } else { ',' };
+        let levels = trimmed
+            .split(sep)
+            .map(|part| {
+                part.trim().parse::<usize>().map_err(|e| Error::Parse {
+                    message: format!("bad level {part:?}: {e}"),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(levels)
+    }
+
+    /// Number of hierarchy levels `k = |h|`.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total number of resources (cores) described: the product of all
+    /// levels.
+    pub fn size(&self) -> usize {
+        self.levels.iter().product()
+    }
+
+    /// Size of level `i` (0 = outermost).
+    pub fn level(&self, i: usize) -> usize {
+        self.levels[i]
+    }
+
+    /// All level sizes, outermost first.
+    pub fn levels(&self) -> &[usize] {
+        &self.levels
+    }
+
+    /// Name of level `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// All level names, outermost first.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The stride of each level in the *sequential* (identity) numbering:
+    /// `stride[i]` is how far apart two resources differing by one in
+    /// coordinate `i` (and equal below) are.
+    ///
+    /// `stride[k-1] == 1` and `stride[0] == size() / levels[0]`.
+    ///
+    /// ```
+    /// use mre_core::Hierarchy;
+    /// let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+    /// assert_eq!(h.strides(), vec![8, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.depth()];
+        for i in (0..self.depth().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.levels[i + 1];
+        }
+        strides
+    }
+
+    /// Splits level `i` of size `s` into two adjacent levels
+    /// `[factor, s / factor]` — the paper's *fake level* trick (§3.2): a
+    /// 16-core socket can be faked as 2 groups of 8 cores to expose more
+    /// enumeration orders.
+    ///
+    /// The new outer sub-level keeps the original name; the inner one gets
+    /// the name `"<name>-sub"`.
+    ///
+    /// ```
+    /// use mre_core::Hierarchy;
+    /// let h = Hierarchy::new(vec![16, 2, 16]).unwrap();
+    /// let h = h.split_level(2, 2).unwrap();
+    /// assert_eq!(h.levels(), &[16, 2, 2, 8]);
+    /// ```
+    pub fn split_level(&self, i: usize, factor: usize) -> Result<Self, Error> {
+        if i >= self.depth() {
+            return Err(Error::LevelOutOfRange { level: i, depth: self.depth() });
+        }
+        let size = self.levels[i];
+        if factor == 0 || !size.is_multiple_of(factor) {
+            return Err(Error::IndivisibleLevel { level: i, size, factor });
+        }
+        let mut levels = self.levels.clone();
+        let mut names = self.names.clone();
+        levels[i] = factor;
+        levels.insert(i + 1, size / factor);
+        let sub_name = format!("{}-sub", names[i]);
+        names.insert(i + 1, sub_name);
+        Self::with_names(levels, names)
+    }
+
+    /// Merges levels `i` and `i+1` into a single level of their combined
+    /// size (inverse of [`split_level`](Self::split_level)).
+    pub fn merge_levels(&self, i: usize) -> Result<Self, Error> {
+        if i + 1 >= self.depth() {
+            return Err(Error::LevelOutOfRange { level: i + 1, depth: self.depth() });
+        }
+        let mut levels = self.levels.clone();
+        let mut names = self.names.clone();
+        levels[i] *= levels[i + 1];
+        levels.remove(i + 1);
+        names.remove(i + 1);
+        Self::with_names(levels, names)
+    }
+
+    /// Returns the hierarchy with an extra outermost level of size `n`
+    /// (e.g. extend a per-node hierarchy to `n` nodes).
+    pub fn with_outer_level(&self, n: usize, name: &str) -> Result<Self, Error> {
+        let mut levels = Vec::with_capacity(self.depth() + 1);
+        levels.push(n);
+        levels.extend_from_slice(&self.levels);
+        let mut names = Vec::with_capacity(self.depth() + 1);
+        names.push(name.to_string());
+        names.extend_from_slice(&self.names);
+        Self::with_names(levels, names)
+    }
+
+    /// Drops the outermost level, returning the per-instance sub-hierarchy
+    /// (e.g. the per-node hierarchy of a whole-machine description).
+    pub fn inner(&self) -> Result<Self, Error> {
+        if self.depth() <= 1 {
+            return Err(Error::EmptyHierarchy);
+        }
+        Self::with_names(self.levels[1..].to_vec(), self.names[1..].to_vec())
+    }
+
+    /// The hierarchy with its levels reordered by `sigma`: level `i` of the
+    /// result is level `sigma[i]` of `self` — the radix of the `i`-th
+    /// fastest-varying position of the enumeration. This is the "permuted
+    /// hierarchy" column of Table 1 of the paper.
+    pub fn permuted(&self, sigma: &crate::permutation::Permutation) -> Result<Self, Error> {
+        if sigma.len() != self.depth() {
+            return Err(Error::PermutationDepthMismatch {
+                hierarchy: self.depth(),
+                permutation: sigma.len(),
+            });
+        }
+        let levels = sigma.as_slice().iter().map(|&i| self.levels[i]).collect();
+        let names = sigma
+            .as_slice()
+            .iter()
+            .map(|&i| self.names[i].clone())
+            .collect();
+        Self::with_names(levels, names)
+    }
+
+}
+
+impl fmt::Display for Hierarchy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, level) in self.levels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{level}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+fn default_names(depth: usize) -> Vec<String> {
+    // Sensible default naming for common depths; falls back to "level-i".
+    let presets: &[&[&str]] = &[
+        &[],
+        &["core"],
+        &["node", "core"],
+        &["node", "socket", "core"],
+        &["node", "socket", "numa", "core"],
+        &["node", "socket", "numa", "l3", "core"],
+        &["island", "node", "socket", "numa", "l3", "core"],
+    ];
+    if depth < presets.len() {
+        presets[depth].iter().map(|s| s.to_string()).collect()
+    } else {
+        (0..depth).map(|i| format!("level-{i}")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permutation::Permutation;
+
+    #[test]
+    fn basic_construction() {
+        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        assert_eq!(h.depth(), 3);
+        assert_eq!(h.size(), 16);
+        assert_eq!(h.level(0), 2);
+        assert_eq!(h.level(2), 4);
+        assert_eq!(h.levels(), &[2, 2, 4]);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Hierarchy::new(vec![]), Err(Error::EmptyHierarchy));
+    }
+
+    #[test]
+    fn rejects_zero_level() {
+        assert_eq!(
+            Hierarchy::new(vec![2, 0, 4]),
+            Err(Error::ZeroLevel { level: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        let huge = vec![usize::MAX, 3];
+        assert_eq!(Hierarchy::new(huge), Err(Error::HierarchyOverflow));
+    }
+
+    #[test]
+    fn accepts_size_one_levels() {
+        let h = Hierarchy::new(vec![1, 4]).unwrap();
+        assert_eq!(h.size(), 4);
+    }
+
+    #[test]
+    fn strides_match_sequential_numbering() {
+        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        assert_eq!(h.strides(), vec![8, 4, 1]);
+        let h = Hierarchy::new(vec![16, 2, 2, 8]).unwrap();
+        assert_eq!(h.strides(), vec![32, 16, 8, 1]);
+        let h = Hierarchy::new(vec![7]).unwrap();
+        assert_eq!(h.strides(), vec![1]);
+    }
+
+    #[test]
+    fn split_level_makes_fake_level() {
+        // Hydra: 16-core sockets faked as 2 groups of 8 (paper §4).
+        let h = Hierarchy::new(vec![16, 2, 16]).unwrap();
+        let split = h.split_level(2, 2).unwrap();
+        assert_eq!(split.levels(), &[16, 2, 2, 8]);
+        assert_eq!(split.size(), h.size());
+    }
+
+    #[test]
+    fn split_level_rejects_indivisible() {
+        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        assert_eq!(
+            h.split_level(2, 3),
+            Err(Error::IndivisibleLevel { level: 2, size: 4, factor: 3 })
+        );
+        assert!(h.split_level(5, 2).is_err());
+    }
+
+    #[test]
+    fn merge_is_inverse_of_split() {
+        let h = Hierarchy::new(vec![16, 2, 2, 8]).unwrap();
+        let merged = h.merge_levels(2).unwrap();
+        assert_eq!(merged.levels(), &[16, 2, 16]);
+        let resplit = merged.split_level(2, 2).unwrap();
+        assert_eq!(resplit.levels(), h.levels());
+    }
+
+    #[test]
+    fn outer_and_inner_roundtrip() {
+        let node = Hierarchy::new(vec![2, 8]).unwrap();
+        let machine = node.with_outer_level(16, "node").unwrap();
+        assert_eq!(machine.levels(), &[16, 2, 8]);
+        assert_eq!(machine.inner().unwrap().levels(), node.levels());
+    }
+
+    #[test]
+    fn inner_of_single_level_fails() {
+        let h = Hierarchy::new(vec![4]).unwrap();
+        assert!(h.inner().is_err());
+    }
+
+    #[test]
+    fn permuted_reorders_levels() {
+        let h = Hierarchy::new(vec![2, 3, 4]).unwrap();
+        let sigma = Permutation::new(vec![2, 0, 1]).unwrap();
+        let p = h.permuted(&sigma).unwrap();
+        assert_eq!(p.levels(), &[4, 2, 3]);
+    }
+
+    #[test]
+    fn permuted_hierarchy_matches_table1() {
+        // Table 1 of the paper: hierarchy [2,2,4], "permuted hierarchy"
+        // column.
+        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        let cases = [
+            (vec![0, 1, 2], vec![2, 2, 4]),
+            (vec![0, 2, 1], vec![2, 4, 2]),
+            (vec![1, 0, 2], vec![2, 2, 4]),
+            (vec![1, 2, 0], vec![2, 4, 2]),
+            (vec![2, 0, 1], vec![4, 2, 2]),
+            (vec![2, 1, 0], vec![4, 2, 2]),
+        ];
+        for (order, expected) in cases {
+            let sigma = Permutation::new(order.clone()).unwrap();
+            let e = h.permuted(&sigma).unwrap();
+            assert_eq!(e.levels(), expected.as_slice(), "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_common_forms() {
+        for text in ["2x2x4", "2,2,4", "[2, 2, 4]", " 2 , 2 , 4 "] {
+            let h = Hierarchy::parse(text).unwrap();
+            assert_eq!(h.levels(), &[2, 2, 4], "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Hierarchy::parse("2,x,4").is_err());
+        assert!(Hierarchy::parse("").is_err());
+        assert!(Hierarchy::parse("2,,4").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let h = Hierarchy::new(vec![16, 2, 2, 8]).unwrap();
+        let shown = h.to_string();
+        assert_eq!(shown, "[16, 2, 2, 8]");
+        assert_eq!(Hierarchy::parse(&shown).unwrap(), h);
+    }
+
+    #[test]
+    fn default_names_cover_common_depths() {
+        let h = Hierarchy::new(vec![16, 2, 4, 2, 8]).unwrap();
+        assert_eq!(h.name(0), "node");
+        assert_eq!(h.name(4), "core");
+        let deep = Hierarchy::new(vec![2; 9]).unwrap();
+        assert_eq!(deep.name(8), "level-8");
+    }
+
+    #[test]
+    fn with_names_validates_length() {
+        assert!(Hierarchy::with_names(vec![2, 2], vec!["a".into()]).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! # mre-core — mixed-radix enumeration of hierarchical compute resources
+//!
+//! This crate implements the technique of Swartvagher, Hunold, Träff and
+//! Vardas, *"Using Mixed-Radix Decomposition to Enumerate Computational
+//! Resources of Deeply Hierarchical Architectures"* (SC-W 2023): expressing
+//! process-to-core mappings of deeply hierarchical machines (racks, nodes,
+//! sockets, NUMA domains, caches, cores, …) by enumerating the cores in
+//! different orders derived from a mixed-radix decomposition of linear ranks.
+//!
+//! The crate is pure algorithm — it has no dependency on MPI, hwloc or any
+//! hardware. It provides:
+//!
+//! * [`Hierarchy`] — the radix vector `⟦h₀, …, h₍ₖ₋₁₎⟧` describing how many
+//!   sub-components each hierarchy level contains (outermost first), with
+//!   support for *fake levels* (splitting a level to expose more orders).
+//! * [`Permutation`] — level orders σ, including generation of all `k!`
+//!   orders via Heap's algorithm or in lexicographic order.
+//! * [`decompose`] — Algorithms 1 and 2 of the paper: rank → coordinates and
+//!   (coordinates, σ) → reordered rank, plus whole-world [`RankReordering`]
+//!   maps.
+//! * [`metrics`] — the two characterization metrics of §3.3: *ring cost* and
+//!   *percentages of process pairs per level*, plus order equivalence
+//!   classes.
+//! * [`subcomm`] — grouping reordered ranks into equally-sized
+//!   subcommunicators (quotient and modulo coloring).
+//! * [`core_select`] — Algorithm 3: generating `--cpu-bind=map_cpu` core
+//!   lists that extend Slurm's `--distribution` to every hierarchy level.
+//! * [`rankfile`] — emitting and parsing rankfiles for transparent
+//!   reordering.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mre_core::{Hierarchy, Permutation, decompose};
+//!
+//! // Two nodes, two sockets per node, four cores per socket (Fig. 1).
+//! let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+//! // Rank 10 sits on node 1, socket 0, core 2.
+//! assert_eq!(decompose::coordinates(&h, 10).unwrap(), vec![1, 0, 2]);
+//! // Enumerating nodes fastest ([0,1,2]) renumbers it to 9 (Table 1).
+//! let sigma = Permutation::new(vec![0, 1, 2]).unwrap();
+//! assert_eq!(decompose::reorder_rank(&h, 10, &sigma).unwrap(), 9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod core_select;
+pub mod decompose;
+pub mod error;
+pub mod hierarchy;
+pub mod metrics;
+pub mod order_search;
+pub mod permutation;
+pub mod rankfile;
+pub mod subcomm;
+pub mod visualize;
+
+pub use core_select::{distinct_core_sets, map_cpu_list, selected_hierarchy};
+pub use decompose::{compose, coordinates, rank_from_coordinates, reorder_rank, RankReordering};
+pub use error::Error;
+pub use hierarchy::Hierarchy;
+pub use metrics::{pairs_per_level, ring_cost, OrderCharacterization};
+pub use permutation::Permutation;
+pub use subcomm::{segmented_layout, subcommunicators, subcommunicators_ragged, ColorScheme};

@@ -1,0 +1,413 @@
+//! Characterization metrics for orderings (§3.3 of the paper).
+//!
+//! Two independent metrics characterize how an order maps a
+//! subcommunicator onto the machine:
+//!
+//! * **Ring cost** — the cost of sending a message around the communicator
+//!   in rank order (`rank 0 → 1 → … → m−1`), where a hop inside the lowest
+//!   hierarchy level costs 1 and each additional level crossed adds 1. Low
+//!   ring cost ⇒ ranks are assigned sequentially (locality); high ⇒
+//!   round-robin assignment.
+//! * **Percentages of process pairs per level** — of all `C(m,2)` process
+//!   pairs of the communicator, the percentage that communicate inside each
+//!   hierarchy level (excluding pairs that fit in a smaller level). Entry 0
+//!   is the lowest (innermost) level. High percentages in low entries ⇒
+//!   *packed* mapping; high percentages in the last entry ⇒ *spread*.
+//!
+//! Both metrics take the communicator as a list of sequential core ids in
+//! rank-in-communicator order, as produced by
+//! [`crate::subcomm::subcommunicators`].
+
+use crate::error::Error;
+use crate::hierarchy::Hierarchy;
+use crate::permutation::Permutation;
+use crate::subcomm::{subcommunicators, ColorScheme, SubcommLayout};
+use std::collections::BTreeMap;
+
+/// Communication distance between two resources: `0` if equal, else
+/// `k − j` where `j` is the outermost level at which their coordinates
+/// differ (1 = same lowest level, `k` = crossing the outermost level).
+///
+/// ```
+/// use mre_core::{Hierarchy, metrics};
+/// let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+/// assert_eq!(metrics::distance(&h, 0, 1), 1);  // same socket
+/// assert_eq!(metrics::distance(&h, 0, 4), 2);  // same node, other socket
+/// assert_eq!(metrics::distance(&h, 0, 8), 3);  // different node
+/// assert_eq!(metrics::distance(&h, 5, 5), 0);
+/// ```
+pub fn distance(h: &Hierarchy, a: usize, b: usize) -> usize {
+    match first_diff_level(h, a, b) {
+        Some(j) => h.depth() - j,
+        None => 0,
+    }
+}
+
+/// The outermost level index at which the coordinates of `a` and `b`
+/// differ, or `None` if `a == b`. Level `0` means the pair spans the
+/// outermost level (e.g. different compute nodes).
+pub fn first_diff_level(h: &Hierarchy, a: usize, b: usize) -> Option<usize> {
+    if a == b {
+        return None;
+    }
+    let strides = h.strides();
+    strides.iter().position(|&s| a / s != b / s)
+}
+
+/// Ring cost of a communicator (§3.3): the sum of [`distance`] over
+/// consecutive rank pairs `(p₀,p₁), (p₁,p₂), …, (p₍ₘ₋₂₎,p₍ₘ₋₁₎)`.
+///
+/// The paper's worked example: on `⟦2,2,4⟧` with 4-process communicators,
+/// order `[0,1,2]` gives ring cost 9 and `[1,0,2]` gives 7.
+pub fn ring_cost(h: &Hierarchy, members: &[usize]) -> usize {
+    members
+        .windows(2)
+        .map(|pair| distance(h, pair[0], pair[1]))
+        .sum()
+}
+
+/// Raw pair counts per level: entry `d` counts pairs at distance `d+1`
+/// (entry 0 = inside the lowest level, entry `k−1` = crossing the
+/// outermost level). The sum of all entries is `C(m,2)`.
+pub fn pair_counts_per_level(h: &Hierarchy, members: &[usize]) -> Vec<usize> {
+    let k = h.depth();
+    let mut counts = vec![0usize; k];
+    for (i, &a) in members.iter().enumerate() {
+        for &b in &members[i + 1..] {
+            let d = distance(h, a, b);
+            debug_assert!(d >= 1, "communicator members must be distinct");
+            counts[d - 1] += 1;
+        }
+    }
+    counts
+}
+
+/// Percentages of process pairs per level (§3.3): [`pair_counts_per_level`]
+/// normalized to percent. Entries sum to 100 (up to rounding).
+pub fn pairs_per_level(h: &Hierarchy, members: &[usize]) -> Vec<f64> {
+    let counts = pair_counts_per_level(h, members);
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts
+        .iter()
+        .map(|&c| 100.0 * c as f64 / total as f64)
+        .collect()
+}
+
+/// The characterization of one order printed in the paper's figure legends:
+/// ring cost and pairs-per-level percentages of the *first* subcommunicator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderCharacterization {
+    /// The order characterized.
+    pub order: Permutation,
+    /// Ring cost of communicator 0.
+    pub ring_cost: usize,
+    /// Pairs-per-level percentages of communicator 0 (entry 0 = lowest
+    /// level).
+    pub percentages: Vec<f64>,
+}
+
+impl OrderCharacterization {
+    /// Formats like the paper's legends: `"1-3-0-2 (45 - 46.7, 0.0, 53.3, 0.0)"`.
+    pub fn legend(&self) -> String {
+        let pct = self
+            .percentages
+            .iter()
+            .map(|p| format!("{p:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("{} ({} - {})", self.order, self.ring_cost, pct)
+    }
+}
+
+/// Characterizes communicator 0 under `sigma` with subcommunicators of
+/// `subcomm_size` (quotient coloring, as in the paper's legends).
+pub fn characterize_order(
+    h: &Hierarchy,
+    sigma: &Permutation,
+    subcomm_size: usize,
+) -> Result<OrderCharacterization, Error> {
+    let layout = subcommunicators(h, sigma, subcomm_size, ColorScheme::Quotient)?;
+    let members = layout.members(0);
+    Ok(OrderCharacterization {
+        order: sigma.clone(),
+        ring_cost: ring_cost(h, members),
+        percentages: pairs_per_level(h, members),
+    })
+}
+
+/// A canonical signature of the *resource mapping* of a layout: for every
+/// communicator, the sorted set of cores it occupies; communicators sorted.
+/// Orders with equal signatures map communicators to the same resources
+/// (possibly exchanging which communicator sits where) — the paper calls
+/// such orders *similar* (§3.3: `[2,0,1]` vs `[2,1,0]`).
+///
+/// Note this is deliberately insensitive to rank order *inside*
+/// communicators; the ring cost distinguishes those.
+pub fn mapping_signature(layout: &SubcommLayout) -> Vec<Vec<usize>> {
+    let mut sig: Vec<Vec<usize>> = layout
+        .comms()
+        .iter()
+        .map(|members| {
+            let mut sorted = members.clone();
+            sorted.sort_unstable();
+            sorted
+        })
+        .collect();
+    sig.sort();
+    sig
+}
+
+/// Groups all `k!` orders into equivalence classes of identical
+/// [`mapping_signature`]s. Evaluating one representative per class avoids
+/// redundant measurements (§3.3).
+pub fn equivalence_classes(
+    h: &Hierarchy,
+    subcomm_size: usize,
+) -> Result<Vec<Vec<Permutation>>, Error> {
+    let mut classes: BTreeMap<Vec<Vec<usize>>, Vec<Permutation>> = BTreeMap::new();
+    for sigma in Permutation::all(h.depth()) {
+        let layout = subcommunicators(h, &sigma, subcomm_size, ColorScheme::Quotient)?;
+        classes.entry(mapping_signature(&layout)).or_default().push(sigma);
+    }
+    Ok(classes.into_values().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(levels: &[usize]) -> Hierarchy {
+        Hierarchy::new(levels.to_vec()).unwrap()
+    }
+
+    fn sig(order: &[usize]) -> Permutation {
+        Permutation::new(order.to_vec()).unwrap()
+    }
+
+    /// Asserts a characterization against the paper's legend values
+    /// (ring cost exact, percentages to the legend's 1-decimal rounding).
+    fn assert_legend(
+        hierarchy: &Hierarchy,
+        order: &[usize],
+        subcomm_size: usize,
+        ring: usize,
+        pct: &[f64],
+    ) {
+        let c = characterize_order(hierarchy, &sig(order), subcomm_size).unwrap();
+        assert_eq!(c.ring_cost, ring, "ring cost of {:?}", order);
+        assert_eq!(c.percentages.len(), pct.len());
+        for (i, (&got, &want)) in c.percentages.iter().zip(pct).enumerate() {
+            assert!(
+                (got - want).abs() < 0.05,
+                "order {order:?} level {i}: got {got:.3}, legend says {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn distance_levels_on_224() {
+        let h = h(&[2, 2, 4]);
+        assert_eq!(distance(&h, 0, 0), 0);
+        assert_eq!(distance(&h, 0, 3), 1);
+        assert_eq!(distance(&h, 0, 4), 2);
+        assert_eq!(distance(&h, 3, 4), 2);
+        assert_eq!(distance(&h, 7, 8), 3);
+        assert_eq!(distance(&h, 0, 15), 3);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let h = h(&[3, 2, 4]);
+        for a in 0..h.size() {
+            for b in 0..h.size() {
+                assert_eq!(distance(&h, a, b), distance(&h, b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn first_diff_level_examples() {
+        let h = h(&[2, 2, 4]);
+        assert_eq!(first_diff_level(&h, 0, 8), Some(0));
+        assert_eq!(first_diff_level(&h, 0, 4), Some(1));
+        assert_eq!(first_diff_level(&h, 0, 1), Some(2));
+        assert_eq!(first_diff_level(&h, 9, 9), None);
+    }
+
+    #[test]
+    fn paper_worked_example_ring_costs() {
+        // §3.3: on ⟦2,2,4⟧ with 4-process communicators, order [0,1,2] has
+        // ring cost 9 and [1,0,2] has ring cost 7.
+        let h224 = h(&[2, 2, 4]);
+        assert_eq!(
+            characterize_order(&h224, &sig(&[0, 1, 2]), 4).unwrap().ring_cost,
+            9
+        );
+        assert_eq!(
+            characterize_order(&h224, &sig(&[1, 0, 2]), 4).unwrap().ring_cost,
+            7
+        );
+    }
+
+    #[test]
+    fn paper_worked_example_percentages() {
+        // §3.3: order [2,1,0] → [100, 0, 0]; order [1,0,2] → [0, 33.3, 66.7].
+        let h224 = h(&[2, 2, 4]);
+        assert_legend(&h224, &[2, 1, 0], 4, 3, &[100.0, 0.0, 0.0]);
+        let c = characterize_order(&h224, &sig(&[1, 0, 2]), 4).unwrap();
+        assert!((c.percentages[0] - 0.0).abs() < 0.05);
+        assert!((c.percentages[1] - 33.3).abs() < 0.05);
+        assert!((c.percentages[2] - 66.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn figure3_legend_values() {
+        // 16 Hydra nodes ⟦16,2,2,8⟧, 16 processes per communicator.
+        let hydra = h(&[16, 2, 2, 8]);
+        assert_legend(&hydra, &[0, 1, 2, 3], 16, 60, &[0.0, 0.0, 0.0, 100.0]);
+        assert_legend(&hydra, &[2, 1, 0, 3], 16, 40, &[0.0, 6.7, 13.3, 80.0]);
+        assert_legend(&hydra, &[1, 3, 0, 2], 16, 45, &[46.7, 0.0, 53.3, 0.0]);
+        assert_legend(&hydra, &[1, 3, 2, 0], 16, 45, &[46.7, 0.0, 53.3, 0.0]);
+        assert_legend(&hydra, &[3, 1, 0, 2], 16, 17, &[46.7, 0.0, 53.3, 0.0]);
+        assert_legend(&hydra, &[3, 2, 1, 0], 16, 16, &[46.7, 53.3, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn figure4_legend_values() {
+        // Same machine, 128 processes per communicator.
+        let hydra = h(&[16, 2, 2, 8]);
+        assert_legend(&hydra, &[0, 1, 2, 3], 128, 508, &[0.8, 1.6, 3.1, 94.5]);
+        assert_legend(&hydra, &[2, 1, 0, 3], 128, 348, &[0.8, 1.6, 3.1, 94.5]);
+        assert_legend(&hydra, &[1, 3, 0, 2], 128, 388, &[5.5, 0.0, 6.3, 88.2]);
+        assert_legend(&hydra, &[3, 1, 0, 2], 128, 164, &[5.5, 0.0, 6.3, 88.2]);
+        assert_legend(&hydra, &[1, 3, 2, 0], 128, 384, &[5.5, 6.3, 12.6, 75.6]);
+        assert_legend(&hydra, &[3, 2, 1, 0], 128, 152, &[5.5, 6.3, 12.6, 75.6]);
+    }
+
+    #[test]
+    fn figure5_legend_values() {
+        // 16 LUMI nodes ⟦16,2,4,2,8⟧, 16 processes per communicator.
+        let lumi = h(&[16, 2, 4, 2, 8]);
+        assert_legend(&lumi, &[0, 1, 2, 3, 4], 16, 75, &[0.0, 0.0, 0.0, 0.0, 100.0]);
+        assert_legend(&lumi, &[1, 2, 3, 0, 4], 16, 60, &[0.0, 6.7, 40.0, 53.3, 0.0]);
+        assert_legend(&lumi, &[3, 2, 1, 4, 0], 16, 38, &[0.0, 6.7, 40.0, 53.3, 0.0]);
+        assert_legend(&lumi, &[3, 4, 0, 1, 2], 16, 30, &[46.7, 53.3, 0.0, 0.0, 0.0]);
+        assert_legend(&lumi, &[4, 3, 2, 1, 0], 16, 16, &[46.7, 53.3, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn figure6_legend_values() {
+        // Hydra, 64 processes per communicator (Allreduce figure).
+        let hydra = h(&[16, 2, 2, 8]);
+        assert_legend(&hydra, &[0, 1, 2, 3], 64, 252, &[0.0, 1.6, 3.2, 95.2]);
+        assert_legend(&hydra, &[2, 1, 0, 3], 64, 172, &[0.0, 1.6, 3.2, 95.2]);
+        assert_legend(&hydra, &[1, 3, 0, 2], 64, 192, &[11.1, 0.0, 12.7, 76.2]);
+        assert_legend(&hydra, &[3, 1, 0, 2], 64, 80, &[11.1, 0.0, 12.7, 76.2]);
+        assert_legend(&hydra, &[1, 3, 2, 0], 64, 190, &[11.1, 12.7, 25.4, 50.8]);
+        assert_legend(&hydra, &[3, 2, 1, 0], 64, 74, &[11.1, 12.7, 25.4, 50.8]);
+    }
+
+    #[test]
+    fn figure7_legend_values() {
+        // LUMI, 256 processes per communicator (Allgather figure).
+        let lumi = h(&[16, 2, 4, 2, 8]);
+        assert_legend(&lumi, &[0, 1, 2, 3, 4], 256, 1275, &[0.0, 0.4, 2.4, 3.1, 94.1]);
+        assert_legend(&lumi, &[1, 2, 3, 0, 4], 256, 1035, &[0.0, 0.4, 2.4, 3.1, 94.1]);
+        assert_legend(&lumi, &[3, 4, 0, 1, 2], 256, 555, &[2.7, 3.1, 0.0, 0.0, 94.1]);
+        assert_legend(&lumi, &[3, 2, 1, 4, 0], 256, 669, &[2.7, 3.1, 18.8, 25.1, 50.2]);
+        assert_legend(&lumi, &[4, 3, 2, 1, 0], 256, 305, &[2.7, 3.1, 18.8, 25.1, 50.2]);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let hydra = h(&[16, 2, 2, 8]);
+        for sigma in Permutation::all(4) {
+            let c = characterize_order(&hydra, &sigma, 16).unwrap();
+            let sum: f64 = c.percentages.iter().sum();
+            assert!((sum - 100.0).abs() < 1e-9, "order {sigma}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn pair_counts_total_is_choose_2() {
+        let hydra = h(&[16, 2, 2, 8]);
+        let layout = subcommunicators(
+            &hydra,
+            &sig(&[0, 1, 2, 3]),
+            64,
+            ColorScheme::Quotient,
+        )
+        .unwrap();
+        let counts = pair_counts_per_level(&hydra, layout.members(0));
+        assert_eq!(counts.iter().sum::<usize>(), 64 * 63 / 2);
+    }
+
+    #[test]
+    fn ring_cost_bounds() {
+        // m−1 ≤ ring cost ≤ (m−1)·k for an m-member communicator.
+        let lumi = h(&[4, 2, 4, 2, 8]);
+        let k = lumi.depth();
+        for sigma in Permutation::all(k).into_iter().step_by(7) {
+            let c = characterize_order(&lumi, &sigma, 16).unwrap();
+            assert!(c.ring_cost >= 15);
+            assert!(c.ring_cost <= 15 * k);
+        }
+    }
+
+    #[test]
+    fn legend_format_matches_paper_style() {
+        let hydra = h(&[16, 2, 2, 8]);
+        let c = characterize_order(&hydra, &sig(&[1, 3, 0, 2]), 16).unwrap();
+        assert_eq!(c.legend(), "1-3-0-2 (45 - 46.7, 0.0, 53.3, 0.0)");
+    }
+
+    #[test]
+    fn similar_orders_share_mapping_signature() {
+        // §3.3: on ⟦2,2,4⟧ with 4-member comms, orders [2,0,1] and [2,1,0]
+        // map communicators onto the same resource sets.
+        let h224 = h(&[2, 2, 4]);
+        let a = subcommunicators(&h224, &sig(&[2, 0, 1]), 4, ColorScheme::Quotient).unwrap();
+        let b = subcommunicators(&h224, &sig(&[2, 1, 0]), 4, ColorScheme::Quotient).unwrap();
+        assert_eq!(mapping_signature(&a), mapping_signature(&b));
+        // …while [0,1,2] and [2,1,0] do not.
+        let c = subcommunicators(&h224, &sig(&[0, 1, 2]), 4, ColorScheme::Quotient).unwrap();
+        assert_ne!(mapping_signature(&a), mapping_signature(&c));
+    }
+
+    #[test]
+    fn equivalence_classes_partition_all_orders() {
+        let h224 = h(&[2, 2, 4]);
+        let classes = equivalence_classes(&h224, 4).unwrap();
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 6);
+        // [0,1,2]/[1,0,2] share resources (one core per socket across the
+        // machine) and [2,0,1]/[2,1,0] share (whole sockets); [0,2,1] and
+        // [1,2,0] each stand alone.
+        assert_eq!(classes.len(), 4);
+        let mut sizes: Vec<usize> = classes.iter().map(|c| c.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn ring_cost_distinguishes_orders_with_same_pairs() {
+        // §3.3: the two metrics are independent — [1,3,0,2] and [3,1,0,2]
+        // have identical percentages but different ring costs.
+        let hydra = h(&[16, 2, 2, 8]);
+        let a = characterize_order(&hydra, &sig(&[1, 3, 0, 2]), 16).unwrap();
+        let b = characterize_order(&hydra, &sig(&[3, 1, 0, 2]), 16).unwrap();
+        assert_eq!(a.percentages, b.percentages);
+        assert_ne!(a.ring_cost, b.ring_cost);
+    }
+
+    #[test]
+    fn empty_and_singleton_communicators() {
+        let h224 = h(&[2, 2, 4]);
+        assert_eq!(ring_cost(&h224, &[]), 0);
+        assert_eq!(ring_cost(&h224, &[5]), 0);
+        assert_eq!(pairs_per_level(&h224, &[5]), vec![0.0, 0.0, 0.0]);
+    }
+}

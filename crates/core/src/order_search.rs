@@ -1,0 +1,169 @@
+//! Order-space search utilities — toward the paper's future direction of
+//! *automatically applying the best order*.
+//!
+//! The paper deliberately does not evaluate all `k!` orders on hardware;
+//! instead it proposes metrics that characterize an order without running
+//! it. This module builds on those metrics:
+//!
+//! * [`spreadness`] condenses the pairs-per-level percentages into a
+//!   single `[0, 1]` score (0 = fully packed, 1 = fully spread);
+//! * [`representatives`] prunes the order space to one order per
+//!   mapping-equivalence class, preferring the lowest ring cost in each
+//!   class (the cheapest rank assignment on the same resources);
+//! * [`rank_orders_by`] evaluates a caller-supplied cost (e.g. a simulated
+//!   collective duration) over the pruned space and returns the orders
+//!   sorted best-first.
+
+use crate::error::Error;
+use crate::hierarchy::Hierarchy;
+use crate::metrics::{characterize_order, equivalence_classes, OrderCharacterization};
+use crate::permutation::Permutation;
+
+/// Spreadness score of an order for a given subcommunicator size: the
+/// mean crossing level of a communicator's process pairs, normalized to
+/// `[0, 1]`. A mapping whose pairs all sit inside the lowest level scores
+/// 0; one whose pairs all cross the outermost level scores 1.
+pub fn spreadness(h: &Hierarchy, sigma: &Permutation, subcomm_size: usize) -> Result<f64, Error> {
+    let c = characterize_order(h, sigma, subcomm_size)?;
+    let k = h.depth();
+    if k <= 1 {
+        return Ok(0.0);
+    }
+    let mean_level: f64 = c
+        .percentages
+        .iter()
+        .enumerate()
+        .map(|(i, pct)| pct / 100.0 * i as f64)
+        .sum();
+    Ok(mean_level / (k - 1) as f64)
+}
+
+/// One representative order per mapping-equivalence class: within each
+/// class the order with the lowest ring cost (ties broken
+/// lexicographically). Evaluating only these avoids the paper's redundant
+/// measurements.
+pub fn representatives(
+    h: &Hierarchy,
+    subcomm_size: usize,
+) -> Result<Vec<OrderCharacterization>, Error> {
+    let classes = equivalence_classes(h, subcomm_size)?;
+    let mut reps = Vec::with_capacity(classes.len());
+    for class in classes {
+        let best = class
+            .into_iter()
+            .map(|sigma| characterize_order(h, &sigma, subcomm_size))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .min_by(|a, b| {
+                a.ring_cost
+                    .cmp(&b.ring_cost)
+                    .then_with(|| a.order.cmp(&b.order))
+            })
+            .expect("equivalence classes are non-empty");
+        reps.push(best);
+    }
+    Ok(reps)
+}
+
+/// Evaluates `cost` on the representative orders and returns
+/// `(characterization, cost)` pairs sorted best (lowest cost) first.
+///
+/// `cost` is typically a simulated duration — e.g. closing over an
+/// `mre-simnet` network model and a collective schedule generator.
+pub fn rank_orders_by<F>(
+    h: &Hierarchy,
+    subcomm_size: usize,
+    mut cost: F,
+) -> Result<Vec<(OrderCharacterization, f64)>, Error>
+where
+    F: FnMut(&Permutation) -> f64,
+{
+    let mut scored: Vec<(OrderCharacterization, f64)> = representatives(h, subcomm_size)?
+        .into_iter()
+        .map(|c| {
+            let value = cost(&c.order);
+            (c, value)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+    Ok(scored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hydra() -> Hierarchy {
+        Hierarchy::new(vec![16, 2, 2, 8]).unwrap()
+    }
+
+    fn sig(order: &[usize]) -> Permutation {
+        Permutation::new(order.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn spreadness_extremes() {
+        let h = hydra();
+        // Fully spread: all pairs cross nodes → 1.0 exactly? Entry k−1 =
+        // 100 % → mean level = k−1 → score 1.
+        let s = spreadness(&h, &sig(&[0, 1, 2, 3]), 16).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+        // Packed socket: pairs at levels 0 and 1 only → score well below
+        // 0.5.
+        let p = spreadness(&h, &sig(&[3, 2, 1, 0]), 16).unwrap();
+        assert!(p < 0.25, "packed score {p}");
+        assert!(s > p);
+    }
+
+    #[test]
+    fn spreadness_orders_the_figure3_legend() {
+        // The Fig. 3 legend is sorted from most spread to most packed.
+        let h = hydra();
+        let legend: [&[usize]; 4] = [
+            &[0, 1, 2, 3],
+            &[2, 1, 0, 3],
+            &[1, 3, 0, 2],
+            &[3, 2, 1, 0],
+        ];
+        let scores: Vec<f64> = legend
+            .iter()
+            .map(|o| spreadness(&h, &sig(o), 16).unwrap())
+            .collect();
+        for pair in scores.windows(2) {
+            assert!(pair[0] >= pair[1], "scores must decrease: {scores:?}");
+        }
+    }
+
+    #[test]
+    fn representatives_pick_lowest_ring_cost() {
+        let h = hydra();
+        let reps = representatives(&h, 16).unwrap();
+        // No two representatives share a mapping signature, and each has
+        // the minimum ring cost of its class: e.g. the class of
+        // {[1,3,0,2], [3,1,0,2], …} must be represented by ring cost 16
+        // or 17, not 45.
+        for rep in &reps {
+            if rep.percentages[0] > 40.0 && rep.percentages[2] > 50.0 {
+                assert!(rep.ring_cost <= 17, "class rep {} rc {}", rep.order, rep.ring_cost);
+            }
+        }
+        let total_orders = 24;
+        assert!(reps.len() < total_orders);
+    }
+
+    #[test]
+    fn rank_orders_by_sorts_by_cost() {
+        let h = hydra();
+        // Cost = ring cost (as a stand-in for a simulated duration).
+        let ranked = rank_orders_by(&h, 16, |sigma| {
+            characterize_order(&h, sigma, 16).unwrap().ring_cost as f64
+        })
+        .unwrap();
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        // The best-ranked representative has the globally smallest ring
+        // cost among representatives.
+        assert_eq!(ranked[0].1, ranked[0].0.ring_cost as f64);
+    }
+}

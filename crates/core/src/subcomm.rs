@@ -1,0 +1,371 @@
+//! Grouping reordered ranks into subcommunicators (§3.2, §4.1.1).
+//!
+//! After reordering `MPI_COMM_WORLD`, the paper creates equally-sized
+//! subcommunicators from the *reordered* ranks. Two color schemes appear in
+//! the paper:
+//!
+//! * **Quotient** — `color = reordered_rank / subcomm_size` (§3.2 and the
+//!   Fig. 2 colors: ranks 0‥3 form the first communicator). This is the
+//!   scheme used for all evaluations and the default here.
+//! * **Modulo** — `color = reordered_rank % n_comms` (the literal phrasing
+//!   of §4.1.1). Provided for the ablation study; it contradicts Fig. 2.
+
+use crate::decompose::RankReordering;
+use crate::error::Error;
+use crate::hierarchy::Hierarchy;
+use crate::permutation::Permutation;
+
+/// How reordered ranks are assigned to equally-sized subcommunicators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ColorScheme {
+    /// `color = reordered_rank / subcomm_size` — contiguous reordered ranks
+    /// share a communicator (paper default, Fig. 2).
+    #[default]
+    Quotient,
+    /// `color = reordered_rank % (world / subcomm_size)` — strided reordered
+    /// ranks share a communicator (§4.1.1's literal phrasing; ablation
+    /// only).
+    Modulo,
+}
+
+/// A set of equally-sized subcommunicators over the reordered world.
+///
+/// Communicator `c` is a list of *sequential core ids* (the identity of the
+/// physical resource) ordered by the member's rank **within** the
+/// subcommunicator. That per-communicator rank order is exactly what the
+/// ring-cost metric measures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubcommLayout {
+    comms: Vec<Vec<usize>>,
+    scheme: ColorScheme,
+    subcomm_size: usize,
+}
+
+impl SubcommLayout {
+    /// Number of subcommunicators.
+    pub fn count(&self) -> usize {
+        self.comms.len()
+    }
+
+    /// Size of each subcommunicator; `0` for ragged layouts built by
+    /// [`subcommunicators_ragged`] (inspect [`members`](Self::members)
+    /// lengths instead).
+    pub fn subcomm_size(&self) -> usize {
+        self.subcomm_size
+    }
+
+    /// The members of communicator `c` (sequential core ids, ordered by
+    /// rank-in-communicator).
+    pub fn members(&self, c: usize) -> &[usize] {
+        &self.comms[c]
+    }
+
+    /// All communicators.
+    pub fn comms(&self) -> &[Vec<usize>] {
+        &self.comms
+    }
+
+    /// The color scheme that produced this layout.
+    pub fn scheme(&self) -> ColorScheme {
+        self.scheme
+    }
+
+    /// Finds the (communicator, rank-in-communicator) of a sequential core.
+    pub fn locate(&self, core: usize) -> Option<(usize, usize)> {
+        for (c, members) in self.comms.iter().enumerate() {
+            if let Some(r) = members.iter().position(|&m| m == core) {
+                return Some((c, r));
+            }
+        }
+        None
+    }
+}
+
+/// Splits the world reordered by `sigma` into subcommunicators of
+/// `subcomm_size` processes each.
+///
+/// ```
+/// use mre_core::{Hierarchy, Permutation};
+/// use mre_core::subcomm::{subcommunicators, ColorScheme};
+/// let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+/// // Order [2,1,0] is the identity: the first communicator holds the
+/// // first four cores.
+/// let sigma = Permutation::new(vec![2, 1, 0]).unwrap();
+/// let layout = subcommunicators(&h, &sigma, 4, ColorScheme::Quotient).unwrap();
+/// assert_eq!(layout.members(0), &[0, 1, 2, 3]);
+/// ```
+pub fn subcommunicators(
+    h: &Hierarchy,
+    sigma: &Permutation,
+    subcomm_size: usize,
+    scheme: ColorScheme,
+) -> Result<SubcommLayout, Error> {
+    let world = h.size();
+    if subcomm_size == 0 || !world.is_multiple_of(subcomm_size) {
+        return Err(Error::IndivisibleSubcomm { world, subcomm: subcomm_size });
+    }
+    let reordering = RankReordering::new(h, sigma)?;
+    Ok(layout_from_reordering(&reordering, subcomm_size, scheme))
+}
+
+/// Same as [`subcommunicators`], but from an existing [`RankReordering`].
+pub fn layout_from_reordering(
+    reordering: &RankReordering,
+    subcomm_size: usize,
+    scheme: ColorScheme,
+) -> SubcommLayout {
+    let world = reordering.len();
+    debug_assert!(subcomm_size > 0 && world.is_multiple_of(subcomm_size));
+    let n_comms = world / subcomm_size;
+    let mut comms = vec![Vec::with_capacity(subcomm_size); n_comms];
+    // Walk reordered ranks in increasing order so each communicator's member
+    // list ends up ordered by rank-in-communicator.
+    for new_rank in 0..world {
+        let core = reordering.old_rank(new_rank);
+        let color = match scheme {
+            ColorScheme::Quotient => new_rank / subcomm_size,
+            ColorScheme::Modulo => new_rank % n_comms,
+        };
+        comms[color].push(core);
+    }
+    SubcommLayout { comms, scheme, subcomm_size }
+}
+
+/// Splits the reordered world into subcommunicators of *heterogeneous*
+/// sizes (a future-work feature of the paper: "subcommunicators with
+/// different sizes"). `sizes` must sum to the world size; communicator `c`
+/// takes the next `sizes[c]` reordered ranks (quotient-style contiguous
+/// coloring).
+pub fn subcommunicators_ragged(
+    h: &Hierarchy,
+    sigma: &Permutation,
+    sizes: &[usize],
+) -> Result<SubcommLayout, Error> {
+    let world = h.size();
+    let total: usize = sizes.iter().sum();
+    if total != world || sizes.contains(&0) {
+        return Err(Error::IndivisibleSubcomm { world, subcomm: total });
+    }
+    let reordering = RankReordering::new(h, sigma)?;
+    let mut comms = Vec::with_capacity(sizes.len());
+    let mut next = 0usize;
+    for &s in sizes {
+        let members = (next..next + s).map(|r| reordering.old_rank(r)).collect();
+        comms.push(members);
+        next += s;
+    }
+    Ok(SubcommLayout { comms, scheme: ColorScheme::Quotient, subcomm_size: 0 })
+}
+
+/// One segment of a [`segmented_layout`]: a contiguous range of outermost-
+/// level instances (e.g. compute nodes) enumerated with its own order and
+/// split into its own communicator size — the paper's future-work ability
+/// to "follow an order for a set of communicators and another order for
+/// the remaining communicators".
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Number of outermost-level instances (nodes) this segment covers.
+    pub nodes: usize,
+    /// The enumeration order for this segment's sub-machine (depth =
+    /// machine depth; the outermost level of the sub-machine has
+    /// `nodes` instances).
+    pub order: Permutation,
+    /// Subcommunicator size within the segment.
+    pub subcomm_size: usize,
+}
+
+/// Splits the machine's outermost level into contiguous segments, each
+/// enumerated with its own order and split into its own communicator
+/// size. Returns the per-segment layouts with members as *global* core
+/// ids.
+pub fn segmented_layout(
+    h: &Hierarchy,
+    segments: &[Segment],
+) -> Result<Vec<SubcommLayout>, Error> {
+    let total_nodes: usize = segments.iter().map(|s| s.nodes).sum();
+    if total_nodes != h.level(0) {
+        return Err(Error::IndivisibleSubcomm { world: h.level(0), subcomm: total_nodes });
+    }
+    let cores_per_node = h.size() / h.level(0);
+    let mut layouts = Vec::with_capacity(segments.len());
+    let mut node_base = 0usize;
+    for segment in segments {
+        let mut levels = h.levels().to_vec();
+        levels[0] = segment.nodes;
+        let sub_machine = Hierarchy::with_names(levels, h.names().to_vec())?;
+        let local = subcommunicators(
+            &sub_machine,
+            &segment.order,
+            segment.subcomm_size,
+            ColorScheme::Quotient,
+        )?;
+        let offset = node_base * cores_per_node;
+        let comms = local
+            .comms()
+            .iter()
+            .map(|members| members.iter().map(|&m| m + offset).collect())
+            .collect();
+        layouts.push(SubcommLayout {
+            comms,
+            scheme: ColorScheme::Quotient,
+            subcomm_size: segment.subcomm_size,
+        });
+        node_base += segment.nodes;
+    }
+    Ok(layouts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h224() -> Hierarchy {
+        Hierarchy::new(vec![2, 2, 4]).unwrap()
+    }
+
+    #[test]
+    fn quotient_identity_order_groups_contiguous_cores() {
+        let layout =
+            subcommunicators(&h224(), &Permutation::reversal(3), 4, ColorScheme::Quotient)
+                .unwrap();
+        assert_eq!(layout.count(), 4);
+        assert_eq!(layout.members(0), &[0, 1, 2, 3]);
+        assert_eq!(layout.members(3), &[12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn figure2a_order_012_first_comm_is_one_core_per_socket() {
+        // Fig. 2a (order [0,1,2], cyclic:cyclic): reordered ranks 0..3 land
+        // on node0/socket0/core0, node1/socket0/core0, node0/socket1/core0,
+        // node1/socket1/core0 — sequential cores 0, 8, 4, 12.
+        let sigma = Permutation::new(vec![0, 1, 2]).unwrap();
+        let layout = subcommunicators(&h224(), &sigma, 4, ColorScheme::Quotient).unwrap();
+        assert_eq!(layout.members(0), &[0, 8, 4, 12]);
+    }
+
+    #[test]
+    fn figure2e_order_201_comms_are_sockets() {
+        // Fig. 2e (order [2,0,1], plane=4): communicator 0 = node0 socket0,
+        // communicator 1 = node1 socket0, communicator 2 = node0 socket1.
+        let sigma = Permutation::new(vec![2, 0, 1]).unwrap();
+        let layout = subcommunicators(&h224(), &sigma, 4, ColorScheme::Quotient).unwrap();
+        assert_eq!(layout.members(0), &[0, 1, 2, 3]);
+        assert_eq!(layout.members(1), &[8, 9, 10, 11]);
+        assert_eq!(layout.members(2), &[4, 5, 6, 7]);
+        assert_eq!(layout.members(3), &[12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn every_core_appears_exactly_once() {
+        let h = Hierarchy::new(vec![3, 2, 4]).unwrap();
+        for sigma in Permutation::all(3) {
+            for scheme in [ColorScheme::Quotient, ColorScheme::Modulo] {
+                let layout = subcommunicators(&h, &sigma, 6, scheme).unwrap();
+                let mut seen = vec![false; h.size()];
+                for c in 0..layout.count() {
+                    for &m in layout.members(c) {
+                        assert!(!seen[m]);
+                        seen[m] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s));
+            }
+        }
+    }
+
+    #[test]
+    fn modulo_scheme_strides_ranks() {
+        let layout =
+            subcommunicators(&h224(), &Permutation::reversal(3), 4, ColorScheme::Modulo)
+                .unwrap();
+        // color = new_rank % 4; comm 0 holds reordered ranks 0,4,8,12 which
+        // under the identity order are cores 0,4,8,12.
+        assert_eq!(layout.members(0), &[0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn indivisible_size_rejected() {
+        assert!(subcommunicators(&h224(), &Permutation::reversal(3), 3, ColorScheme::Quotient)
+            .is_err());
+        assert!(subcommunicators(&h224(), &Permutation::reversal(3), 0, ColorScheme::Quotient)
+            .is_err());
+    }
+
+    #[test]
+    fn ragged_sizes_partition_in_enumeration_order() {
+        // Identity order: sizes 6, 4, 6 take consecutive cores.
+        let layout =
+            subcommunicators_ragged(&h224(), &Permutation::reversal(3), &[6, 4, 6]).unwrap();
+        assert_eq!(layout.count(), 3);
+        assert_eq!(layout.members(0), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(layout.members(1), &[6, 7, 8, 9]);
+        assert_eq!(layout.members(2), &[10, 11, 12, 13, 14, 15]);
+        // Node-fastest order: the first communicator of 4 alternates
+        // nodes.
+        let sigma = Permutation::new(vec![0, 1, 2]).unwrap();
+        let layout = subcommunicators_ragged(&h224(), &sigma, &[4, 12]).unwrap();
+        assert_eq!(layout.members(0), &[0, 8, 4, 12]);
+    }
+
+    #[test]
+    fn ragged_sizes_validated() {
+        let id = Permutation::reversal(3);
+        assert!(subcommunicators_ragged(&h224(), &id, &[8, 4]).is_err());
+        assert!(subcommunicators_ragged(&h224(), &id, &[16, 0]).is_err());
+        assert!(subcommunicators_ragged(&h224(), &id, &[]).is_err());
+    }
+
+    #[test]
+    fn segmented_layout_applies_per_segment_orders() {
+        // Node 0 packed (identity), node 1 spread over sockets.
+        let segments = [
+            Segment {
+                nodes: 1,
+                order: Permutation::new(vec![2, 1, 0]).unwrap(),
+                subcomm_size: 4,
+            },
+            Segment {
+                nodes: 1,
+                order: Permutation::new(vec![1, 2, 0]).unwrap(),
+                subcomm_size: 4,
+            },
+        ];
+        let layouts = segmented_layout(&h224(), &segments).unwrap();
+        assert_eq!(layouts.len(), 2);
+        // Segment 0: packed — first comm = first socket of node 0.
+        assert_eq!(layouts[0].members(0), &[0, 1, 2, 3]);
+        // Segment 1 (global cores 8..16): socket-cyclic — first comm
+        // alternates the two sockets of node 1.
+        assert_eq!(layouts[1].members(0), &[8, 12, 9, 13]);
+        // Together the segments cover the machine exactly once.
+        let mut seen = [false; 16];
+        for layout in &layouts {
+            for c in 0..layout.count() {
+                for &m in layout.members(c) {
+                    assert!(!seen[m]);
+                    seen[m] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn segmented_layout_validates_node_count() {
+        let segments = [Segment {
+            nodes: 3,
+            order: Permutation::reversal(3),
+            subcomm_size: 4,
+        }];
+        assert!(segmented_layout(&h224(), &segments).is_err());
+    }
+
+    #[test]
+    fn locate_finds_core() {
+        let sigma = Permutation::new(vec![0, 1, 2]).unwrap();
+        let layout = subcommunicators(&h224(), &sigma, 4, ColorScheme::Quotient).unwrap();
+        // Core 8 has reordered rank 1 → comm 0, rank 1.
+        assert_eq!(layout.locate(8), Some((0, 1)));
+        assert_eq!(layout.locate(99), None);
+    }
+}

@@ -1,0 +1,160 @@
+//! ASCII visualization of mappings — the Fig. 1/Fig. 2 view of the paper.
+//!
+//! Renders, for any machine hierarchy and order, the reordered rank of
+//! every core grouped by its position in the hierarchy, and optionally the
+//! subcommunicator each core belongs to. Useful for eyeballing what an
+//! order does before running anything.
+
+use crate::decompose::RankReordering;
+use crate::error::Error;
+use crate::hierarchy::Hierarchy;
+use crate::permutation::Permutation;
+use crate::subcomm::{subcommunicators, ColorScheme};
+use std::fmt::Write as _;
+
+/// Renders the reordered ranks of all cores, one line per lowest-level
+/// group, indented by the enclosing hierarchy path — the Fig. 2 layout
+/// generalized to any depth.
+///
+/// ```
+/// use mre_core::{Hierarchy, Permutation, visualize::render_mapping};
+/// let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+/// let text = render_mapping(&h, &Permutation::parse("0-1-2").unwrap()).unwrap();
+/// assert!(text.contains("node 0 / socket 0:   0  4  8 12"));
+/// ```
+pub fn render_mapping(h: &Hierarchy, sigma: &Permutation) -> Result<String, Error> {
+    let reordering = RankReordering::new(h, sigma)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "hierarchy {h}, order [{sigma}]");
+    let k = h.depth();
+    let leaf = h.level(k - 1);
+    let groups = h.size() / leaf;
+    let width = digits(h.size() - 1);
+    for g in 0..groups {
+        let path = group_path(h, g);
+        let ranks = (0..leaf)
+            .map(|c| format!("{:>width$}", reordering.new_rank(g * leaf + c)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "{path}:  {ranks}");
+    }
+    Ok(out)
+}
+
+/// Renders the subcommunicator id of every core in the same layout as
+/// [`render_mapping`] — the coloring of the paper's Fig. 2.
+pub fn render_subcomms(
+    h: &Hierarchy,
+    sigma: &Permutation,
+    subcomm_size: usize,
+) -> Result<String, Error> {
+    let layout = subcommunicators(h, sigma, subcomm_size, ColorScheme::Quotient)?;
+    let mut comm_of = vec![0usize; h.size()];
+    for c in 0..layout.count() {
+        for &m in layout.members(c) {
+            comm_of[m] = c;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "hierarchy {h}, order [{sigma}], {} comms x {subcomm_size}",
+        layout.count()
+    );
+    let k = h.depth();
+    let leaf = h.level(k - 1);
+    let groups = h.size() / leaf;
+    let width = digits(layout.count().saturating_sub(1));
+    for g in 0..groups {
+        let path = group_path(h, g);
+        let ids = (0..leaf)
+            .map(|c| format!("{:>width$}", comm_of[g * leaf + c]))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "{path}:  {ids}");
+    }
+    Ok(out)
+}
+
+/// The hierarchy path label of lowest-level group `g`
+/// (e.g. `"node 1 / socket 0"`).
+fn group_path(h: &Hierarchy, g: usize) -> String {
+    let k = h.depth();
+    let mut parts = Vec::with_capacity(k - 1);
+    let mut rest = g;
+    for i in (0..k - 1).rev() {
+        parts.push((h.name(i).to_string(), rest % h.level(i)));
+        rest /= h.level(i);
+    }
+    parts.reverse();
+    parts
+        .into_iter()
+        .map(|(name, idx)| format!("{name} {idx}"))
+        .collect::<Vec<_>>()
+        .join(" / ")
+}
+
+fn digits(n: usize) -> usize {
+    if n == 0 {
+        1
+    } else {
+        (n.ilog10() + 1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h224() -> Hierarchy {
+        Hierarchy::new(vec![2, 2, 4]).unwrap()
+    }
+
+    #[test]
+    fn identity_mapping_renders_sequential_rows() {
+        let text = render_mapping(&h224(), &Permutation::reversal(3)).unwrap();
+        assert!(text.contains("node 0 / socket 0:   0  1  2  3"), "{text}");
+        assert!(text.contains("node 1 / socket 1:  12 13 14 15"), "{text}");
+    }
+
+    #[test]
+    fn figure2a_rendering() {
+        // Fig. 2a (order [0,1,2]): node 0 socket 0 shows 0 4 8 12.
+        let text =
+            render_mapping(&h224(), &Permutation::new(vec![0, 1, 2]).unwrap()).unwrap();
+        assert!(text.contains("node 0 / socket 0:   0  4  8 12"), "{text}");
+        assert!(text.contains("node 1 / socket 0:   1  5  9 13"), "{text}");
+    }
+
+    #[test]
+    fn subcomm_rendering_matches_figure2_colors() {
+        // Fig. 2e (order [2,0,1], plane=4): each socket is one color.
+        let text = render_subcomms(&h224(), &Permutation::new(vec![2, 0, 1]).unwrap(), 4)
+            .unwrap();
+        assert!(text.contains("node 0 / socket 0:  0 0 0 0"), "{text}");
+        assert!(text.contains("node 1 / socket 0:  1 1 1 1"), "{text}");
+        assert!(text.contains("node 0 / socket 1:  2 2 2 2"), "{text}");
+    }
+
+    #[test]
+    fn deep_hierarchy_paths() {
+        let h = Hierarchy::new(vec![2, 2, 2, 2]).unwrap();
+        let text = render_mapping(&h, &Permutation::reversal(4)).unwrap();
+        assert!(text.contains("node 1 / socket 0 / numa 1:"), "{text}");
+    }
+
+    #[test]
+    fn wide_rank_numbers_align() {
+        let h = Hierarchy::new(vec![16, 2, 2, 8]).unwrap();
+        let text = render_mapping(&h, &Permutation::reversal(4)).unwrap();
+        // 512 cores → 3-digit ranks, padded.
+        assert!(text.contains("  0   1   2"), "{text}");
+        assert!(text.contains("511"), "{text}");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(render_mapping(&h224(), &Permutation::identity(4)).is_err());
+        assert!(render_subcomms(&h224(), &Permutation::identity(3), 3).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Collective algorithm selection.
+//!
+//! The paper leaves the algorithm choice to the MPI implementation ("we do
+//! not force a specific algorithm"); implementations pick by message size
+//! and communicator size. The `Auto` variants below mimic the usual
+//! OpenMPI/MPICH decision shape: logarithmic algorithms for small
+//! payloads (latency-bound), bandwidth-optimal linear/ring algorithms for
+//! large ones.
+
+/// Alltoall algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlltoallAlg {
+    /// Size-based choice (Bruck below the small-message threshold).
+    #[default]
+    Auto,
+    /// `p−1` rounds, rank `i` exchanges with `(i±r) mod p` in round `r`.
+    Pairwise,
+    /// `⌈log₂ p⌉` rounds of aggregated blocks (latency-optimal).
+    Bruck,
+}
+
+/// Allgather algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllgatherAlg {
+    /// Size-based choice (Bruck small, ring large).
+    #[default]
+    Auto,
+    /// `p−1` neighbor rounds; bandwidth-optimal, rank-order sensitive.
+    Ring,
+    /// `⌈log₂ p⌉` rounds of doubling blocks (any `p`).
+    Bruck,
+    /// `log₂ p` rounds, power-of-two communicators only.
+    RecursiveDoubling,
+}
+
+/// Allreduce algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllreduceAlg {
+    /// Size-based choice (recursive doubling small, ring large).
+    #[default]
+    Auto,
+    /// `⌈log₂ p⌉` full-vector exchanges.
+    RecursiveDoubling,
+    /// Reduce-scatter + allgather rings: `2(p−1)` rounds of `n/p` blocks;
+    /// bandwidth-optimal, rank-order sensitive.
+    Ring,
+}
+
+/// Payload threshold (bytes per rank) below which latency-optimal
+/// algorithms win; mirrors the few-dozen-KB defaults of real MPIs.
+pub const SMALL_MESSAGE_BYTES: u64 = 32 * 1024;
+
+impl AlltoallAlg {
+    /// Resolves `Auto` for a given per-destination payload.
+    pub fn resolve(self, bytes_per_pair: u64, comm_size: usize) -> AlltoallAlg {
+        match self {
+            AlltoallAlg::Auto => {
+                if bytes_per_pair.saturating_mul(comm_size as u64) < SMALL_MESSAGE_BYTES {
+                    AlltoallAlg::Bruck
+                } else {
+                    AlltoallAlg::Pairwise
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl AllgatherAlg {
+    /// Resolves `Auto` for a given per-rank block size.
+    pub fn resolve(self, block_bytes: u64, comm_size: usize) -> AllgatherAlg {
+        match self {
+            AllgatherAlg::Auto => {
+                if block_bytes.saturating_mul(comm_size as u64) < SMALL_MESSAGE_BYTES {
+                    AllgatherAlg::Bruck
+                } else {
+                    AllgatherAlg::Ring
+                }
+            }
+            AllgatherAlg::RecursiveDoubling if !comm_size.is_power_of_two() => {
+                AllgatherAlg::Bruck
+            }
+            other => other,
+        }
+    }
+}
+
+impl AllreduceAlg {
+    /// Resolves `Auto` for a given vector size.
+    pub fn resolve(self, total_bytes: u64, _comm_size: usize) -> AllreduceAlg {
+        match self {
+            AllreduceAlg::Auto => {
+                if total_bytes < SMALL_MESSAGE_BYTES {
+                    AllreduceAlg::RecursiveDoubling
+                } else {
+                    AllreduceAlg::Ring
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_alltoall_switches_on_size() {
+        assert_eq!(AlltoallAlg::Auto.resolve(16, 16), AlltoallAlg::Bruck);
+        assert_eq!(AlltoallAlg::Auto.resolve(1 << 20, 16), AlltoallAlg::Pairwise);
+        assert_eq!(AlltoallAlg::Pairwise.resolve(16, 16), AlltoallAlg::Pairwise);
+    }
+
+    #[test]
+    fn auto_allgather_switches_on_size() {
+        assert_eq!(AllgatherAlg::Auto.resolve(8, 8), AllgatherAlg::Bruck);
+        assert_eq!(AllgatherAlg::Auto.resolve(1 << 20, 8), AllgatherAlg::Ring);
+    }
+
+    #[test]
+    fn recursive_doubling_falls_back_for_odd_sizes() {
+        assert_eq!(
+            AllgatherAlg::RecursiveDoubling.resolve(1, 6),
+            AllgatherAlg::Bruck
+        );
+        assert_eq!(
+            AllgatherAlg::RecursiveDoubling.resolve(1, 8),
+            AllgatherAlg::RecursiveDoubling
+        );
+    }
+
+    #[test]
+    fn auto_allreduce_switches_on_size() {
+        assert_eq!(AllreduceAlg::Auto.resolve(64, 8), AllreduceAlg::RecursiveDoubling);
+        assert_eq!(AllreduceAlg::Auto.resolve(1 << 20, 8), AllreduceAlg::Ring);
+    }
+}

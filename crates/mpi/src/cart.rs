@@ -1,0 +1,302 @@
+//! Cartesian virtual topologies (`MPI_Cart_create` and friends), with the
+//! mixed-radix reordering as the `reorder = true` implementation.
+//!
+//! The MPI standard lets a Cartesian communicator *reorder* ranks to match
+//! the machine; most implementations ignore the flag. Here the reorder
+//! path is the paper's technique: the Cartesian dimensions are themselves
+//! a mixed-radix system, and an enumeration order of the *hardware*
+//! hierarchy renumbers the ranks so that grid neighbors land close in the
+//! machine (Gropp 2019 builds Cartesian communicators from node/socket
+//! information in the same spirit).
+
+use crate::comm::Comm;
+use mre_core::{coordinates, rank_from_coordinates, Error, Hierarchy, Permutation, RankReordering};
+
+/// A Cartesian topology over a communicator.
+#[derive(Debug)]
+pub struct CartTopology {
+    dims: Vec<usize>,
+    periodic: Vec<bool>,
+}
+
+impl CartTopology {
+    /// Validates dimensions and periodicity flags.
+    pub fn new(dims: Vec<usize>, periodic: Vec<bool>) -> Result<Self, Error> {
+        if dims.is_empty() || dims.len() != periodic.len() {
+            return Err(Error::Parse {
+                message: "dims and periodicity must be equal-length and non-empty".into(),
+            });
+        }
+        if dims.contains(&0) {
+            return Err(Error::ZeroLevel { level: dims.iter().position(|&d| d == 0).unwrap() });
+        }
+        Ok(Self { dims, periodic })
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total grid size.
+    pub fn size(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// `MPI_Cart_coords`: grid coordinates of a rank (row-major, first
+    /// dimension slowest — the MPI convention, identical to mixed-radix
+    /// coordinates).
+    pub fn coords(&self, rank: usize) -> Result<Vec<usize>, Error> {
+        let h = Hierarchy::new(self.dims.clone())?;
+        coordinates(&h, rank)
+    }
+
+    /// `MPI_Cart_rank`: rank of grid coordinates.
+    pub fn rank(&self, coords: &[usize]) -> Result<usize, Error> {
+        let h = Hierarchy::new(self.dims.clone())?;
+        rank_from_coordinates(&h, coords)
+    }
+
+    /// `MPI_Cart_shift`: the (source, destination) ranks for a shift of
+    /// `displacement` along `dim`. `None` endpoints fall off a
+    /// non-periodic boundary.
+    pub fn shift(
+        &self,
+        rank: usize,
+        dim: usize,
+        displacement: isize,
+    ) -> Result<(Option<usize>, Option<usize>), Error> {
+        if dim >= self.dims.len() {
+            return Err(Error::LevelOutOfRange { level: dim, depth: self.dims.len() });
+        }
+        let c = self.coords(rank)?;
+        let step = |dir: isize| -> Option<usize> {
+            let extent = self.dims[dim] as isize;
+            let target = c[dim] as isize + dir * displacement;
+            let wrapped = if self.periodic[dim] {
+                target.rem_euclid(extent)
+            } else if (0..extent).contains(&target) {
+                target
+            } else {
+                return None;
+            };
+            let mut nc = c.clone();
+            nc[dim] = wrapped as usize;
+            Some(self.rank(&nc).expect("in-range coordinates"))
+        };
+        Ok((step(-1), step(1)))
+    }
+
+    /// `MPI_Dims_create`: factors `nnodes` into `ndims` balanced
+    /// dimensions (largest first).
+    pub fn dims_create(nnodes: usize, ndims: usize) -> Result<Vec<usize>, Error> {
+        if ndims == 0 || nnodes == 0 {
+            return Err(Error::EmptyHierarchy);
+        }
+        let mut dims = vec![1usize; ndims];
+        let mut remaining = nnodes;
+        // Repeatedly pull the largest prime factor onto the smallest dim.
+        let mut factors = Vec::new();
+        let mut f = 2usize;
+        while f * f <= remaining {
+            while remaining.is_multiple_of(f) {
+                factors.push(f);
+                remaining /= f;
+            }
+            f += 1;
+        }
+        if remaining > 1 {
+            factors.push(remaining);
+        }
+        factors.sort_unstable_by(|a, b| b.cmp(a));
+        for factor in factors {
+            let smallest = (0..ndims)
+                .min_by_key(|&i| dims[i])
+                .expect("ndims >= 1");
+            dims[smallest] *= factor;
+        }
+        dims.sort_unstable_by(|a, b| b.cmp(a));
+        Ok(dims)
+    }
+}
+
+impl<'p> Comm<'p> {
+    /// `MPI_Cart_create` with mixed-radix reordering: builds a Cartesian
+    /// communicator whose grid is `topology.dims()`.
+    ///
+    /// With `reorder = None` ranks keep their order. With
+    /// `reorder = Some((hierarchy, order))` ranks are renumbered by the
+    /// paper's technique first, so that walking the grid row-major visits
+    /// the cores in the enumeration order — grid-contiguous ranks become
+    /// machine-close according to the chosen order.
+    pub fn cart_create(
+        &self,
+        topology: &CartTopology,
+        reorder: Option<(&Hierarchy, &Permutation)>,
+    ) -> Result<Option<Comm<'p>>, Error> {
+        if topology.size() > self.size() {
+            return Err(Error::RankOutOfRange {
+                rank: topology.size(),
+                size: self.size(),
+            });
+        }
+        let key = match reorder {
+            None => self.rank(),
+            Some((h, sigma)) => {
+                if h.size() != self.size() {
+                    return Err(Error::RankOutOfRange { rank: h.size(), size: self.size() });
+                }
+                RankReordering::new(h, sigma)?.new_rank(self.rank())
+            }
+        };
+        // Ranks beyond the grid size are excluded (MPI returns
+        // MPI_COMM_NULL for them).
+        let in_grid = key < topology.size();
+        let color = i64::from(!in_grid); // 0 = in grid, 1 = excluded
+        let comm = self
+            .split(color, key as i64)
+            .expect("both colors are non-negative");
+        Ok(if in_grid { Some(comm) } else { None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run;
+
+    #[test]
+    fn coords_rank_roundtrip() {
+        let cart = CartTopology::new(vec![3, 4, 2], vec![false, true, false]).unwrap();
+        for r in 0..cart.size() {
+            let c = cart.coords(r).unwrap();
+            assert_eq!(cart.rank(&c).unwrap(), r);
+        }
+        assert_eq!(cart.coords(13).unwrap(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn shift_non_periodic_boundaries() {
+        let cart = CartTopology::new(vec![4], vec![false]).unwrap();
+        assert_eq!(cart.shift(0, 0, 1).unwrap(), (None, Some(1)));
+        assert_eq!(cart.shift(3, 0, 1).unwrap(), (Some(2), None));
+        assert_eq!(cart.shift(2, 0, 1).unwrap(), (Some(1), Some(3)));
+    }
+
+    #[test]
+    fn shift_periodic_wraps() {
+        let cart = CartTopology::new(vec![4], vec![true]).unwrap();
+        assert_eq!(cart.shift(0, 0, 1).unwrap(), (Some(3), Some(1)));
+        assert_eq!(cart.shift(3, 0, 2).unwrap(), (Some(1), Some(1)));
+    }
+
+    #[test]
+    fn shift_2d() {
+        let cart = CartTopology::new(vec![3, 4], vec![false, true]).unwrap();
+        // Rank 5 = (1, 1): along dim 0 → (0,1)=1 and (2,1)=9.
+        assert_eq!(cart.shift(5, 0, 1).unwrap(), (Some(1), Some(9)));
+        // Along dim 1 (periodic) → (1,0)=4 and (1,2)=6.
+        assert_eq!(cart.shift(5, 1, 1).unwrap(), (Some(4), Some(6)));
+        assert!(cart.shift(5, 2, 1).is_err());
+    }
+
+    #[test]
+    fn dims_create_balances() {
+        assert_eq!(CartTopology::dims_create(12, 2).unwrap(), vec![4, 3]);
+        assert_eq!(CartTopology::dims_create(16, 2).unwrap(), vec![4, 4]);
+        assert_eq!(CartTopology::dims_create(24, 3).unwrap(), vec![4, 3, 2]);
+        assert_eq!(CartTopology::dims_create(7, 2).unwrap(), vec![7, 1]);
+        assert!(CartTopology::dims_create(0, 2).is_err());
+        assert!(CartTopology::dims_create(4, 0).is_err());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(CartTopology::new(vec![], vec![]).is_err());
+        assert!(CartTopology::new(vec![2], vec![true, false]).is_err());
+        assert!(CartTopology::new(vec![2, 0], vec![true, false]).is_err());
+    }
+
+    #[test]
+    fn cart_create_without_reorder_keeps_ranks() {
+        let results = run(8, |p| {
+            let world = Comm::world(p);
+            let cart = CartTopology::new(vec![2, 4], vec![false, false]).unwrap();
+            let comm = world.cart_create(&cart, None).unwrap().unwrap();
+            (comm.rank(), comm.world_ranks().to_vec())
+        });
+        for (r, (rank, ranks)) in results.iter().enumerate() {
+            assert_eq!(*rank, r);
+            assert_eq!(ranks, &(0..8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn cart_create_with_reorder_applies_enumeration() {
+        // Machine ⟦2,4⟧ (2 nodes × 4 cores); order [0,1] enumerates nodes
+        // fastest, so the 2×4 grid's row-major walk alternates nodes.
+        let h = Hierarchy::new(vec![2, 4]).unwrap();
+        let sigma = Permutation::parse("0-1").unwrap();
+        let results = run(8, move |p| {
+            let world = Comm::world(p);
+            let cart = CartTopology::new(vec![2, 4], vec![false, false]).unwrap();
+            let comm = world
+                .cart_create(&cart, Some((&h, &sigma)))
+                .unwrap()
+                .unwrap();
+            comm.rank()
+        });
+        // World rank (= core) w has coordinates (node, core) = (w/4, w%4);
+        // reordered rank = node + 2*core.
+        for (w, &cart_rank) in results.iter().enumerate() {
+            assert_eq!(cart_rank, (w / 4) + 2 * (w % 4));
+        }
+    }
+
+    #[test]
+    fn cart_create_excludes_extra_ranks() {
+        let results = run(6, |p| {
+            let world = Comm::world(p);
+            let cart = CartTopology::new(vec![2, 2], vec![false, false]).unwrap();
+            world.cart_create(&cart, None).unwrap().map(|c| c.size())
+        });
+        assert_eq!(results, vec![Some(4), Some(4), Some(4), Some(4), None, None]);
+    }
+
+    #[test]
+    fn cart_create_rejects_oversized_grid() {
+        run(4, |p| {
+            let world = Comm::world(p);
+            let cart = CartTopology::new(vec![3, 3], vec![false, false]).unwrap();
+            assert!(world.cart_create(&cart, None).is_err());
+        });
+    }
+
+    #[test]
+    fn halo_exchange_over_reordered_cart() {
+        // A 1D periodic halo exchange on a reordered Cartesian
+        // communicator: each rank ends with its neighbors' values.
+        let h = Hierarchy::new(vec![2, 4]).unwrap();
+        let sigma = Permutation::parse("0-1").unwrap();
+        let results = run(8, move |p| {
+            let world = Comm::world(p);
+            let cart = CartTopology::new(vec![8], vec![true]).unwrap();
+            let comm = world
+                .cart_create(&cart, Some((&h, &sigma)))
+                .unwrap()
+                .unwrap();
+            let me = comm.rank();
+            let (left, right) = cart.shift(me, 0, 1).unwrap();
+            let (left, right) = (left.unwrap(), right.unwrap());
+            comm.send(right, 1, me);
+            comm.send(left, 2, me);
+            let from_left: usize = comm.recv(left, 1);
+            let from_right: usize = comm.recv(right, 2);
+            (me, from_left, from_right)
+        });
+        for &(me, from_left, from_right) in &results {
+            assert_eq!(from_left, (me + 7) % 8);
+            assert_eq!(from_right, (me + 1) % 8);
+        }
+    }
+}

@@ -1,0 +1,864 @@
+//! Functional collective operations over the thread runtime.
+//!
+//! Every operation is implemented in the textbook algorithm(s) real MPI
+//! libraries use, selected through the enums in [`crate::algorithm`]. The
+//! implementations move real data between rank threads, so tests can
+//! verify the *semantics* of a reordering pipeline end-to-end; their
+//! communication patterns are mirrored one-to-one by the pure generators
+//! in [`crate::schedules`], which cost the same algorithms at cluster
+//! scale.
+//!
+//! Reduction operators must be associative and commutative (the usual MPI
+//! built-in op contract); combination order is unspecified.
+
+use crate::algorithm::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
+use crate::comm::Comm;
+use crate::runtime::Tag;
+
+/// Number of dissemination/doubling rounds for `p` ranks.
+pub(crate) fn ceil_log2(p: usize) -> usize {
+    if p <= 1 {
+        0
+    } else {
+        usize::BITS as usize - (p - 1).leading_zeros() as usize
+    }
+}
+
+/// Balanced partition of `n` items into `p` blocks: block `b` is
+/// `[start, end)`. The first `n % p` blocks get one extra item.
+pub(crate) fn block_range(n: usize, p: usize, b: usize) -> (usize, usize) {
+    let base = n / p;
+    let extra = n % p;
+    let start = b * base + b.min(extra);
+    let len = base + usize::from(b < extra);
+    (start, start + len)
+}
+
+fn combine<T, F: Fn(&T, &T) -> T>(acc: &mut [T], other: &[T], op: &F) {
+    debug_assert_eq!(acc.len(), other.len());
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a = op(a, b);
+    }
+}
+
+impl<'p> Comm<'p> {
+    fn csend<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
+        self.proc_.send(self.world_rank_of(dst), tag, value);
+    }
+
+    fn crecv<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
+        self.proc_.recv(self.world_rank_of(src), tag)
+    }
+
+    /// Dissemination barrier: `⌈log₂ p⌉` rounds.
+    pub fn barrier(&self) {
+        let p = self.size();
+        let tag = self.next_tag();
+        let me = self.rank();
+        for k in 0..ceil_log2(p) {
+            let hop = 1usize << k;
+            let dst = (me + hop) % p;
+            let src = (me + p - hop % p) % p;
+            let _: u8 = self.sendrecv_internal(dst, src, tag, 0u8);
+        }
+    }
+
+    /// Binomial-tree broadcast. `value` must be `Some` on `root` (its
+    /// content is returned everywhere).
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        let p = self.size();
+        let tag = self.next_tag();
+        let r = (self.rank() + p - root) % p;
+        let mut val = value;
+        let mut mask = 1usize;
+        while mask < p {
+            if r & mask != 0 {
+                let src = (r - mask + root) % p;
+                val = Some(self.crecv(src, tag));
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        let val = val.expect("bcast: root must supply Some(value)");
+        while mask > 0 {
+            if r + mask < p {
+                let dst = (r + mask + root) % p;
+                self.csend(dst, tag, val.clone());
+            }
+            mask >>= 1;
+        }
+        val
+    }
+
+    /// Binomial-tree reduction to `root`; returns `Some(result)` on the
+    /// root and `None` elsewhere.
+    pub fn reduce<T, F>(&self, root: usize, mut data: Vec<T>, op: F) -> Option<Vec<T>>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let p = self.size();
+        let tag = self.next_tag();
+        let r = (self.rank() + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if r & mask == 0 {
+                let peer = r | mask;
+                if peer < p {
+                    let other: Vec<T> = self.crecv((peer + root) % p, tag);
+                    combine(&mut data, &other, &op);
+                }
+            } else {
+                let dst = (r - mask + root) % p;
+                self.csend(dst, tag, data);
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(data)
+    }
+
+    /// Allreduce of an element-wise vector reduction.
+    pub fn allreduce<T, F>(&self, data: Vec<T>, op: F, alg: AllreduceAlg) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        match alg.resolve(bytes, self.size()) {
+            AllreduceAlg::RecursiveDoubling => self.allreduce_recursive_doubling(data, op),
+            AllreduceAlg::Ring => self.allreduce_ring(data, op),
+            AllreduceAlg::Auto => unreachable!("resolve() never returns Auto"),
+        }
+    }
+
+    fn allreduce_recursive_doubling<T, F>(&self, mut data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let p = self.size();
+        if p == 1 {
+            return data;
+        }
+        let tag = self.next_tag();
+        let me = self.rank();
+        let pow = prev_power_of_two(p);
+        let rem = p - pow;
+        // Fold the excess ranks into the first `rem` even slots.
+        let newrank: Option<usize> = if me < 2 * rem {
+            if me % 2 == 1 {
+                self.csend(me - 1, tag, data.clone());
+                None
+            } else {
+                let other: Vec<T> = self.crecv(me + 1, tag);
+                combine(&mut data, &other, &op);
+                Some(me / 2)
+            }
+        } else {
+            Some(me - rem)
+        };
+        if let Some(nr) = newrank {
+            let to_real = |nr: usize| if nr < rem { nr * 2 } else { nr + rem };
+            let mut hop = 1usize;
+            while hop < pow {
+                let partner = to_real(nr ^ hop);
+                let other: Vec<T> = self.sendrecv_internal(partner, partner, tag, data.clone());
+                combine(&mut data, &other, &op);
+                hop <<= 1;
+            }
+        }
+        // Unfold: evens send the result back to the odds.
+        if me < 2 * rem {
+            if me.is_multiple_of(2) {
+                self.csend(me + 1, tag, data.clone());
+            } else {
+                data = self.crecv(me - 1, tag);
+            }
+        }
+        data
+    }
+
+    fn allreduce_ring<T, F>(&self, mut data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let p = self.size();
+        if p == 1 {
+            return data;
+        }
+        let n = data.len();
+        let tag = self.next_tag();
+        let me = self.rank();
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        // Reduce-scatter phase.
+        for step in 0..p - 1 {
+            let send_block = (me + p - step) % p;
+            let recv_block = (me + 2 * p - step - 1) % p;
+            let (s0, s1) = block_range(n, p, send_block);
+            let chunk: Vec<T> = data[s0..s1].to_vec();
+            let incoming: Vec<T> = self.sendrecv_internal(right, left, tag, chunk);
+            let (r0, r1) = block_range(n, p, recv_block);
+            combine(&mut data[r0..r1], &incoming, &op);
+        }
+        // Allgather phase: rank `me` owns the fully reduced block
+        // `(me + 1) % p`.
+        for step in 0..p - 1 {
+            let send_block = (me + 1 + p - step) % p;
+            let recv_block = (me + p - step) % p;
+            let (s0, s1) = block_range(n, p, send_block);
+            let chunk: Vec<T> = data[s0..s1].to_vec();
+            let incoming: Vec<T> = self.sendrecv_internal(right, left, tag, chunk);
+            let (r0, r1) = block_range(n, p, recv_block);
+            data[r0..r1].clone_from_slice(&incoming);
+        }
+        data
+    }
+
+    /// Allgather: returns every rank's contribution, indexed by
+    /// communicator rank.
+    pub fn allgather<T: Clone + Send + 'static>(
+        &self,
+        mine: Vec<T>,
+        alg: AllgatherAlg,
+    ) -> Vec<Vec<T>> {
+        let bytes = (mine.len() * std::mem::size_of::<T>()) as u64;
+        match alg.resolve(bytes, self.size()) {
+            AllgatherAlg::Ring => self.allgather_ring(mine),
+            AllgatherAlg::Bruck => self.allgather_bruck(mine),
+            AllgatherAlg::RecursiveDoubling => self.allgather_recursive_doubling(mine),
+            AllgatherAlg::Auto => unreachable!("resolve() never returns Auto"),
+        }
+    }
+
+    fn allgather_ring<T: Clone + Send + 'static>(&self, mine: Vec<T>) -> Vec<Vec<T>> {
+        let p = self.size();
+        let tag = self.next_tag();
+        let me = self.rank();
+        let mut all: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        let mut carry_idx = me;
+        all[me] = Some(mine);
+        for _ in 0..p - 1 {
+            let payload = (carry_idx, all[carry_idx].clone().expect("carried block present"));
+            let (idx, block): (usize, Vec<T>) =
+                self.sendrecv_internal(right, left, tag, payload);
+            all[idx] = Some(block);
+            carry_idx = idx;
+        }
+        all.into_iter()
+            .map(|b| b.expect("ring visits every block"))
+            .collect()
+    }
+
+    fn allgather_recursive_doubling<T: Clone + Send + 'static>(
+        &self,
+        mine: Vec<T>,
+    ) -> Vec<Vec<T>> {
+        let p = self.size();
+        debug_assert!(p.is_power_of_two(), "resolve() guards non-powers of two");
+        let tag = self.next_tag();
+        let me = self.rank();
+        let mut owned: Vec<(usize, Vec<T>)> = vec![(me, mine)];
+        let mut hop = 1usize;
+        while hop < p {
+            let partner = me ^ hop;
+            let received: Vec<(usize, Vec<T>)> =
+                self.sendrecv_internal(partner, partner, tag, owned.clone());
+            owned.extend(received);
+            hop <<= 1;
+        }
+        finish_blocks(owned, p)
+    }
+
+    fn allgather_bruck<T: Clone + Send + 'static>(&self, mine: Vec<T>) -> Vec<Vec<T>> {
+        let p = self.size();
+        let tag = self.next_tag();
+        let me = self.rank();
+        // Local list starts with our block; step k appends the blocks held
+        // by rank (me + 2^k) mod p.
+        let mut owned: Vec<(usize, Vec<T>)> = vec![(me, mine)];
+        let mut hop = 1usize;
+        while hop < p {
+            let dst = (me + p - hop % p) % p;
+            let src = (me + hop) % p;
+            let count = hop.min(p - hop);
+            let to_send: Vec<(usize, Vec<T>)> = owned[..count].to_vec();
+            let received: Vec<(usize, Vec<T>)> =
+                self.sendrecv_internal(dst, src, tag, to_send);
+            owned.extend(received);
+            hop <<= 1;
+        }
+        finish_blocks(owned, p)
+    }
+
+    /// Personalized all-to-all exchange with per-destination payloads
+    /// (the `MPI_Alltoallv` shape): `send[d]` goes to communicator rank
+    /// `d`; the result's entry `s` came from rank `s`.
+    pub fn alltoallv<T: Clone + Send + 'static>(
+        &self,
+        send: Vec<Vec<T>>,
+        alg: AlltoallAlg,
+    ) -> Vec<Vec<T>> {
+        let p = self.size();
+        assert_eq!(send.len(), p, "one payload per destination rank");
+        let max_pair = send.iter().map(|v| v.len()).max().unwrap_or(0);
+        let bytes = (max_pair * std::mem::size_of::<T>()) as u64;
+        match alg.resolve(bytes, p) {
+            AlltoallAlg::Pairwise => self.alltoallv_pairwise(send),
+            AlltoallAlg::Bruck => self.alltoallv_bruck(send),
+            AlltoallAlg::Auto => unreachable!("resolve() never returns Auto"),
+        }
+    }
+
+    /// Regular all-to-all: `send` holds `p` equal chunks concatenated;
+    /// returns the received chunks concatenated in rank order.
+    pub fn alltoall<T: Clone + Send + 'static>(
+        &self,
+        send: &[T],
+        alg: AlltoallAlg,
+    ) -> Vec<T> {
+        let p = self.size();
+        assert!(send.len().is_multiple_of(p), "payload must split into p equal chunks");
+        let chunk = send.len() / p;
+        let blocks: Vec<Vec<T>> = (0..p).map(|d| send[d * chunk..(d + 1) * chunk].to_vec()).collect();
+        self.alltoallv(blocks, alg).into_iter().flatten().collect()
+    }
+
+    fn alltoallv_pairwise<T: Clone + Send + 'static>(&self, mut send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let p = self.size();
+        let tag = self.next_tag();
+        let me = self.rank();
+        let mut result: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        result[me] = std::mem::take(&mut send[me]);
+        for r in 1..p {
+            let dst = (me + r) % p;
+            let src = (me + p - r) % p;
+            let payload = std::mem::take(&mut send[dst]);
+            result[src] = self.sendrecv_internal(dst, src, tag, payload);
+        }
+        result
+    }
+
+    fn alltoallv_bruck<T: Clone + Send + 'static>(&self, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let p = self.size();
+        let tag = self.next_tag();
+        let me = self.rank();
+        // Store-and-forward along binary decomposition of the offset
+        // (dst − holder) mod p: Bruck's communication pattern,
+        // generalized to ragged payloads by tagging blocks with
+        // (destination, origin).
+        let mut held: Vec<(usize, usize, Vec<T>)> = send
+            .into_iter()
+            .enumerate()
+            .map(|(dst, data)| (dst, me, data))
+            .collect();
+        let mut hop = 1usize;
+        while hop < p {
+            let dst_rank = (me + hop) % p;
+            let src_rank = (me + p - hop % p) % p;
+            let (to_send, keep): (Vec<_>, Vec<_>) = held
+                .into_iter()
+                .partition(|&(dst, _, _)| ((dst + p - me) % p) & hop != 0);
+            held = keep;
+            let received: Vec<(usize, usize, Vec<T>)> =
+                self.sendrecv_internal(dst_rank, src_rank, tag, to_send);
+            held.extend(received);
+            hop <<= 1;
+        }
+        let mut result: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        for (dst, origin, data) in held {
+            debug_assert_eq!(dst, me, "block routed to the wrong rank");
+            result[origin] = data;
+        }
+        result
+    }
+
+    /// Linear gather to `root`: returns `Some(contributions by rank)` on
+    /// the root, `None` elsewhere.
+    pub fn gather<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        mine: Vec<T>,
+    ) -> Option<Vec<Vec<T>>> {
+        let p = self.size();
+        let tag = self.next_tag();
+        if self.rank() == root {
+            let mut all: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+            all[root] = mine;
+            #[allow(clippy::needless_range_loop)]
+            for r in 0..p {
+                if r != root {
+                    all[r] = self.crecv(r, tag);
+                }
+            }
+            Some(all)
+        } else {
+            self.csend(root, tag, mine);
+            None
+        }
+    }
+
+    /// Linear scatter from `root`: `parts` must be `Some` on the root with
+    /// one payload per rank.
+    pub fn scatter<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        parts: Option<Vec<Vec<T>>>,
+    ) -> Vec<T> {
+        let p = self.size();
+        let tag = self.next_tag();
+        if self.rank() == root {
+            let mut parts = parts.expect("scatter: root must supply Some(parts)");
+            assert_eq!(parts.len(), p, "one payload per rank");
+            for (r, part) in parts.iter_mut().enumerate() {
+                if r != root {
+                    self.csend(r, tag, std::mem::take(part));
+                }
+            }
+            std::mem::take(&mut parts[root])
+        } else {
+            self.crecv(root, tag)
+        }
+    }
+
+    /// Reduce-scatter with equal blocks: every rank contributes a vector
+    /// of `p × block` elements and receives its own block of the
+    /// element-wise reduction (the first phase of the ring allreduce,
+    /// exposed as `MPI_Reduce_scatter_block`).
+    pub fn reduce_scatter_block<T, F>(&self, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let p = self.size();
+        assert!(data.len().is_multiple_of(p), "vector must split into p equal blocks");
+        let block = data.len() / p;
+        if p == 1 {
+            return data;
+        }
+        let tag = self.next_tag();
+        let me = self.rank();
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        let mut data = data;
+        for step in 0..p - 1 {
+            let send_block = (me + p - step) % p;
+            let recv_block = (me + 2 * p - step - 1) % p;
+            let chunk: Vec<T> = data[send_block * block..(send_block + 1) * block].to_vec();
+            let incoming: Vec<T> = self.sendrecv_internal(right, left, tag, chunk);
+            combine(
+                &mut data[recv_block * block..(recv_block + 1) * block],
+                &incoming,
+                &op,
+            );
+        }
+        // After p−1 steps rank `me` holds the fully reduced block
+        // `(me + 1) % p` — it belongs to the right neighbor; receive our
+        // own block from the left.
+        let owned = (me + 1) % p;
+        let mine: Vec<T> = data[owned * block..(owned + 1) * block].to_vec();
+        self.sendrecv_internal(right, left, tag, mine)
+    }
+
+    /// Exclusive prefix scan: rank 0 receives `None`; rank `r > 0`
+    /// receives `op(data₀, …, data₍ᵣ₋₁₎)` element-wise.
+    pub fn exscan<T, F>(&self, data: Vec<T>, op: F) -> Option<Vec<T>>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let p = self.size();
+        let tag = self.next_tag();
+        let me = self.rank();
+        // Hillis–Steele over the *running* value, tracking the exclusive
+        // prefix separately.
+        let mut running = data;
+        let mut exclusive: Option<Vec<T>> = None;
+        let mut hop = 1usize;
+        while hop < p {
+            if me + hop < p {
+                self.csend(me + hop, tag, running.clone());
+            }
+            if me >= hop {
+                let incoming: Vec<T> = self.crecv(me - hop, tag);
+                exclusive = Some(match exclusive {
+                    None => incoming.clone(),
+                    Some(e) => {
+                        let mut merged = incoming.clone();
+                        combine(&mut merged, &e, &op);
+                        merged
+                    }
+                });
+                let mut merged = incoming;
+                combine(&mut merged, &running, &op);
+                running = merged;
+            }
+            hop <<= 1;
+        }
+        exclusive
+    }
+
+    /// Inclusive prefix scan (Hillis–Steele): rank `r` receives
+    /// `op(data₀, …, data_r)` element-wise.
+    pub fn scan<T, F>(&self, mut data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let p = self.size();
+        let tag = self.next_tag();
+        let me = self.rank();
+        let mut hop = 1usize;
+        while hop < p {
+            if me + hop < p {
+                self.csend(me + hop, tag, data.clone());
+            }
+            if me >= hop {
+                let prefix: Vec<T> = self.crecv(me - hop, tag);
+                // Combine so the earlier ranks' contribution comes first.
+                let mut merged = prefix;
+                combine(&mut merged, &data, &op);
+                data = merged;
+            }
+            hop <<= 1;
+        }
+        data
+    }
+}
+
+fn prev_power_of_two(p: usize) -> usize {
+    debug_assert!(p >= 1);
+    1usize << (usize::BITS - 1 - p.leading_zeros())
+}
+
+fn finish_blocks<T>(owned: Vec<(usize, Vec<T>)>, p: usize) -> Vec<Vec<T>> {
+    debug_assert_eq!(owned.len(), p);
+    let mut all: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+    for (idx, block) in owned {
+        debug_assert!(all[idx].is_none(), "duplicate block {idx}");
+        all[idx] = Some(block);
+    }
+    all.into_iter()
+        .map(|b| b.expect("every block gathered"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run;
+
+    fn sum(a: &u64, b: &u64) -> u64 {
+        a.wrapping_add(*b)
+    }
+
+    #[test]
+    fn block_range_partitions() {
+        // 10 items over 4 blocks: 3,3,2,2.
+        assert_eq!(block_range(10, 4, 0), (0, 3));
+        assert_eq!(block_range(10, 4, 1), (3, 6));
+        assert_eq!(block_range(10, 4, 2), (6, 8));
+        assert_eq!(block_range(10, 4, 3), (8, 10));
+        // Fewer items than blocks.
+        assert_eq!(block_range(2, 4, 0), (0, 1));
+        assert_eq!(block_range(2, 4, 3), (2, 2));
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn barrier_completes_at_odd_sizes() {
+        for p in [1, 2, 3, 5, 8] {
+            run(p, |proc_| {
+                let world = Comm::world(proc_);
+                world.barrier();
+                world.barrier();
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for p in [1, 2, 3, 4, 7] {
+            for root in 0..p {
+                let results = run(p, |proc_| {
+                    let world = Comm::world(proc_);
+                    let value = (world.rank() == root).then(|| vec![root * 10, 7]);
+                    world.bcast(root, value)
+                });
+                for r in results {
+                    assert_eq!(r, vec![root * 10, 7]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        for p in [1, 2, 5, 8] {
+            for root in [0, p - 1] {
+                let results = run(p, |proc_| {
+                    let world = Comm::world(proc_);
+                    let mine = vec![world.rank() as u64, 1];
+                    world.reduce(root, mine, sum)
+                });
+                let expected = (p * (p - 1) / 2) as u64;
+                for (r, res) in results.into_iter().enumerate() {
+                    if r == root {
+                        assert_eq!(res, Some(vec![expected, p as u64]));
+                    } else {
+                        assert_eq!(res, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_all_algorithms_match() {
+        for p in [1, 2, 3, 4, 6, 8, 9] {
+            for alg in [
+                AllreduceAlg::RecursiveDoubling,
+                AllreduceAlg::Ring,
+                AllreduceAlg::Auto,
+            ] {
+                let results = run(p, move |proc_| {
+                    let world = Comm::world(proc_);
+                    let mine: Vec<u64> =
+                        (0..13).map(|i| (world.rank() * 100 + i) as u64).collect();
+                    world.allreduce(mine, sum, alg)
+                });
+                let expected: Vec<u64> = (0..13)
+                    .map(|i| (0..p).map(|r| (r * 100 + i) as u64).sum())
+                    .collect();
+                for r in results {
+                    assert_eq!(r, expected, "p={p}, alg={alg:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_ring_handles_short_vectors() {
+        // Vector shorter than the communicator: some blocks are empty.
+        let results = run(6, |proc_| {
+            let world = Comm::world(proc_);
+            world.allreduce(vec![1u64, 2], sum, AllreduceAlg::Ring)
+        });
+        for r in results {
+            assert_eq!(r, vec![6, 12]);
+        }
+    }
+
+    #[test]
+    fn allgather_all_algorithms_match() {
+        for p in [1, 2, 3, 4, 6, 8] {
+            for alg in [
+                AllgatherAlg::Ring,
+                AllgatherAlg::Bruck,
+                AllgatherAlg::RecursiveDoubling,
+                AllgatherAlg::Auto,
+            ] {
+                let results = run(p, move |proc_| {
+                    let world = Comm::world(proc_);
+                    let mine = vec![world.rank() as u64; world.rank() % 3 + 1];
+                    // Ragged blocks exercise the block bookkeeping; the
+                    // regular-MPI case is a special case of it.
+                    world.allgather(mine, alg)
+                });
+                for r in results {
+                    for (src, block) in r.iter().enumerate() {
+                        assert_eq!(block, &vec![src as u64; src % 3 + 1], "p={p}, alg={alg:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_pairwise_and_bruck_match() {
+        for p in [1, 2, 3, 5, 8] {
+            for alg in [AlltoallAlg::Pairwise, AlltoallAlg::Bruck, AlltoallAlg::Auto] {
+                let results = run(p, move |proc_| {
+                    let world = Comm::world(proc_);
+                    let me = world.rank();
+                    // send[d] = [me*10 + d; d+1] — ragged, identifiable.
+                    let send: Vec<Vec<u64>> = (0..p)
+                        .map(|d| vec![(me * 10 + d) as u64; d + 1])
+                        .collect();
+                    world.alltoallv(send, alg)
+                });
+                for (me, r) in results.iter().enumerate() {
+                    for (src, block) in r.iter().enumerate() {
+                        assert_eq!(
+                            block,
+                            &vec![(src * 10 + me) as u64; me + 1],
+                            "p={p}, alg={alg:?}, me={me}, src={src}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_regular_transposes_chunks() {
+        let p = 4;
+        let results = run(p, |proc_| {
+            let world = Comm::world(proc_);
+            let me = world.rank();
+            let send: Vec<u64> = (0..p * 2).map(|i| (me * 100 + i) as u64).collect();
+            world.alltoall(&send, AlltoallAlg::Pairwise)
+        });
+        for (me, r) in results.iter().enumerate() {
+            let expected: Vec<u64> = (0..p)
+                .flat_map(|src| {
+                    [(src * 100 + me * 2) as u64, (src * 100 + me * 2 + 1) as u64]
+                })
+                .collect();
+            assert_eq!(r, &expected);
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter_roundtrip() {
+        let results = run(5, |proc_| {
+            let world = Comm::world(proc_);
+            let me = world.rank();
+            let gathered = world.gather(2, vec![me as u64 * 3]);
+            if me == 2 {
+                let g = gathered.unwrap();
+                assert_eq!(g, vec![vec![0], vec![3], vec![6], vec![9], vec![12]]);
+                world.scatter(2, Some(g))
+            } else {
+                assert!(gathered.is_none());
+                world.scatter::<u64>(2, None)
+            }
+        });
+        for (me, r) in results.iter().enumerate() {
+            assert_eq!(r, &vec![me as u64 * 3]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_block_returns_own_reduced_block() {
+        for p in [1, 2, 3, 4, 6, 8] {
+            let block = 3;
+            let results = run(p, move |proc_| {
+                let world = Comm::world(proc_);
+                let me = world.rank();
+                // data[b*block + j] = me*1000 + b*10 + j.
+                let data: Vec<u64> = (0..p * block)
+                    .map(|i| (me * 1000 + (i / block) * 10 + i % block) as u64)
+                    .collect();
+                world.reduce_scatter_block(data, sum)
+            });
+            for (me, r) in results.iter().enumerate() {
+                let expected: Vec<u64> = (0..block)
+                    .map(|j| (0..p).map(|src| (src * 1000 + me * 10 + j) as u64).sum())
+                    .collect();
+                assert_eq!(r, &expected, "p={p}, rank={me}");
+            }
+        }
+    }
+
+    #[test]
+    fn exscan_computes_exclusive_prefixes() {
+        for p in [1, 2, 3, 5, 8] {
+            let results = run(p, |proc_| {
+                let world = Comm::world(proc_);
+                world.exscan(vec![world.rank() as u64 + 1], sum)
+            });
+            assert_eq!(results[0], None, "p={p}");
+            for (me, r) in results.iter().enumerate().skip(1) {
+                let expected: u64 = (1..=me as u64).sum();
+                assert_eq!(r, &Some(vec![expected]), "p={p}, rank={me}");
+            }
+        }
+    }
+
+    #[test]
+    fn exscan_and_scan_are_consistent() {
+        // scan = op(exscan, own) for every rank > 0.
+        let p = 7;
+        let results = run(p, |proc_| {
+            let world = Comm::world(proc_);
+            let mine = vec![(world.rank() as u64 + 2) * 3];
+            let inclusive = world.scan(mine.clone(), sum);
+            let exclusive = world.exscan(mine.clone(), sum);
+            (mine, inclusive, exclusive)
+        });
+        for (me, (mine, inclusive, exclusive)) in results.iter().enumerate() {
+            match exclusive {
+                None => assert_eq!(me, 0),
+                Some(e) => assert_eq!(inclusive[0], e[0] + mine[0]),
+            }
+        }
+    }
+
+    #[test]
+    fn scan_computes_inclusive_prefixes() {
+        for p in [1, 2, 3, 7, 8] {
+            let results = run(p, |proc_| {
+                let world = Comm::world(proc_);
+                world.scan(vec![world.rank() as u64 + 1], sum)
+            });
+            for (me, r) in results.iter().enumerate() {
+                let expected: u64 = (1..=me as u64 + 1).sum();
+                assert_eq!(r, &vec![expected], "p={p}, rank={me}");
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_in_subcommunicators_are_isolated() {
+        // Two subcommunicators performing different collectives
+        // simultaneously must not interfere.
+        let results = run(8, |proc_| {
+            let world = Comm::world(proc_);
+            let color = (proc_.world_rank() % 2) as i64;
+            let sub = world.split(color, 0).unwrap();
+            if color == 0 {
+                sub.allreduce(vec![1u64], sum, AllreduceAlg::RecursiveDoubling)[0]
+            } else {
+                sub.allgather(vec![2u64], AllgatherAlg::Ring)
+                    .iter()
+                    .map(|b| b[0])
+                    .sum()
+            }
+        });
+        for (me, r) in results.iter().enumerate() {
+            assert_eq!(*r, if me % 2 == 0 { 4 } else { 8 });
+        }
+    }
+
+    #[test]
+    fn reordered_world_collective_matches_unordered() {
+        // Reorder the world with a permutation key, then allgather: the
+        // data must land by *new* rank order.
+        let perm = [3usize, 1, 2, 0];
+        let results = run(4, move |proc_| {
+            let world = Comm::world(proc_);
+            let new = world.split(0, perm[proc_.world_rank()] as i64).unwrap();
+            let gathered = new.allgather(vec![proc_.world_rank() as u64], AllgatherAlg::Ring);
+            gathered.into_iter().map(|b| b[0]).collect::<Vec<_>>()
+        });
+        // New rank order: key 0 → world 3, key 1 → world 1, key 2 →
+        // world 2, key 3 → world 0.
+        for r in results {
+            assert_eq!(r, vec![3, 1, 2, 0]);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The rank runtime: threads + typed, tagged point-to-point messaging.
+//!
+//! [`run`] spawns one OS thread per rank and hands each a [`Proc`] handle.
+//! Messages are typed (`Box<dyn Any>` under the hood, downcast on
+//! receive), tagged with a `(context, tag)` pair so that traffic of
+//! different communicators and different collective invocations never
+//! interferes, and delivered through unbounded channels (sends never
+//! block, so no send-side deadlocks).
+//!
+//! Delivery between a fixed (sender, receiver) pair is FIFO; receives
+//! match on `(source, tag)` and buffer out-of-order arrivals.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Message tag: the communicator context plus a per-operation tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag {
+    /// Communicator context id (unique per communicator).
+    pub ctx: u64,
+    /// Operation tag within the context.
+    pub tag: u64,
+}
+
+type AnyPayload = Box<dyn Any + Send>;
+
+struct Envelope {
+    src: usize,
+    tag: Tag,
+    payload: AnyPayload,
+}
+
+struct Shared {
+    senders: Vec<Sender<Envelope>>,
+}
+
+/// A rank's handle: world identity plus messaging endpoints.
+pub struct Proc {
+    rank: usize,
+    size: usize,
+    shared: Arc<Shared>,
+    rx: Receiver<Envelope>,
+    pending: RefCell<HashMap<(usize, Tag), VecDeque<AnyPayload>>>,
+}
+
+impl Proc {
+    /// This rank's index in the world (0-based).
+    pub fn world_rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn world_size(&self) -> usize {
+        self.size
+    }
+
+    /// Sends `value` to world rank `dst` with `tag`. Never blocks.
+    ///
+    /// # Panics
+    /// If `dst` is out of range.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
+        self.shared.senders[dst]
+            .send(Envelope { src: self.rank, tag, payload: Box::new(value) })
+            .expect("receiver thread alive for the duration of run()");
+    }
+
+    /// Receives the next message from world rank `src` with `tag`,
+    /// blocking until it arrives.
+    ///
+    /// # Panics
+    /// If the arrived payload's type is not `T` (a protocol bug), or if
+    /// all senders disconnected while waiting (a deadlock symptom).
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
+        let key = (src, tag);
+        // Check the out-of-order buffer first.
+        if let Some(queue) = self.pending.borrow_mut().get_mut(&key) {
+            if let Some(payload) = queue.pop_front() {
+                return downcast(payload);
+            }
+        }
+        loop {
+            let envelope = self
+                .rx
+                .recv()
+                .expect("no message will ever arrive: all peers are gone (deadlock?)");
+            if envelope.src == src && envelope.tag == tag {
+                return downcast(envelope.payload);
+            }
+            self.pending
+                .borrow_mut()
+                .entry((envelope.src, envelope.tag))
+                .or_default()
+                .push_back(envelope.payload);
+        }
+    }
+
+    /// Sends to `dst` and receives from `src` with the same tag —
+    /// the `MPI_Sendrecv` idiom every round-based collective needs.
+    pub fn sendrecv<T: Send + 'static>(&self, dst: usize, src: usize, tag: Tag, value: T) -> T {
+        if dst == self.rank && src == self.rank {
+            return value;
+        }
+        self.send(dst, tag, value);
+        self.recv(src, tag)
+    }
+}
+
+fn downcast<T: 'static>(payload: AnyPayload) -> T {
+    *payload
+        .downcast::<T>()
+        .expect("payload type mismatch: sender and receiver disagree on T")
+}
+
+/// Runs `f` on `nprocs` ranks (one thread each) and returns their results
+/// ordered by rank.
+///
+/// ```
+/// use mre_mpi::runtime::{run, Tag};
+/// let sums = run(4, |p| {
+///     // Everybody sends their rank to rank 0.
+///     let tag = Tag { ctx: 0, tag: 0 };
+///     if p.world_rank() == 0 {
+///         (1..p.world_size()).map(|src| p.recv::<usize>(src, tag)).sum::<usize>()
+///     } else {
+///         p.send(0, tag, p.world_rank());
+///         0
+///     }
+/// });
+/// assert_eq!(sums[0], 6);
+/// ```
+pub fn run<F, R>(nprocs: usize, f: F) -> Vec<R>
+where
+    F: Fn(&Proc) -> R + Send + Sync,
+    R: Send,
+{
+    assert!(nprocs > 0, "need at least one rank");
+    let mut senders = Vec::with_capacity(nprocs);
+    let mut receivers = Vec::with_capacity(nprocs);
+    for _ in 0..nprocs {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let shared = Arc::new(Shared { senders });
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    let proc_ = Proc {
+                        rank,
+                        size: nprocs,
+                        shared,
+                        rx,
+                        pending: RefCell::new(HashMap::new()),
+                    };
+                    f(&proc_)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: Tag = Tag { ctx: 0, tag: 0 };
+    const T1: Tag = Tag { ctx: 0, tag: 1 };
+
+    #[test]
+    fn ring_pass() {
+        let results = run(5, |p| {
+            let right = (p.world_rank() + 1) % 5;
+            let left = (p.world_rank() + 4) % 5;
+            p.send(right, T0, p.world_rank());
+            p.recv::<usize>(left, T0)
+        });
+        assert_eq!(results, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn typed_payloads() {
+        let results = run(2, |p| {
+            if p.world_rank() == 0 {
+                p.send(1, T0, vec![1.5f64, 2.5]);
+                p.send(1, T1, "hello".to_string());
+                0.0
+            } else {
+                let v: Vec<f64> = p.recv(0, T0);
+                let s: String = p.recv(0, T1);
+                assert_eq!(s, "hello");
+                v.iter().sum()
+            }
+        });
+        assert_eq!(results[1], 4.0);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let results = run(2, |p| {
+            if p.world_rank() == 0 {
+                p.send(1, T0, 10u32);
+                p.send(1, T1, 20u32);
+                0
+            } else {
+                // Receive in the opposite order of sending.
+                let b: u32 = p.recv(0, T1);
+                let a: u32 = p.recv(0, T0);
+                a + b
+            }
+        });
+        assert_eq!(results[1], 30);
+    }
+
+    #[test]
+    fn fifo_per_pair_and_tag() {
+        let results = run(2, |p| {
+            if p.world_rank() == 0 {
+                for i in 0..100u64 {
+                    p.send(1, T0, i);
+                }
+                0
+            } else {
+                let mut last = None;
+                for _ in 0..100 {
+                    let v: u64 = p.recv(0, T0);
+                    if let Some(prev) = last {
+                        assert!(v > prev, "FIFO violated: {v} after {prev}");
+                    }
+                    last = Some(v);
+                }
+                last.unwrap()
+            }
+        });
+        assert_eq!(results[1], 99);
+    }
+
+    #[test]
+    fn sendrecv_exchanges() {
+        let results = run(2, |p| {
+            let other = 1 - p.world_rank();
+            p.sendrecv(other, other, T0, p.world_rank())
+        });
+        assert_eq!(results, vec![1, 0]);
+    }
+
+    #[test]
+    fn sendrecv_with_self_is_identity() {
+        let results = run(1, |p| p.sendrecv(0, 0, T0, 42u8));
+        assert_eq!(results, vec![42]);
+    }
+
+    #[test]
+    fn contexts_do_not_collide() {
+        // Same tag number in two contexts must not cross.
+        let a = Tag { ctx: 1, tag: 7 };
+        let b = Tag { ctx: 2, tag: 7 };
+        let results = run(2, |p| {
+            if p.world_rank() == 0 {
+                p.send(1, a, 100u32);
+                p.send(1, b, 200u32);
+                0
+            } else {
+                let vb: u32 = p.recv(0, b);
+                let va: u32 = p.recv(0, a);
+                va * 1000 + vb
+            }
+        });
+        assert_eq!(results[1], 100_200);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        run(0, |_p| ());
+    }
+
+    #[test]
+    fn many_ranks_all_to_one() {
+        let n = 32;
+        let results = run(n, |p| {
+            if p.world_rank() == 0 {
+                (1..n).map(|src| p.recv::<usize>(src, T0)).sum::<usize>()
+            } else {
+                p.send(0, T0, p.world_rank());
+                0
+            }
+        });
+        assert_eq!(results[0], n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Hierarchy-aware communicator splitting — the `MPI_Comm_split_type`
+//! *guided mode* of MPI 4 (Goglin et al. 2018), which the paper names as
+//! the MPI-native way to discover the hardware hierarchy, and the
+//! *hierarchy-sensitive communicator creation* it proposes as future work.
+
+use crate::comm::Comm;
+use mre_core::{Error, Hierarchy, Permutation, RankReordering};
+
+impl<'p> Comm<'p> {
+    /// Guided split: groups the members that share the same instance of
+    /// hierarchy `level` (0 = outermost). `core` is this rank's placement
+    /// (sequential core id); ranks inside a group are ordered by their
+    /// current rank.
+    ///
+    /// `split_by_level(machine, core, 0)` yields one communicator per
+    /// compute node — the `MPI_COMM_TYPE_SHARED` idiom.
+    pub fn split_by_level(
+        &self,
+        machine: &Hierarchy,
+        core: usize,
+        level: usize,
+    ) -> Result<Comm<'p>, Error> {
+        if level >= machine.depth() {
+            return Err(Error::LevelOutOfRange { level, depth: machine.depth() });
+        }
+        if core >= machine.size() {
+            return Err(Error::RankOutOfRange { rank: core, size: machine.size() });
+        }
+        let stride = machine.strides()[level];
+        let instance = core / stride;
+        Ok(self
+            .split(instance as i64, self.rank() as i64)
+            .expect("instance indices are non-negative"))
+    }
+
+    /// The paper's future-work "hierarchy-sensitive split": splits this
+    /// communicator into `self.size() / subcomm_size` equal parts after
+    /// renumbering members by the enumeration order `sigma`, in one call.
+    ///
+    /// `machine.size()` must equal this communicator's size and `core`
+    /// must be the caller's placement in the *sequential* numbering.
+    pub fn split_reordered(
+        &self,
+        machine: &Hierarchy,
+        sigma: &Permutation,
+        core: usize,
+        subcomm_size: usize,
+    ) -> Result<Comm<'p>, Error> {
+        if machine.size() != self.size() {
+            return Err(Error::RankOutOfRange { rank: machine.size(), size: self.size() });
+        }
+        if subcomm_size == 0 || !self.size().is_multiple_of(subcomm_size) {
+            return Err(Error::IndivisibleSubcomm {
+                world: self.size(),
+                subcomm: subcomm_size,
+            });
+        }
+        let new_rank = RankReordering::new(machine, sigma)?.new_rank(core);
+        let color = (new_rank / subcomm_size) as i64;
+        let key = (new_rank % subcomm_size) as i64;
+        Ok(self.split(color, key).expect("quotient colors are non-negative"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run;
+    use mre_core::subcomm::{subcommunicators, ColorScheme};
+
+    #[test]
+    fn split_by_node_level_groups_node_mates() {
+        // Machine ⟦2,2,4⟧, one rank per core in sequential order.
+        let machine = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        let results = run(16, move |p| {
+            let world = Comm::world(p);
+            let node_comm = world.split_by_level(&machine, p.world_rank(), 0).unwrap();
+            let socket_comm = world.split_by_level(&machine, p.world_rank(), 1).unwrap();
+            (
+                node_comm.size(),
+                node_comm.world_ranks().to_vec(),
+                socket_comm.size(),
+                socket_comm.world_ranks().to_vec(),
+            )
+        });
+        for (w, (nsize, nranks, ssize, sranks)) in results.iter().enumerate() {
+            assert_eq!(*nsize, 8);
+            let node = w / 8;
+            assert_eq!(nranks, &(node * 8..(node + 1) * 8).collect::<Vec<_>>());
+            assert_eq!(*ssize, 4);
+            let socket = w / 4;
+            assert_eq!(sranks, &(socket * 4..(socket + 1) * 4).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn split_by_level_validates() {
+        let machine = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        run(2, move |p| {
+            let world = Comm::world(p);
+            assert!(world.split_by_level(&machine, p.world_rank(), 5).is_err());
+            assert!(world.split_by_level(&machine, 99, 0).is_err());
+            // Burn the same collective slots on both ranks to stay in
+            // lockstep, then do a valid split.
+            let c = world.split_by_level(&machine, p.world_rank(), 2).unwrap();
+            assert_eq!(c.size(), 1);
+        });
+    }
+
+    #[test]
+    fn split_reordered_matches_pure_layout() {
+        let machine = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        for order in ["0-1-2", "1-0-2", "2-0-1"] {
+            let sigma = Permutation::parse(order).unwrap();
+            let layout =
+                subcommunicators(&machine, &sigma, 4, ColorScheme::Quotient).unwrap();
+            let m = machine.clone();
+            let s = sigma.clone();
+            let results = run(16, move |p| {
+                let world = Comm::world(p);
+                let sub = world
+                    .split_reordered(&m, &s, p.world_rank(), 4)
+                    .unwrap();
+                (sub.rank(), sub.world_ranks().to_vec())
+            });
+            for (core, (rank_in_sub, members)) in results.iter().enumerate() {
+                let (comm_idx, expected_rank) = layout.locate(core).unwrap();
+                assert_eq!(*rank_in_sub, expected_rank, "order {order}, core {core}");
+                assert_eq!(members, layout.members(comm_idx), "order {order}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_reordered_validates() {
+        let machine = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        run(4, move |p| {
+            let world = Comm::world(p);
+            let sigma = Permutation::parse("0-1-2").unwrap();
+            // Machine size mismatch.
+            assert!(world
+                .split_reordered(&machine, &sigma, p.world_rank(), 2)
+                .is_err());
+            let small = Hierarchy::new(vec![2, 2]).unwrap();
+            // Non-dividing subcommunicator size.
+            assert!(world
+                .split_reordered(&small, &Permutation::parse("0-1").unwrap(), p.world_rank(), 3)
+                .is_err());
+        });
+    }
+}

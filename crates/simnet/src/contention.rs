@@ -1,0 +1,222 @@
+//! Max-min fair bandwidth allocation (progressive water-filling).
+//!
+//! Given a set of flows, each traversing a set of capacitated links, the
+//! max-min fair allocation repeatedly saturates the most contended link:
+//! the link whose equal share `capacity / active_flows` is smallest fixes
+//! the rate of every flow through it; those flows are frozen, their rate is
+//! subtracted from every link they traverse, and the process repeats until
+//! all flows are frozen.
+//!
+//! This is the standard fluid model of TCP-fair networks and is a good
+//! first-order model for how concurrent MPI messages share NICs,
+//! inter-socket links and memory systems.
+
+/// Computes max-min fair rates.
+///
+/// * `flows[f]` — the list of link indices flow `f` traverses. A flow with
+///   an empty link list is unconstrained and gets `f64::INFINITY`.
+/// * `capacities[l]` — capacity of link `l` (any unit; results share it).
+///
+/// Returns the per-flow rates. Guarantees (tested):
+/// * **feasibility** — the total rate through every link never exceeds its
+///   capacity (up to floating-point slack);
+/// * **saturation** — every flow is bottlenecked by at least one saturated
+///   link (no rate can be raised without lowering another);
+/// * **symmetry** — flows with identical link sets get identical rates.
+///
+/// Complexity: `O(iterations · Σ|flows[f]|)` with at most `min(#flows,
+/// #links)` iterations — fine for the few thousand flows per round that
+/// collective schedules produce.
+pub fn max_min_rates(flows: &[Vec<usize>], capacities: &[f64]) -> Vec<f64> {
+    let nf = flows.len();
+    let nl = capacities.len();
+    let mut rates = vec![f64::INFINITY; nf];
+    if nf == 0 {
+        return rates;
+    }
+    for (f, links) in flows.iter().enumerate() {
+        for &l in links {
+            assert!(l < nl, "flow {f} references unknown link {l}");
+        }
+    }
+    let mut remaining_cap = capacities.to_vec();
+    let mut link_flow_count = vec![0usize; nl];
+    let mut frozen = vec![false; nf];
+    for (f, links) in flows.iter().enumerate() {
+        if links.is_empty() {
+            frozen[f] = true; // unconstrained
+        } else {
+            for &l in links {
+                link_flow_count[l] += 1;
+            }
+        }
+    }
+    let mut unfrozen = frozen.iter().filter(|&&f| !f).count();
+    while unfrozen > 0 {
+        // The bottleneck link: smallest equal share among links with
+        // active flows.
+        let mut bottleneck_share = f64::INFINITY;
+        for l in 0..nl {
+            if link_flow_count[l] > 0 {
+                let share = remaining_cap[l].max(0.0) / link_flow_count[l] as f64;
+                if share < bottleneck_share {
+                    bottleneck_share = share;
+                }
+            }
+        }
+        debug_assert!(bottleneck_share.is_finite());
+        // Freeze every flow passing through a link at (or numerically at)
+        // the bottleneck share.
+        let epsilon = bottleneck_share * 1e-12 + f64::MIN_POSITIVE;
+        let mut to_freeze = Vec::new();
+        for (f, links) in flows.iter().enumerate() {
+            if frozen[f] {
+                continue;
+            }
+            let constrained = links.iter().any(|&l| {
+                let share = remaining_cap[l].max(0.0) / link_flow_count[l] as f64;
+                share <= bottleneck_share + epsilon
+            });
+            if constrained {
+                to_freeze.push(f);
+            }
+        }
+        debug_assert!(!to_freeze.is_empty(), "water-filling must progress");
+        for f in to_freeze {
+            frozen[f] = true;
+            unfrozen -= 1;
+            rates[f] = bottleneck_share;
+            for &l in &flows[f] {
+                remaining_cap[l] -= bottleneck_share;
+                link_flow_count[l] -= 1;
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total_per_link(flows: &[Vec<usize>], rates: &[f64], nl: usize) -> Vec<f64> {
+        let mut totals = vec![0.0; nl];
+        for (f, links) in flows.iter().enumerate() {
+            for &l in links {
+                totals[l] += rates[f];
+            }
+        }
+        totals
+    }
+
+    #[test]
+    fn single_flow_gets_path_minimum() {
+        let flows = vec![vec![0, 1, 2]];
+        let caps = vec![10.0, 4.0, 7.0];
+        let rates = max_min_rates(&flows, &caps);
+        assert_eq!(rates, vec![4.0]);
+    }
+
+    #[test]
+    fn equal_flows_share_equally() {
+        let flows = vec![vec![0], vec![0], vec![0], vec![0]];
+        let caps = vec![8.0];
+        let rates = max_min_rates(&flows, &caps);
+        assert_eq!(rates, vec![2.0; 4]);
+    }
+
+    #[test]
+    fn classic_three_flow_example() {
+        // Flow A uses links 0 and 1; B uses 0; C uses 1.
+        // caps: link0 = 10, link1 = 4.
+        // Water-filling: link1 share = 2 → freeze A and C at 2;
+        // link0 then has 8 left for B alone → 8.
+        let flows = vec![vec![0, 1], vec![0], vec![1]];
+        let caps = vec![10.0, 4.0];
+        let rates = max_min_rates(&flows, &caps);
+        assert_eq!(rates[0], 2.0);
+        assert_eq!(rates[2], 2.0);
+        assert_eq!(rates[1], 8.0);
+    }
+
+    #[test]
+    fn unconstrained_flow_is_infinite() {
+        let flows = vec![vec![], vec![0]];
+        let caps = vec![5.0];
+        let rates = max_min_rates(&flows, &caps);
+        assert!(rates[0].is_infinite());
+        assert_eq!(rates[1], 5.0);
+    }
+
+    #[test]
+    fn no_flows() {
+        assert!(max_min_rates(&[], &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn feasibility_and_symmetry_random() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let nl = rng.gen_range(1..8);
+            let nf = rng.gen_range(1..40);
+            let caps: Vec<f64> = (0..nl).map(|_| rng.gen_range(1.0..100.0)).collect();
+            let flows: Vec<Vec<usize>> = (0..nf)
+                .map(|_| {
+                    let mut path: Vec<usize> =
+                        (0..nl).filter(|_| rng.gen_bool(0.5)).collect();
+                    if path.is_empty() {
+                        path.push(rng.gen_range(0..nl));
+                    }
+                    path
+                })
+                .collect();
+            let rates = max_min_rates(&flows, &caps);
+            // Feasibility.
+            for (l, &total) in total_per_link(&flows, &rates, nl).iter().enumerate() {
+                assert!(
+                    total <= caps[l] * (1.0 + 1e-9),
+                    "link {l} oversubscribed: {total} > {}",
+                    caps[l]
+                );
+            }
+            // Symmetry: same path ⇒ same rate.
+            for a in 0..nf {
+                for b in (a + 1)..nf {
+                    let (mut pa, mut pb) = (flows[a].clone(), flows[b].clone());
+                    pa.sort_unstable();
+                    pb.sort_unstable();
+                    if pa == pb {
+                        assert!((rates[a] - rates[b]).abs() < 1e-9 * rates[a].max(1.0));
+                    }
+                }
+            }
+            // Every flow touches at least one (near-)saturated link.
+            let totals = total_per_link(&flows, &rates, nl);
+            for (f, links) in flows.iter().enumerate() {
+                let bottlenecked = links
+                    .iter()
+                    .any(|&l| totals[l] >= caps[l] * (1.0 - 1e-6));
+                assert!(bottlenecked, "flow {f} is not bottlenecked anywhere");
+            }
+        }
+    }
+
+    #[test]
+    fn adding_flows_never_raises_existing_rates() {
+        let caps = vec![12.0, 6.0];
+        let base = vec![vec![0], vec![0, 1]];
+        let more = vec![vec![0], vec![0, 1], vec![1], vec![0]];
+        let r1 = max_min_rates(&base, &caps);
+        let r2 = max_min_rates(&more, &caps);
+        assert!(r2[0] <= r1[0] + 1e-12);
+        assert!(r2[1] <= r1[1] + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn bad_link_index_panics() {
+        max_min_rates(&[vec![3]], &[1.0]);
+    }
+}

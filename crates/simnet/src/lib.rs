@@ -1,0 +1,45 @@
+//! # mre-simnet — hierarchical network & memory performance model
+//!
+//! The simulated fabric standing in for the paper's clusters (Hydra's
+//! Omni-Path, LUMI's Slingshot-11, and the intra-node interconnects).
+//!
+//! The machine is modeled as the tree its [`mre_core::Hierarchy`] spans:
+//! every instance of a hierarchy level owns one full-duplex *uplink* to its
+//! parent instance with a calibrated bandwidth, and every pair of cores
+//! communicates along the unique tree path through their lowest common
+//! ancestor. Concurrent messages share traversed links **max-min fairly**
+//! (progressive water-filling), which is what produces the paper's central
+//! effects: spread mappings win when a single communicator has the fabric
+//! to itself, packed mappings win (and stay constant) when many
+//! communicators compete for the per-node NICs.
+//!
+//! Collectives are costed as [`schedule::Schedule`]s — rounds of concurrent
+//! messages — either alone or merged in lockstep with the schedules of
+//! other communicators ([`network::NetworkModel::concurrent_time`]).
+//!
+//! Compute phases use a roofline with hierarchically shared memory
+//! bandwidth ([`memory::MemoryModel`]): cores under the same L3/NUMA/socket
+//! split those levels' capacities, reproducing the core-selection effects
+//! of the paper's Fig. 9.
+//!
+//! Calibrations for the two machines of the paper are in [`presets`]; they
+//! aim at the right orders of magnitude and relative capacities, not at
+//! matching absolute MB/s (see DESIGN.md §5).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod contention;
+pub mod fluid;
+pub mod memory;
+pub mod network;
+pub mod presets;
+pub mod schedule;
+pub mod utilization;
+
+pub use contention::max_min_rates;
+pub use fluid::fluid_time;
+pub use utilization::{utilization, Utilization};
+pub use memory::MemoryModel;
+pub use network::{ContentionMode, LinkParams, NetworkModel};
+pub use schedule::{Message, Round, Schedule};

@@ -1,0 +1,217 @@
+//! Roofline compute model with hierarchically shared memory bandwidth.
+//!
+//! The strong-scaling behaviour of memory-bound kernels (the paper's NAS
+//! CG experiment, Fig. 9) is dominated by how many active cores share each
+//! level of the memory system: cores under the same L3 cache split that
+//! cache's fill bandwidth, cores in the same NUMA domain split its memory
+//! controllers, and so on. Selecting *which* cores run the job therefore
+//! matters more than how many (the paper: 8 well-placed processes beat 32
+//! badly-placed ones).
+//!
+//! [`MemoryModel::phase_time`] computes the duration of a compute phase in
+//! which every active core streams `bytes` from memory and executes
+//! `flops` floating-point operations: each core's achieved stream
+//! bandwidth is the max-min fair share of all memory-system levels it
+//! traverses (plus its private per-core limit), and the phase time is the
+//! roofline `max(bytes / share, flops / flop_rate)` of the slowest core.
+
+use crate::contention::max_min_rates;
+use mre_core::Hierarchy;
+use std::collections::HashMap;
+
+/// Memory-system calibration of one compute node (or machine).
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    hierarchy: Hierarchy,
+    strides: Vec<usize>,
+    /// `level_bandwidth[l]` — shared stream bandwidth (bytes/s) of each
+    /// instance of level `l`, or `None` if that level imposes no memory
+    /// constraint (e.g. the node level of a multi-node hierarchy).
+    level_bandwidth: Vec<Option<f64>>,
+    /// Per-core maximum stream bandwidth (bytes/s).
+    core_bandwidth: f64,
+    /// Per-core floating-point rate (flop/s).
+    flop_rate: f64,
+}
+
+impl MemoryModel {
+    /// Builds a model. `level_bandwidth` must have one entry per hierarchy
+    /// level (outermost first).
+    ///
+    /// # Panics
+    /// On length mismatch or non-positive rates.
+    pub fn new(
+        hierarchy: Hierarchy,
+        level_bandwidth: Vec<Option<f64>>,
+        core_bandwidth: f64,
+        flop_rate: f64,
+    ) -> Self {
+        assert_eq!(
+            level_bandwidth.len(),
+            hierarchy.depth(),
+            "one bandwidth entry per hierarchy level"
+        );
+        assert!(core_bandwidth > 0.0 && flop_rate > 0.0);
+        for bw in level_bandwidth.iter().flatten() {
+            assert!(*bw > 0.0, "level bandwidths must be positive");
+        }
+        let strides = hierarchy.strides();
+        Self { hierarchy, strides, level_bandwidth, core_bandwidth, flop_rate }
+    }
+
+    /// The hierarchy this model covers.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Per-core floating-point rate.
+    pub fn flop_rate(&self) -> f64 {
+        self.flop_rate
+    }
+
+    /// The max-min fair stream bandwidth each active core achieves.
+    ///
+    /// `active_cores` are sequential core ids; duplicates are not allowed
+    /// (each physical core runs one process).
+    pub fn core_bandwidths(&self, active_cores: &[usize]) -> Vec<f64> {
+        let n = active_cores.len();
+        // Links 0..n are the private per-core limits; shared level-instance
+        // links are appended after and deduplicated through `link_index`.
+        let mut link_index: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut capacities: Vec<f64> = vec![self.core_bandwidth; n];
+        let mut flows: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for (i, &core) in active_cores.iter().enumerate() {
+            debug_assert!(core < self.hierarchy.size());
+            let mut path = vec![i];
+            for (level, bw) in self.level_bandwidth.iter().enumerate() {
+                if let Some(bw) = bw {
+                    let instance = core / self.strides[level];
+                    let slot = *link_index.entry((level, instance)).or_insert_with(|| {
+                        capacities.push(*bw);
+                        capacities.len() - 1
+                    });
+                    path.push(slot);
+                }
+            }
+            flows.push(path);
+        }
+        max_min_rates(&flows, &capacities)
+    }
+
+    /// Roofline duration of a compute phase: every active core streams
+    /// `bytes` and executes `flops`; returns the slowest core's
+    /// `max(bytes / fair_bandwidth, flops / flop_rate)`.
+    pub fn phase_time(&self, active_cores: &[usize], bytes: f64, flops: f64) -> f64 {
+        if active_cores.is_empty() {
+            return 0.0;
+        }
+        let rates = self.core_bandwidths(active_cores);
+        rates
+            .iter()
+            .map(|&bw| (bytes / bw).max(flops / self.flop_rate))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy node: [2 sockets, 2 l3, 4 cores]; socket bw 100, L3 bw 40,
+    /// core bw 15, flops 1000.
+    fn toy() -> MemoryModel {
+        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        MemoryModel::new(h, vec![Some(100.0), Some(40.0), None], 15.0, 1000.0)
+    }
+
+    #[test]
+    fn single_core_gets_private_limit() {
+        let m = toy();
+        let rates = m.core_bandwidths(&[0]);
+        assert_eq!(rates, vec![15.0]);
+    }
+
+    #[test]
+    fn cores_in_one_l3_split_its_bandwidth() {
+        let m = toy();
+        // All 4 cores of L3 0: 40/4 = 10 each (below the 15 private cap).
+        let rates = m.core_bandwidths(&[0, 1, 2, 3]);
+        for r in rates {
+            assert!((r - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_core_per_l3_keeps_private_limit() {
+        let m = toy();
+        // Cores 0, 4 (the two L3s of socket 0): each 15, socket cap 100
+        // not binding.
+        let rates = m.core_bandwidths(&[0, 4]);
+        assert_eq!(rates, vec![15.0, 15.0]);
+    }
+
+    #[test]
+    fn socket_cap_binds_when_saturated() {
+        // All 8 cores of socket 0: L3 caps 40+40 = 80 < 100 socket, so L3
+        // binds: 10 each. Raise the pressure: a model with socket cap 60.
+        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        let tight = MemoryModel::new(h, vec![Some(60.0), Some(40.0), None], 15.0, 1000.0);
+        let rates = tight.core_bandwidths(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let total: f64 = rates.iter().sum();
+        assert!(total <= 60.0 + 1e-9, "socket capacity exceeded: {total}");
+        for r in rates {
+            assert!((r - 7.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn placement_beats_count() {
+        // The Fig. 9 effect: 2 well-placed cores out-stream 4 packed ones.
+        let m = toy();
+        let spread2 = m.phase_time(&[0, 4], 100.0, 0.0);
+        let packed4 = m.phase_time(&[0, 1, 2, 3], 100.0, 0.0);
+        assert!(spread2 < packed4);
+    }
+
+    #[test]
+    fn flop_bound_phase_ignores_placement() {
+        let m = toy();
+        let a = m.phase_time(&[0, 1, 2, 3], 0.0, 5000.0);
+        let b = m.phase_time(&[0, 4, 8, 12], 0.0, 5000.0);
+        assert!((a - 5.0).abs() < 1e-12);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roofline_takes_slower_side() {
+        let m = toy();
+        // bytes/bw = 100/15 ≈ 6.67 vs flops 1000/1000 = 1 → memory bound.
+        let t = m.phase_time(&[0], 100.0, 1000.0);
+        assert!((t - 100.0 / 15.0).abs() < 1e-12);
+        // flop bound.
+        let t = m.phase_time(&[0], 1.0, 10_000.0);
+        assert!((t - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_phase_is_instant() {
+        assert_eq!(toy().phase_time(&[], 100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn unconstrained_levels_are_ignored() {
+        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        let m = MemoryModel::new(h, vec![None, None, None], 15.0, 1.0);
+        let rates = m.core_bandwidths(&[0, 1, 2, 3, 4, 5]);
+        for r in rates {
+            assert_eq!(r, 15.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one bandwidth entry per hierarchy level")]
+    fn level_count_mismatch_panics() {
+        let h = Hierarchy::new(vec![2, 2]).unwrap();
+        MemoryModel::new(h, vec![Some(1.0)], 1.0, 1.0);
+    }
+}

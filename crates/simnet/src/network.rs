@@ -1,0 +1,372 @@
+//! The hierarchical network model.
+//!
+//! Every instance of hierarchy level `l` (a node, socket, NUMA domain,
+//! group or core) owns one **full-duplex uplink** to its enclosing level
+//! `l−1` instance, with a per-level bandwidth. A message between cores
+//! whose coordinates first differ at level `j` ascends through the
+//! sender-side uplinks of levels `k−1, …, j` (direction *up*), crosses the
+//! common level-`j−1` instance, and descends through the receiver-side
+//! uplinks (direction *down*).
+//!
+//! A round of concurrent messages shares every traversed directed link
+//! max-min fairly ([`crate::contention::max_min_rates`]); the round time is
+//! the slowest message's `latency + bytes / rate`. Latency is calibrated
+//! per *crossing level* (the level of the first coordinate difference),
+//! matching how per-level ping-pong latencies are measured on real
+//! machines.
+
+use crate::contention::max_min_rates;
+use crate::schedule::{Message, Schedule};
+use mre_core::Hierarchy;
+use std::collections::HashMap;
+
+/// How concurrent messages share link capacity (the contention-model
+/// ablation of DESIGN.md §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContentionMode {
+    /// Progressive water-filling: rates freed by bottlenecked flows are
+    /// redistributed (the default, and the realistic model).
+    #[default]
+    MaxMinFair,
+    /// Naive equal split: every flow gets
+    /// `min over its links of capacity / flow_count` — no redistribution.
+    /// Pessimistic for asymmetric mixes; kept for the ablation study.
+    EqualShare,
+}
+
+/// Calibration of one hierarchy level's links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Capacity (bytes/s) of the uplink that each instance of this level
+    /// has towards its parent, per direction.
+    pub uplink_bandwidth: f64,
+    /// End-to-end latency (s) of a message whose outermost coordinate
+    /// difference is at this level (i.e. that must cross this level).
+    pub crossing_latency: f64,
+}
+
+/// The calibrated network model of one machine.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    hierarchy: Hierarchy,
+    strides: Vec<usize>,
+    links: Vec<LinkParams>,
+    /// Bandwidth of a local (same-core) copy, for self-messages.
+    local_copy_bandwidth: f64,
+    mode: ContentionMode,
+}
+
+impl NetworkModel {
+    /// Builds a model; `links[l]` calibrates hierarchy level `l`
+    /// (outermost first, so `links[0]` is the compute-node uplink — the
+    /// NIC — when the hierarchy's outermost level is the node level).
+    ///
+    /// # Panics
+    /// If `links.len() != hierarchy.depth()` or any parameter is
+    /// non-positive.
+    pub fn new(hierarchy: Hierarchy, links: Vec<LinkParams>, local_copy_bandwidth: f64) -> Self {
+        assert_eq!(
+            links.len(),
+            hierarchy.depth(),
+            "one LinkParams per hierarchy level"
+        );
+        assert!(local_copy_bandwidth > 0.0);
+        for (l, p) in links.iter().enumerate() {
+            assert!(p.uplink_bandwidth > 0.0, "level {l} bandwidth must be positive");
+            assert!(p.crossing_latency >= 0.0, "level {l} latency must be non-negative");
+        }
+        let strides = hierarchy.strides();
+        Self {
+            hierarchy,
+            strides,
+            links,
+            local_copy_bandwidth,
+            mode: ContentionMode::MaxMinFair,
+        }
+    }
+
+    /// Switches the contention model (ablation).
+    pub fn with_contention_mode(mut self, mode: ContentionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The active contention model.
+    pub fn contention_mode(&self) -> ContentionMode {
+        self.mode
+    }
+
+    /// The hierarchy this model covers.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The per-level link calibration.
+    pub fn links(&self) -> &[LinkParams] {
+        &self.links
+    }
+
+    /// Scales the outermost level's uplink bandwidth (e.g. enabling a
+    /// second NIC doubles it — the paper's Fig. 8b variant).
+    pub fn with_node_uplink_scale(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.links[0].uplink_bandwidth *= factor;
+        self
+    }
+
+    /// Time for a single isolated message (ping cost).
+    pub fn message_time(&self, m: Message) -> f64 {
+        self.round_time(std::slice::from_ref(&m))
+    }
+
+    /// Time for a round of concurrent messages under max-min fair link
+    /// sharing.
+    pub fn round_time(&self, messages: &[Message]) -> f64 {
+        if messages.is_empty() {
+            return 0.0;
+        }
+        let k = self.hierarchy.depth();
+        // Directed link table: (level, instance, is_up) → dense index.
+        let mut link_index: HashMap<(usize, usize, bool), usize> = HashMap::new();
+        let mut capacities: Vec<f64> = Vec::new();
+        let mut flows: Vec<Vec<usize>> = Vec::with_capacity(messages.len());
+        let mut crossing: Vec<Option<usize>> = Vec::with_capacity(messages.len());
+        for m in messages {
+            debug_assert!(m.src < self.hierarchy.size() && m.dst < self.hierarchy.size());
+            if m.src == m.dst {
+                flows.push(Vec::new());
+                crossing.push(None);
+                continue;
+            }
+            let j = self
+                .strides
+                .iter()
+                .position(|&s| m.src / s != m.dst / s)
+                .expect("distinct cores differ at some level");
+            let mut path = Vec::with_capacity(2 * (k - j));
+            for level in j..k {
+                let stride = self.strides[level];
+                for (core, up) in [(m.src, true), (m.dst, false)] {
+                    let instance = core / stride;
+                    let next = link_index.len();
+                    let idx = *link_index.entry((level, instance, up)).or_insert(next);
+                    if idx == capacities.len() {
+                        capacities.push(self.links[level].uplink_bandwidth);
+                    }
+                    path.push(idx);
+                }
+            }
+            flows.push(path);
+            crossing.push(Some(j));
+        }
+        let rates = match self.mode {
+            ContentionMode::MaxMinFair => max_min_rates(&flows, &capacities),
+            ContentionMode::EqualShare => equal_share_rates(&flows, &capacities),
+        };
+        let mut slowest: f64 = 0.0;
+        for ((m, rate), j) in messages.iter().zip(&rates).zip(&crossing) {
+            let time = match j {
+                None => m.bytes as f64 / self.local_copy_bandwidth,
+                Some(j) => self.links[*j].crossing_latency + m.bytes as f64 / rate,
+            };
+            slowest = slowest.max(time);
+        }
+        slowest
+    }
+
+    /// Time for a schedule: the sum of its round times (rounds are
+    /// synchronized).
+    pub fn schedule_time(&self, schedule: &Schedule) -> f64 {
+        schedule
+            .rounds
+            .iter()
+            .map(|r| self.round_time(&r.messages))
+            .sum()
+    }
+
+    /// Time for several schedules executing concurrently in lockstep —
+    /// how simultaneous collectives in different communicators are costed.
+    pub fn concurrent_time(&self, schedules: &[Schedule]) -> f64 {
+        self.schedule_time(&Schedule::lockstep(schedules))
+    }
+
+    /// Convenience: round-trip-normalized point-to-point bandwidth
+    /// achieved by an isolated message of `bytes`.
+    pub fn effective_bandwidth(&self, src: usize, dst: usize, bytes: u64) -> f64 {
+        bytes as f64 / self.message_time(Message::new(src, dst, bytes))
+    }
+}
+
+/// Naive equal-split rates: each flow gets the minimum over its links of
+/// `capacity / flows_on_link`, with no redistribution of unused shares.
+fn equal_share_rates(flows: &[Vec<usize>], capacities: &[f64]) -> Vec<f64> {
+    let mut counts = vec![0usize; capacities.len()];
+    for links in flows {
+        for &l in links {
+            counts[l] += 1;
+        }
+    }
+    flows
+        .iter()
+        .map(|links| {
+            links
+                .iter()
+                .map(|&l| capacities[l] / counts[l] as f64)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Round;
+
+    /// A toy two-node machine: [2 nodes, 2 sockets, 4 cores],
+    /// NIC 10 B/s, socket uplink 40 B/s, core uplink 100 B/s.
+    fn toy() -> NetworkModel {
+        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        NetworkModel::new(
+            h,
+            vec![
+                LinkParams { uplink_bandwidth: 10.0, crossing_latency: 2.0 },
+                LinkParams { uplink_bandwidth: 40.0, crossing_latency: 1.0 },
+                LinkParams { uplink_bandwidth: 100.0, crossing_latency: 0.5 },
+            ],
+            1000.0,
+        )
+    }
+
+    #[test]
+    fn isolated_message_is_latency_plus_bottleneck() {
+        let net = toy();
+        // Same socket: only core uplinks (100 B/s), latency 0.5.
+        let t = net.message_time(Message::new(0, 1, 100));
+        assert!((t - (0.5 + 1.0)).abs() < 1e-12, "{t}");
+        // Cross-socket: bottleneck is the socket uplink (40 B/s), latency 1.
+        let t = net.message_time(Message::new(0, 4, 100));
+        assert!((t - (1.0 + 2.5)).abs() < 1e-12, "{t}");
+        // Cross-node: bottleneck is the NIC (10 B/s), latency 2.
+        let t = net.message_time(Message::new(0, 8, 100));
+        assert!((t - (2.0 + 10.0)).abs() < 1e-12, "{t}");
+    }
+
+    #[test]
+    fn self_message_uses_local_copy() {
+        let net = toy();
+        let t = net.message_time(Message::new(3, 3, 500));
+        assert!((t - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nic_contention_splits_bandwidth() {
+        let net = toy();
+        // Two node-crossing messages from the same node: share the NIC up
+        // direction → 5 B/s each.
+        let msgs = [Message::new(0, 8, 100), Message::new(1, 9, 100)];
+        let t = net.round_time(&msgs);
+        assert!((t - (2.0 + 20.0)).abs() < 1e-12, "{t}");
+        // Opposite directions don't contend (full duplex).
+        let msgs = [Message::new(0, 8, 100), Message::new(9, 1, 100)];
+        let t = net.round_time(&msgs);
+        assert!((t - (2.0 + 10.0)).abs() < 1e-12, "{t}");
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_interact() {
+        let net = toy();
+        // Messages inside socket 0 of each node.
+        let msgs = [Message::new(0, 1, 100), Message::new(8, 9, 100)];
+        let t = net.round_time(&msgs);
+        let solo = net.message_time(Message::new(0, 1, 100));
+        assert!((t - solo).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_time_is_max_over_messages() {
+        let net = toy();
+        let msgs = [Message::new(0, 1, 10), Message::new(0, 8, 10)];
+        let t = net.round_time(&msgs);
+        // Cross-node message dominates: 2.0 + 10/10 = 3.0.
+        assert!((t - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_time_sums_rounds() {
+        let net = toy();
+        let s = Schedule::with(vec![
+            Round::with(vec![Message::new(0, 1, 100)]),
+            Round::with(vec![Message::new(0, 8, 100)]),
+        ]);
+        let expected =
+            net.message_time(Message::new(0, 1, 100)) + net.message_time(Message::new(0, 8, 100));
+        assert!((net.schedule_time(&s) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_schedules_contend() {
+        let net = toy();
+        let a = Schedule::with(vec![Round::with(vec![Message::new(0, 8, 100)])]);
+        let b = Schedule::with(vec![Round::with(vec![Message::new(1, 9, 100)])]);
+        let alone = net.schedule_time(&a);
+        let together = net.concurrent_time(&[a, b]);
+        assert!(together > alone, "sharing the NIC must slow messages down");
+    }
+
+    #[test]
+    fn two_nics_halve_cross_node_time() {
+        let net = toy();
+        let double = toy().with_node_uplink_scale(2.0);
+        let m = Message::new(0, 8, 1000);
+        let t1 = net.message_time(m) - 2.0; // strip latency
+        let t2 = double.message_time(m) - 2.0;
+        assert!((t1 / t2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_round_costs_nothing() {
+        assert_eq!(toy().round_time(&[]), 0.0);
+    }
+
+    #[test]
+    fn effective_bandwidth_approaches_bottleneck_for_large_messages() {
+        let net = toy();
+        let bw = net.effective_bandwidth(0, 8, 1_000_000);
+        assert!(bw > 9.9 && bw <= 10.0, "{bw}");
+    }
+
+    #[test]
+    fn equal_share_matches_max_min_for_symmetric_flows() {
+        let fair = toy();
+        let naive = toy().with_contention_mode(ContentionMode::EqualShare);
+        // Two identical cross-node flows from the same node.
+        let msgs = [Message::new(0, 8, 100), Message::new(1, 9, 100)];
+        assert!((fair.round_time(&msgs) - naive.round_time(&msgs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_share_is_never_faster_than_max_min() {
+        let fair = toy();
+        let naive = toy().with_contention_mode(ContentionMode::EqualShare);
+        // Asymmetric mix: one in-socket flow shares the core uplink of
+        // core 0 with a cross-node flow.
+        let msgs = [
+            Message::new(0, 1, 1000),
+            Message::new(0, 8, 1000),
+            Message::new(2, 10, 1000),
+        ];
+        assert!(naive.round_time(&msgs) >= fair.round_time(&msgs) - 1e-12);
+        assert_eq!(naive.contention_mode(), ContentionMode::EqualShare);
+    }
+
+    #[test]
+    #[should_panic(expected = "one LinkParams per hierarchy level")]
+    fn link_count_mismatch_panics() {
+        let h = Hierarchy::new(vec![2, 2]).unwrap();
+        NetworkModel::new(
+            h,
+            vec![LinkParams { uplink_bandwidth: 1.0, crossing_latency: 0.0 }],
+            1.0,
+        );
+    }
+}

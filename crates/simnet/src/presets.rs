@@ -1,0 +1,169 @@
+//! Calibrated models of the paper's two machines.
+//!
+//! Values are engineering estimates from the published hardware (Omni-Path
+//! 100 Gb/s, Slingshot-11 200 Gb/s, UPI/xGMI inter-socket links, DDR4-2666
+//! / DDR4-3200 memory): the intent is correct *orders of magnitude and
+//! orderings* between levels, which is what determines who wins between
+//! mappings. Absolute MB/s are not expected to match the paper's testbeds
+//! (DESIGN.md §5).
+
+use crate::memory::MemoryModel;
+use crate::network::{LinkParams, NetworkModel};
+use mre_core::Hierarchy;
+
+/// Hydra network: `⟦nodes, 2, 2, 8⟧` — dual Xeon 6130F, Omni-Path.
+///
+/// `nics` is the number of network interfaces per node (the paper uses 1
+/// by default and 2 for Fig. 8b).
+pub fn hydra_network(nodes: usize, nics: usize) -> NetworkModel {
+    assert!(nics >= 1);
+    let h = Hierarchy::new(vec![nodes, 2, 2, 8]).expect("static Hydra hierarchy");
+    NetworkModel::new(
+        h,
+        vec![
+            // Node uplink: Omni-Path 100 Gb/s per NIC.
+            LinkParams {
+                uplink_bandwidth: 12.5e9 * nics as f64,
+                crossing_latency: 1.8e-6,
+            },
+            // Socket uplink: UPI (3 links ≈ 19.2 GB/s usable, per direction).
+            LinkParams { uplink_bandwidth: 19.2e9, crossing_latency: 0.8e-6 },
+            // Fake-group uplink: on-die mesh slice.
+            LinkParams { uplink_bandwidth: 40.0e9, crossing_latency: 0.45e-6 },
+            // Core uplink: single-stream shared-memory copy rate.
+            LinkParams { uplink_bandwidth: 9.0e9, crossing_latency: 0.30e-6 },
+        ],
+        20.0e9,
+    )
+}
+
+/// LUMI network: `⟦nodes, 2, 4, 2, 8⟧` — dual EPYC 7763, Slingshot-11.
+pub fn lumi_network(nodes: usize) -> NetworkModel {
+    let h = Hierarchy::new(vec![nodes, 2, 4, 2, 8]).expect("static LUMI hierarchy");
+    NetworkModel::new(h, lumi_links(), 25.0e9)
+}
+
+/// One LUMI node's intra-node network: `⟦2, 4, 2, 8⟧` (Fig. 9).
+pub fn lumi_node_network() -> NetworkModel {
+    let h = Hierarchy::new(vec![2, 4, 2, 8]).expect("static LUMI node hierarchy");
+    NetworkModel::new(h, lumi_links()[1..].to_vec(), 25.0e9)
+}
+
+fn lumi_links() -> Vec<LinkParams> {
+    vec![
+        // Node uplink: Slingshot-11, 200 Gb/s.
+        LinkParams { uplink_bandwidth: 25.0e9, crossing_latency: 2.0e-6 },
+        // Socket uplink: xGMI-2 (4 links ≈ 36 GB/s per direction usable).
+        LinkParams { uplink_bandwidth: 36.0e9, crossing_latency: 0.9e-6 },
+        // NUMA uplink: on-die infinity fabric slice.
+        LinkParams { uplink_bandwidth: 50.0e9, crossing_latency: 0.5e-6 },
+        // L3 uplink.
+        LinkParams { uplink_bandwidth: 60.0e9, crossing_latency: 0.35e-6 },
+        // Core uplink: single-stream copy rate.
+        LinkParams { uplink_bandwidth: 11.0e9, crossing_latency: 0.25e-6 },
+    ]
+}
+
+/// One LUMI node's memory system (Fig. 9's strong-scaling substrate):
+/// `⟦2, 4, 2, 8⟧` with per-socket, per-NUMA (2 DDR4-3200 channels each) and
+/// per-L3 stream capacities.
+pub fn lumi_node_memory() -> MemoryModel {
+    let h = Hierarchy::new(vec![2, 4, 2, 8]).expect("static LUMI node hierarchy");
+    MemoryModel::new(
+        h,
+        vec![
+            Some(190.0e9), // socket: aggregate of 8 DDR4-3200 channels (derated)
+            Some(48.0e9),  // NUMA domain: 2 channels
+            Some(70.0e9),  // L3 fill bandwidth
+            None,          // core level: covered by the private per-core cap
+        ],
+        22.0e9, // per-core stream limit
+        20.0e9, // ~2.45 GHz × 8 DP flops/cycle, derated
+    )
+}
+
+/// Hydra node memory system `⟦2, 2, 8⟧` (socket, group, core): 6 channels
+/// DDR4-2666 per socket.
+pub fn hydra_node_memory() -> MemoryModel {
+    let h = Hierarchy::new(vec![2, 2, 8]).expect("static Hydra node hierarchy");
+    MemoryModel::new(
+        h,
+        vec![
+            Some(110.0e9), // socket: 6 × DDR4-2666 derated
+            Some(60.0e9),  // fake group (mesh slice)
+            None,
+        ],
+        14.0e9,
+        15.0e9,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Message;
+
+    #[test]
+    fn hydra_levels_match_paper_hierarchy() {
+        let net = hydra_network(16, 1);
+        assert_eq!(net.hierarchy().levels(), &[16, 2, 2, 8]);
+        assert_eq!(net.links().len(), 4);
+    }
+
+    #[test]
+    fn second_nic_doubles_node_uplink() {
+        let one = hydra_network(4, 1);
+        let two = hydra_network(4, 2);
+        assert_eq!(
+            two.links()[0].uplink_bandwidth,
+            2.0 * one.links()[0].uplink_bandwidth
+        );
+    }
+
+    #[test]
+    fn lumi_levels_match_paper_hierarchy() {
+        let net = lumi_network(16);
+        assert_eq!(net.hierarchy().levels(), &[16, 2, 4, 2, 8]);
+        let node = lumi_node_network();
+        assert_eq!(node.hierarchy().levels(), &[2, 4, 2, 8]);
+    }
+
+    #[test]
+    fn latency_increases_with_level_crossed() {
+        let net = lumi_network(4);
+        let mut last = f64::INFINITY;
+        for p in net.links() {
+            assert!(p.crossing_latency < last || p.crossing_latency <= last);
+            last = p.crossing_latency;
+        }
+        // Cross-node messages are the slowest for small payloads.
+        let inter = net.message_time(Message::new(0, 128, 8));
+        let intra = net.message_time(Message::new(0, 1, 8));
+        assert!(inter > intra);
+    }
+
+    #[test]
+    fn lumi_memory_reproduces_l3_sharing() {
+        let mem = lumi_node_memory();
+        // 8 cores of one L3 are far slower per-core than 8 cores spread
+        // one per L3 of socket 0.
+        let packed: Vec<usize> = (0..8).collect();
+        let spread: Vec<usize> = (0..8).map(|i| i * 8).collect();
+        let t_packed = mem.phase_time(&packed, 1.0e9, 0.0);
+        let t_spread = mem.phase_time(&spread, 1.0e9, 0.0);
+        assert!(
+            t_packed > 1.8 * t_spread,
+            "packed {t_packed} vs spread {t_spread}"
+        );
+    }
+
+    #[test]
+    fn lumi_memory_numa_binds_before_socket() {
+        let mem = lumi_node_memory();
+        // 16 cores of NUMA 0 (its full 2 L3s) vs 16 cores spread two per L3
+        // across socket 0.
+        let packed: Vec<usize> = (0..16).collect();
+        let spread: Vec<usize> = (0..8).flat_map(|l3| [l3 * 8, l3 * 8 + 1]).collect();
+        assert!(mem.phase_time(&packed, 1.0e9, 0.0) > mem.phase_time(&spread, 1.0e9, 0.0));
+    }
+}

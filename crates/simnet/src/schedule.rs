@@ -1,0 +1,165 @@
+//! Communication schedules: rounds of concurrent point-to-point messages.
+//!
+//! A collective operation compiles to a [`Schedule`]: an ordered list of
+//! [`Round`]s, each containing the messages that are in flight
+//! simultaneously. The network model costs a round under contention and
+//! sums rounds; schedules of different communicators executing
+//! concurrently are merged in lockstep.
+//!
+//! Endpoints are **global core ids** (sequential resource ids of the
+//! machine hierarchy), so a schedule already encodes the process-to-core
+//! mapping under evaluation.
+
+/// One point-to-point message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Sending core (global sequential id).
+    pub src: usize,
+    /// Receiving core (global sequential id).
+    pub dst: usize,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+impl Message {
+    /// Convenience constructor.
+    pub fn new(src: usize, dst: usize, bytes: u64) -> Self {
+        Self { src, dst, bytes }
+    }
+}
+
+/// A set of messages in flight simultaneously.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Round {
+    /// The concurrent messages.
+    pub messages: Vec<Message>,
+}
+
+impl Round {
+    /// An empty round.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A round holding the given messages.
+    pub fn with(messages: Vec<Message>) -> Self {
+        Self { messages }
+    }
+
+    /// Adds a message.
+    pub fn push(&mut self, m: Message) {
+        self.messages.push(m);
+    }
+
+    /// Sum of payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.messages.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Merges another round's messages into this one (concurrent union).
+    pub fn merge(&mut self, other: &Round) {
+        self.messages.extend_from_slice(&other.messages);
+    }
+}
+
+/// An ordered list of rounds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// The rounds, executed in order with a synchronization between
+    /// consecutive rounds.
+    pub rounds: Vec<Round>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A schedule from rounds.
+    pub fn with(rounds: Vec<Round>) -> Self {
+        Self { rounds }
+    }
+
+    /// Number of rounds.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Sum of payload bytes over all rounds.
+    pub fn total_bytes(&self) -> u64 {
+        self.rounds.iter().map(Round::total_bytes).sum()
+    }
+
+    /// Appends a round.
+    pub fn push(&mut self, round: Round) {
+        self.rounds.push(round);
+    }
+
+    /// Appends another schedule's rounds after this one (sequential
+    /// composition).
+    pub fn then(&mut self, other: Schedule) {
+        self.rounds.extend(other.rounds);
+    }
+
+    /// Merges schedules in lockstep: round `i` of the result is the union
+    /// of round `i` of every input (shorter schedules simply stop
+    /// contributing). This is how simultaneous collectives in different
+    /// communicators are modeled (§4.1.1 step 4).
+    pub fn lockstep(schedules: &[Schedule]) -> Schedule {
+        let max_rounds = schedules.iter().map(Schedule::num_rounds).max().unwrap_or(0);
+        let mut rounds = Vec::with_capacity(max_rounds);
+        for i in 0..max_rounds {
+            let mut round = Round::new();
+            for s in schedules {
+                if let Some(r) = s.rounds.get(i) {
+                    round.merge(r);
+                }
+            }
+            rounds.push(round);
+        }
+        Schedule { rounds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        let mut s = Schedule::new();
+        s.push(Round::with(vec![Message::new(0, 1, 100), Message::new(1, 0, 50)]));
+        s.push(Round::with(vec![Message::new(2, 3, 25)]));
+        assert_eq!(s.num_rounds(), 2);
+        assert_eq!(s.total_bytes(), 175);
+        assert_eq!(s.rounds[0].total_bytes(), 150);
+    }
+
+    #[test]
+    fn lockstep_merges_by_round_index() {
+        let a = Schedule::with(vec![
+            Round::with(vec![Message::new(0, 1, 10)]),
+            Round::with(vec![Message::new(1, 0, 10)]),
+        ]);
+        let b = Schedule::with(vec![Round::with(vec![Message::new(2, 3, 20)])]);
+        let merged = Schedule::lockstep(&[a, b]);
+        assert_eq!(merged.num_rounds(), 2);
+        assert_eq!(merged.rounds[0].messages.len(), 2);
+        assert_eq!(merged.rounds[1].messages.len(), 1);
+    }
+
+    #[test]
+    fn lockstep_of_nothing_is_empty() {
+        assert_eq!(Schedule::lockstep(&[]).num_rounds(), 0);
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let mut a = Schedule::with(vec![Round::with(vec![Message::new(0, 1, 1)])]);
+        let b = Schedule::with(vec![Round::with(vec![Message::new(1, 2, 2)])]);
+        a.then(b);
+        assert_eq!(a.num_rounds(), 2);
+        assert_eq!(a.total_bytes(), 3);
+    }
+}

@@ -1,0 +1,281 @@
+//! `--distribution` policies and their mixed-radix order equivalents.
+//!
+//! Slurm can only vary the placement policy at two hierarchy levels —
+//! compute node and socket (§3.4 of the paper). On a hierarchy
+//! `⟦node, socket, inner…⟧` each spelling corresponds to exactly one
+//! enumeration order:
+//!
+//! | Slurm spelling   | order on ⟦2,2,4⟧ | general order                  |
+//! |------------------|------------------|--------------------------------|
+//! | `block:block`    | `[2,1,0]`        | reversal (identity mapping)    |
+//! | `block:cyclic`   | `[1,2,0]`        | `[1, k−1 … 2, 0]`              |
+//! | `cyclic:block`   | `[0,2,1]`        | `[0, k−1 … 2, 1]`              |
+//! | `cyclic:cyclic`  | `[0,1,2]`        | `[0, 1, k−1 … 2]`              |
+//! | `plane=n`        | `[2,0,1]` (n=4)  | inner suffix, node, the rest   |
+//!
+//! Orders outside this table (e.g. `[1,0,2]`, or anything permuting a
+//! *fake* level) cannot be spelled with `--distribution` — that is the
+//! paper's point.
+
+use mre_core::{Error, Hierarchy, Permutation};
+
+/// A `--distribution` policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// `block:block` — fill nodes, then sockets, then cores sequentially.
+    BlockBlock,
+    /// `block:cyclic` — fill nodes in blocks, round-robin over sockets
+    /// inside each node.
+    BlockCyclic,
+    /// `cyclic:block` — round-robin over nodes, fill sockets inside.
+    CyclicBlock,
+    /// `cyclic:cyclic` — round-robin over nodes and over sockets.
+    CyclicCyclic,
+    /// `plane=n` — distribute blocks of `n` consecutive cores round-robin
+    /// over nodes.
+    Plane(usize),
+}
+
+impl Distribution {
+    /// All block/cyclic spellings (excluding `plane`, which is
+    /// parameterized).
+    pub fn all_block_cyclic() -> [Distribution; 4] {
+        [
+            Distribution::BlockBlock,
+            Distribution::BlockCyclic,
+            Distribution::CyclicBlock,
+            Distribution::CyclicCyclic,
+        ]
+    }
+
+    /// The Slurm option spelling.
+    pub fn spelling(&self) -> String {
+        match self {
+            Distribution::BlockBlock => "block:block".into(),
+            Distribution::BlockCyclic => "block:cyclic".into(),
+            Distribution::CyclicBlock => "cyclic:block".into(),
+            Distribution::CyclicCyclic => "cyclic:cyclic".into(),
+            Distribution::Plane(n) => format!("plane={n}"),
+        }
+    }
+
+    /// Parses a Slurm spelling.
+    pub fn parse(text: &str) -> Result<Self, Error> {
+        match text.trim() {
+            "block:block" | "block" => Ok(Distribution::BlockBlock),
+            "block:cyclic" => Ok(Distribution::BlockCyclic),
+            "cyclic:block" | "cyclic" => Ok(Distribution::CyclicBlock),
+            "cyclic:cyclic" => Ok(Distribution::CyclicCyclic),
+            other => {
+                if let Some(n) = other.strip_prefix("plane=") {
+                    let n = n.parse::<usize>().map_err(|e| Error::Parse {
+                        message: format!("bad plane size: {e}"),
+                    })?;
+                    if n == 0 {
+                        return Err(Error::Parse { message: "plane size 0".into() });
+                    }
+                    Ok(Distribution::Plane(n))
+                } else {
+                    Err(Error::Parse { message: format!("unknown distribution {other:?}") })
+                }
+            }
+        }
+    }
+
+    /// The enumeration order this policy is equivalent to on `h`
+    /// (whose level 0 must be the node level and level 1 the socket
+    /// level). Returns an error for a `plane=n` whose block size does not
+    /// align with a suffix of the hierarchy.
+    pub fn to_order(&self, h: &Hierarchy) -> Result<Permutation, Error> {
+        let k = h.depth();
+        if k < 2 {
+            return Err(Error::LevelOutOfRange { level: 1, depth: k });
+        }
+        let image: Vec<usize> = match self {
+            // Fill sequentially: innermost varies fastest.
+            Distribution::BlockBlock => (0..k).rev().collect(),
+            // Socket varies fastest, then the inner levels, node last.
+            Distribution::BlockCyclic => {
+                let mut v = vec![1];
+                v.extend((2..k).rev());
+                v.push(0);
+                v
+            }
+            // Node varies fastest, inner levels next, socket last.
+            Distribution::CyclicBlock => {
+                let mut v = vec![0];
+                v.extend((2..k).rev());
+                v.push(1);
+                v
+            }
+            // Node fastest, then socket, then inner levels.
+            Distribution::CyclicCyclic => {
+                let mut v = vec![0, 1];
+                v.extend((2..k).rev());
+                v
+            }
+            Distribution::Plane(n) => {
+                // Find the level t such that the inner suffix t..k has
+                // exactly n cores; blocks of that suffix go round-robin
+                // over nodes, remaining levels last.
+                let mut product = 1usize;
+                let mut t = k;
+                while t > 0 && product < *n {
+                    t -= 1;
+                    product *= h.level(t);
+                }
+                if product != *n || t == 0 {
+                    return Err(Error::Parse {
+                        message: format!(
+                            "plane={n} does not align with hierarchy {h}"
+                        ),
+                    });
+                }
+                let mut v: Vec<usize> = (t..k).rev().collect();
+                v.push(0);
+                v.extend((1..t).rev());
+                v
+            }
+        };
+        Permutation::new(image)
+    }
+
+    /// Finds the spelling equivalent to `sigma` on `h`, if any — the
+    /// captions of the paper's Fig. 2. Planes are probed at every suffix
+    /// block size.
+    pub fn from_order(h: &Hierarchy, sigma: &Permutation) -> Option<Distribution> {
+        let mut candidates: Vec<Distribution> =
+            Distribution::all_block_cyclic().to_vec();
+        let mut product = 1usize;
+        for t in (1..h.depth()).rev() {
+            product *= h.level(t);
+            candidates.push(Distribution::Plane(product));
+        }
+        candidates
+            .into_iter()
+            .find(|d| d.to_order(h).ok().as_ref() == Some(sigma))
+    }
+
+    /// The default mapping of each paper machine: Hydra's Slurm default is
+    /// `block:cyclic` (§4.2), LUMI's is `block:block` (Fig. 5/7 captions
+    /// mark the reversal order as the default).
+    pub fn hydra_default() -> Distribution {
+        Distribution::BlockCyclic
+    }
+
+    /// See [`Distribution::hydra_default`].
+    pub fn lumi_default() -> Distribution {
+        Distribution::BlockBlock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h224() -> Hierarchy {
+        Hierarchy::new(vec![2, 2, 4]).unwrap()
+    }
+
+    fn sig(order: &[usize]) -> Permutation {
+        Permutation::new(order.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn figure2_caption_equivalences() {
+        // Fig. 2 of the paper annotates each order of ⟦2,2,4⟧ with its
+        // Slurm spelling.
+        let h = h224();
+        let cases = [
+            (Distribution::CyclicCyclic, vec![0, 1, 2]),
+            (Distribution::CyclicBlock, vec![0, 2, 1]),
+            (Distribution::BlockCyclic, vec![1, 2, 0]),
+            (Distribution::Plane(4), vec![2, 0, 1]),
+            (Distribution::BlockBlock, vec![2, 1, 0]),
+        ];
+        for (dist, order) in cases {
+            assert_eq!(
+                dist.to_order(&h).unwrap().as_slice(),
+                order.as_slice(),
+                "{}",
+                dist.spelling()
+            );
+            assert_eq!(Distribution::from_order(&h, &sig(&order)), Some(dist));
+        }
+    }
+
+    #[test]
+    fn order_102_is_not_expressible() {
+        // Fig. 2c: "[1,0,2] — Not possible".
+        let h = h224();
+        assert_eq!(Distribution::from_order(&h, &sig(&[1, 0, 2])), None);
+    }
+
+    #[test]
+    fn hydra_default_is_1320() {
+        // §4.2: "[1,3,2,0] is the mapping Slurm would set up by default on
+        // Hydra, identical to --distribution=block:cyclic".
+        let hydra = Hierarchy::new(vec![16, 2, 2, 8]).unwrap();
+        let order = Distribution::hydra_default().to_order(&hydra).unwrap();
+        assert_eq!(order.as_slice(), &[1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn lumi_default_is_43210() {
+        // Fig. 5/7 captions: [4,3,2,1,0] is the SLURM default mapping.
+        let lumi = Hierarchy::new(vec![16, 2, 4, 2, 8]).unwrap();
+        let order = Distribution::lumi_default().to_order(&lumi).unwrap();
+        assert_eq!(order.as_slice(), &[4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn fake_level_orders_are_not_expressible() {
+        // On ⟦16,2,2,8⟧ any order that moves the fake group level away
+        // from its natural position has no Slurm spelling.
+        let hydra = Hierarchy::new(vec![16, 2, 2, 8]).unwrap();
+        assert_eq!(Distribution::from_order(&hydra, &sig(&[2, 1, 0, 3])), None);
+        assert_eq!(Distribution::from_order(&hydra, &sig(&[3, 1, 0, 2])), None);
+    }
+
+    #[test]
+    fn plane_alignment() {
+        let hydra = Hierarchy::new(vec![16, 2, 2, 8]).unwrap();
+        // plane=8 → blocks of one fake group; plane=16 → one socket.
+        assert_eq!(
+            Distribution::Plane(8).to_order(&hydra).unwrap().as_slice(),
+            &[3, 0, 2, 1]
+        );
+        assert_eq!(
+            Distribution::Plane(16).to_order(&hydra).unwrap().as_slice(),
+            &[3, 2, 0, 1]
+        );
+        // plane = whole node degenerates to block:block.
+        assert_eq!(
+            Distribution::Plane(32).to_order(&hydra).unwrap().as_slice(),
+            &[3, 2, 1, 0]
+        );
+        // Misaligned plane sizes error out.
+        assert!(Distribution::Plane(5).to_order(&hydra).is_err());
+        // plane larger than a node cannot align (t reaches 0).
+        assert!(Distribution::Plane(64).to_order(&hydra).is_err());
+    }
+
+    #[test]
+    fn parse_and_spelling_roundtrip() {
+        for d in Distribution::all_block_cyclic() {
+            assert_eq!(Distribution::parse(&d.spelling()).unwrap(), d);
+        }
+        assert_eq!(
+            Distribution::parse("plane=4").unwrap(),
+            Distribution::Plane(4)
+        );
+        assert!(Distribution::parse("plane=0").is_err());
+        assert!(Distribution::parse("snake:block").is_err());
+    }
+
+    #[test]
+    fn to_order_requires_two_levels() {
+        let flat = Hierarchy::new(vec![8]).unwrap();
+        assert!(Distribution::BlockBlock.to_order(&flat).is_err());
+    }
+}

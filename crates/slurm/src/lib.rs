@@ -1,0 +1,24 @@
+//! # mre-slurm — launcher policies
+//!
+//! A substitute for the Slurm process-placement machinery the paper
+//! compares against and extends:
+//!
+//! * [`distribution`] — the `--distribution=<node>:<socket>` policies
+//!   (`block`/`cyclic` at the node and socket levels, plus `plane=<n>`),
+//!   expressed as the mixed-radix orders they are equivalent to (Fig. 2 of
+//!   the paper maps each order to its Slurm spelling — and shows order
+//!   `[1,0,2]` has none);
+//! * [`binding`] — explicit placements: `--cpu-bind=map_cpu:<list>` (the
+//!   vehicle of the paper's §3.4 core-selection use case) and rankfiles.
+//!
+//! The launcher's product is a [`binding::JobLayout`]: for every MPI rank,
+//! the global core id it is bound to.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binding;
+pub mod distribution;
+
+pub use binding::JobLayout;
+pub use distribution::Distribution;

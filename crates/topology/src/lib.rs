@@ -1,0 +1,30 @@
+//! # mre-topology — declarative hardware topology trees
+//!
+//! A substitute for hwloc's hardware discovery: instead of querying the
+//! machine this crate *declares* topologies as trees of typed objects
+//! (machine → node → socket → NUMA → L3 → core), from which the
+//! mixed-radix [`mre_core::Hierarchy`] is extracted.
+//!
+//! The enumeration algorithms of the paper only consume the radix vector
+//! and physical core ids, so a declarative tree exercises exactly the same
+//! code path that hwloc would feed on a real system — including the
+//! *fake level* trick (splitting a socket into groups to expose more
+//! orders) and network levels above the node.
+//!
+//! Presets for the two machines of the paper's evaluation are provided:
+//! [`machines::hydra`] (dual 16-core Xeon 6130F per node, with the fake
+//! 2×8 split of each socket used throughout the paper) and
+//! [`machines::lumi`] (dual 64-core EPYC 7763: 2 sockets × 4 NUMA × 2 L3 ×
+//! 8 cores).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod machines;
+pub mod spec;
+pub mod tree;
+pub mod xml;
+
+pub use machines::{hydra, hydra_unfaked, lumi, lumi_node, MachineDesc};
+pub use spec::{LevelKind, LevelSpec, TopologySpec};
+pub use tree::{ObjectId, Topology, TopologyObject};

@@ -1,0 +1,166 @@
+//! Machine presets: the two clusters of the paper's evaluation.
+//!
+//! * **Hydra** — TU Wien's cluster: 32 nodes, two 16-core Intel Xeon Gold
+//!   6130F sockets per node, one or two Omni-Path 100 Gb/s NICs. The paper
+//!   describes it as `⟦nodes, 2, 2, 8⟧`, inserting a *fake level* that
+//!   splits each socket into two 8-core groups.
+//! * **LUMI** — the EuroHPC HPE Cray system: dual 64-core AMD EPYC 7763
+//!   per node, 8 NUMA domains, two L3 caches per NUMA domain, Slingshot-11
+//!   200 Gb/s. The paper describes nodes as `⟦nodes, 2, 4, 2, 8⟧`.
+
+use crate::spec::{LevelKind, LevelSpec, TopologySpec};
+use mre_core::Error;
+
+/// A named machine description bundling the spec with fabric facts the
+/// performance model needs.
+#[derive(Debug, Clone)]
+pub struct MachineDesc {
+    /// Human-readable machine name.
+    pub name: &'static str,
+    /// The topology specification (fake levels already applied where the
+    /// paper applies them).
+    pub spec: TopologySpec,
+    /// Number of network interfaces per compute node.
+    pub nics_per_node: usize,
+    /// Per-NIC bandwidth in bytes per second.
+    pub nic_bandwidth: f64,
+}
+
+impl MachineDesc {
+    /// The mixed-radix hierarchy (outermost = node).
+    pub fn hierarchy(&self) -> Result<mre_core::Hierarchy, Error> {
+        self.spec.hierarchy()
+    }
+}
+
+/// Hydra with the paper's fake level: `⟦nodes, 2, 2, 8⟧`.
+pub fn hydra(nodes: usize) -> MachineDesc {
+    let spec = TopologySpec::new(vec![
+        LevelSpec::new(LevelKind::Node, nodes),
+        LevelSpec::new(LevelKind::Socket, 2),
+        LevelSpec::new(LevelKind::Group, 2),
+        LevelSpec::new(LevelKind::Core, 8),
+    ])
+    .expect("static Hydra spec is valid");
+    MachineDesc {
+        name: "Hydra",
+        spec,
+        nics_per_node: 1,
+        nic_bandwidth: 100.0e9 / 8.0, // Omni-Path 100 Gb/s
+    }
+}
+
+/// Hydra without the fake level: `⟦nodes, 2, 16⟧` (ablation).
+pub fn hydra_unfaked(nodes: usize) -> MachineDesc {
+    let spec = TopologySpec::new(vec![
+        LevelSpec::new(LevelKind::Node, nodes),
+        LevelSpec::new(LevelKind::Socket, 2),
+        LevelSpec::new(LevelKind::Core, 16),
+    ])
+    .expect("static Hydra spec is valid");
+    MachineDesc {
+        name: "Hydra (no fake level)",
+        spec,
+        nics_per_node: 1,
+        nic_bandwidth: 100.0e9 / 8.0,
+    }
+}
+
+/// Hydra with both NICs enabled (Fig. 8b).
+pub fn hydra_two_nics(nodes: usize) -> MachineDesc {
+    MachineDesc { nics_per_node: 2, ..hydra(nodes) }
+}
+
+/// LUMI: `⟦nodes, 2, 4, 2, 8⟧` (socket, NUMA, L3, core).
+pub fn lumi(nodes: usize) -> MachineDesc {
+    let spec = TopologySpec::new(vec![
+        LevelSpec::new(LevelKind::Node, nodes),
+        LevelSpec::new(LevelKind::Socket, 2),
+        LevelSpec::new(LevelKind::Numa, 4),
+        LevelSpec::new(LevelKind::L3, 2),
+        LevelSpec::new(LevelKind::Core, 8),
+    ])
+    .expect("static LUMI spec is valid");
+    MachineDesc {
+        name: "LUMI",
+        spec,
+        nics_per_node: 1,
+        nic_bandwidth: 200.0e9 / 8.0, // Slingshot-11 200 Gb/s
+    }
+}
+
+/// A single LUMI compute node: `⟦2, 4, 2, 8⟧` — the Fig. 9 setting.
+pub fn lumi_node() -> MachineDesc {
+    let spec = TopologySpec::new(vec![
+        LevelSpec::new(LevelKind::Socket, 2),
+        LevelSpec::new(LevelKind::Numa, 4),
+        LevelSpec::new(LevelKind::L3, 2),
+        LevelSpec::new(LevelKind::Core, 8),
+    ])
+    .expect("static LUMI node spec is valid");
+    MachineDesc {
+        name: "LUMI node",
+        spec,
+        nics_per_node: 1,
+        nic_bandwidth: 200.0e9 / 8.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hydra_matches_paper_hierarchy() {
+        let m = hydra(16);
+        assert_eq!(m.hierarchy().unwrap().levels(), &[16, 2, 2, 8]);
+        assert_eq!(m.spec.num_cores(), 512);
+        assert_eq!(m.spec.cores_per_node(), 32);
+        assert_eq!(m.nics_per_node, 1);
+    }
+
+    #[test]
+    fn hydra_unfaked_merges_fake_level() {
+        let m = hydra_unfaked(16);
+        assert_eq!(m.hierarchy().unwrap().levels(), &[16, 2, 16]);
+        assert_eq!(m.spec.num_cores(), 512);
+    }
+
+    #[test]
+    fn hydra_two_nics_only_changes_nics() {
+        let a = hydra(32);
+        let b = hydra_two_nics(32);
+        assert_eq!(b.nics_per_node, 2);
+        assert_eq!(a.spec, b.spec);
+    }
+
+    #[test]
+    fn lumi_matches_paper_hierarchy() {
+        let m = lumi(16);
+        assert_eq!(m.hierarchy().unwrap().levels(), &[16, 2, 4, 2, 8]);
+        assert_eq!(m.spec.num_cores(), 2048);
+        assert_eq!(m.spec.cores_per_node(), 128);
+    }
+
+    #[test]
+    fn lumi_node_has_128_cores() {
+        let m = lumi_node();
+        assert_eq!(m.hierarchy().unwrap().levels(), &[2, 4, 2, 8]);
+        assert_eq!(m.spec.num_cores(), 128);
+        assert_eq!(m.spec.node_level(), None);
+        assert_eq!(m.spec.num_nodes(), 1);
+    }
+
+    #[test]
+    fn fake_level_is_reconstructible_from_unfaked() {
+        let unfaked = hydra_unfaked(8);
+        let split = unfaked.spec.split_level(2, 2).unwrap();
+        assert_eq!(split, hydra(8).spec);
+    }
+
+    #[test]
+    fn nic_bandwidths_match_fabric_specs() {
+        assert_eq!(hydra(1).nic_bandwidth, 12.5e9);
+        assert_eq!(lumi(1).nic_bandwidth, 25.0e9);
+    }
+}

@@ -1,0 +1,313 @@
+//! Topology specifications: typed level descriptions.
+
+use mre_core::{Error, Hierarchy};
+use std::fmt;
+
+/// The kind of a hierarchy level's objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LevelKind {
+    /// A network switch layer (above compute nodes).
+    Switch,
+    /// A compute node.
+    Node,
+    /// A CPU socket / package.
+    Socket,
+    /// A NUMA domain.
+    Numa,
+    /// A shared last-level cache.
+    L3,
+    /// An artificial *fake level* group (§3.2 of the paper).
+    Group,
+    /// A compute core (always the leaf level).
+    Core,
+}
+
+impl LevelKind {
+    /// Short lowercase name, used for hierarchy level names and rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            LevelKind::Switch => "switch",
+            LevelKind::Node => "node",
+            LevelKind::Socket => "socket",
+            LevelKind::Numa => "numa",
+            LevelKind::L3 => "l3",
+            LevelKind::Group => "group",
+            LevelKind::Core => "core",
+        }
+    }
+}
+
+impl fmt::Display for LevelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One level of a topology specification: `arity` children of kind `kind`
+/// per parent object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelSpec {
+    /// Object kind at this level.
+    pub kind: LevelKind,
+    /// Number of objects of this kind per parent.
+    pub arity: usize,
+}
+
+impl LevelSpec {
+    /// Convenience constructor.
+    pub fn new(kind: LevelKind, arity: usize) -> Self {
+        Self { kind, arity }
+    }
+}
+
+/// A full topology specification: the levels from outermost to the core
+/// level. The last level must be [`LevelKind::Core`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologySpec {
+    levels: Vec<LevelSpec>,
+}
+
+impl TopologySpec {
+    /// Validates and wraps a level list.
+    pub fn new(levels: Vec<LevelSpec>) -> Result<Self, Error> {
+        if levels.is_empty() {
+            return Err(Error::EmptyHierarchy);
+        }
+        if levels.last().unwrap().kind != LevelKind::Core {
+            return Err(Error::Parse {
+                message: "the innermost topology level must be Core".into(),
+            });
+        }
+        if levels[..levels.len() - 1]
+            .iter()
+            .any(|l| l.kind == LevelKind::Core)
+        {
+            return Err(Error::Parse {
+                message: "Core may only appear as the innermost level".into(),
+            });
+        }
+        if let Some(level) = levels.iter().position(|l| l.arity == 0) {
+            return Err(Error::ZeroLevel { level });
+        }
+        Ok(Self { levels })
+    }
+
+    /// The level descriptions, outermost first.
+    pub fn levels(&self) -> &[LevelSpec] {
+        &self.levels
+    }
+
+    /// Depth of the specification.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total number of cores described.
+    pub fn num_cores(&self) -> usize {
+        self.levels.iter().map(|l| l.arity).product()
+    }
+
+    /// Extracts the mixed-radix [`Hierarchy`] (with level names).
+    pub fn hierarchy(&self) -> Result<Hierarchy, Error> {
+        Hierarchy::with_names(
+            self.levels.iter().map(|l| l.arity).collect(),
+            self.levels.iter().map(|l| l.kind.name().to_string()).collect(),
+        )
+    }
+
+    /// Splits level `i` into `[factor, arity/factor]`, inserting a
+    /// [`LevelKind::Group`] *fake level* below it (paper §3.2). Splitting
+    /// the core level produces a Group level above new smaller core level.
+    pub fn split_level(&self, i: usize, factor: usize) -> Result<Self, Error> {
+        if i >= self.levels.len() {
+            return Err(Error::LevelOutOfRange { level: i, depth: self.levels.len() });
+        }
+        let level = self.levels[i];
+        if factor == 0 || !level.arity.is_multiple_of(factor) {
+            return Err(Error::IndivisibleLevel {
+                level: i,
+                size: level.arity,
+                factor,
+            });
+        }
+        let mut levels = self.levels.clone();
+        if level.kind == LevelKind::Core {
+            // Keep Core innermost: the outer part becomes a Group.
+            levels[i] = LevelSpec::new(LevelKind::Group, factor);
+            levels.insert(i + 1, LevelSpec::new(LevelKind::Core, level.arity / factor));
+        } else {
+            levels[i] = LevelSpec::new(level.kind, factor);
+            levels.insert(i + 1, LevelSpec::new(LevelKind::Group, level.arity / factor));
+        }
+        Self::new(levels)
+    }
+
+    /// Prepends outer (e.g. network switch) levels.
+    pub fn with_outer(&self, outer: &[LevelSpec]) -> Result<Self, Error> {
+        let mut levels = outer.to_vec();
+        levels.extend_from_slice(&self.levels);
+        Self::new(levels)
+    }
+
+    /// Index of the node level, if present.
+    pub fn node_level(&self) -> Option<usize> {
+        self.levels.iter().position(|l| l.kind == LevelKind::Node)
+    }
+
+    /// The per-node sub-specification (levels strictly below the node
+    /// level).
+    pub fn node_spec(&self) -> Option<Self> {
+        let node = self.node_level()?;
+        Self::new(self.levels[node + 1..].to_vec()).ok()
+    }
+
+    /// Number of compute nodes (1 if there is no node level).
+    pub fn num_nodes(&self) -> usize {
+        match self.node_level() {
+            Some(i) => self.levels[..=i].iter().map(|l| l.arity).product(),
+            None => 1,
+        }
+    }
+
+    /// Number of cores per compute node.
+    pub fn cores_per_node(&self) -> usize {
+        self.num_cores() / self.num_nodes()
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, l) in self.levels.iter().enumerate() {
+            if i > 0 {
+                write!(f, " × ")?;
+            }
+            write!(f, "{} {}", l.arity, l.kind)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(levels: &[(LevelKind, usize)]) -> TopologySpec {
+        TopologySpec::new(
+            levels.iter().map(|&(k, a)| LevelSpec::new(k, a)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_spec() {
+        let s = spec(&[
+            (LevelKind::Node, 2),
+            (LevelKind::Socket, 2),
+            (LevelKind::Core, 4),
+        ]);
+        assert_eq!(s.depth(), 3);
+        assert_eq!(s.num_cores(), 16);
+        assert_eq!(s.num_nodes(), 2);
+        assert_eq!(s.cores_per_node(), 8);
+    }
+
+    #[test]
+    fn requires_core_innermost() {
+        assert!(TopologySpec::new(vec![
+            LevelSpec::new(LevelKind::Core, 4),
+            LevelSpec::new(LevelKind::Socket, 2),
+        ])
+        .is_err());
+        assert!(TopologySpec::new(vec![]).is_err());
+        assert!(TopologySpec::new(vec![
+            LevelSpec::new(LevelKind::Node, 0),
+            LevelSpec::new(LevelKind::Core, 4),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn hierarchy_extraction_keeps_names() {
+        let s = spec(&[
+            (LevelKind::Node, 16),
+            (LevelKind::Socket, 2),
+            (LevelKind::Core, 16),
+        ]);
+        let h = s.hierarchy().unwrap();
+        assert_eq!(h.levels(), &[16, 2, 16]);
+        assert_eq!(h.name(0), "node");
+        assert_eq!(h.name(2), "core");
+    }
+
+    #[test]
+    fn split_core_level_creates_fake_group() {
+        // The paper's Hydra description: 16-core sockets faked as 2×8.
+        let s = spec(&[
+            (LevelKind::Node, 16),
+            (LevelKind::Socket, 2),
+            (LevelKind::Core, 16),
+        ]);
+        let split = s.split_level(2, 2).unwrap();
+        assert_eq!(split.hierarchy().unwrap().levels(), &[16, 2, 2, 8]);
+        assert_eq!(split.levels()[2].kind, LevelKind::Group);
+        assert_eq!(split.levels()[3].kind, LevelKind::Core);
+    }
+
+    #[test]
+    fn split_non_core_level() {
+        let s = spec(&[
+            (LevelKind::Node, 12),
+            (LevelKind::Core, 4),
+        ]);
+        let split = s.split_level(0, 3).unwrap();
+        assert_eq!(split.hierarchy().unwrap().levels(), &[3, 4, 4]);
+        assert_eq!(split.levels()[1].kind, LevelKind::Group);
+    }
+
+    #[test]
+    fn with_outer_network_levels() {
+        // §3.2's example: network ⟦2,3,16⟧ above nodes ⟦2,2,8⟧ per node.
+        let s = spec(&[
+            (LevelKind::Node, 96),
+            (LevelKind::Socket, 2),
+            (LevelKind::Group, 2),
+            (LevelKind::Core, 8),
+        ]);
+        // Replace the flat 96 nodes with a switch hierarchy: the caller
+        // supplies nodes-per-leaf-switch in the node level.
+        let s2 = spec(&[
+            (LevelKind::Node, 16),
+            (LevelKind::Socket, 2),
+            (LevelKind::Group, 2),
+            (LevelKind::Core, 8),
+        ])
+        .with_outer(&[
+            LevelSpec::new(LevelKind::Switch, 2),
+            LevelSpec::new(LevelKind::Switch, 3),
+        ])
+        .unwrap();
+        assert_eq!(s2.num_cores(), s.num_cores());
+        assert_eq!(s2.hierarchy().unwrap().levels(), &[2, 3, 16, 2, 2, 8]);
+        assert_eq!(s2.num_nodes(), 96);
+    }
+
+    #[test]
+    fn node_spec_extraction() {
+        let s = spec(&[
+            (LevelKind::Switch, 2),
+            (LevelKind::Node, 4),
+            (LevelKind::Socket, 2),
+            (LevelKind::Core, 8),
+        ]);
+        assert_eq!(s.node_level(), Some(1));
+        let node = s.node_spec().unwrap();
+        assert_eq!(node.hierarchy().unwrap().levels(), &[2, 8]);
+        assert_eq!(s.num_nodes(), 8);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = spec(&[(LevelKind::Node, 2), (LevelKind::Core, 4)]);
+        assert_eq!(s.to_string(), "2 node × 4 core");
+    }
+}

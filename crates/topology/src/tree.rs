@@ -1,0 +1,352 @@
+//! Materialized topology trees.
+//!
+//! A [`Topology`] is the arena-allocated object tree a spec describes:
+//! every socket, NUMA domain, cache and core is an addressable
+//! [`TopologyObject`] with parent/children links, supporting the queries
+//! the rest of the system needs — core enumeration, ancestor walks, lowest
+//! common ancestors (the routing primitive of the network model) and an
+//! `lstopo`-style renderer.
+
+use crate::spec::{LevelKind, TopologySpec};
+use mre_core::{Error, Hierarchy};
+use std::fmt::Write as _;
+
+/// Index of an object within its [`Topology`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub usize);
+
+/// One object of the topology tree.
+#[derive(Debug, Clone)]
+pub struct TopologyObject {
+    /// Object kind (mirrors its level's kind; the root is a synthetic
+    /// machine object of kind `Switch`… see [`Topology::root`]).
+    pub kind: LevelKind,
+    /// Depth in the tree: 0 for the root *machine*, `1..=depth` for level
+    /// objects (level `d-1` of the spec).
+    pub depth: usize,
+    /// Index among siblings.
+    pub sibling_index: usize,
+    /// Index among all objects of the same depth (logical index).
+    pub logical_index: usize,
+    /// Parent object (`None` for the root).
+    pub parent: Option<ObjectId>,
+    /// Children, in order.
+    pub children: Vec<ObjectId>,
+}
+
+/// A materialized topology tree.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    spec: TopologySpec,
+    objects: Vec<TopologyObject>,
+    /// Object ids of all cores, in logical (sequential) order.
+    cores: Vec<ObjectId>,
+    /// First object id of each depth (objects of one depth are contiguous).
+    depth_offsets: Vec<usize>,
+}
+
+impl Topology {
+    /// Materializes a spec into an object tree.
+    pub fn build(spec: &TopologySpec) -> Self {
+        let depth = spec.depth();
+        // Count objects per depth: depth 0 = root, depth d has
+        // prod(arity[0..d]) objects.
+        let mut counts = Vec::with_capacity(depth + 1);
+        counts.push(1usize);
+        for level in spec.levels() {
+            counts.push(counts.last().unwrap() * level.arity);
+        }
+        let total: usize = counts.iter().sum();
+        let mut depth_offsets = Vec::with_capacity(depth + 1);
+        let mut acc = 0usize;
+        for &c in &counts {
+            depth_offsets.push(acc);
+            acc += c;
+        }
+        let mut objects = Vec::with_capacity(total);
+        // Root.
+        objects.push(TopologyObject {
+            kind: LevelKind::Switch, // synthetic machine root
+            depth: 0,
+            sibling_index: 0,
+            logical_index: 0,
+            parent: None,
+            children: Vec::with_capacity(spec.levels()[0].arity),
+        });
+        // Levels.
+        for d in 1..=depth {
+            let level = spec.levels()[d - 1];
+            let parents_at = depth_offsets[d - 1];
+            for logical in 0..counts[d] {
+                let parent_logical = logical / level.arity;
+                let parent_id = ObjectId(parents_at + parent_logical);
+                let id = ObjectId(objects.len());
+                objects.push(TopologyObject {
+                    kind: level.kind,
+                    depth: d,
+                    sibling_index: logical % level.arity,
+                    logical_index: logical,
+                    parent: Some(parent_id),
+                    children: Vec::new(),
+                });
+                objects[parent_id.0].children.push(id);
+            }
+        }
+        let cores = (0..counts[depth])
+            .map(|i| ObjectId(depth_offsets[depth] + i))
+            .collect();
+        Self { spec: spec.clone(), objects, cores, depth_offsets }
+    }
+
+    /// The specification this tree was built from.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+
+    /// The synthetic machine root.
+    pub fn root(&self) -> ObjectId {
+        ObjectId(0)
+    }
+
+    /// Total number of objects (all levels plus the root).
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Immutable access to an object.
+    pub fn object(&self, id: ObjectId) -> &TopologyObject {
+        &self.objects[id.0]
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The core object with logical (sequential) index `i`.
+    pub fn core(&self, i: usize) -> ObjectId {
+        self.cores[i]
+    }
+
+    /// All cores in logical order.
+    pub fn cores(&self) -> &[ObjectId] {
+        &self.cores
+    }
+
+    /// Objects at a given depth (0 = root, `spec.depth()` = cores),
+    /// in logical order.
+    pub fn objects_at_depth(&self, d: usize) -> impl Iterator<Item = ObjectId> + '_ {
+        let start = self.depth_offsets[d];
+        let end = if d + 1 < self.depth_offsets.len() {
+            self.depth_offsets[d + 1]
+        } else {
+            self.objects.len()
+        };
+        (start..end).map(ObjectId)
+    }
+
+    /// Number of objects at a given depth.
+    pub fn count_at_depth(&self, d: usize) -> usize {
+        self.objects_at_depth(d).count()
+    }
+
+    /// The chain of ancestors of `id`, starting at its parent and ending
+    /// at the root.
+    pub fn ancestors(&self, id: ObjectId) -> Vec<ObjectId> {
+        let mut out = Vec::new();
+        let mut current = self.objects[id.0].parent;
+        while let Some(p) = current {
+            out.push(p);
+            current = self.objects[p.0].parent;
+        }
+        out
+    }
+
+    /// Lowest common ancestor of two objects.
+    pub fn lca(&self, a: ObjectId, b: ObjectId) -> ObjectId {
+        let (mut a, mut b) = (a, b);
+        while self.objects[a.0].depth > self.objects[b.0].depth {
+            a = self.objects[a.0].parent.expect("deeper object must have parent");
+        }
+        while self.objects[b.0].depth > self.objects[a.0].depth {
+            b = self.objects[b.0].parent.expect("deeper object must have parent");
+        }
+        while a != b {
+            a = self.objects[a.0].parent.expect("non-root in LCA walk");
+            b = self.objects[b.0].parent.expect("non-root in LCA walk");
+        }
+        a
+    }
+
+    /// Depth of the LCA of two *cores* given by logical index — the level
+    /// index at which their coordinates first agree walking upward; the
+    /// network model routes through this depth.
+    ///
+    /// Returns `spec.depth()` when `a == b` (no link traversed).
+    pub fn lca_depth_of_cores(&self, a: usize, b: usize) -> usize {
+        self.object(self.lca(self.cores[a], self.cores[b])).depth
+    }
+
+    /// The coordinates of core `i` in the hierarchy (outermost level
+    /// first) — equal to `mre_core::coordinates(&hierarchy, i)`.
+    pub fn core_coordinates(&self, i: usize) -> Vec<usize> {
+        let mut coords = vec![0usize; self.spec.depth()];
+        let mut id = self.cores[i];
+        loop {
+            let obj = &self.objects[id.0];
+            if obj.depth == 0 {
+                break;
+            }
+            coords[obj.depth - 1] = obj.sibling_index;
+            id = obj.parent.expect("non-root object has parent");
+        }
+        coords
+    }
+
+    /// The mixed-radix hierarchy of this topology.
+    pub fn hierarchy(&self) -> Result<Hierarchy, Error> {
+        self.spec.hierarchy()
+    }
+
+    /// `lstopo`-style indented rendering (collapsing the core level onto
+    /// one line per parent).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_object(self.root(), 0, &mut out);
+        out
+    }
+
+    fn render_object(&self, id: ObjectId, indent: usize, out: &mut String) {
+        let obj = &self.objects[id.0];
+        let pad = "  ".repeat(indent);
+        if obj.depth == 0 {
+            let _ = writeln!(out, "machine ({} cores)", self.num_cores());
+        } else {
+            let _ = writeln!(out, "{pad}{} {}", obj.kind, obj.sibling_index);
+        }
+        // Collapse cores: if children are cores, print a range.
+        if let Some(&first) = obj.children.first() {
+            if self.objects[first.0].kind == LevelKind::Core {
+                let lo = self.objects[first.0].logical_index;
+                let hi = self.objects[obj.children.last().unwrap().0].logical_index;
+                let _ = writeln!(out, "{pad}  cores {lo}..={hi}");
+                return;
+            }
+        }
+        for &child in &obj.children {
+            self.render_object(child, indent + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LevelSpec;
+
+    fn small() -> Topology {
+        let spec = TopologySpec::new(vec![
+            LevelSpec::new(LevelKind::Node, 2),
+            LevelSpec::new(LevelKind::Socket, 2),
+            LevelSpec::new(LevelKind::Core, 4),
+        ])
+        .unwrap();
+        Topology::build(&spec)
+    }
+
+    #[test]
+    fn object_counts() {
+        let t = small();
+        assert_eq!(t.num_cores(), 16);
+        // 1 root + 2 nodes + 4 sockets + 16 cores.
+        assert_eq!(t.num_objects(), 23);
+        assert_eq!(t.count_at_depth(0), 1);
+        assert_eq!(t.count_at_depth(1), 2);
+        assert_eq!(t.count_at_depth(2), 4);
+        assert_eq!(t.count_at_depth(3), 16);
+    }
+
+    #[test]
+    fn parent_child_links_are_consistent() {
+        let t = small();
+        for d in 1..=3 {
+            for id in t.objects_at_depth(d) {
+                let obj = t.object(id);
+                let parent = t.object(obj.parent.unwrap());
+                assert_eq!(parent.depth, d - 1);
+                assert!(parent.children.contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn cores_are_in_sequential_order() {
+        let t = small();
+        for (i, &c) in t.cores().iter().enumerate() {
+            assert_eq!(t.object(c).logical_index, i);
+            assert_eq!(t.object(c).kind, LevelKind::Core);
+        }
+    }
+
+    #[test]
+    fn core_coordinates_match_mixed_radix() {
+        let t = small();
+        let h = t.hierarchy().unwrap();
+        for i in 0..t.num_cores() {
+            assert_eq!(
+                t.core_coordinates(i),
+                mre_core::coordinates(&h, i).unwrap(),
+                "core {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn lca_depths_match_first_diff_levels() {
+        let t = small();
+        let h = t.hierarchy().unwrap();
+        for a in 0..16 {
+            for b in 0..16 {
+                let expected = match mre_core::metrics::first_diff_level(&h, a, b) {
+                    Some(j) => j,
+                    None => h.depth(),
+                };
+                assert_eq!(t.lca_depth_of_cores(a, b), expected, "cores {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn lca_examples() {
+        let t = small();
+        // Cores 0 and 1: same socket → LCA is the socket (depth 2).
+        assert_eq!(t.object(t.lca(t.core(0), t.core(1))).kind, LevelKind::Socket);
+        // Cores 0 and 4: same node → LCA is the node (depth 1).
+        assert_eq!(t.object(t.lca(t.core(0), t.core(4))).kind, LevelKind::Node);
+        // Cores 0 and 8: different nodes → LCA is the root.
+        assert_eq!(t.lca(t.core(0), t.core(8)), t.root());
+        // LCA with itself is itself.
+        assert_eq!(t.lca(t.core(5), t.core(5)), t.core(5));
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let t = small();
+        let anc = t.ancestors(t.core(10));
+        assert_eq!(anc.len(), 3);
+        assert_eq!(t.object(anc[0]).kind, LevelKind::Socket);
+        assert_eq!(t.object(anc[1]).kind, LevelKind::Node);
+        assert_eq!(anc[2], t.root());
+        assert!(t.ancestors(t.root()).is_empty());
+    }
+
+    #[test]
+    fn render_mentions_structure() {
+        let t = small();
+        let text = t.render();
+        assert!(text.contains("machine (16 cores)"));
+        assert!(text.contains("node 0"));
+        assert!(text.contains("socket 1"));
+        assert!(text.contains("cores 0..=3"));
+    }
+}

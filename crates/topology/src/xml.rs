@@ -1,0 +1,183 @@
+//! XML import/export of topology specifications — the counterpart of
+//! hwloc's `lstopo --of xml` / `HWLOC_XMLFILE` workflow, so topologies can
+//! be captured on one machine and replayed elsewhere.
+//!
+//! The format is a minimal nested-object XML:
+//!
+//! ```xml
+//! <topology>
+//!   <object type="node" arity="16">
+//!     <object type="socket" arity="2">
+//!       <object type="group" arity="2">
+//!         <object type="core" arity="8"/>
+//!       </object>
+//!     </object>
+//!   </object>
+//! </topology>
+//! ```
+//!
+//! Only the regular (homogeneous) trees the enumeration algorithm supports
+//! are representable, which keeps the format a straight nesting.
+
+use crate::spec::{LevelKind, LevelSpec, TopologySpec};
+use mre_core::Error;
+use std::fmt::Write as _;
+
+/// Serializes a spec to the XML form.
+pub fn to_xml(spec: &TopologySpec) -> String {
+    let mut out = String::from("<topology>\n");
+    let levels = spec.levels();
+    for (depth, level) in levels.iter().enumerate() {
+        let pad = "  ".repeat(depth + 1);
+        if depth + 1 == levels.len() {
+            let _ = writeln!(
+                out,
+                "{pad}<object type=\"{}\" arity=\"{}\"/>",
+                level.kind, level.arity
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{pad}<object type=\"{}\" arity=\"{}\">",
+                level.kind, level.arity
+            );
+        }
+    }
+    for depth in (0..levels.len().saturating_sub(1)).rev() {
+        let pad = "  ".repeat(depth + 1);
+        let _ = writeln!(out, "{pad}</object>");
+    }
+    out.push_str("</topology>\n");
+    out
+}
+
+/// Parses the XML form back into a spec.
+pub fn from_xml(text: &str) -> Result<TopologySpec, Error> {
+    let mut levels: Vec<LevelSpec> = Vec::new();
+    let mut depth_open = 0usize;
+    let mut seen_topology = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| Error::Parse {
+            message: format!("line {}: {message}", lineno + 1),
+        };
+        if line == "<topology>" {
+            if seen_topology {
+                return Err(err("duplicate <topology>".into()));
+            }
+            seen_topology = true;
+        } else if line == "</topology>" {
+            if depth_open != 0 {
+                return Err(err(format!("{depth_open} unclosed <object> elements")));
+            }
+        } else if line == "</object>" {
+            if depth_open == 0 {
+                return Err(err("unmatched </object>".into()));
+            }
+            depth_open -= 1;
+        } else if let Some(rest) = line.strip_prefix("<object ") {
+            if !seen_topology {
+                return Err(err("<object> before <topology>".into()));
+            }
+            let self_closing = rest.ends_with("/>");
+            let attrs = rest
+                .trim_end_matches("/>")
+                .trim_end_matches('>')
+                .trim();
+            let kind = attr(attrs, "type").ok_or_else(|| err("missing type".into()))?;
+            let arity = attr(attrs, "arity")
+                .ok_or_else(|| err("missing arity".into()))?
+                .parse::<usize>()
+                .map_err(|e| err(format!("bad arity: {e}")))?;
+            let kind = parse_kind(kind).ok_or_else(|| err(format!("unknown type {kind:?}")))?;
+            levels.push(LevelSpec::new(kind, arity));
+            if !self_closing {
+                depth_open += 1;
+            }
+        } else {
+            return Err(err(format!("unexpected content {line:?}")));
+        }
+    }
+    if !seen_topology {
+        return Err(Error::Parse { message: "no <topology> element".into() });
+    }
+    TopologySpec::new(levels)
+}
+
+fn attr<'a>(attrs: &'a str, name: &str) -> Option<&'a str> {
+    let needle = format!("{name}=\"");
+    let start = attrs.find(&needle)? + needle.len();
+    let end = attrs[start..].find('"')? + start;
+    Some(&attrs[start..end])
+}
+
+fn parse_kind(text: &str) -> Option<LevelKind> {
+    Some(match text {
+        "switch" => LevelKind::Switch,
+        "node" => LevelKind::Node,
+        "socket" => LevelKind::Socket,
+        "numa" => LevelKind::Numa,
+        "l3" => LevelKind::L3,
+        "group" => LevelKind::Group,
+        "core" => LevelKind::Core,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::{hydra, lumi};
+
+    #[test]
+    fn roundtrip_hydra_and_lumi() {
+        for spec in [hydra(16).spec, lumi(8).spec] {
+            let xml = to_xml(&spec);
+            let parsed = from_xml(&xml).unwrap();
+            assert_eq!(parsed, spec, "xml was:\n{xml}");
+        }
+    }
+
+    #[test]
+    fn xml_shape() {
+        let xml = to_xml(&hydra(4).spec);
+        assert!(xml.starts_with("<topology>"));
+        assert!(xml.contains("<object type=\"node\" arity=\"4\">"));
+        assert!(xml.contains("<object type=\"core\" arity=\"8\"/>"));
+        assert!(xml.trim_end().ends_with("</topology>"));
+        // Balanced: 3 opening non-self-closing objects, 3 closers.
+        assert_eq!(xml.matches("\">").count(), 3);
+        assert_eq!(xml.matches("</object>").count(), 3);
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace() {
+        let xml = "\n<topology>\n\n  <object type=\"node\" arity=\"2\">\n    <object type=\"core\" arity=\"4\"/>\n  </object>\n</topology>\n";
+        let spec = from_xml(xml).unwrap();
+        assert_eq!(spec.hierarchy().unwrap().levels(), &[2, 4]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(from_xml("").is_err());
+        assert!(from_xml("<topology>\n</topology>").is_err()); // no levels
+        assert!(from_xml("<topology>\n<object type=\"node\" arity=\"2\">\n</topology>").is_err());
+        assert!(from_xml("<topology>\n<object type=\"cpu\" arity=\"2\"/>\n</topology>").is_err());
+        assert!(from_xml("<topology>\n<object type=\"core\"/>\n</topology>").is_err());
+        assert!(from_xml("<object type=\"core\" arity=\"2\"/>").is_err());
+        assert!(
+            from_xml("<topology>\n<object type=\"node\" arity=\"x\">\n<object type=\"core\" arity=\"2\"/>\n</object>\n</topology>")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn parse_enforces_core_innermost() {
+        // Socket nested inside core is invalid per spec rules.
+        let xml = "<topology>\n<object type=\"core\" arity=\"2\">\n<object type=\"socket\" arity=\"2\"/>\n</object>\n</topology>";
+        assert!(from_xml(xml).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # mre-workloads — the paper's evaluation workloads
+//!
+//! Three workloads drive the evaluation of the mixed-radix enumeration
+//! technique, mirroring §4 of the paper:
+//!
+//! * [`microbench`] — the §4.1 protocol: reorder the world, split it into
+//!   equally-sized subcommunicators, and measure a non-rooted collective
+//!   (Alltoall / Allreduce / Allgather) in one or in all subcommunicators
+//!   simultaneously, sweeping the data size (Figs. 3–7).
+//! * [`cg`] — a NAS-CG-shaped conjugate gradient: a functional distributed
+//!   CG (verified against a sequential solver) plus the NPB class
+//!   parameters and a roofline + network cost estimate for strong-scaling
+//!   core-selection studies (Fig. 9).
+//! * [`splatt`] — a Splatt-shaped sparse CP-ALS (canonical polyadic
+//!   decomposition): a functional medium-grained implementation on the
+//!   thread runtime (verified against a sequential reference) plus a cost
+//!   model over the 3-mode layer-communicator structure mpisee observed
+//!   (3×1024, 8×256, 64×16 communicators; Alltoallv-dominated) for the
+//!   rank-reordering study (Fig. 8);
+//! * [`stencil`] — a halo-exchange stencil on a periodic Cartesian grid
+//!   (the classic Cartesian-topology consumer), evaluating orders by
+//!   per-iteration halo cost.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cg;
+pub mod microbench;
+pub mod splatt;
+pub mod stencil;

@@ -1,0 +1,62 @@
+//! Core selection for partial-node jobs (§3.4): generate
+//! `--cpu-bind=map_cpu` lists from mixed-radix enumeration for a LUMI
+//! compute node, show the distinct core sets, and estimate the NAS CG
+//! class C runtime of each — more placement policies than Slurm's
+//! `--distribution` can express.
+//!
+//! ```text
+//! cargo run --release --example core_selection [nprocs]
+//! ```
+
+use mixed_radix_enum::core::core_select::{distinct_core_sets, format_map_cpu, map_cpu_list};
+use mixed_radix_enum::core::Hierarchy;
+use mixed_radix_enum::simnet::presets::{lumi_node_memory, lumi_node_network};
+use mixed_radix_enum::slurm::Distribution;
+use mixed_radix_enum::workloads::cg::{estimate_time, CgClass};
+
+fn main() {
+    let nprocs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    // One LUMI node: 2 sockets × 4 NUMA × 2 L3 × 8 cores.
+    let node = Hierarchy::new(vec![2, 4, 2, 8]).expect("valid hierarchy");
+    let net = lumi_node_network();
+    let mem = lumi_node_memory();
+    println!(
+        "Selecting {nprocs} of {} cores on a LUMI node {node}\n",
+        node.size()
+    );
+
+    let slurm_default = Distribution::lumi_default()
+        .to_order(&node)
+        .expect("node has >= 2 levels");
+    let groups = distinct_core_sets(&node, nprocs).expect("valid count");
+    println!(
+        "{} enumeration orders produce {} distinct core sets:",
+        24,
+        groups.len()
+    );
+    let mut best: Option<(String, f64)> = None;
+    for (set, orders) in &groups {
+        println!("\ncore set {set:?} ({} orders):", orders.len());
+        for sigma in orders.iter().take(3) {
+            let list = map_cpu_list(&node, sigma, nprocs).expect("valid order");
+            let t = estimate_time(&CgClass::C, &list, &net, &mem).expect("pow2 count");
+            let mark = if *sigma == slurm_default { "  <- Slurm default" } else { "" };
+            println!(
+                "  srun --cpu-bind={}   # order [{sigma}], est. CG-C {t:.2} s{mark}",
+                format_map_cpu(&list)
+            );
+            if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
+                best = Some((sigma.to_string(), t));
+            }
+        }
+        if orders.len() > 3 {
+            println!("  … and {} more orders on the same cores", orders.len() - 3);
+        }
+    }
+    if let Some((order, t)) = best {
+        println!("\nbest placement: order [{order}] at {t:.2} s");
+    }
+}

@@ -1,0 +1,25 @@
+//! # mixed-radix-enum — facade crate
+//!
+//! Re-exports the full public API of the mixed-radix enumeration library
+//! and its simulated HPC substrates under one roof:
+//!
+//! * [`core`] — the paper's contribution: mixed-radix decomposition, orders,
+//!   rank reordering, mapping metrics, core selection.
+//! * [`topology`] — declarative hardware topology trees (hwloc substitute).
+//! * [`simnet`] — hierarchical network & memory performance model.
+//! * [`mpi`] — thread-backed message-passing runtime with communicators and
+//!   collectives.
+//! * [`slurm`] — launcher policies (`--distribution`, `map_cpu`, rankfiles).
+//! * [`workloads`] — micro-benchmark protocol, Splatt-like CP-ALS,
+//!   NAS-CG-like conjugate gradient.
+//!
+//! See `examples/` for runnable end-to-end scenarios and the `mre-bench`
+//! crate for the reproduction harness of every table and figure of the
+//! paper.
+
+pub use mre_core as core;
+pub use mre_mpi as mpi;
+pub use mre_simnet as simnet;
+pub use mre_slurm as slurm;
+pub use mre_topology as topology;
+pub use mre_workloads as workloads;

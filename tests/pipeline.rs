@@ -1,0 +1,133 @@
+//! End-to-end integration: topology discovery → hierarchy → enumeration
+//! order → functional rank reordering on the thread runtime →
+//! subcommunicator collectives → agreement with the pure layout and the
+//! cost model.
+
+use mixed_radix_enum::core::subcomm::{subcommunicators, ColorScheme};
+use mixed_radix_enum::core::{reorder_rank, Hierarchy, Permutation, RankReordering};
+use mixed_radix_enum::mpi::{run, AllgatherAlg, AllreduceAlg, Comm};
+use mixed_radix_enum::simnet::presets::hydra_network;
+use mixed_radix_enum::topology::{hydra, Topology};
+
+/// The full §3.2 pipeline at small scale: a 2-node Hydra-like topology,
+/// every order, functional split + allgather; the membership each rank
+/// observes must equal the pure subcommunicator layout.
+#[test]
+fn functional_reordering_matches_pure_layout() {
+    // 2 nodes × 2 sockets × 2 groups × 2 cores = 16 ranks (Hydra shape,
+    // shrunk so the thread runtime stays fast).
+    let machine = Hierarchy::new(vec![2, 2, 2, 2]).unwrap();
+    let subcomm_size = 4;
+    for sigma in Permutation::all(4) {
+        let layout =
+            subcommunicators(&machine, &sigma, subcomm_size, ColorScheme::Quotient).unwrap();
+        let m = machine.clone();
+        let s = sigma.clone();
+        let observed = run(machine.size(), move |proc_| {
+            let world = Comm::world(proc_);
+            let new_rank = reorder_rank(&m, proc_.world_rank(), &s).unwrap();
+            let reordered = world.split(0, new_rank as i64).unwrap();
+            assert_eq!(reordered.rank(), new_rank);
+            let color = (reordered.rank() / subcomm_size) as i64;
+            let sub = reordered.split(color, reordered.rank() as i64).unwrap();
+            // Gather the *world* ranks in sub-rank order; world rank ==
+            // core id because one process per core in sequential order.
+            let members = sub.allgather(vec![proc_.world_rank()], AllgatherAlg::Ring);
+            (color as usize, members.into_iter().flatten().collect::<Vec<usize>>())
+        });
+        for (world_rank, (color, members)) in observed.iter().enumerate() {
+            assert_eq!(
+                members.as_slice(),
+                layout.members(*color),
+                "order {sigma}, world rank {world_rank}"
+            );
+        }
+    }
+}
+
+/// The topology substrate feeds the same hierarchy the paper writes for
+/// Hydra, and its LCA structure agrees with the metric distance.
+#[test]
+fn topology_to_hierarchy_to_metrics() {
+    let machine = hydra(16);
+    let h = machine.hierarchy().unwrap();
+    assert_eq!(h.levels(), &[16, 2, 2, 8]);
+    let tree = Topology::build(&machine.spec);
+    for (a, b) in [(0usize, 1usize), (0, 8), (0, 16), (0, 32), (100, 500)] {
+        let lca_depth = tree.lca_depth_of_cores(a, b);
+        let dist = mixed_radix_enum::core::metrics::distance(&h, a, b);
+        assert_eq!(dist, h.depth() - lca_depth.min(h.depth()), "cores {a},{b}");
+    }
+}
+
+/// Reordering then reducing on the runtime gives the same numeric result
+/// as not reordering: reductions are mapping-invariant (only their cost
+/// changes).
+#[test]
+fn reduction_results_are_mapping_invariant() {
+    let machine = Hierarchy::new(vec![2, 2, 4]).unwrap();
+    let mut reference: Option<f64> = None;
+    for order in ["2-1-0", "0-1-2", "1-2-0"] {
+        let sigma = Permutation::parse(order).unwrap();
+        let m = machine.clone();
+        let results = run(machine.size(), move |proc_| {
+            let world = Comm::world(proc_);
+            let new_rank = reorder_rank(&m, proc_.world_rank(), &sigma).unwrap();
+            let reordered = world.split(0, new_rank as i64).unwrap();
+            let value = (proc_.world_rank() as f64 + 1.0).ln();
+            reordered.allreduce(vec![value], |a, b| a + b, AllreduceAlg::Ring)[0]
+        });
+        let total = results[0];
+        for r in &results {
+            assert!((r - total).abs() < 1e-12);
+        }
+        match reference {
+            None => reference = Some(total),
+            Some(expected) => assert!((total - expected).abs() < 1e-9, "order {order}"),
+        }
+    }
+}
+
+/// The cost model and the whole-world reordering agree on who talks
+/// locally: an order whose first communicator stays inside one group must
+/// simulate faster for a fixed single-communicator collective than one
+/// spanning all nodes, at latency-dominated sizes.
+#[test]
+fn cost_model_and_layout_agree_on_locality() {
+    use mixed_radix_enum::mpi::schedules::allgather_ring;
+    let machine = Hierarchy::new(vec![16, 2, 2, 8]).unwrap();
+    let net = hydra_network(16, 1);
+    let packed = subcommunicators(
+        &machine,
+        &Permutation::parse("3-2-1-0").unwrap(),
+        16,
+        ColorScheme::Quotient,
+    )
+    .unwrap();
+    let spread = subcommunicators(
+        &machine,
+        &Permutation::parse("0-1-2-3").unwrap(),
+        16,
+        ColorScheme::Quotient,
+    )
+    .unwrap();
+    // 1 KB blocks: latency dominates, locality wins.
+    let t_packed = net.schedule_time(&allgather_ring(packed.members(0), 1024));
+    let t_spread = net.schedule_time(&allgather_ring(spread.members(0), 1024));
+    assert!(t_packed < t_spread);
+}
+
+/// Whole-world RankReordering and per-rank reorder_rank agree at scale
+/// (2048 ranks, LUMI hierarchy) — the incremental-walk optimization is
+/// exact.
+#[test]
+fn bulk_reordering_matches_pointwise_at_scale() {
+    let lumi = Hierarchy::new(vec![16, 2, 4, 2, 8]).unwrap();
+    for order in ["1-2-3-0-4", "4-3-2-1-0", "0-1-2-3-4", "3-4-0-1-2"] {
+        let sigma = Permutation::parse(order).unwrap();
+        let bulk = RankReordering::new(&lumi, &sigma).unwrap();
+        for r in (0..lumi.size()).step_by(37) {
+            assert_eq!(bulk.new_rank(r), reorder_rank(&lumi, r, &sigma).unwrap());
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Property-based tests over the whole stack: algebraic invariants of the
+//! mixed-radix machinery, conservation laws of the contention model, and
+//! correctness of the collective algorithms on arbitrary payloads.
+
+use mixed_radix_enum::core::metrics::{pair_counts_per_level, pairs_per_level, ring_cost};
+use mixed_radix_enum::core::subcomm::{subcommunicators, ColorScheme};
+use mixed_radix_enum::core::{
+    compose, coordinates, rank_from_coordinates, Hierarchy, Permutation, RankReordering,
+};
+use mixed_radix_enum::mpi::{run, schedules, AllgatherAlg, AllreduceAlg, AlltoallAlg, Comm};
+use mixed_radix_enum::simnet::{
+    fluid_time, max_min_rates, LinkParams, Message, NetworkModel, Schedule,
+};
+use proptest::prelude::*;
+
+/// Arbitrary small hierarchy: 2–5 levels of size 1–6.
+fn arb_hierarchy() -> impl Strategy<Value = Hierarchy> {
+    prop::collection::vec(1usize..=6, 2..=5)
+        .prop_map(|levels| Hierarchy::new(levels).expect("non-zero levels"))
+}
+
+/// A hierarchy together with a random permutation of its levels.
+fn arb_hierarchy_and_order() -> impl Strategy<Value = (Hierarchy, Permutation)> {
+    arb_hierarchy().prop_flat_map(|h| {
+        let k = h.depth();
+        Just(h).prop_flat_map(move |h| {
+            prop::sample::select(Permutation::all(k)).prop_map(move |p| (h.clone(), p))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 1 ∘ its inverse is the identity for every rank.
+    #[test]
+    fn decompose_compose_roundtrip((h, sigma) in arb_hierarchy_and_order(),
+                                   seed in 0usize..10_000) {
+        let rank = seed % h.size();
+        let c = coordinates(&h, rank).unwrap();
+        prop_assert_eq!(rank_from_coordinates(&h, &c).unwrap(), rank);
+        // Algorithm 2 with the reversal order is also the identity.
+        let rev = Permutation::reversal(h.depth());
+        prop_assert_eq!(compose(&h, &c, &rev).unwrap(), rank);
+        // Any order produces an in-range rank.
+        prop_assert!(compose(&h, &c, &sigma).unwrap() < h.size());
+    }
+
+    /// Reordering is a bijection and its bulk map matches pointwise
+    /// computation.
+    #[test]
+    fn reordering_bijection((h, sigma) in arb_hierarchy_and_order()) {
+        let map = RankReordering::new(&h, &sigma).unwrap();
+        let mut seen = vec![false; h.size()];
+        for r in 0..h.size() {
+            let n = map.new_rank(r);
+            prop_assert!(!seen[n]);
+            seen[n] = true;
+            prop_assert_eq!(map.old_rank(n), r);
+        }
+    }
+
+    /// Metrics invariants: percentages sum to 100, ring cost is bounded by
+    /// `(m−1)·[1, k]`, pair counts total C(m,2).
+    #[test]
+    fn metric_invariants((h, sigma) in arb_hierarchy_and_order(),
+                         divider in 1usize..4) {
+        // Pick a subcommunicator size dividing the world.
+        let world = h.size();
+        let mut s = world;
+        for _ in 0..divider {
+            if s % 2 == 0 { s /= 2; }
+        }
+        prop_assume!(s >= 2);
+        let layout = subcommunicators(&h, &sigma, s, ColorScheme::Quotient).unwrap();
+        let members = layout.members(0);
+        let rc = ring_cost(&h, members);
+        prop_assert!(rc >= members.len() - 1);
+        prop_assert!(rc <= (members.len() - 1) * h.depth());
+        let pct = pairs_per_level(&h, members);
+        let sum: f64 = pct.iter().sum();
+        prop_assert!((sum - 100.0).abs() < 1e-6);
+        let counts = pair_counts_per_level(&h, members);
+        prop_assert_eq!(counts.iter().sum::<usize>(), s * (s - 1) / 2);
+    }
+
+    /// Subcommunicators partition the machine exactly, under both color
+    /// schemes.
+    #[test]
+    fn subcomms_partition((h, sigma) in arb_hierarchy_and_order()) {
+        let world = h.size();
+        let s = if world % 2 == 0 { world / 2 } else { world };
+        for scheme in [ColorScheme::Quotient, ColorScheme::Modulo] {
+            let layout = subcommunicators(&h, &sigma, s, scheme).unwrap();
+            let mut seen = vec![false; world];
+            for c in 0..layout.count() {
+                for &m in layout.members(c) {
+                    prop_assert!(!seen[m]);
+                    seen[m] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&x| x));
+        }
+    }
+
+    /// Max-min fairness never oversubscribes a link and always saturates
+    /// every flow's bottleneck.
+    #[test]
+    fn contention_conservation(
+        caps in prop::collection::vec(1.0f64..100.0, 1..6),
+        paths in prop::collection::vec(prop::collection::vec(0usize..6, 1..4), 1..20),
+    ) {
+        let nl = caps.len();
+        let flows: Vec<Vec<usize>> = paths
+            .into_iter()
+            .map(|p| {
+                let mut q: Vec<usize> = p.into_iter().map(|l| l % nl).collect();
+                q.sort_unstable();
+                q.dedup();
+                q
+            })
+            .collect();
+        let rates = max_min_rates(&flows, &caps);
+        let mut totals = vec![0.0f64; nl];
+        for (f, links) in flows.iter().enumerate() {
+            prop_assert!(rates[f] > 0.0);
+            for &l in links {
+                totals[l] += rates[f];
+            }
+        }
+        for (l, &t) in totals.iter().enumerate() {
+            prop_assert!(t <= caps[l] * (1.0 + 1e-9), "link {} oversubscribed", l);
+        }
+    }
+
+    /// Round-time invariants. Note max-min fairness is *not* monotone
+    /// under flow removal (removing a flow can shift a bottleneck and
+    /// lower another flow's allocation), so we assert what does hold:
+    /// a round is never faster than its slowest message run alone, and
+    /// growing a message never speeds the round up.
+    #[test]
+    fn round_time_invariants(
+        srcs in prop::collection::vec((0usize..16, 0usize..16, 1u64..100_000), 1..12),
+    ) {
+        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        let net = NetworkModel::new(
+            h,
+            vec![
+                LinkParams { uplink_bandwidth: 10.0e9, crossing_latency: 1e-6 },
+                LinkParams { uplink_bandwidth: 20.0e9, crossing_latency: 5e-7 },
+                LinkParams { uplink_bandwidth: 8.0e9, crossing_latency: 2e-7 },
+            ],
+            20.0e9,
+        );
+        let msgs: Vec<Message> =
+            srcs.iter().map(|&(s, d, b)| Message::new(s, d, b)).collect();
+        let t_all = net.round_time(&msgs);
+        // In a round every message's rate is at most its alone rate, so
+        // the round is at least as slow as the slowest isolated message.
+        let slowest_alone = msgs
+            .iter()
+            .map(|&m| net.message_time(m))
+            .fold(0.0f64, f64::max);
+        prop_assert!(t_all >= slowest_alone * (1.0 - 1e-12));
+        // Growing a message never speeds the round up (rates depend only
+        // on paths, not sizes).
+        let mut bigger = msgs.clone();
+        bigger[0].bytes *= 2;
+        prop_assert!(net.round_time(&bigger) >= t_all - 1e-15);
+    }
+
+    /// Fluid simulation invariants: a single schedule costs exactly its
+    /// round-based time; concurrent schedules stay close to (and usually
+    /// below) the lockstep model — barriers can occasionally *help* by
+    /// avoiding convoy sharing, so the upper bound carries a tolerance —
+    /// and never beat the longest job run alone.
+    #[test]
+    fn fluid_bounds(
+        jobs in prop::collection::vec(
+            prop::collection::vec((0usize..16, 0usize..16, 1u64..100_000), 1..5),
+            1..4,
+        ),
+    ) {
+        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        let net = NetworkModel::new(
+            h,
+            vec![
+                LinkParams { uplink_bandwidth: 10.0e9, crossing_latency: 1e-6 },
+                LinkParams { uplink_bandwidth: 20.0e9, crossing_latency: 5e-7 },
+                LinkParams { uplink_bandwidth: 8.0e9, crossing_latency: 2e-7 },
+            ],
+            20.0e9,
+        );
+        use mixed_radix_enum::simnet::Round;
+        let schedules: Vec<Schedule> = jobs
+            .iter()
+            .map(|msgs| {
+                // Each job: its messages as successive one-message rounds.
+                Schedule::with(
+                    msgs.iter()
+                        .map(|&(s, d, b)| Round::with(vec![Message::new(s, d, b)]))
+                        .collect(),
+                )
+            })
+            .collect();
+        for s in &schedules {
+            let fluid = fluid_time(&net, std::slice::from_ref(s));
+            let rounds = net.schedule_time(s);
+            prop_assert!((fluid - rounds).abs() <= 1e-9 * rounds.max(1e-12),
+                "single-schedule fluid {fluid} != rounds {rounds}");
+        }
+        let fluid_all = fluid_time(&net, &schedules);
+        let lockstep = net.concurrent_time(&schedules);
+        prop_assert!(fluid_all <= lockstep * 1.25,
+            "fluid {fluid_all} far exceeds lockstep {lockstep}");
+        // The makespan is at least the longest isolated job.
+        let longest = schedules
+            .iter()
+            .map(|s| net.schedule_time(s))
+            .fold(0.0f64, f64::max);
+        prop_assert!(fluid_all >= longest * (1.0 - 1e-9));
+    }
+
+    /// Ragged layouts partition the machine for arbitrary size splits.
+    #[test]
+    fn ragged_partition((h, sigma) in arb_hierarchy_and_order(),
+                        cuts in prop::collection::vec(1usize..5, 0..3)) {
+        use mixed_radix_enum::core::subcommunicators_ragged;
+        // Derive sizes that sum to the world from the random cuts.
+        let world = h.size();
+        let mut sizes = Vec::new();
+        let mut remaining = world;
+        for c in cuts {
+            let take = c.min(remaining.saturating_sub(1));
+            if take > 0 {
+                sizes.push(take);
+                remaining -= take;
+            }
+        }
+        sizes.push(remaining);
+        let layout = subcommunicators_ragged(&h, &sigma, &sizes).unwrap();
+        let mut seen = vec![false; world];
+        for c in 0..layout.count() {
+            for &m in layout.members(c) {
+                prop_assert!(!seen[m]);
+                seen[m] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+        // Members are ordered by reordered rank: consecutive comms cover
+        // consecutive reordered rank ranges.
+        let reordering = RankReordering::new(&h, &sigma).unwrap();
+        let mut next = 0usize;
+        for c in 0..layout.count() {
+            for &m in layout.members(c) {
+                prop_assert_eq!(reordering.new_rank(m), next);
+                next += 1;
+            }
+        }
+    }
+
+    /// Schedule generators conserve payload: the bytes a collective moves
+    /// equal the algorithm's theoretical volume.
+    #[test]
+    fn schedule_volumes(p in 2usize..24, bytes in 1u64..10_000) {
+        let members: Vec<usize> = (0..p).collect();
+        prop_assert_eq!(
+            schedules::alltoall_pairwise(&members, bytes).total_bytes(),
+            (p * (p - 1)) as u64 * bytes
+        );
+        prop_assert_eq!(
+            schedules::allgather_ring(&members, bytes).total_bytes(),
+            (p * (p - 1)) as u64 * bytes
+        );
+        prop_assert_eq!(
+            schedules::allgather_bruck(&members, bytes).total_bytes(),
+            (p * (p - 1)) as u64 * bytes
+        );
+        // Ring allreduce moves 2(p−1)/p of the vector per rank.
+        let ring = schedules::allreduce_ring(&members, bytes * p as u64);
+        prop_assert_eq!(ring.total_bytes(), 2 * (p as u64 - 1) * bytes * p as u64);
+    }
+}
+
+proptest! {
+    // Thread-spawning cases are expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Allreduce computes the exact integer sum for arbitrary payloads,
+    /// rank counts and algorithms.
+    #[test]
+    fn functional_allreduce_sums(
+        p in 2usize..10,
+        len in 1usize..40,
+        ring in proptest::bool::ANY,
+    ) {
+        let alg = if ring { AllreduceAlg::Ring } else { AllreduceAlg::RecursiveDoubling };
+        let results = run(p, move |proc_| {
+            let world = Comm::world(proc_);
+            let mine: Vec<u64> = (0..len)
+                .map(|i| (proc_.world_rank() * 1009 + i * 31) as u64)
+                .collect();
+            world.allreduce(mine, |a, b| a + b, alg)
+        });
+        let expected: Vec<u64> = (0..len)
+            .map(|i| (0..p).map(|r| (r * 1009 + i * 31) as u64).sum())
+            .collect();
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+
+    /// Alltoallv delivers exactly the payload addressed to each rank,
+    /// via both routing algorithms.
+    #[test]
+    fn functional_alltoallv_delivers(p in 2usize..9, bruck in proptest::bool::ANY) {
+        let alg = if bruck { AlltoallAlg::Bruck } else { AlltoallAlg::Pairwise };
+        let results = run(p, move |proc_| {
+            let world = Comm::world(proc_);
+            let me = world.rank();
+            let send: Vec<Vec<u32>> = (0..p)
+                .map(|d| vec![(me * 100 + d) as u32; (me + d) % 3 + 1])
+                .collect();
+            world.alltoallv(send, alg)
+        });
+        for (me, blocks) in results.iter().enumerate() {
+            for (src, block) in blocks.iter().enumerate() {
+                prop_assert_eq!(
+                    block,
+                    &vec![(src * 100 + me) as u32; (src + me) % 3 + 1]
+                );
+            }
+        }
+    }
+
+    /// Allgather preserves block identity under all algorithms.
+    #[test]
+    fn functional_allgather_orders_blocks(p in 2usize..9, which in 0usize..3) {
+        let alg = [AllgatherAlg::Ring, AllgatherAlg::Bruck, AllgatherAlg::RecursiveDoubling]
+            [which];
+        let results = run(p, move |proc_| {
+            let world = Comm::world(proc_);
+            world.allgather(vec![world.rank() as u16 * 7], alg)
+        });
+        for blocks in results {
+            for (src, block) in blocks.iter().enumerate() {
+                prop_assert_eq!(block, &vec![src as u16 * 7]);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Integration: Slurm-launcher layouts versus the mixed-radix machinery —
+//! distributions, map_cpu lists, rankfiles and the §3.4 two-step pipeline
+//! must all land processes on the same cores.
+
+use mixed_radix_enum::core::core_select::{map_cpu_list, selected_hierarchy};
+use mixed_radix_enum::core::rankfile::Rankfile;
+use mixed_radix_enum::core::{Hierarchy, Permutation};
+use mixed_radix_enum::slurm::{Distribution, JobLayout};
+
+/// Every Fig. 2 Slurm spelling produces exactly the layout of its order,
+/// on both the toy machine and Hydra.
+#[test]
+fn distribution_layouts_match_order_layouts() {
+    for machine in [
+        Hierarchy::new(vec![2, 2, 4]).unwrap(),
+        Hierarchy::new(vec![16, 2, 2, 8]).unwrap(),
+    ] {
+        for dist in Distribution::all_block_cyclic() {
+            let order = dist.to_order(&machine).unwrap();
+            let via_dist = JobLayout::from_distribution(&machine, dist).unwrap();
+            let via_order = JobLayout::from_order(&machine, &order).unwrap();
+            assert_eq!(via_dist, via_order, "{} on {machine}", dist.spelling());
+        }
+    }
+}
+
+/// A rankfile generated from an order realizes the same placement as the
+/// launcher applying that order directly — the paper's "transparent"
+/// reordering method 2.
+#[test]
+fn rankfile_roundtrip_equals_direct_order() {
+    let machine = Hierarchy::new(vec![4, 2, 2, 8]).unwrap();
+    for sigma in Permutation::all(4) {
+        let rf = Rankfile::from_order(&machine, &sigma).unwrap();
+        let text = rf.render();
+        let parsed = Rankfile::parse(&text).unwrap();
+        let via_rankfile = JobLayout::from_rankfile(&machine, &parsed).unwrap();
+        let direct = JobLayout::from_order(&machine, &sigma).unwrap();
+        assert_eq!(via_rankfile, direct, "order {sigma}");
+    }
+}
+
+/// §3.4's worked example: on Fig. 1's machine, selecting one socket per
+/// node yields the second-step hierarchy ⟦2,4⟧; selecting two cores per
+/// socket yields ⟦2,2,2⟧ — and the map_cpu layouts bind exactly those
+/// cores.
+#[test]
+fn two_step_pipeline_matches_paper_example() {
+    let node = Hierarchy::new(vec![2, 4]).unwrap();
+    // Step 1a: fill socket 0 first (order [1,0]), 4 procs per node.
+    let fill = Permutation::parse("1-0").unwrap();
+    let layout = JobLayout::from_core_selection(2, &node, &fill, 4).unwrap();
+    assert_eq!(layout.core_set(), vec![0, 1, 2, 3, 8, 9, 10, 11]);
+    let second = selected_hierarchy(&node, &fill, 4)
+        .unwrap()
+        .with_outer_level(2, "node")
+        .unwrap();
+    assert_eq!(second.levels(), &[2, 4]);
+    // Step 1b: two cores per socket (order [0,1]).
+    let spread = Permutation::parse("0-1").unwrap();
+    let layout = JobLayout::from_core_selection(2, &node, &spread, 4).unwrap();
+    assert_eq!(layout.core_set(), vec![0, 1, 4, 5, 8, 9, 12, 13]);
+    let second = selected_hierarchy(&node, &spread, 4)
+        .unwrap()
+        .with_outer_level(2, "node")
+        .unwrap();
+    assert_eq!(second.levels(), &[2, 2, 2]);
+    // The depth differs between the two selections, hence a different
+    // number of second-step orders — the point of §3.4.
+    assert_ne!(second.depth(), 2);
+}
+
+/// The map_cpu list degenerates to the order's enumeration when the job
+/// uses every core of every node.
+#[test]
+fn full_node_map_cpu_equals_whole_machine_order() {
+    let node = Hierarchy::new(vec![2, 2, 8]).unwrap();
+    let nodes = 4;
+    // Whole-machine order that keeps nodes outermost: node level prepended
+    // as the slowest-varying level (index 0 appended last in the image).
+    for node_order in Permutation::all(3) {
+        let list = map_cpu_list(&node, &node_order, node.size()).unwrap();
+        let layout = JobLayout::from_map_cpu(nodes, node.size(), &list).unwrap();
+        // Equivalent whole-machine order: shift node-level indices by one
+        // and enumerate nodes last.
+        let mut image: Vec<usize> =
+            node_order.as_slice().iter().map(|&l| l + 1).collect();
+        image.push(0);
+        let machine_order = Permutation::new(image).unwrap();
+        let machine = node.with_outer_level(nodes, "node").unwrap();
+        let direct = JobLayout::from_order(&machine, &machine_order).unwrap();
+        assert_eq!(layout, direct, "node order {node_order}");
+    }
+}
+
+/// Slurm can express only a sliver of the order space: on Hydra (4
+/// levels) the distributions cover at most 6 of the 24 orders.
+#[test]
+fn slurm_covers_few_orders_on_hydra() {
+    let hydra = Hierarchy::new(vec![16, 2, 2, 8]).unwrap();
+    let expressible = Permutation::all(4)
+        .into_iter()
+        .filter(|sigma| Distribution::from_order(&hydra, sigma).is_some())
+        .count();
+    assert!(expressible >= 4, "the four block/cyclic spellings exist");
+    assert!(
+        expressible <= 6,
+        "most of the 24 orders must be out of Slurm's reach, got {expressible}"
+    );
+}
