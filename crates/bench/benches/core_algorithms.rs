@@ -3,56 +3,48 @@
 //! maps, permutation generation (Heap vs lexicographic), the two
 //! characterization metrics, and core selection (Algorithm 3).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mre_bench::tinybench::{black_box, Bench};
 use mre_core::core_select::map_cpu_list;
 use mre_core::metrics::{pairs_per_level, ring_cost};
 use mre_core::permutation::heap_permutations;
 use mre_core::subcomm::{subcommunicators, ColorScheme};
 use mre_core::{coordinates, reorder_rank, Hierarchy, Permutation, RankReordering};
 
-fn bench_decompose(c: &mut Criterion) {
+fn bench_decompose(b: &mut Bench) {
     let lumi = Hierarchy::new(vec![16, 2, 4, 2, 8]).unwrap();
     let sigma = Permutation::parse("1-2-3-0-4").unwrap();
-    c.bench_function("decompose/coordinates_2048", |b| {
-        b.iter(|| {
-            for r in 0..2048 {
-                black_box(coordinates(&lumi, black_box(r)).unwrap());
-            }
-        })
+    b.bench("decompose/coordinates_2048", || {
+        for r in 0..2048 {
+            black_box(coordinates(&lumi, black_box(r)).unwrap());
+        }
     });
-    c.bench_function("decompose/reorder_rank_2048", |b| {
-        b.iter(|| {
-            for r in 0..2048 {
-                black_box(reorder_rank(&lumi, black_box(r), &sigma).unwrap());
-            }
-        })
+    b.bench("decompose/reorder_rank_2048", || {
+        for r in 0..2048 {
+            black_box(reorder_rank(&lumi, black_box(r), &sigma).unwrap());
+        }
     });
-    let mut group = c.benchmark_group("decompose/rank_reordering_build");
     for &nodes in &[16usize, 64, 256] {
         let machine = Hierarchy::new(vec![nodes, 2, 4, 2, 8]).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(nodes * 128), &machine, |b, m| {
-            b.iter(|| RankReordering::new(black_box(m), &sigma).unwrap())
-        });
+        b.bench(
+            &format!("decompose/rank_reordering_build/{}", nodes * 128),
+            || RankReordering::new(black_box(&machine), &sigma).unwrap(),
+        );
     }
-    group.finish();
 }
 
-fn bench_permutations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("permutations");
+fn bench_permutations(b: &mut Bench) {
     for &n in &[4usize, 6, 8] {
-        group.bench_with_input(BenchmarkId::new("heap", n), &n, |b, &n| {
-            b.iter(|| heap_permutations(black_box(n)).count())
+        b.bench(&format!("permutations/heap/{n}"), || {
+            heap_permutations(black_box(n)).count()
         });
-        group.bench_with_input(BenchmarkId::new("lexicographic", n), &n, |b, &n| {
-            b.iter(|| Permutation::all(black_box(n)).len())
+        b.bench(&format!("permutations/lexicographic/{n}"), || {
+            Permutation::all(black_box(n)).len()
         });
     }
-    group.finish();
 }
 
-fn bench_metrics(c: &mut Criterion) {
+fn bench_metrics(b: &mut Bench) {
     let lumi = Hierarchy::new(vec![16, 2, 4, 2, 8]).unwrap();
-    let mut group = c.benchmark_group("metrics");
     for &size in &[16usize, 64, 256] {
         let layout = subcommunicators(
             &lumi,
@@ -62,29 +54,28 @@ fn bench_metrics(c: &mut Criterion) {
         )
         .unwrap();
         let members = layout.members(0).to_vec();
-        group.bench_with_input(BenchmarkId::new("ring_cost", size), &members, |b, m| {
-            b.iter(|| ring_cost(black_box(&lumi), black_box(m)))
+        b.bench(&format!("metrics/ring_cost/{size}"), || {
+            ring_cost(black_box(&lumi), black_box(&members))
         });
-        group.bench_with_input(
-            BenchmarkId::new("pairs_per_level", size),
-            &members,
-            |b, m| b.iter(|| pairs_per_level(black_box(&lumi), black_box(m))),
-        );
+        b.bench(&format!("metrics/pairs_per_level/{size}"), || {
+            pairs_per_level(black_box(&lumi), black_box(&members))
+        });
     }
-    group.finish();
 }
 
-fn bench_core_select(c: &mut Criterion) {
+fn bench_core_select(b: &mut Bench) {
     let node = Hierarchy::new(vec![2, 4, 2, 8]).unwrap();
     let sigma = Permutation::parse("2-1-0-3").unwrap();
-    c.bench_function("core_select/map_cpu_list_128", |b| {
-        b.iter(|| map_cpu_list(black_box(&node), &sigma, black_box(64)).unwrap())
+    b.bench("core_select/map_cpu_list_128", || {
+        map_cpu_list(black_box(&node), &sigma, black_box(64)).unwrap()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_decompose, bench_permutations, bench_metrics, bench_core_select
+fn main() {
+    let mut b = Bench::from_env();
+    bench_decompose(&mut b);
+    bench_permutations(&mut b);
+    bench_metrics(&mut b);
+    bench_core_select(&mut b);
+    b.finish();
 }
-criterion_main!(benches);

@@ -1,42 +1,16 @@
-//! One Criterion group per paper table/figure: each benchmark times the
-//! regeneration of (a representative point of) that experiment, so
-//! `cargo bench` exercises every reproduction end-to-end. The full sweeps
-//! with the paper's formatting live in the `src/bin/` binaries.
+//! One benchmark per paper table/figure: each times the regeneration of
+//! (a representative point of) that experiment, so the bench target
+//! exercises every reproduction end-to-end. The full sweeps with the
+//! paper's formatting live in the `src/bin/` binaries.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mre_bench::tinybench::{black_box, Bench};
 use mre_core::core_select::map_cpu_list;
 use mre_core::{reorder_rank, Hierarchy, Permutation, RankReordering};
 use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
-use mre_simnet::presets::{
-    hydra_network, lumi_network, lumi_node_memory, lumi_node_network,
-};
+use mre_simnet::presets::{hydra_network, lumi_network, lumi_node_memory, lumi_node_network};
 use mre_workloads::cg::{estimate_time, CgClass};
 use mre_workloads::microbench::{Collective, Microbench};
 use mre_workloads::splatt::{estimate_cpd_time, SplattConfig};
-
-fn table1(c: &mut Criterion) {
-    let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
-    c.bench_function("table1/all_orders_of_rank_10", |b| {
-        b.iter(|| {
-            Permutation::all(3)
-                .iter()
-                .map(|sigma| reorder_rank(&h, black_box(10), sigma).unwrap())
-                .sum::<usize>()
-        })
-    });
-}
-
-fn fig2(c: &mut Criterion) {
-    let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
-    c.bench_function("fig2/reorder_all_orders", |b| {
-        b.iter(|| {
-            Permutation::all(3)
-                .iter()
-                .map(|sigma| RankReordering::new(&h, sigma).unwrap().new_rank(10))
-                .sum::<usize>()
-        })
-    });
-}
 
 fn microbench_point(
     machine: &[usize],
@@ -53,97 +27,89 @@ fn microbench_point(
     }
 }
 
-fn fig3(c: &mut Criterion) {
-    let net = hydra_network(16, 1);
-    let bench = microbench_point(
+fn main() {
+    let mut b = Bench::from_env();
+
+    let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+    b.bench("table1/all_orders_of_rank_10", || {
+        Permutation::all(3)
+            .iter()
+            .map(|sigma| reorder_rank(&h, black_box(10), sigma).unwrap())
+            .sum::<usize>()
+    });
+    b.bench("fig2/reorder_all_orders", || {
+        Permutation::all(3)
+            .iter()
+            .map(|sigma| RankReordering::new(&h, sigma).unwrap().new_rank(10))
+            .sum::<usize>()
+    });
+
+    let hydra = hydra_network(16, 1);
+    let lumi = lumi_network(16);
+    let fig3 = microbench_point(
         &[16, 2, 2, 8],
         "0-1-2-3",
         16,
         Collective::Alltoall(AlltoallAlg::Auto),
     );
-    c.bench_function("fig3/alltoall_hydra_16pc_4MB", |b| {
-        b.iter(|| bench.run(black_box(&net)).unwrap())
+    b.bench("fig3/alltoall_hydra_16pc_4MB", || {
+        fig3.run(black_box(&hydra)).unwrap()
     });
-}
-
-fn fig4(c: &mut Criterion) {
-    let net = hydra_network(16, 1);
-    let bench = microbench_point(
+    let fig4 = microbench_point(
         &[16, 2, 2, 8],
         "1-3-2-0",
         128,
         Collective::Alltoall(AlltoallAlg::Auto),
     );
-    c.bench_function("fig4/alltoall_hydra_128pc_4MB", |b| {
-        b.iter(|| bench.run(black_box(&net)).unwrap())
+    b.bench("fig4/alltoall_hydra_128pc_4MB", || {
+        fig4.run(black_box(&hydra)).unwrap()
     });
-}
-
-fn fig5(c: &mut Criterion) {
-    let net = lumi_network(16);
-    let bench = microbench_point(
+    let fig5 = microbench_point(
         &[16, 2, 4, 2, 8],
         "0-1-2-3-4",
         16,
         Collective::Alltoall(AlltoallAlg::Auto),
     );
-    c.bench_function("fig5/alltoall_lumi_16pc_4MB", |b| {
-        b.iter(|| bench.run(black_box(&net)).unwrap())
+    b.bench("fig5/alltoall_lumi_16pc_4MB", || {
+        fig5.run(black_box(&lumi)).unwrap()
     });
-}
-
-fn fig6(c: &mut Criterion) {
-    let net = hydra_network(16, 1);
-    let bench = microbench_point(
+    let fig6 = microbench_point(
         &[16, 2, 2, 8],
         "3-1-0-2",
         64,
         Collective::Allreduce(AllreduceAlg::Auto),
     );
-    c.bench_function("fig6/allreduce_hydra_64pc_4MB", |b| {
-        b.iter(|| bench.run(black_box(&net)).unwrap())
+    b.bench("fig6/allreduce_hydra_64pc_4MB", || {
+        fig6.run(black_box(&hydra)).unwrap()
     });
-}
-
-fn fig7(c: &mut Criterion) {
-    let net = lumi_network(16);
-    let bench = microbench_point(
+    let fig7 = microbench_point(
         &[16, 2, 4, 2, 8],
         "4-3-2-1-0",
         256,
         Collective::Allgather(AllgatherAlg::Auto),
     );
-    c.bench_function("fig7/allgather_lumi_256pc_4MB", |b| {
-        b.iter(|| bench.run(black_box(&net)).unwrap())
+    b.bench("fig7/allgather_lumi_256pc_4MB", || {
+        fig7.run(black_box(&lumi)).unwrap()
     });
-}
 
-fn fig8(c: &mut Criterion) {
-    let cfg = SplattConfig { iterations: 1, ..SplattConfig::nell1_like() };
+    let cfg = SplattConfig {
+        iterations: 1,
+        ..SplattConfig::nell1_like()
+    };
     let machine = Hierarchy::new(vec![32, 2, 2, 8]).unwrap();
-    let net = hydra_network(32, 1);
+    let net32 = hydra_network(32, 1);
     let sigma = Permutation::parse("0-3-1-2").unwrap();
-    let mut group = c.benchmark_group("fig8");
-    group.sample_size(10);
-    group.bench_function("splatt_cpd_one_order", |b| {
-        b.iter(|| estimate_cpd_time(&cfg, &machine, black_box(&sigma), &net, 15.0e9).unwrap())
+    b.bench("fig8/splatt_cpd_one_order", || {
+        estimate_cpd_time(&cfg, &machine, black_box(&sigma), &net32, 15.0e9).unwrap()
     });
-    group.finish();
-}
 
-fn fig9(c: &mut Criterion) {
     let node = Hierarchy::new(vec![2, 4, 2, 8]).unwrap();
-    let net = lumi_node_network();
+    let node_net = lumi_node_network();
     let mem = lumi_node_memory();
     let cores = map_cpu_list(&node, &Permutation::parse("1-2-0-3").unwrap(), 8).unwrap();
-    c.bench_function("fig9/cg_estimate_8procs", |b| {
-        b.iter(|| estimate_time(&CgClass::C, black_box(&cores), &net, &mem).unwrap())
+    b.bench("fig9/cg_estimate_8procs", || {
+        estimate_time(&CgClass::C, black_box(&cores), &node_net, &mem).unwrap()
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9
+    b.finish();
 }
-criterion_main!(benches);

@@ -1,85 +1,78 @@
 //! Micro-benchmarks of the simulation substrate: the max-min fair
-//! contention solver, single contended rounds at cluster scale, and
-//! functional collectives on the thread runtime.
+//! contention solver (incremental vs reference), single contended rounds
+//! at cluster scale, and functional collectives on the thread runtime.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mre_bench::tinybench::{black_box, Bench};
 use mre_mpi::schedules;
 use mre_mpi::{run, AllreduceAlg, Comm};
 use mre_simnet::presets::{hydra_network, lumi_network};
-use mre_simnet::{max_min_rates, Message};
+use mre_simnet::{max_min_rates, max_min_rates_reference, Message};
 
-fn bench_contention_solver(c: &mut Criterion) {
-    let mut group = c.benchmark_group("contention/max_min_rates");
+fn bench_contention_solver(b: &mut Bench) {
     for &nf in &[64usize, 512, 2048] {
         // Flows over a two-tier link structure (per-core + shared).
         let nl = nf + nf / 16;
         let caps: Vec<f64> = (0..nl).map(|i| if i < nf { 10.0 } else { 100.0 }).collect();
         let flows: Vec<Vec<usize>> = (0..nf).map(|f| vec![f, nf + f / 16]).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(nf), &flows, |b, flows| {
-            b.iter(|| max_min_rates(black_box(flows), black_box(&caps)))
+        b.bench(&format!("contention/max_min_rates/{nf}"), || {
+            max_min_rates(black_box(&flows), black_box(&caps))
+        });
+        b.bench(&format!("contention/max_min_rates_reference/{nf}"), || {
+            max_min_rates_reference(black_box(&flows), black_box(&caps))
         });
     }
-    group.finish();
 }
 
-fn bench_round_time(c: &mut Criterion) {
-    let mut group = c.benchmark_group("network/round_time");
+fn bench_round_time(b: &mut Bench) {
     // A full pairwise round on 512 Hydra ranks and 2048 LUMI ranks.
     let hydra = hydra_network(16, 1);
     let round_hydra: Vec<Message> = (0..512)
         .map(|i| Message::new(i, (i + 37) % 512, 65536))
         .collect();
-    group.bench_function("hydra_512", |b| {
-        b.iter(|| hydra.round_time(black_box(&round_hydra)))
+    b.bench("network/round_time/hydra_512", || {
+        hydra.round_time(black_box(&round_hydra))
     });
     let lumi = lumi_network(16);
     let round_lumi: Vec<Message> = (0..2048)
         .map(|i| Message::new(i, (i + 129) % 2048, 65536))
         .collect();
-    group.bench_function("lumi_2048", |b| {
-        b.iter(|| lumi.round_time(black_box(&round_lumi)))
+    b.bench("network/round_time/lumi_2048", || {
+        lumi.round_time(black_box(&round_lumi))
     });
-    group.finish();
 }
 
-fn bench_schedule_generation(c: &mut Criterion) {
+fn bench_schedule_generation(b: &mut Bench) {
     let members: Vec<usize> = (0..512).collect();
-    c.bench_function("schedules/alltoall_pairwise_512", |b| {
-        b.iter(|| schedules::alltoall_pairwise(black_box(&members), 4096))
+    b.bench("schedules/alltoall_pairwise_512", || {
+        schedules::alltoall_pairwise(black_box(&members), 4096)
     });
-    c.bench_function("schedules/allreduce_ring_512", |b| {
-        b.iter(|| schedules::allreduce_ring(black_box(&members), 1 << 20))
+    b.bench("schedules/allreduce_ring_512", || {
+        schedules::allreduce_ring(black_box(&members), 1 << 20)
     });
 }
 
-fn bench_functional_collectives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("runtime");
-    group.sample_size(10);
-    group.bench_function("allreduce_16ranks_4kB", |b| {
-        b.iter(|| {
-            run(16, |p| {
-                let world = Comm::world(p);
-                let data = vec![p.world_rank() as u64; 512];
-                world.allreduce(data, |a, b| a + b, AllreduceAlg::Ring)
-            })
+fn bench_functional_collectives(b: &mut Bench) {
+    b.bench("runtime/allreduce_16ranks_4kB", || {
+        run(16, |p| {
+            let world = Comm::world(p);
+            let data = vec![p.world_rank() as u64; 512];
+            world.allreduce(data, |a, b| a + b, AllreduceAlg::Ring)
         })
     });
-    group.bench_function("split_and_barrier_16ranks", |b| {
-        b.iter(|| {
-            run(16, |p| {
-                let world = Comm::world(p);
-                let sub = world.split((p.world_rank() % 4) as i64, 0).unwrap();
-                sub.barrier();
-            })
+    b.bench("runtime/split_and_barrier_16ranks", || {
+        run(16, |p| {
+            let world = Comm::world(p);
+            let sub = world.split((p.world_rank() % 4) as i64, 0).unwrap();
+            sub.barrier();
         })
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_contention_solver, bench_round_time, bench_schedule_generation,
-              bench_functional_collectives
+fn main() {
+    let mut b = Bench::from_env();
+    bench_contention_solver(&mut b);
+    bench_round_time(&mut b);
+    bench_schedule_generation(&mut b);
+    bench_functional_collectives(&mut b);
+    b.finish();
 }
-criterion_main!(benches);

@@ -56,10 +56,19 @@ fn main() {
     println!("\n# Ablation 2: collective algorithm choice (order [3-1-0-2], 4 MB, alone)");
     let cases: [(&str, Collective); 5] = [
         ("allgather ring", Collective::Allgather(AllgatherAlg::Ring)),
-        ("allgather bruck", Collective::Allgather(AllgatherAlg::Bruck)),
-        ("allgather rec-dbl", Collective::Allgather(AllgatherAlg::RecursiveDoubling)),
+        (
+            "allgather bruck",
+            Collective::Allgather(AllgatherAlg::Bruck),
+        ),
+        (
+            "allgather rec-dbl",
+            Collective::Allgather(AllgatherAlg::RecursiveDoubling),
+        ),
         ("allreduce ring", Collective::Allreduce(AllreduceAlg::Ring)),
-        ("allreduce rec-dbl", Collective::Allreduce(AllreduceAlg::RecursiveDoubling)),
+        (
+            "allreduce rec-dbl",
+            Collective::Allreduce(AllreduceAlg::RecursiveDoubling),
+        ),
     ];
     for (name, collective) in cases {
         let scattered = bench("1-3-0-2", collective, size).run(&net).unwrap();
@@ -104,17 +113,21 @@ fn main() {
         .unwrap()
         .simultaneous_duration
     };
-    let (best3, order3) = Permutation::all(3)
+    let sigmas3 = Permutation::all(3);
+    let embedded: Vec<Permutation> = sigmas3.iter().map(embed).collect();
+    let (best3, order3) = sigmas3
         .iter()
-        .map(|s3| {
-            let s4 = embed(s3);
-            (alltoall_contended(&s4), s3.to_string())
-        })
+        .zip(mre_core::par::map(&embedded, |_, s4| {
+            alltoall_contended(s4)
+        }))
+        .map(|(s3, t)| (t, s3.to_string()))
         .min_by(|a, b| a.0.total_cmp(&b.0))
         .unwrap();
-    let (best4, order4) = Permutation::all(4)
+    let sigmas4 = Permutation::all(4);
+    let (best4, order4) = sigmas4
         .iter()
-        .map(|s4| (alltoall_contended(s4), s4.to_string()))
+        .zip(mre_core::par::map(&sigmas4, |_, s4| alltoall_contended(s4)))
+        .map(|(s4, t)| (t, s4.to_string()))
         .min_by(|a, b| a.0.total_cmp(&b.0))
         .unwrap();
     println!(
@@ -163,12 +176,9 @@ fn main() {
         use mre_mpi::schedules::alltoall_pairwise;
         use mre_simnet::fluid_time;
         let sizes: Vec<usize> = vec![16, 16, 480];
-        let ragged = subcommunicators_ragged(
-            &hydra16(),
-            &Permutation::parse("0-1-2-3").unwrap(),
-            &sizes,
-        )
-        .unwrap();
+        let ragged =
+            subcommunicators_ragged(&hydra16(), &Permutation::parse("0-1-2-3").unwrap(), &sizes)
+                .unwrap();
         // Two bulk communicators (1 MB/pair) race one wide communicator of
         // small messages (16 KB/pair) over the same NICs.
         let schedules = vec![

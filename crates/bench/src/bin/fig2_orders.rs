@@ -25,8 +25,8 @@ fn main() {
                 println!("  node {node} socket {socket}:  {}", ranks.join(" "));
             }
         }
-        let layout = subcommunicators(&h, &sigma, 4, ColorScheme::Quotient)
-            .expect("16 divides by 4");
+        let layout =
+            subcommunicators(&h, &sigma, 4, ColorScheme::Quotient).expect("16 divides by 4");
         let comms: Vec<String> = (0..layout.count())
             .map(|c| format!("comm {c} = cores {:?}", layout.members(c)))
             .collect();

@@ -29,9 +29,11 @@ fn main() {
         let mut best: Option<(Permutation, f64)> = None;
         let mut worst: Option<(Permutation, f64)> = None;
         let mut default_time = 0.0;
-        for sigma in Permutation::all(4) {
-            let c = estimate_cpd_time(&cfg, &machine, &sigma, &net, flop_rate)
-                .expect("valid configuration");
+        let sigmas = Permutation::all(4);
+        let breakdowns = mre_core::par::map(&sigmas, |_, sigma| {
+            estimate_cpd_time(&cfg, &machine, sigma, &net, flop_rate).expect("valid configuration")
+        });
+        for (sigma, c) in sigmas.into_iter().zip(breakdowns) {
             let marker = if sigma == slurm_default { "*" } else { " " };
             println!(
                 "{marker}{:<9} {:>10.2} {:>14.2} {:>14.2} {:>12.4} {:>10.2}",

@@ -47,14 +47,23 @@ fn main() {
         let nproc = 1usize << log_p;
         println!("\n## {nproc} processes");
         let groups = distinct_core_sets(&node, nproc).expect("valid counts");
+        let flat: Vec<&Permutation> = groups.iter().flat_map(|(_, orders)| orders).collect();
+        let times = mre_core::par::map(&flat, |_, sigma| {
+            let cores = map_cpu_list(&node, sigma, nproc).expect("valid order");
+            estimate_time(&class, &cores, &net, &mem).expect("pow2 count")
+        });
         let mut best_time = f64::INFINITY;
+        let mut next = times.into_iter();
         for (set, group_orders) in &groups {
             println!("  cores {}:", format_core_set(set));
             for sigma in group_orders {
-                let cores = map_cpu_list(&node, sigma, nproc).expect("valid order");
-                let t = estimate_time(&class, &cores, &net, &mem).expect("pow2 count");
+                let t = next.next().expect("one time per order");
                 best_time = best_time.min(t);
-                let marker = if *sigma == slurm_default { "  (Slurm default)" } else { "" };
+                let marker = if *sigma == slurm_default {
+                    "  (Slurm default)"
+                } else {
+                    ""
+                };
                 println!("    {:<10} {t:>8.2} s{marker}", sigma.to_string());
             }
         }

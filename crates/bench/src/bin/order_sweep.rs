@@ -13,7 +13,7 @@
 //! `nodes,2,2,8` or a LUMI-shaped `nodes,2,4,2,8`); `COLLECTIVE` is
 //! `alltoall`, `allreduce` or `allgather`.
 
-use mre_core::order_search::{rank_orders_by, spreadness};
+use mre_core::order_search::{rank_orders_by_par, spreadness};
 use mre_core::Hierarchy;
 use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
 use mre_simnet::presets::{hydra_network, lumi_network};
@@ -59,7 +59,10 @@ fn main() {
         }
     };
     if machine.size() % subcomm != 0 {
-        eprintln!("subcommunicator size {subcomm} must divide {}", machine.size());
+        eprintln!(
+            "subcommunicator size {subcomm} must divide {}",
+            machine.size()
+        );
         std::process::exit(1);
     }
 
@@ -70,7 +73,7 @@ fn main() {
         size
     );
     println!("(one representative per mapping-equivalence class, ranked by contended duration)\n");
-    let ranked = rank_orders_by(&machine, subcomm, |sigma| {
+    let ranked = rank_orders_by_par(&machine, subcomm, |sigma| {
         Microbench {
             machine: machine.clone(),
             order: sigma.clone(),

@@ -14,8 +14,7 @@ fn main() {
         "Order", "Permuted coordinates", "Permuted hierarchy", "New rank"
     );
     for sigma in Permutation::all(h.depth()) {
-        let permuted_coords: Vec<usize> =
-            sigma.as_slice().iter().map(|&i| c[i]).collect();
+        let permuted_coords: Vec<usize> = sigma.as_slice().iter().map(|&i| c[i]).collect();
         let permuted_h = h.permuted(&sigma).expect("matching depth");
         let new_rank = reorder_rank(&h, rank, &sigma).expect("valid rank");
         println!(

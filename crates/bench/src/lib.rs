@@ -1,8 +1,14 @@
 //! # mre-bench — the reproduction harness
 //!
 //! One binary per table/figure of the paper (see `src/bin/`), built on the
-//! shared sweep-and-format utilities in this library, plus Criterion
-//! micro-benchmarks (see `benches/`).
+//! shared sweep-and-format utilities in this library, plus dependency-free
+//! micro-benchmarks (see `benches/`, built on [`tinybench`]).
+//!
+//! Figure sweeps fan out across orders on the [`mre_core::par`] worker
+//! pool (set `MRE_PAR_THREADS=1` to force serial execution) and reuse one
+//! [`mre_simnet::CostCache`] per order across the message-size sweep, so
+//! each round's contention is solved once per communication pattern
+//! instead of once per size.
 //!
 //! | binary                    | reproduces |
 //! |---------------------------|------------|
@@ -19,9 +25,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod tinybench;
+
 use mre_core::metrics::characterize_order;
 use mre_core::{Hierarchy, Permutation};
-use mre_simnet::NetworkModel;
+use mre_simnet::{CostCache, NetworkModel};
 use mre_workloads::microbench::{Collective, Microbench};
 
 /// One point of a collective-figure sweep.
@@ -59,31 +67,39 @@ pub struct CollectiveFigure {
 }
 
 impl CollectiveFigure {
-    /// Runs the full sweep.
+    /// Runs the full sweep: orders in parallel on the [`mre_core::par`]
+    /// pool, each with one [`CostCache`] shared across its size sweep.
+    /// Rows come back in the same (order-major, then size) sequence as the
+    /// serial loop did.
     pub fn run(&self, net: &NetworkModel) -> Vec<FigureRow> {
-        let mut rows = Vec::new();
-        for order in &self.orders {
+        let per_order: Vec<Vec<FigureRow>> = mre_core::par::map(&self.orders, |_, order| {
             let c = characterize_order(&self.machine, order, self.subcomm_size)
                 .expect("figure orders are valid for the machine");
-            for &size in &self.sizes {
-                let bench = Microbench {
-                    machine: self.machine.clone(),
-                    order: order.clone(),
-                    subcomm_size: self.subcomm_size,
-                    collective: self.collective,
-                    total_bytes: size,
-                };
-                let r = bench.run(net).expect("sweep configuration is valid");
-                rows.push(FigureRow {
-                    order: order.clone(),
-                    legend: c.legend(),
-                    size,
-                    single_bw: r.single_bandwidth(size),
-                    simultaneous_bw: r.simultaneous_bandwidth(size),
-                });
-            }
-        }
-        rows
+            let mut cache = CostCache::new();
+            self.sizes
+                .iter()
+                .map(|&size| {
+                    let bench = Microbench {
+                        machine: self.machine.clone(),
+                        order: order.clone(),
+                        subcomm_size: self.subcomm_size,
+                        collective: self.collective,
+                        total_bytes: size,
+                    };
+                    let r = bench
+                        .run_cached(net, &mut cache)
+                        .expect("sweep configuration is valid");
+                    FigureRow {
+                        order: order.clone(),
+                        legend: c.legend(),
+                        size,
+                        single_bw: r.single_bandwidth(size),
+                        simultaneous_bw: r.simultaneous_bandwidth(size),
+                    }
+                })
+                .collect()
+        });
+        per_order.into_iter().flatten().collect()
     }
 
     /// Prints the sweep as two aligned tables (single / simultaneous),
@@ -117,14 +133,22 @@ impl CollectiveFigure {
                     .expect("row exists")
                     .legend
                     .clone();
-                let marker = if self.slurm_default.as_ref() == Some(order) { "*" } else { " " };
+                let marker = if self.slurm_default.as_ref() == Some(order) {
+                    "*"
+                } else {
+                    " "
+                };
                 write!(out, "{marker}{legend:<41}")?;
                 for &s in &self.sizes {
                     let row = rows
                         .iter()
                         .find(|r| &r.order == order && r.size == s)
                         .expect("row exists");
-                    let bw = if pick == 0 { row.single_bw } else { row.simultaneous_bw };
+                    let bw = if pick == 0 {
+                        row.single_bw
+                    } else {
+                        row.simultaneous_bw
+                    };
                     write!(out, " {:>9.1}", bw / 1e6)?;
                 }
                 writeln!(out)?;

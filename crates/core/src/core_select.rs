@@ -48,7 +48,10 @@ pub fn map_cpu_list(
 ) -> Result<Vec<usize>, Error> {
     let total = node_h.size();
     if n == 0 || n > total {
-        return Err(Error::TooManyCores { requested: n, available: total });
+        return Err(Error::TooManyCores {
+            requested: n,
+            available: total,
+        });
     }
     if sigma.len() != node_h.depth() {
         return Err(Error::PermutationDepthMismatch {
@@ -105,7 +108,10 @@ pub fn selected_hierarchy(
 ) -> Result<Hierarchy, Error> {
     let total = node_h.size();
     if n == 0 || n > total {
-        return Err(Error::TooManyCores { requested: n, available: total });
+        return Err(Error::TooManyCores {
+            requested: n,
+            available: total,
+        });
     }
     if sigma.len() != node_h.depth() {
         return Err(Error::PermutationDepthMismatch {
@@ -139,7 +145,10 @@ pub fn selected_hierarchy(
         }
     }
     if remaining != 1 {
-        return Err(Error::TooManyCores { requested: n, available: total });
+        return Err(Error::TooManyCores {
+            requested: n,
+            available: total,
+        });
     }
     let mut levels = Vec::new();
     let mut names = Vec::new();
@@ -164,10 +173,7 @@ pub fn selected_hierarchy(
 ///
 /// Returns the groups keyed by the sorted selected core list, each group
 /// listing its orders in lexicographic order.
-pub fn distinct_core_sets(
-    node_h: &Hierarchy,
-    n: usize,
-) -> Result<Vec<CoreSetGroup>, Error> {
+pub fn distinct_core_sets(node_h: &Hierarchy, n: usize) -> Result<Vec<CoreSetGroup>, Error> {
     let mut groups: BTreeMap<Vec<usize>, Vec<Permutation>> = BTreeMap::new();
     for sigma in Permutation::all(node_h.depth()) {
         let mut set = map_cpu_list(node_h, &sigma, n)?;
@@ -198,9 +204,15 @@ mod tests {
     fn algorithm3_partial_selection() {
         let node = Hierarchy::new(vec![2, 4]).unwrap();
         // Fill socket 0 first.
-        assert_eq!(map_cpu_list(&node, &sig(&[1, 0]), 4).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            map_cpu_list(&node, &sig(&[1, 0]), 4).unwrap(),
+            vec![0, 1, 2, 3]
+        );
         // Alternate sockets.
-        assert_eq!(map_cpu_list(&node, &sig(&[0, 1]), 4).unwrap(), vec![0, 4, 1, 5]);
+        assert_eq!(
+            map_cpu_list(&node, &sig(&[0, 1]), 4).unwrap(),
+            vec![0, 4, 1, 5]
+        );
         // Two processes.
         assert_eq!(map_cpu_list(&node, &sig(&[0, 1]), 2).unwrap(), vec![0, 4]);
         assert_eq!(map_cpu_list(&node, &sig(&[1, 0]), 2).unwrap(), vec![0, 1]);
@@ -214,10 +226,22 @@ mod tests {
         // each NUMA... of the first two NUMA domains); [2,0,1,3] → 0,8;
         // [3,0,1,2] → 0,1.
         let node = Hierarchy::new(vec![2, 4, 2, 8]).unwrap();
-        assert_eq!(map_cpu_list(&node, &sig(&[0, 1, 2, 3]), 2).unwrap(), vec![0, 64]);
-        assert_eq!(map_cpu_list(&node, &sig(&[1, 0, 2, 3]), 2).unwrap(), vec![0, 16]);
-        assert_eq!(map_cpu_list(&node, &sig(&[2, 0, 1, 3]), 2).unwrap(), vec![0, 8]);
-        assert_eq!(map_cpu_list(&node, &sig(&[3, 0, 1, 2]), 2).unwrap(), vec![0, 1]);
+        assert_eq!(
+            map_cpu_list(&node, &sig(&[0, 1, 2, 3]), 2).unwrap(),
+            vec![0, 64]
+        );
+        assert_eq!(
+            map_cpu_list(&node, &sig(&[1, 0, 2, 3]), 2).unwrap(),
+            vec![0, 16]
+        );
+        assert_eq!(
+            map_cpu_list(&node, &sig(&[2, 0, 1, 3]), 2).unwrap(),
+            vec![0, 8]
+        );
+        assert_eq!(
+            map_cpu_list(&node, &sig(&[3, 0, 1, 2]), 2).unwrap(),
+            vec![0, 1]
+        );
     }
 
     #[test]
@@ -234,7 +258,10 @@ mod tests {
         set.sort_unstable();
         assert_eq!(set, vec![0, 8, 16, 24]);
         // [3,0,1,2] packs: cores 0-3.
-        assert_eq!(map_cpu_list(&node, &sig(&[3, 0, 1, 2]), 4).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            map_cpu_list(&node, &sig(&[3, 0, 1, 2]), 4).unwrap(),
+            vec![0, 1, 2, 3]
+        );
     }
 
     #[test]
@@ -255,8 +282,18 @@ mod tests {
         // first socket ⇒ per-node hierarchy ⟦4⟧; two cores per socket ⇒
         // ⟦2,2⟧.
         let node = Hierarchy::new(vec![2, 4]).unwrap();
-        assert_eq!(selected_hierarchy(&node, &sig(&[1, 0]), 4).unwrap().levels(), &[4]);
-        assert_eq!(selected_hierarchy(&node, &sig(&[0, 1]), 4).unwrap().levels(), &[2, 2]);
+        assert_eq!(
+            selected_hierarchy(&node, &sig(&[1, 0]), 4)
+                .unwrap()
+                .levels(),
+            &[4]
+        );
+        assert_eq!(
+            selected_hierarchy(&node, &sig(&[0, 1]), 4)
+                .unwrap()
+                .levels(),
+            &[2, 2]
+        );
     }
 
     #[test]
@@ -269,13 +306,21 @@ mod tests {
         let h = selected_hierarchy(&node, &sig(&[2, 1, 0, 3]), 16).unwrap();
         // 16 = 2 (l3) × 4 (numa) × 2 (socket): one core per L3 everywhere.
         assert_eq!(h.levels(), &[2, 4, 2]);
-        assert_eq!(h.names(), &["socket".to_string(), "numa".into(), "l3".into()]);
+        assert_eq!(
+            h.names(),
+            &["socket".to_string(), "numa".into(), "l3".into()]
+        );
     }
 
     #[test]
     fn selected_hierarchy_single_core() {
         let node = Hierarchy::new(vec![2, 4]).unwrap();
-        assert_eq!(selected_hierarchy(&node, &sig(&[0, 1]), 1).unwrap().levels(), &[1]);
+        assert_eq!(
+            selected_hierarchy(&node, &sig(&[0, 1]), 1)
+                .unwrap()
+                .levels(),
+            &[1]
+        );
     }
 
     #[test]
@@ -285,7 +330,12 @@ mod tests {
         let node = Hierarchy::new(vec![2, 4]).unwrap();
         assert!(selected_hierarchy(&node, &sig(&[0, 1]), 3).is_err());
         // But 3 cores filling sequentially is a partial innermost level: ⟦3⟧.
-        assert_eq!(selected_hierarchy(&node, &sig(&[1, 0]), 3).unwrap().levels(), &[3]);
+        assert_eq!(
+            selected_hierarchy(&node, &sig(&[1, 0]), 3)
+                .unwrap()
+                .levels(),
+            &[3]
+        );
     }
 
     #[test]

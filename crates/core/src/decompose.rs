@@ -30,7 +30,10 @@ use crate::permutation::Permutation;
 /// ```
 pub fn coordinates(h: &Hierarchy, rank: usize) -> Result<Vec<usize>, Error> {
     if rank >= h.size() {
-        return Err(Error::RankOutOfRange { rank, size: h.size() });
+        return Err(Error::RankOutOfRange {
+            rank,
+            size: h.size(),
+        });
     }
     let k = h.depth();
     let mut c = vec![0usize; k];
@@ -98,7 +101,11 @@ fn validate_coordinates(h: &Hierarchy, c: &[usize]) -> Result<(), Error> {
     }
     for (level, (&coordinate, &radix)) in c.iter().zip(h.levels()).enumerate() {
         if coordinate >= radix {
-            return Err(Error::CoordinateOutOfRange { level, coordinate, radix });
+            return Err(Error::CoordinateOutOfRange {
+                level,
+                coordinate,
+                radix,
+            });
         }
     }
     Ok(())

@@ -94,7 +94,10 @@ impl fmt::Display for Error {
         match self {
             Error::EmptyHierarchy => write!(f, "hierarchy must have at least one level"),
             Error::ZeroLevel { level } => {
-                write!(f, "hierarchy level {level} has size 0 (radixes must be >= 1)")
+                write!(
+                    f,
+                    "hierarchy level {level} has size 0 (radixes must be >= 1)"
+                )
             }
             Error::HierarchyOverflow => {
                 write!(f, "product of hierarchy levels overflows usize")
@@ -106,18 +109,29 @@ impl fmt::Display for Error {
                 f,
                 "coordinate vector has {got} entries but hierarchy depth is {expected}"
             ),
-            Error::CoordinateOutOfRange { level, coordinate, radix } => write!(
+            Error::CoordinateOutOfRange {
+                level,
+                coordinate,
+                radix,
+            } => write!(
                 f,
                 "coordinate {coordinate} at level {level} exceeds radix {radix}"
             ),
             Error::InvalidPermutation { reason } => {
                 write!(f, "invalid permutation: {reason}")
             }
-            Error::PermutationDepthMismatch { hierarchy, permutation } => write!(
+            Error::PermutationDepthMismatch {
+                hierarchy,
+                permutation,
+            } => write!(
                 f,
                 "permutation of length {permutation} does not match hierarchy depth {hierarchy}"
             ),
-            Error::IndivisibleLevel { level, size, factor } => write!(
+            Error::IndivisibleLevel {
+                level,
+                size,
+                factor,
+            } => write!(
                 f,
                 "cannot split level {level} of size {size} by factor {factor}"
             ),
@@ -128,7 +142,10 @@ impl fmt::Display for Error {
                 f,
                 "subcommunicator size {subcomm} does not divide world size {world}"
             ),
-            Error::TooManyCores { requested, available } => write!(
+            Error::TooManyCores {
+                requested,
+                available,
+            } => write!(
                 f,
                 "requested {requested} cores but the hierarchy only provides {available}"
             ),
@@ -149,7 +166,11 @@ mod tests {
         assert!(e.to_string().contains("20"));
         assert!(e.to_string().contains("16"));
 
-        let e = Error::IndivisibleLevel { level: 2, size: 16, factor: 3 };
+        let e = Error::IndivisibleLevel {
+            level: 2,
+            size: 16,
+            factor: 3,
+        };
         assert!(e.to_string().contains("level 2"));
     }
 

@@ -57,11 +57,7 @@ impl Hierarchy {
         }
         if names.len() != levels.len() {
             return Err(Error::Parse {
-                message: format!(
-                    "{} names provided for {} levels",
-                    names.len(),
-                    levels.len()
-                ),
+                message: format!("{} names provided for {} levels", names.len(), levels.len()),
             });
         }
         Ok(Self { levels, names })
@@ -148,11 +144,18 @@ impl Hierarchy {
     /// ```
     pub fn split_level(&self, i: usize, factor: usize) -> Result<Self, Error> {
         if i >= self.depth() {
-            return Err(Error::LevelOutOfRange { level: i, depth: self.depth() });
+            return Err(Error::LevelOutOfRange {
+                level: i,
+                depth: self.depth(),
+            });
         }
         let size = self.levels[i];
         if factor == 0 || !size.is_multiple_of(factor) {
-            return Err(Error::IndivisibleLevel { level: i, size, factor });
+            return Err(Error::IndivisibleLevel {
+                level: i,
+                size,
+                factor,
+            });
         }
         let mut levels = self.levels.clone();
         let mut names = self.names.clone();
@@ -167,7 +170,10 @@ impl Hierarchy {
     /// size (inverse of [`split_level`](Self::split_level)).
     pub fn merge_levels(&self, i: usize) -> Result<Self, Error> {
         if i + 1 >= self.depth() {
-            return Err(Error::LevelOutOfRange { level: i + 1, depth: self.depth() });
+            return Err(Error::LevelOutOfRange {
+                level: i + 1,
+                depth: self.depth(),
+            });
         }
         let mut levels = self.levels.clone();
         let mut names = self.names.clone();
@@ -217,7 +223,6 @@ impl Hierarchy {
             .collect();
         Self::with_names(levels, names)
     }
-
 }
 
 impl fmt::Display for Hierarchy {
@@ -315,7 +320,11 @@ mod tests {
         let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
         assert_eq!(
             h.split_level(2, 3),
-            Err(Error::IndivisibleLevel { level: 2, size: 4, factor: 3 })
+            Err(Error::IndivisibleLevel {
+                level: 2,
+                size: 4,
+                factor: 3
+            })
         );
         assert!(h.split_level(5, 2).is_err());
     }

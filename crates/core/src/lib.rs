@@ -51,6 +51,7 @@ pub mod error;
 pub mod hierarchy;
 pub mod metrics;
 pub mod order_search;
+pub mod par;
 pub mod permutation;
 pub mod rankfile;
 pub mod subcomm;

@@ -69,7 +69,53 @@ pub fn ring_cost(h: &Hierarchy, members: &[usize]) -> usize {
 /// Raw pair counts per level: entry `d` counts pairs at distance `d+1`
 /// (entry 0 = inside the lowest level, entry `k−1` = crossing the
 /// outermost level). The sum of all entries is `C(m,2)`.
+///
+/// Runs in `O(m·k + m log m)` by prefix-group counting instead of the
+/// `O(m²·k)` pairwise scan: two members are within level `j` exactly when
+/// their core ids agree after division by `strides[j]`, so after sorting
+/// once, the pairs agreeing on a level prefix are runs of equal quotients,
+/// and the pairs *first* differing at level `j` are the difference between
+/// adjacent prefix counts. The original pairwise scan is kept as
+/// [`pair_counts_per_level_naive`] and the two are cross-checked by
+/// property tests.
 pub fn pair_counts_per_level(h: &Hierarchy, members: &[usize]) -> Vec<usize> {
+    let k = h.depth();
+    let mut counts = vec![0usize; k];
+    let m = members.len();
+    if m < 2 {
+        return counts;
+    }
+    let mut sorted = members.to_vec();
+    sorted.sort_unstable();
+    // `prev` = pairs agreeing on the level prefix 0..j (all C(m,2) pairs
+    // for the empty prefix). Division by a stride is monotone, so equal
+    // quotients form contiguous runs of the sorted list.
+    let mut prev = m * (m - 1) / 2;
+    for (j, &stride) in h.strides().iter().enumerate() {
+        let mut same = 0usize;
+        let mut run = 1usize;
+        for pair in sorted.windows(2) {
+            if pair[0] / stride == pair[1] / stride {
+                run += 1;
+            } else {
+                same += run * (run - 1) / 2;
+                run = 1;
+            }
+        }
+        same += run * (run - 1) / 2;
+        // Pairs first differing at level j sit at distance k − j.
+        counts[k - 1 - j] = prev - same;
+        prev = same;
+    }
+    // The innermost stride is 1: only duplicate members can still agree.
+    debug_assert_eq!(prev, 0, "communicator members must be distinct");
+    counts
+}
+
+/// The original `O(m²·k)` pairwise implementation of
+/// [`pair_counts_per_level`], kept as a correctness oracle for property
+/// tests and as the baseline in the `order_search` benchmark.
+pub fn pair_counts_per_level_naive(h: &Hierarchy, members: &[usize]) -> Vec<usize> {
     let k = h.depth();
     let mut counts = vec![0usize; k];
     for (i, &a) in members.iter().enumerate() {
@@ -130,12 +176,23 @@ pub fn characterize_order(
     subcomm_size: usize,
 ) -> Result<OrderCharacterization, Error> {
     let layout = subcommunicators(h, sigma, subcomm_size, ColorScheme::Quotient)?;
+    Ok(characterize_layout(h, sigma, &layout))
+}
+
+/// Characterization of communicator 0 of an already-built layout — lets
+/// callers that also need the layout (or its [`mapping_signature`])
+/// construct it once instead of once per metric.
+pub fn characterize_layout(
+    h: &Hierarchy,
+    sigma: &Permutation,
+    layout: &SubcommLayout,
+) -> OrderCharacterization {
     let members = layout.members(0);
-    Ok(OrderCharacterization {
+    OrderCharacterization {
         order: sigma.clone(),
         ring_cost: ring_cost(h, members),
         percentages: pairs_per_level(h, members),
-    })
+    }
 }
 
 /// A canonical signature of the *resource mapping* of a layout: for every
@@ -163,14 +220,47 @@ pub fn mapping_signature(layout: &SubcommLayout) -> Vec<Vec<usize>> {
 /// Groups all `k!` orders into equivalence classes of identical
 /// [`mapping_signature`]s. Evaluating one representative per class avoids
 /// redundant measurements (§3.3).
+///
+/// Layouts of the `k!` orders are built on the [`crate::par`] worker pool;
+/// the grouping itself is deterministic (orders are generated and grouped
+/// in lexicographic order regardless of thread count).
 pub fn equivalence_classes(
     h: &Hierarchy,
     subcomm_size: usize,
 ) -> Result<Vec<Vec<Permutation>>, Error> {
+    let orders = Permutation::all(h.depth());
+    let signatures = crate::par::map(&orders, |_, sigma| {
+        subcommunicators(h, sigma, subcomm_size, ColorScheme::Quotient)
+            .map(|layout| mapping_signature(&layout))
+    });
     let mut classes: BTreeMap<Vec<Vec<usize>>, Vec<Permutation>> = BTreeMap::new();
-    for sigma in Permutation::all(h.depth()) {
-        let layout = subcommunicators(h, &sigma, subcomm_size, ColorScheme::Quotient)?;
-        classes.entry(mapping_signature(&layout)).or_default().push(sigma);
+    for (sigma, signature) in orders.into_iter().zip(signatures) {
+        classes.entry(signature?).or_default().push(sigma);
+    }
+    Ok(classes.into_values().collect())
+}
+
+/// [`equivalence_classes`] with every member already characterized: each
+/// of the `k!` orders has its layout built, signature taken and
+/// communicator 0 characterized exactly once, in parallel. Classes are
+/// ordered by signature; members keep lexicographic order.
+pub fn characterized_classes(
+    h: &Hierarchy,
+    subcomm_size: usize,
+) -> Result<Vec<Vec<OrderCharacterization>>, Error> {
+    let orders = Permutation::all(h.depth());
+    let classified = crate::par::map(&orders, |_, sigma| {
+        subcommunicators(h, sigma, subcomm_size, ColorScheme::Quotient).map(|layout| {
+            (
+                mapping_signature(&layout),
+                characterize_layout(h, sigma, &layout),
+            )
+        })
+    });
+    let mut classes: BTreeMap<Vec<Vec<usize>>, Vec<OrderCharacterization>> = BTreeMap::new();
+    for result in classified {
+        let (signature, characterization) = result?;
+        classes.entry(signature).or_default().push(characterization);
     }
     Ok(classes.into_values().collect())
 }
@@ -243,11 +333,15 @@ mod tests {
         // ring cost 9 and [1,0,2] has ring cost 7.
         let h224 = h(&[2, 2, 4]);
         assert_eq!(
-            characterize_order(&h224, &sig(&[0, 1, 2]), 4).unwrap().ring_cost,
+            characterize_order(&h224, &sig(&[0, 1, 2]), 4)
+                .unwrap()
+                .ring_cost,
             9
         );
         assert_eq!(
-            characterize_order(&h224, &sig(&[1, 0, 2]), 4).unwrap().ring_cost,
+            characterize_order(&h224, &sig(&[1, 0, 2]), 4)
+                .unwrap()
+                .ring_cost,
             7
         );
     }
@@ -291,11 +385,41 @@ mod tests {
     fn figure5_legend_values() {
         // 16 LUMI nodes ⟦16,2,4,2,8⟧, 16 processes per communicator.
         let lumi = h(&[16, 2, 4, 2, 8]);
-        assert_legend(&lumi, &[0, 1, 2, 3, 4], 16, 75, &[0.0, 0.0, 0.0, 0.0, 100.0]);
-        assert_legend(&lumi, &[1, 2, 3, 0, 4], 16, 60, &[0.0, 6.7, 40.0, 53.3, 0.0]);
-        assert_legend(&lumi, &[3, 2, 1, 4, 0], 16, 38, &[0.0, 6.7, 40.0, 53.3, 0.0]);
-        assert_legend(&lumi, &[3, 4, 0, 1, 2], 16, 30, &[46.7, 53.3, 0.0, 0.0, 0.0]);
-        assert_legend(&lumi, &[4, 3, 2, 1, 0], 16, 16, &[46.7, 53.3, 0.0, 0.0, 0.0]);
+        assert_legend(
+            &lumi,
+            &[0, 1, 2, 3, 4],
+            16,
+            75,
+            &[0.0, 0.0, 0.0, 0.0, 100.0],
+        );
+        assert_legend(
+            &lumi,
+            &[1, 2, 3, 0, 4],
+            16,
+            60,
+            &[0.0, 6.7, 40.0, 53.3, 0.0],
+        );
+        assert_legend(
+            &lumi,
+            &[3, 2, 1, 4, 0],
+            16,
+            38,
+            &[0.0, 6.7, 40.0, 53.3, 0.0],
+        );
+        assert_legend(
+            &lumi,
+            &[3, 4, 0, 1, 2],
+            16,
+            30,
+            &[46.7, 53.3, 0.0, 0.0, 0.0],
+        );
+        assert_legend(
+            &lumi,
+            &[4, 3, 2, 1, 0],
+            16,
+            16,
+            &[46.7, 53.3, 0.0, 0.0, 0.0],
+        );
     }
 
     #[test]
@@ -314,11 +438,41 @@ mod tests {
     fn figure7_legend_values() {
         // LUMI, 256 processes per communicator (Allgather figure).
         let lumi = h(&[16, 2, 4, 2, 8]);
-        assert_legend(&lumi, &[0, 1, 2, 3, 4], 256, 1275, &[0.0, 0.4, 2.4, 3.1, 94.1]);
-        assert_legend(&lumi, &[1, 2, 3, 0, 4], 256, 1035, &[0.0, 0.4, 2.4, 3.1, 94.1]);
-        assert_legend(&lumi, &[3, 4, 0, 1, 2], 256, 555, &[2.7, 3.1, 0.0, 0.0, 94.1]);
-        assert_legend(&lumi, &[3, 2, 1, 4, 0], 256, 669, &[2.7, 3.1, 18.8, 25.1, 50.2]);
-        assert_legend(&lumi, &[4, 3, 2, 1, 0], 256, 305, &[2.7, 3.1, 18.8, 25.1, 50.2]);
+        assert_legend(
+            &lumi,
+            &[0, 1, 2, 3, 4],
+            256,
+            1275,
+            &[0.0, 0.4, 2.4, 3.1, 94.1],
+        );
+        assert_legend(
+            &lumi,
+            &[1, 2, 3, 0, 4],
+            256,
+            1035,
+            &[0.0, 0.4, 2.4, 3.1, 94.1],
+        );
+        assert_legend(
+            &lumi,
+            &[3, 4, 0, 1, 2],
+            256,
+            555,
+            &[2.7, 3.1, 0.0, 0.0, 94.1],
+        );
+        assert_legend(
+            &lumi,
+            &[3, 2, 1, 4, 0],
+            256,
+            669,
+            &[2.7, 3.1, 18.8, 25.1, 50.2],
+        );
+        assert_legend(
+            &lumi,
+            &[4, 3, 2, 1, 0],
+            256,
+            305,
+            &[2.7, 3.1, 18.8, 25.1, 50.2],
+        );
     }
 
     #[test]
@@ -334,13 +488,8 @@ mod tests {
     #[test]
     fn pair_counts_total_is_choose_2() {
         let hydra = h(&[16, 2, 2, 8]);
-        let layout = subcommunicators(
-            &hydra,
-            &sig(&[0, 1, 2, 3]),
-            64,
-            ColorScheme::Quotient,
-        )
-        .unwrap();
+        let layout =
+            subcommunicators(&hydra, &sig(&[0, 1, 2, 3]), 64, ColorScheme::Quotient).unwrap();
         let counts = pair_counts_per_level(&hydra, layout.members(0));
         assert_eq!(counts.iter().sum::<usize>(), 64 * 63 / 2);
     }
@@ -390,6 +539,73 @@ mod tests {
         let mut sizes: Vec<usize> = classes.iter().map(|c| c.len()).collect();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn fast_pair_counts_match_naive_oracle() {
+        // Cross-check the O(m·k) prefix-group counting against the O(m²)
+        // oracle on every figure configuration.
+        for (levels, sizes) in [
+            (vec![2usize, 2, 4], vec![2usize, 4, 8]),
+            (vec![16, 2, 2, 8], vec![16, 64, 128]),
+            (vec![16, 2, 4, 2, 8], vec![16, 256]),
+        ] {
+            let hier = h(&levels);
+            for &s in &sizes {
+                for sigma in Permutation::all(hier.depth()).into_iter().step_by(3) {
+                    let layout = subcommunicators(&hier, &sigma, s, ColorScheme::Quotient).unwrap();
+                    let members = layout.members(0);
+                    assert_eq!(
+                        pair_counts_per_level(&hier, members),
+                        pair_counts_per_level_naive(&hier, members),
+                        "levels {levels:?} subcomm {s} order {sigma}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_pair_counts_handle_unsorted_members() {
+        // Modulo coloring yields non-contiguous, unsorted member lists.
+        let hydra = h(&[16, 2, 2, 8]);
+        let layout =
+            subcommunicators(&hydra, &sig(&[1, 3, 0, 2]), 32, ColorScheme::Modulo).unwrap();
+        for c in 0..layout.count() {
+            let members = layout.members(c);
+            assert_eq!(
+                pair_counts_per_level(&hydra, members),
+                pair_counts_per_level_naive(&hydra, members)
+            );
+        }
+    }
+
+    #[test]
+    fn characterized_classes_match_equivalence_classes() {
+        let hydra = h(&[16, 2, 2, 8]);
+        for s in [16usize, 64] {
+            let plain = equivalence_classes(&hydra, s).unwrap();
+            let characterized = characterized_classes(&hydra, s).unwrap();
+            assert_eq!(plain.len(), characterized.len());
+            for (p, c) in plain.iter().zip(&characterized) {
+                let orders: Vec<&Permutation> = c.iter().map(|oc| &oc.order).collect();
+                assert_eq!(p.iter().collect::<Vec<_>>(), orders);
+                for oc in c {
+                    assert_eq!(oc, &characterize_order(&hydra, &oc.order, s).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn characterize_layout_agrees_with_characterize_order() {
+        let h224 = h(&[2, 2, 4]);
+        let sigma = sig(&[1, 0, 2]);
+        let layout = subcommunicators(&h224, &sigma, 4, ColorScheme::Quotient).unwrap();
+        assert_eq!(
+            characterize_layout(&h224, &sigma, &layout),
+            characterize_order(&h224, &sigma, 4).unwrap()
+        );
     }
 
     #[test]

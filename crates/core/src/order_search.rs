@@ -12,11 +12,16 @@
 //!   class (the cheapest rank assignment on the same resources);
 //! * [`rank_orders_by`] evaluates a caller-supplied cost (e.g. a simulated
 //!   collective duration) over the pruned space and returns the orders
-//!   sorted best-first.
+//!   sorted best-first; [`rank_orders_by_par`] fans the evaluations out on
+//!   the [`crate::par`] worker pool with byte-identical results;
+//! * [`sweep`] evaluates a whole (order × subcommunicator size × payload
+//!   size) grid in one parallel pass — the engine behind the figure
+//!   binaries' size sweeps.
 
 use crate::error::Error;
 use crate::hierarchy::Hierarchy;
-use crate::metrics::{characterize_order, equivalence_classes, OrderCharacterization};
+use crate::metrics::{characterize_order, characterized_classes, OrderCharacterization};
+use crate::par;
 use crate::permutation::Permutation;
 
 /// Spreadness score of an order for a given subcommunicator size: the
@@ -46,23 +51,24 @@ pub fn representatives(
     h: &Hierarchy,
     subcomm_size: usize,
 ) -> Result<Vec<OrderCharacterization>, Error> {
-    let classes = equivalence_classes(h, subcomm_size)?;
-    let mut reps = Vec::with_capacity(classes.len());
-    for class in classes {
-        let best = class
-            .into_iter()
-            .map(|sigma| characterize_order(h, &sigma, subcomm_size))
-            .collect::<Result<Vec<_>, _>>()?
-            .into_iter()
-            .min_by(|a, b| {
-                a.ring_cost
-                    .cmp(&b.ring_cost)
-                    .then_with(|| a.order.cmp(&b.order))
-            })
-            .expect("equivalence classes are non-empty");
-        reps.push(best);
-    }
-    Ok(reps)
+    // Every order is laid out and characterized exactly once (in parallel
+    // inside `characterized_classes`); picking the class minimum then
+    // compares the precomputed characterizations instead of re-deriving
+    // them per comparison.
+    let classes = characterized_classes(h, subcomm_size)?;
+    Ok(classes
+        .into_iter()
+        .map(|class| {
+            class
+                .into_iter()
+                .min_by(|a, b| {
+                    a.ring_cost
+                        .cmp(&b.ring_cost)
+                        .then_with(|| a.order.cmp(&b.order))
+                })
+                .expect("equivalence classes are non-empty")
+        })
+        .collect())
 }
 
 /// Evaluates `cost` on the representative orders and returns
@@ -87,6 +93,123 @@ where
         .collect();
     scored.sort_by(|a, b| a.1.total_cmp(&b.1));
     Ok(scored)
+}
+
+/// [`rank_orders_by`] with the cost evaluations fanned out on the
+/// [`crate::par`] worker pool.
+///
+/// The ranking is **byte-identical** to the serial path: representatives
+/// are enumerated in the same deterministic order, `par::map` returns
+/// costs in input order, and the final sort is stable — so equal costs tie
+/// in the same positions regardless of thread count.
+pub fn rank_orders_by_par<F>(
+    h: &Hierarchy,
+    subcomm_size: usize,
+    cost: F,
+) -> Result<Vec<(OrderCharacterization, f64)>, Error>
+where
+    F: Fn(&Permutation) -> f64 + Sync,
+{
+    let reps = representatives(h, subcomm_size)?;
+    let costs = par::map(&reps, |_, c| cost(&c.order));
+    let mut scored: Vec<(OrderCharacterization, f64)> = reps.into_iter().zip(costs).collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+    Ok(scored)
+}
+
+/// The grid a [`sweep`] evaluates: every representative order of each
+/// subcommunicator size, at every payload size.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Subcommunicator sizes (each must divide the machine size).
+    pub subcomm_sizes: Vec<usize>,
+    /// Total payload sizes in bytes (the figure sweeps' x-axis).
+    pub payload_sizes: Vec<u64>,
+}
+
+/// One (subcommunicator size, payload size) cell of a sweep: the
+/// representative orders ranked best-first by the evaluated cost.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Processes per subcommunicator for this cell.
+    pub subcomm_size: usize,
+    /// Payload size (bytes) for this cell.
+    pub payload: u64,
+    /// `(characterization, cost)` pairs, lowest cost first; ties keep the
+    /// representatives' deterministic enumeration order.
+    pub ranked: Vec<(OrderCharacterization, f64)>,
+}
+
+/// Evaluates `cost(order, subcomm_size, payload)` over the whole
+/// (order × subcommunicator size × payload size) grid on the worker pool
+/// and returns one ranked [`SweepCell`] per grid cell, in `spec` order
+/// (subcommunicator sizes outer, payloads inner).
+///
+/// Representatives are computed once per subcommunicator size; all cost
+/// evaluations across all cells form a single flat work list, so a few
+/// expensive cells (large payloads, spread orders) still load-balance
+/// across workers. Results are deterministic for the same reasons as
+/// [`rank_orders_by_par`].
+///
+/// ```
+/// use mre_core::{Hierarchy, order_search::{sweep, SweepSpec}};
+/// let h = Hierarchy::new(vec![4, 2, 8]).unwrap();
+/// let spec = SweepSpec { subcomm_sizes: vec![8, 16], payload_sizes: vec![1 << 14, 1 << 20] };
+/// // A toy cost: spread orders pay per byte, packed ones less.
+/// let cells = sweep(&h, &spec, |sigma, s, bytes| {
+///     (sigma.apply(0) as f64 + 1.0) * s as f64 * bytes as f64
+/// }).unwrap();
+/// assert_eq!(cells.len(), 4);
+/// assert!(cells.iter().all(|c| c.ranked.windows(2).all(|w| w[0].1 <= w[1].1)));
+/// ```
+pub fn sweep<F>(h: &Hierarchy, spec: &SweepSpec, cost: F) -> Result<Vec<SweepCell>, Error>
+where
+    F: Fn(&Permutation, usize, u64) -> f64 + Sync,
+{
+    // Representatives once per subcommunicator size (parallel inside).
+    let reps_per_size: Vec<Vec<OrderCharacterization>> = spec
+        .subcomm_sizes
+        .iter()
+        .map(|&s| representatives(h, s))
+        .collect::<Result<_, _>>()?;
+    // One flat work list over the full grid, as (size, rep, payload)
+    // index triples.
+    let mut work: Vec<(usize, usize, usize)> = Vec::new();
+    for (si, reps) in reps_per_size.iter().enumerate() {
+        for ri in 0..reps.len() {
+            for pi in 0..spec.payload_sizes.len() {
+                work.push((si, ri, pi));
+            }
+        }
+    }
+    let costs = par::map(&work, |_, &(si, ri, pi)| {
+        cost(
+            &reps_per_size[si][ri].order,
+            spec.subcomm_sizes[si],
+            spec.payload_sizes[pi],
+        )
+    });
+    // Regroup the flat results into ranked cells.
+    let mut cells: Vec<SweepCell> =
+        Vec::with_capacity(spec.subcomm_sizes.len() * spec.payload_sizes.len());
+    for &subcomm_size in &spec.subcomm_sizes {
+        for &payload in &spec.payload_sizes {
+            cells.push(SweepCell {
+                subcomm_size,
+                payload,
+                ranked: Vec::new(),
+            });
+        }
+    }
+    for (&(si, ri, pi), cost_value) in work.iter().zip(costs) {
+        cells[si * spec.payload_sizes.len() + pi]
+            .ranked
+            .push((reps_per_size[si][ri].clone(), cost_value));
+    }
+    for cell in &mut cells {
+        cell.ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+    }
+    Ok(cells)
 }
 
 #[cfg(test)]
@@ -119,12 +242,7 @@ mod tests {
     fn spreadness_orders_the_figure3_legend() {
         // The Fig. 3 legend is sorted from most spread to most packed.
         let h = hydra();
-        let legend: [&[usize]; 4] = [
-            &[0, 1, 2, 3],
-            &[2, 1, 0, 3],
-            &[1, 3, 0, 2],
-            &[3, 2, 1, 0],
-        ];
+        let legend: [&[usize]; 4] = [&[0, 1, 2, 3], &[2, 1, 0, 3], &[1, 3, 0, 2], &[3, 2, 1, 0]];
         let scores: Vec<f64> = legend
             .iter()
             .map(|o| spreadness(&h, &sig(o), 16).unwrap())
@@ -144,7 +262,12 @@ mod tests {
         // or 17, not 45.
         for rep in &reps {
             if rep.percentages[0] > 40.0 && rep.percentages[2] > 50.0 {
-                assert!(rep.ring_cost <= 17, "class rep {} rc {}", rep.order, rep.ring_cost);
+                assert!(
+                    rep.ring_cost <= 17,
+                    "class rep {} rc {}",
+                    rep.order,
+                    rep.ring_cost
+                );
             }
         }
         let total_orders = 24;
@@ -165,5 +288,63 @@ mod tests {
         // The best-ranked representative has the globally smallest ring
         // cost among representatives.
         assert_eq!(ranked[0].1, ranked[0].0.ring_cost as f64);
+    }
+
+    #[test]
+    fn parallel_ranking_is_byte_identical_to_serial() {
+        let h = hydra();
+        // A cost with deliberate ties (spreadness buckets) so the stable
+        // tie-break is exercised, not just the values.
+        let cost = |sigma: &Permutation| (spreadness(&h, sigma, 16).unwrap() * 4.0).round();
+        let serial = rank_orders_by(&h, 16, cost).unwrap();
+        let parallel = rank_orders_by_par(&h, 16, cost).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.0, p.0);
+            assert_eq!(s.1.to_bits(), p.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_covers_grid_and_ranks_cells() {
+        let h = hydra();
+        let spec = SweepSpec {
+            subcomm_sizes: vec![16, 64],
+            payload_sizes: vec![1 << 14, 1 << 20, 1 << 26],
+        };
+        let cells = sweep(&h, &spec, |sigma, s, bytes| {
+            spreadness(&h, sigma, s).unwrap() * bytes as f64
+        })
+        .unwrap();
+        assert_eq!(cells.len(), 6);
+        // Cells come in spec order and each holds all representatives of
+        // its subcommunicator size, sorted by cost.
+        let mut i = 0;
+        for &s in &spec.subcomm_sizes {
+            let n_reps = representatives(&h, s).unwrap().len();
+            for &p in &spec.payload_sizes {
+                assert_eq!(cells[i].subcomm_size, s);
+                assert_eq!(cells[i].payload, p);
+                assert_eq!(cells[i].ranked.len(), n_reps);
+                for pair in cells[i].ranked.windows(2) {
+                    assert!(pair[0].1 <= pair[1].1);
+                }
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_matches_pointwise_ranking() {
+        let h = hydra();
+        let spec = SweepSpec {
+            subcomm_sizes: vec![16],
+            payload_sizes: vec![1 << 20],
+        };
+        let cost_of =
+            |sigma: &Permutation| characterize_order(&h, sigma, 16).unwrap().ring_cost as f64;
+        let cells = sweep(&h, &spec, |sigma, _, _| cost_of(sigma)).unwrap();
+        let direct = rank_orders_by(&h, 16, cost_of).unwrap();
+        assert_eq!(cells[0].ranked, direct);
     }
 }

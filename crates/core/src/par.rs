@@ -1,0 +1,159 @@
+//! Scoped worker-pool fan-out for order-space search.
+//!
+//! The order-space engine evaluates many independent (order ×
+//! subcommunicator × payload) points; this module gives those loops a
+//! deterministic parallel `map` built only on `std::thread::scope` — no
+//! external dependencies, no `unsafe`.
+//!
+//! Determinism: [`map`] returns results **in input order** regardless of
+//! thread count or scheduling, so parallel callers produce byte-identical
+//! output to the serial path (ties in later sorts are broken by position
+//! exactly as before). Work is distributed dynamically through a shared
+//! atomic cursor, so uneven item costs (e.g. characterizing packed vs
+//! spread orders) still balance across workers.
+//!
+//! The pool size defaults to [`std::thread::available_parallelism`] and
+//! can be overridden with the `MRE_PAR_THREADS` environment variable
+//! (`MRE_PAR_THREADS=1` forces the serial path; useful for benchmarking
+//! the speedup and for debugging).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "MRE_PAR_THREADS";
+
+/// The worker count [`map`] will use: `MRE_PAR_THREADS` if set and valid,
+/// else the machine's available parallelism, else 1.
+pub fn threads() -> usize {
+    if let Ok(value) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item and returns the results in input order.
+///
+/// `f` receives `(index, &item)`. Items are claimed one at a time from a
+/// shared cursor, so long and short items mix freely across workers. With
+/// one worker (or one item) no threads are spawned at all.
+///
+/// Panics in `f` propagate to the caller (the scope joins all workers
+/// first).
+///
+/// ```
+/// use mre_core::par;
+/// let squares = par::map(&[1, 2, 3, 4], |_, &x: &i32| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par worker panicked"))
+            .collect()
+    });
+    for chunk in chunks {
+        for (i, r) in chunk {
+            debug_assert!(slots[i].is_none());
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+/// [`map`] over owned items, consuming the input.
+pub fn map_into<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map(&items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u8> = vec![];
+        assert!(map(&empty, |_, &x| x).is_empty());
+        assert_eq!(map(&[7], |_, &x: &u8| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_serial_with_uneven_work() {
+        let items: Vec<u64> = (0..200).collect();
+        let slow = |i: usize, &x: &u64| {
+            // Uneven cost: every 7th item spins longer.
+            let mut acc = x;
+            let spins = if i.is_multiple_of(7) { 10_000 } else { 10 };
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let serial: Vec<u64> = items.iter().enumerate().map(|(i, x)| slow(i, x)).collect();
+        assert_eq!(map(&items, slow), serial);
+    }
+
+    #[test]
+    fn map_into_consumes() {
+        let out = map_into(vec![String::from("a"), String::from("bb")], |_, s| s.len());
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(threads() >= 1);
+    }
+}

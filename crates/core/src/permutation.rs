@@ -33,7 +33,9 @@ impl Permutation {
                 });
             }
             if seen[v] {
-                return Err(Error::InvalidPermutation { reason: "duplicate entry" });
+                return Err(Error::InvalidPermutation {
+                    reason: "duplicate entry",
+                });
             }
             seen[v] = true;
         }

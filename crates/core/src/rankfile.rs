@@ -115,7 +115,9 @@ impl Rankfile {
             entries.push(RankfileEntry { rank, node, slot });
         }
         if entries.is_empty() {
-            return Err(Error::Parse { message: "empty rankfile".into() });
+            return Err(Error::Parse {
+                message: "empty rankfile".into(),
+            });
         }
         entries.sort_by_key(|e| e.rank);
         for (i, e) in entries.iter().enumerate() {
@@ -150,9 +152,30 @@ mod tests {
     #[test]
     fn identity_rankfile_is_sequential() {
         let rf = Rankfile::from_order(&h224(), &Permutation::reversal(3)).unwrap();
-        assert_eq!(rf.entries()[0], RankfileEntry { rank: 0, node: 0, slot: 0 });
-        assert_eq!(rf.entries()[9], RankfileEntry { rank: 9, node: 1, slot: 1 });
-        assert_eq!(rf.entries()[15], RankfileEntry { rank: 15, node: 1, slot: 7 });
+        assert_eq!(
+            rf.entries()[0],
+            RankfileEntry {
+                rank: 0,
+                node: 0,
+                slot: 0
+            }
+        );
+        assert_eq!(
+            rf.entries()[9],
+            RankfileEntry {
+                rank: 9,
+                node: 1,
+                slot: 1
+            }
+        );
+        assert_eq!(
+            rf.entries()[15],
+            RankfileEntry {
+                rank: 15,
+                node: 1,
+                slot: 7
+            }
+        );
     }
 
     #[test]
@@ -160,8 +183,22 @@ mod tests {
         // Order [0,1,2]: rank 0 → core 0, rank 1 → node 1 core 0.
         let sigma = Permutation::new(vec![0, 1, 2]).unwrap();
         let rf = Rankfile::from_order(&h224(), &sigma).unwrap();
-        assert_eq!(rf.entries()[1], RankfileEntry { rank: 1, node: 1, slot: 0 });
-        assert_eq!(rf.entries()[2], RankfileEntry { rank: 2, node: 0, slot: 4 });
+        assert_eq!(
+            rf.entries()[1],
+            RankfileEntry {
+                rank: 1,
+                node: 1,
+                slot: 0
+            }
+        );
+        assert_eq!(
+            rf.entries()[2],
+            RankfileEntry {
+                rank: 2,
+                node: 0,
+                slot: 4
+            }
+        );
     }
 
     #[test]
@@ -178,8 +215,22 @@ mod tests {
     fn parse_tolerates_comments_and_order() {
         let text = "# my rankfile\nrank 1=node0 slot=3\n\nrank 0=node1 slot=2\n";
         let rf = Rankfile::parse(text).unwrap();
-        assert_eq!(rf.entries()[0], RankfileEntry { rank: 0, node: 1, slot: 2 });
-        assert_eq!(rf.entries()[1], RankfileEntry { rank: 1, node: 0, slot: 3 });
+        assert_eq!(
+            rf.entries()[0],
+            RankfileEntry {
+                rank: 0,
+                node: 1,
+                slot: 2
+            }
+        );
+        assert_eq!(
+            rf.entries()[1],
+            RankfileEntry {
+                rank: 1,
+                node: 0,
+                slot: 3
+            }
+        );
     }
 
     #[test]

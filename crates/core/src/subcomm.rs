@@ -102,7 +102,10 @@ pub fn subcommunicators(
 ) -> Result<SubcommLayout, Error> {
     let world = h.size();
     if subcomm_size == 0 || !world.is_multiple_of(subcomm_size) {
-        return Err(Error::IndivisibleSubcomm { world, subcomm: subcomm_size });
+        return Err(Error::IndivisibleSubcomm {
+            world,
+            subcomm: subcomm_size,
+        });
     }
     let reordering = RankReordering::new(h, sigma)?;
     Ok(layout_from_reordering(&reordering, subcomm_size, scheme))
@@ -128,7 +131,11 @@ pub fn layout_from_reordering(
         };
         comms[color].push(core);
     }
-    SubcommLayout { comms, scheme, subcomm_size }
+    SubcommLayout {
+        comms,
+        scheme,
+        subcomm_size,
+    }
 }
 
 /// Splits the reordered world into subcommunicators of *heterogeneous*
@@ -144,7 +151,10 @@ pub fn subcommunicators_ragged(
     let world = h.size();
     let total: usize = sizes.iter().sum();
     if total != world || sizes.contains(&0) {
-        return Err(Error::IndivisibleSubcomm { world, subcomm: total });
+        return Err(Error::IndivisibleSubcomm {
+            world,
+            subcomm: total,
+        });
     }
     let reordering = RankReordering::new(h, sigma)?;
     let mut comms = Vec::with_capacity(sizes.len());
@@ -154,7 +164,11 @@ pub fn subcommunicators_ragged(
         comms.push(members);
         next += s;
     }
-    Ok(SubcommLayout { comms, scheme: ColorScheme::Quotient, subcomm_size: 0 })
+    Ok(SubcommLayout {
+        comms,
+        scheme: ColorScheme::Quotient,
+        subcomm_size: 0,
+    })
 }
 
 /// One segment of a [`segmented_layout`]: a contiguous range of outermost-
@@ -178,13 +192,13 @@ pub struct Segment {
 /// enumerated with its own order and split into its own communicator
 /// size. Returns the per-segment layouts with members as *global* core
 /// ids.
-pub fn segmented_layout(
-    h: &Hierarchy,
-    segments: &[Segment],
-) -> Result<Vec<SubcommLayout>, Error> {
+pub fn segmented_layout(h: &Hierarchy, segments: &[Segment]) -> Result<Vec<SubcommLayout>, Error> {
     let total_nodes: usize = segments.iter().map(|s| s.nodes).sum();
     if total_nodes != h.level(0) {
-        return Err(Error::IndivisibleSubcomm { world: h.level(0), subcomm: total_nodes });
+        return Err(Error::IndivisibleSubcomm {
+            world: h.level(0),
+            subcomm: total_nodes,
+        });
     }
     let cores_per_node = h.size() / h.level(0);
     let mut layouts = Vec::with_capacity(segments.len());
@@ -226,8 +240,7 @@ mod tests {
     #[test]
     fn quotient_identity_order_groups_contiguous_cores() {
         let layout =
-            subcommunicators(&h224(), &Permutation::reversal(3), 4, ColorScheme::Quotient)
-                .unwrap();
+            subcommunicators(&h224(), &Permutation::reversal(3), 4, ColorScheme::Quotient).unwrap();
         assert_eq!(layout.count(), 4);
         assert_eq!(layout.members(0), &[0, 1, 2, 3]);
         assert_eq!(layout.members(3), &[12, 13, 14, 15]);
@@ -276,8 +289,7 @@ mod tests {
     #[test]
     fn modulo_scheme_strides_ranks() {
         let layout =
-            subcommunicators(&h224(), &Permutation::reversal(3), 4, ColorScheme::Modulo)
-                .unwrap();
+            subcommunicators(&h224(), &Permutation::reversal(3), 4, ColorScheme::Modulo).unwrap();
         // color = new_rank % 4; comm 0 holds reordered ranks 0,4,8,12 which
         // under the identity order are cores 0,4,8,12.
         assert_eq!(layout.members(0), &[0, 4, 8, 12]);
@@ -285,10 +297,12 @@ mod tests {
 
     #[test]
     fn indivisible_size_rejected() {
-        assert!(subcommunicators(&h224(), &Permutation::reversal(3), 3, ColorScheme::Quotient)
-            .is_err());
-        assert!(subcommunicators(&h224(), &Permutation::reversal(3), 0, ColorScheme::Quotient)
-            .is_err());
+        assert!(
+            subcommunicators(&h224(), &Permutation::reversal(3), 3, ColorScheme::Quotient).is_err()
+        );
+        assert!(
+            subcommunicators(&h224(), &Permutation::reversal(3), 0, ColorScheme::Quotient).is_err()
+        );
     }
 
     #[test]

@@ -120,8 +120,7 @@ mod tests {
     #[test]
     fn figure2a_rendering() {
         // Fig. 2a (order [0,1,2]): node 0 socket 0 shows 0 4 8 12.
-        let text =
-            render_mapping(&h224(), &Permutation::new(vec![0, 1, 2]).unwrap()).unwrap();
+        let text = render_mapping(&h224(), &Permutation::new(vec![0, 1, 2]).unwrap()).unwrap();
         assert!(text.contains("node 0 / socket 0:   0  4  8 12"), "{text}");
         assert!(text.contains("node 1 / socket 0:   1  5  9 13"), "{text}");
     }
@@ -129,8 +128,7 @@ mod tests {
     #[test]
     fn subcomm_rendering_matches_figure2_colors() {
         // Fig. 2e (order [2,0,1], plane=4): each socket is one color.
-        let text = render_subcomms(&h224(), &Permutation::new(vec![2, 0, 1]).unwrap(), 4)
-            .unwrap();
+        let text = render_subcomms(&h224(), &Permutation::new(vec![2, 0, 1]).unwrap(), 4).unwrap();
         assert!(text.contains("node 0 / socket 0:  0 0 0 0"), "{text}");
         assert!(text.contains("node 1 / socket 0:  1 1 1 1"), "{text}");
         assert!(text.contains("node 0 / socket 1:  2 2 2 2"), "{text}");

@@ -77,9 +77,7 @@ impl AllgatherAlg {
                     AllgatherAlg::Ring
                 }
             }
-            AllgatherAlg::RecursiveDoubling if !comm_size.is_power_of_two() => {
-                AllgatherAlg::Bruck
-            }
+            AllgatherAlg::RecursiveDoubling if !comm_size.is_power_of_two() => AllgatherAlg::Bruck,
             other => other,
         }
     }
@@ -108,7 +106,10 @@ mod tests {
     #[test]
     fn auto_alltoall_switches_on_size() {
         assert_eq!(AlltoallAlg::Auto.resolve(16, 16), AlltoallAlg::Bruck);
-        assert_eq!(AlltoallAlg::Auto.resolve(1 << 20, 16), AlltoallAlg::Pairwise);
+        assert_eq!(
+            AlltoallAlg::Auto.resolve(1 << 20, 16),
+            AlltoallAlg::Pairwise
+        );
         assert_eq!(AlltoallAlg::Pairwise.resolve(16, 16), AlltoallAlg::Pairwise);
     }
 
@@ -132,7 +133,10 @@ mod tests {
 
     #[test]
     fn auto_allreduce_switches_on_size() {
-        assert_eq!(AllreduceAlg::Auto.resolve(64, 8), AllreduceAlg::RecursiveDoubling);
+        assert_eq!(
+            AllreduceAlg::Auto.resolve(64, 8),
+            AllreduceAlg::RecursiveDoubling
+        );
         assert_eq!(AllreduceAlg::Auto.resolve(1 << 20, 8), AllreduceAlg::Ring);
     }
 }

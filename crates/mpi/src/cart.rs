@@ -28,7 +28,9 @@ impl CartTopology {
             });
         }
         if dims.contains(&0) {
-            return Err(Error::ZeroLevel { level: dims.iter().position(|&d| d == 0).unwrap() });
+            return Err(Error::ZeroLevel {
+                level: dims.iter().position(|&d| d == 0).unwrap(),
+            });
         }
         Ok(Self { dims, periodic })
     }
@@ -67,7 +69,10 @@ impl CartTopology {
         displacement: isize,
     ) -> Result<(Option<usize>, Option<usize>), Error> {
         if dim >= self.dims.len() {
-            return Err(Error::LevelOutOfRange { level: dim, depth: self.dims.len() });
+            return Err(Error::LevelOutOfRange {
+                level: dim,
+                depth: self.dims.len(),
+            });
         }
         let c = self.coords(rank)?;
         let step = |dir: isize| -> Option<usize> {
@@ -110,9 +115,7 @@ impl CartTopology {
         }
         factors.sort_unstable_by(|a, b| b.cmp(a));
         for factor in factors {
-            let smallest = (0..ndims)
-                .min_by_key(|&i| dims[i])
-                .expect("ndims >= 1");
+            let smallest = (0..ndims).min_by_key(|&i| dims[i]).expect("ndims >= 1");
             dims[smallest] *= factor;
         }
         dims.sort_unstable_by(|a, b| b.cmp(a));
@@ -144,7 +147,10 @@ impl<'p> Comm<'p> {
             None => self.rank(),
             Some((h, sigma)) => {
                 if h.size() != self.size() {
-                    return Err(Error::RankOutOfRange { rank: h.size(), size: self.size() });
+                    return Err(Error::RankOutOfRange {
+                        rank: h.size(),
+                        size: self.size(),
+                    });
                 }
                 RankReordering::new(h, sigma)?.new_rank(self.rank())
             }
@@ -260,7 +266,10 @@ mod tests {
             let cart = CartTopology::new(vec![2, 2], vec![false, false]).unwrap();
             world.cart_create(&cart, None).unwrap().map(|c| c.size())
         });
-        assert_eq!(results, vec![Some(4), Some(4), Some(4), Some(4), None, None]);
+        assert_eq!(
+            results,
+            vec![Some(4), Some(4), Some(4), Some(4), None, None]
+        );
     }
 
     #[test]

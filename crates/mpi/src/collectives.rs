@@ -244,9 +244,11 @@ impl<'p> Comm<'p> {
         let mut carry_idx = me;
         all[me] = Some(mine);
         for _ in 0..p - 1 {
-            let payload = (carry_idx, all[carry_idx].clone().expect("carried block present"));
-            let (idx, block): (usize, Vec<T>) =
-                self.sendrecv_internal(right, left, tag, payload);
+            let payload = (
+                carry_idx,
+                all[carry_idx].clone().expect("carried block present"),
+            );
+            let (idx, block): (usize, Vec<T>) = self.sendrecv_internal(right, left, tag, payload);
             all[idx] = Some(block);
             carry_idx = idx;
         }
@@ -255,10 +257,7 @@ impl<'p> Comm<'p> {
             .collect()
     }
 
-    fn allgather_recursive_doubling<T: Clone + Send + 'static>(
-        &self,
-        mine: Vec<T>,
-    ) -> Vec<Vec<T>> {
+    fn allgather_recursive_doubling<T: Clone + Send + 'static>(&self, mine: Vec<T>) -> Vec<Vec<T>> {
         let p = self.size();
         debug_assert!(p.is_power_of_two(), "resolve() guards non-powers of two");
         let tag = self.next_tag();
@@ -288,8 +287,7 @@ impl<'p> Comm<'p> {
             let src = (me + hop) % p;
             let count = hop.min(p - hop);
             let to_send: Vec<(usize, Vec<T>)> = owned[..count].to_vec();
-            let received: Vec<(usize, Vec<T>)> =
-                self.sendrecv_internal(dst, src, tag, to_send);
+            let received: Vec<(usize, Vec<T>)> = self.sendrecv_internal(dst, src, tag, to_send);
             owned.extend(received);
             hop <<= 1;
         }
@@ -317,15 +315,16 @@ impl<'p> Comm<'p> {
 
     /// Regular all-to-all: `send` holds `p` equal chunks concatenated;
     /// returns the received chunks concatenated in rank order.
-    pub fn alltoall<T: Clone + Send + 'static>(
-        &self,
-        send: &[T],
-        alg: AlltoallAlg,
-    ) -> Vec<T> {
+    pub fn alltoall<T: Clone + Send + 'static>(&self, send: &[T], alg: AlltoallAlg) -> Vec<T> {
         let p = self.size();
-        assert!(send.len().is_multiple_of(p), "payload must split into p equal chunks");
+        assert!(
+            send.len().is_multiple_of(p),
+            "payload must split into p equal chunks"
+        );
         let chunk = send.len() / p;
-        let blocks: Vec<Vec<T>> = (0..p).map(|d| send[d * chunk..(d + 1) * chunk].to_vec()).collect();
+        let blocks: Vec<Vec<T>> = (0..p)
+            .map(|d| send[d * chunk..(d + 1) * chunk].to_vec())
+            .collect();
         self.alltoallv(blocks, alg).into_iter().flatten().collect()
     }
 
@@ -436,7 +435,10 @@ impl<'p> Comm<'p> {
         F: Fn(&T, &T) -> T,
     {
         let p = self.size();
-        assert!(data.len().is_multiple_of(p), "vector must split into p equal blocks");
+        assert!(
+            data.len().is_multiple_of(p),
+            "vector must split into p equal blocks"
+        );
         let block = data.len() / p;
         if p == 1 {
             return data;
@@ -636,8 +638,7 @@ mod tests {
             ] {
                 let results = run(p, move |proc_| {
                     let world = Comm::world(proc_);
-                    let mine: Vec<u64> =
-                        (0..13).map(|i| (world.rank() * 100 + i) as u64).collect();
+                    let mine: Vec<u64> = (0..13).map(|i| (world.rank() * 100 + i) as u64).collect();
                     world.allreduce(mine, sum, alg)
                 });
                 let expected: Vec<u64> = (0..13)
@@ -695,9 +696,8 @@ mod tests {
                     let world = Comm::world(proc_);
                     let me = world.rank();
                     // send[d] = [me*10 + d; d+1] — ragged, identifiable.
-                    let send: Vec<Vec<u64>> = (0..p)
-                        .map(|d| vec![(me * 10 + d) as u64; d + 1])
-                        .collect();
+                    let send: Vec<Vec<u64>> =
+                        (0..p).map(|d| vec![(me * 10 + d) as u64; d + 1]).collect();
                     world.alltoallv(send, alg)
                 });
                 for (me, r) in results.iter().enumerate() {
@@ -724,9 +724,7 @@ mod tests {
         });
         for (me, r) in results.iter().enumerate() {
             let expected: Vec<u64> = (0..p)
-                .flat_map(|src| {
-                    [(src * 100 + me * 2) as u64, (src * 100 + me * 2 + 1) as u64]
-                })
+                .flat_map(|src| [(src * 100 + me * 2) as u64, (src * 100 + me * 2 + 1) as u64])
                 .collect();
             assert_eq!(r, &expected);
         }

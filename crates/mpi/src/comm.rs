@@ -75,14 +75,25 @@ impl<'p> Comm<'p> {
     /// Point-to-point send to a *communicator* rank under a caller-chosen
     /// tag number (namespaced by this communicator's context).
     pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) {
-        self.proc_
-            .send(self.ranks[dst], Tag { ctx: self.ctx, tag: user_tag(tag) }, value);
+        self.proc_.send(
+            self.ranks[dst],
+            Tag {
+                ctx: self.ctx,
+                tag: user_tag(tag),
+            },
+            value,
+        );
     }
 
     /// Point-to-point receive from a *communicator* rank.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
-        self.proc_
-            .recv(self.ranks[src], Tag { ctx: self.ctx, tag: user_tag(tag) })
+        self.proc_.recv(
+            self.ranks[src],
+            Tag {
+                ctx: self.ctx,
+                tag: user_tag(tag),
+            },
+        )
     }
 
     /// Combined exchange with communicator ranks (see

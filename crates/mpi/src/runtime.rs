@@ -10,10 +10,10 @@
 //! Delivery between a fixed (sender, receiver) pair is FIFO; receives
 //! match on `(source, tag)` and buffer out-of-order arrivals.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 /// Message tag: the communicator context plus a per-operation tag.
@@ -63,7 +63,11 @@ impl Proc {
     /// If `dst` is out of range.
     pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
         self.shared.senders[dst]
-            .send(Envelope { src: self.rank, tag, payload: Box::new(value) })
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload: Box::new(value),
+            })
             .expect("receiver thread alive for the duration of run()");
     }
 
@@ -140,7 +144,7 @@ where
     let mut senders = Vec::with_capacity(nprocs);
     let mut receivers = Vec::with_capacity(nprocs);
     for _ in 0..nprocs {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(rx);
     }

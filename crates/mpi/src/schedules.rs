@@ -25,7 +25,11 @@ pub fn alltoall_pairwise(members: &[usize], bytes_per_pair: u64) -> Schedule {
     for r in 1..p {
         let mut round = Round::new();
         for i in 0..p {
-            round.push(Message::new(members[i], members[(i + r) % p], bytes_per_pair));
+            round.push(Message::new(
+                members[i],
+                members[(i + r) % p],
+                bytes_per_pair,
+            ));
         }
         schedule.push(round);
     }
@@ -96,13 +100,20 @@ pub fn allgather_ring(members: &[usize], block_bytes: u64) -> Schedule {
 /// `2ᵏ` accumulated blocks with rank `i ⊕ 2ᵏ`.
 pub fn allgather_recursive_doubling(members: &[usize], block_bytes: u64) -> Schedule {
     let p = members.len();
-    assert!(p.is_power_of_two(), "recursive doubling needs a power of two");
+    assert!(
+        p.is_power_of_two(),
+        "recursive doubling needs a power of two"
+    );
     let mut schedule = Schedule::new();
     let mut hop = 1usize;
     while hop < p {
         let mut round = Round::new();
         for i in 0..p {
-            round.push(Message::new(members[i], members[i ^ hop], hop as u64 * block_bytes));
+            round.push(Message::new(
+                members[i],
+                members[i ^ hop],
+                hop as u64 * block_bytes,
+            ));
         }
         schedule.push(round);
         hop <<= 1;
@@ -145,7 +156,11 @@ pub fn allreduce_recursive_doubling(members: &[usize], total_bytes: u64) -> Sche
     if rem > 0 {
         let mut round = Round::new();
         for i in 0..rem {
-            round.push(Message::new(members[2 * i + 1], members[2 * i], total_bytes));
+            round.push(Message::new(
+                members[2 * i + 1],
+                members[2 * i],
+                total_bytes,
+            ));
         }
         schedule.push(round);
     }
@@ -166,7 +181,11 @@ pub fn allreduce_recursive_doubling(members: &[usize], total_bytes: u64) -> Sche
     if rem > 0 {
         let mut round = Round::new();
         for i in 0..rem {
-            round.push(Message::new(members[2 * i], members[2 * i + 1], total_bytes));
+            round.push(Message::new(
+                members[2 * i],
+                members[2 * i + 1],
+                total_bytes,
+            ));
         }
         schedule.push(round);
     }
@@ -188,7 +207,11 @@ pub fn allreduce_ring(members: &[usize], total_bytes: u64) -> Schedule {
         for i in 0..p {
             let send_block = (i + p - step) % p;
             let (s0, s1) = block_range(n, p, send_block);
-            round.push(Message::new(members[i], members[(i + 1) % p], (s1 - s0) as u64));
+            round.push(Message::new(
+                members[i],
+                members[(i + 1) % p],
+                (s1 - s0) as u64,
+            ));
         }
         schedule.push(round);
     }
@@ -198,7 +221,11 @@ pub fn allreduce_ring(members: &[usize], total_bytes: u64) -> Schedule {
         for i in 0..p {
             let send_block = (i + 1 + p - step) % p;
             let (s0, s1) = block_range(n, p, send_block);
-            round.push(Message::new(members[i], members[(i + 1) % p], (s1 - s0) as u64));
+            round.push(Message::new(
+                members[i],
+                members[(i + 1) % p],
+                (s1 - s0) as u64,
+            ));
         }
         schedule.push(round);
     }
@@ -379,7 +406,10 @@ mod tests {
     #[test]
     fn bruck_fewer_rounds_than_pairwise() {
         let p = 64;
-        assert!(alltoall_bruck(&members(p), 1).num_rounds() < alltoall_pairwise(&members(p), 1).num_rounds());
+        assert!(
+            alltoall_bruck(&members(p), 1).num_rounds()
+                < alltoall_pairwise(&members(p), 1).num_rounds()
+        );
     }
 
     #[test]

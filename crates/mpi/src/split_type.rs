@@ -21,10 +21,16 @@ impl<'p> Comm<'p> {
         level: usize,
     ) -> Result<Comm<'p>, Error> {
         if level >= machine.depth() {
-            return Err(Error::LevelOutOfRange { level, depth: machine.depth() });
+            return Err(Error::LevelOutOfRange {
+                level,
+                depth: machine.depth(),
+            });
         }
         if core >= machine.size() {
-            return Err(Error::RankOutOfRange { rank: core, size: machine.size() });
+            return Err(Error::RankOutOfRange {
+                rank: core,
+                size: machine.size(),
+            });
         }
         let stride = machine.strides()[level];
         let instance = core / stride;
@@ -47,7 +53,10 @@ impl<'p> Comm<'p> {
         subcomm_size: usize,
     ) -> Result<Comm<'p>, Error> {
         if machine.size() != self.size() {
-            return Err(Error::RankOutOfRange { rank: machine.size(), size: self.size() });
+            return Err(Error::RankOutOfRange {
+                rank: machine.size(),
+                size: self.size(),
+            });
         }
         if subcomm_size == 0 || !self.size().is_multiple_of(subcomm_size) {
             return Err(Error::IndivisibleSubcomm {
@@ -58,7 +67,9 @@ impl<'p> Comm<'p> {
         let new_rank = RankReordering::new(machine, sigma)?.new_rank(core);
         let color = (new_rank / subcomm_size) as i64;
         let key = (new_rank % subcomm_size) as i64;
-        Ok(self.split(color, key).expect("quotient colors are non-negative"))
+        Ok(self
+            .split(color, key)
+            .expect("quotient colors are non-negative"))
     }
 }
 
@@ -112,15 +123,12 @@ mod tests {
         let machine = Hierarchy::new(vec![2, 2, 4]).unwrap();
         for order in ["0-1-2", "1-0-2", "2-0-1"] {
             let sigma = Permutation::parse(order).unwrap();
-            let layout =
-                subcommunicators(&machine, &sigma, 4, ColorScheme::Quotient).unwrap();
+            let layout = subcommunicators(&machine, &sigma, 4, ColorScheme::Quotient).unwrap();
             let m = machine.clone();
             let s = sigma.clone();
             let results = run(16, move |p| {
                 let world = Comm::world(p);
-                let sub = world
-                    .split_reordered(&m, &s, p.world_rank(), 4)
-                    .unwrap();
+                let sub = world.split_reordered(&m, &s, p.world_rank(), 4).unwrap();
                 (sub.rank(), sub.world_ranks().to_vec())
             });
             for (core, (rank_in_sub, members)) in results.iter().enumerate() {
@@ -144,7 +152,12 @@ mod tests {
             let small = Hierarchy::new(vec![2, 2]).unwrap();
             // Non-dividing subcommunicator size.
             assert!(world
-                .split_reordered(&small, &Permutation::parse("0-1").unwrap(), p.world_rank(), 3)
+                .split_reordered(
+                    &small,
+                    &Permutation::parse("0-1").unwrap(),
+                    p.world_rank(),
+                    3
+                )
                 .is_err());
         });
     }

@@ -11,6 +11,38 @@
 //! first-order model for how concurrent MPI messages share NICs,
 //! inter-socket links and memory systems.
 
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// A heap candidate: link `link` offered share `share` at state `version`.
+/// Ordered by share (then link index for determinism); stale versions are
+/// discarded on pop.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    share: f64,
+    version: u64,
+    link: usize,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.share
+            .total_cmp(&other.share)
+            .then_with(|| self.link.cmp(&other.link))
+    }
+}
+
 /// Computes max-min fair rates.
 ///
 /// * `flows[f]` — the list of link indices flow `f` traverses. A flow with
@@ -22,12 +54,131 @@
 ///   capacity (up to floating-point slack);
 /// * **saturation** — every flow is bottlenecked by at least one saturated
 ///   link (no rate can be raised without lowering another);
-/// * **symmetry** — flows with identical link sets get identical rates.
+/// * **symmetry** — flows with identical link sets get identical rates
+///   (exactly: they freeze together on the same bottleneck link).
 ///
-/// Complexity: `O(iterations · Σ|flows[f]|)` with at most `min(#flows,
-/// #links)` iterations — fine for the few thousand flows per round that
-/// collective schedules produce.
+/// This is the incremental solver: per-link flow lists plus a lazy
+/// min-heap of link shares. Each freezing iteration pops the bottleneck
+/// link, freezes only *its* flows, and updates only the links those flows
+/// traverse — `O((Σ|flows[f]| + #links) · log #links)` total, versus the
+/// reference solver's full rescan of every flow per iteration. The lazy
+/// heap is sound because a link's equal share never decreases as other
+/// flows freeze (water-filling monotonicity), so a popped up-to-date entry
+/// is the true minimum. No tie tolerance is needed at all: links tied with
+/// the bottleneck simply pop next with an unchanged share.
+///
+/// [`max_min_rates_reference`] is the original dense solver, kept as an
+/// oracle for property tests and benchmarks.
 pub fn max_min_rates(flows: &[Vec<usize>], capacities: &[f64]) -> Vec<f64> {
+    let nf = flows.len();
+    let nl = capacities.len();
+    let mut rates = vec![f64::INFINITY; nf];
+    if nf == 0 {
+        return rates;
+    }
+    let mut count = vec![0usize; nl];
+    let mut active = 0usize;
+    for (f, links) in flows.iter().enumerate() {
+        for &l in links {
+            assert!(l < nl, "flow {f} references unknown link {l}");
+            count[l] += 1;
+        }
+        if !links.is_empty() {
+            active += 1;
+        }
+    }
+    // Per-link flow lists in CSR layout (frozen flows are lazily skipped,
+    // not removed): link `l`'s flows live at
+    // `link_flows[offsets[l]..offsets[l + 1]]`.
+    let mut offsets = vec![0usize; nl + 1];
+    for l in 0..nl {
+        offsets[l + 1] = offsets[l] + count[l];
+    }
+    let mut link_flows = vec![0usize; offsets[nl]];
+    let mut cursor = offsets.clone();
+    for (f, links) in flows.iter().enumerate() {
+        for &l in links {
+            link_flows[cursor[l]] = f;
+            cursor[l] += 1;
+        }
+    }
+    let mut remaining = capacities.to_vec();
+    let mut version = vec![0u64; nl];
+    let mut frozen = vec![false; nf];
+    let mut heap = BinaryHeap::from(
+        (0..nl)
+            .filter(|&l| count[l] > 0)
+            .map(|l| {
+                Reverse(Candidate {
+                    share: remaining[l].max(0.0) / count[l] as f64,
+                    version: 0,
+                    link: l,
+                })
+            })
+            .collect::<Vec<_>>(),
+    );
+    let mut touched: Vec<usize> = Vec::new();
+    while active > 0 {
+        let Reverse(candidate) = heap.pop().expect("active flows imply a candidate link");
+        let l = candidate.link;
+        if candidate.version != version[l] || count[l] == 0 {
+            continue; // superseded by a later state change
+        }
+        let bottleneck_share = candidate.share;
+        debug_assert!(bottleneck_share.is_finite());
+        // Freeze every still-active flow through the bottleneck link and
+        // return its rate to the links it traverses.
+        touched.clear();
+        for &f in &link_flows[offsets[l]..offsets[l + 1]] {
+            if frozen[f] {
+                continue;
+            }
+            frozen[f] = true;
+            active -= 1;
+            rates[f] = bottleneck_share;
+            for &l2 in &flows[f] {
+                remaining[l2] -= bottleneck_share;
+                count[l2] -= 1;
+                version[l2] += 1;
+                if l2 != l {
+                    touched.push(l2);
+                }
+            }
+        }
+        debug_assert_eq!(count[l], 0, "bottleneck link fully drained");
+        // One refreshed candidate per touched link, reflecting all of this
+        // round's freezes at once (per-update pushes would all be stale).
+        touched.sort_unstable();
+        touched.dedup();
+        for &l2 in &touched {
+            if count[l2] > 0 {
+                heap.push(Reverse(Candidate {
+                    share: remaining[l2].max(0.0) / count[l2] as f64,
+                    version: version[l2],
+                    link: l2,
+                }));
+            }
+        }
+    }
+    rates
+}
+
+/// The original dense water-filling solver: every iteration scans all
+/// links for the bottleneck share and rescans all unfrozen flows to
+/// freeze the constrained ones. `O(iterations · Σ|flows[f]|)` with up to
+/// `min(#flows, #links)` iterations.
+///
+/// Kept as the correctness oracle for [`max_min_rates`] (property-tested
+/// to match) and as the baseline in the contention benchmarks.
+///
+/// The freeze tolerance is relative to each link's remaining capacity:
+/// the cancellation error accumulated in `remaining_cap[l]` scales with
+/// the capacity magnitude, so on machines mixing a 100 Gb/s NIC with
+/// megabyte-scale local links a tolerance derived from the (possibly
+/// tiny) bottleneck share — as this solver originally used — fails to
+/// recognize ties on the large links and splits simultaneous freezes
+/// across iterations.
+pub fn max_min_rates_reference(flows: &[Vec<usize>], capacities: &[f64]) -> Vec<f64> {
     let nf = flows.len();
     let nl = capacities.len();
     let mut rates = vec![f64::INFINITY; nf];
@@ -66,15 +217,19 @@ pub fn max_min_rates(flows: &[Vec<usize>], capacities: &[f64]) -> Vec<f64> {
         }
         debug_assert!(bottleneck_share.is_finite());
         // Freeze every flow passing through a link at (or numerically at)
-        // the bottleneck share.
-        let epsilon = bottleneck_share * 1e-12 + f64::MIN_POSITIVE;
+        // the bottleneck share. The slack is relative to the link's own
+        // remaining capacity — the scale its rounding error lives at —
+        // not to the bottleneck share, which may be orders of magnitude
+        // smaller on mixed-magnitude machines.
         let mut to_freeze = Vec::new();
         for (f, links) in flows.iter().enumerate() {
             if frozen[f] {
                 continue;
             }
             let constrained = links.iter().any(|&l| {
-                let share = remaining_cap[l].max(0.0) / link_flow_count[l] as f64;
+                let n = link_flow_count[l] as f64;
+                let share = remaining_cap[l].max(0.0) / n;
+                let epsilon = remaining_cap[l].max(0.0) * 1e-12 / n + f64::MIN_POSITIVE;
                 share <= bottleneck_share + epsilon
             });
             if constrained {
@@ -155,8 +310,7 @@ mod tests {
 
     #[test]
     fn feasibility_and_symmetry_random() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use mre_rng::SmallRng;
         let mut rng = SmallRng::seed_from_u64(42);
         for _ in 0..50 {
             let nl = rng.gen_range(1..8);
@@ -164,8 +318,7 @@ mod tests {
             let caps: Vec<f64> = (0..nl).map(|_| rng.gen_range(1.0..100.0)).collect();
             let flows: Vec<Vec<usize>> = (0..nf)
                 .map(|_| {
-                    let mut path: Vec<usize> =
-                        (0..nl).filter(|_| rng.gen_bool(0.5)).collect();
+                    let mut path: Vec<usize> = (0..nl).filter(|_| rng.gen_bool(0.5)).collect();
                     if path.is_empty() {
                         path.push(rng.gen_range(0..nl));
                     }
@@ -195,9 +348,7 @@ mod tests {
             // Every flow touches at least one (near-)saturated link.
             let totals = total_per_link(&flows, &rates, nl);
             for (f, links) in flows.iter().enumerate() {
-                let bottlenecked = links
-                    .iter()
-                    .any(|&l| totals[l] >= caps[l] * (1.0 - 1e-6));
+                let bottlenecked = links.iter().any(|&l| totals[l] >= caps[l] * (1.0 - 1e-6));
                 assert!(bottlenecked, "flow {f} is not bottlenecked anywhere");
             }
         }
@@ -218,5 +369,150 @@ mod tests {
     #[should_panic(expected = "unknown link")]
     fn bad_link_index_panics() {
         max_min_rates(&[vec![3]], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn bad_link_index_panics_in_reference() {
+        max_min_rates_reference(&[vec![3]], &[1.0]);
+    }
+
+    /// Relative tolerance comparing `a` and `b` elementwise.
+    fn assert_rates_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            if x.is_infinite() || y.is_infinite() {
+                assert_eq!(x, y, "flow {i}");
+            } else {
+                let scale = x.abs().max(y.abs()).max(1e-300);
+                assert!((x - y).abs() <= tol * scale, "flow {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_reference_random() {
+        use mre_rng::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(0xBEEF);
+        for _ in 0..200 {
+            let nl = rng.gen_range(1usize..10);
+            let nf = rng.gen_range(1usize..60);
+            let caps: Vec<f64> = (0..nl).map(|_| rng.gen_range(0.5f64..200.0)).collect();
+            let flows: Vec<Vec<usize>> = (0..nf)
+                .map(|_| {
+                    let mut path: Vec<usize> = (0..nl).filter(|_| rng.gen_bool(0.4)).collect();
+                    if path.is_empty() && rng.gen_bool(0.8) {
+                        path.push(rng.gen_range(0..nl));
+                    }
+                    path
+                })
+                .collect();
+            let fast = max_min_rates(&flows, &caps);
+            let reference = max_min_rates_reference(&flows, &caps);
+            // Freezing order differs between the solvers, so rates agree
+            // up to floating-point rounding, not bit-for-bit.
+            assert_rates_close(&fast, &reference, 1e-6);
+        }
+    }
+
+    /// Regression for the epsilon fix: capacities spanning eight orders of
+    /// magnitude (100 Gb/s NIC, kB/s-scale slow links). A tolerance
+    /// derived from the bottleneck share is far below the rounding error
+    /// of the big link's remaining capacity; the per-link relative
+    /// tolerance (reference) and the tolerance-free heap (incremental)
+    /// must both keep symmetric flows identical and links feasible.
+    #[test]
+    fn mixed_magnitude_capacities() {
+        // 32 flows through a shared 100 Gb/s NIC; 16 of them also cross a
+        // slow 1 kB/s control link each (two flows per slow link), so the
+        // slow links freeze first at hugely smaller shares.
+        let nic = 100.0e9 / 8.0;
+        let slow = 1e3;
+        let mut caps = vec![nic];
+        let mut flows = Vec::new();
+        for f in 0..32usize {
+            if f < 16 {
+                let slow_link = 1 + f / 2;
+                if caps.len() <= slow_link {
+                    caps.push(slow);
+                }
+                flows.push(vec![0, slow_link]);
+            } else {
+                flows.push(vec![0]);
+            }
+        }
+        for rates in [
+            max_min_rates(&flows, &caps),
+            max_min_rates_reference(&flows, &caps),
+        ] {
+            // Slow-link flows: 2 per 1 kB/s link → 500 B/s each, exactly.
+            for (f, &rate) in rates.iter().enumerate().take(16) {
+                assert_eq!(rate, 500.0, "flow {f}");
+            }
+            // NIC-only flows split the NIC remainder equally — and
+            // *exactly* equally (symmetry), despite the magnitude mix.
+            let expected = (nic - 16.0 * 500.0) / 16.0;
+            for f in 16..32 {
+                assert_eq!(rates[f], rates[16], "flow {f} breaks symmetry");
+                assert!((rates[f] - expected).abs() <= 1e-9 * expected);
+            }
+            // Feasibility on the NIC.
+            let total: f64 = rates.iter().sum();
+            assert!(total <= nic * (1.0 + 1e-9));
+        }
+    }
+
+    /// The scenario the old epsilon mishandled: many freeze iterations
+    /// chip away at a huge shared link, then symmetric flows remain. After
+    /// hundreds of subtractions the big link's remaining capacity carries
+    /// rounding error well above `bottleneck_share * 1e-12`; ties must
+    /// still be honored.
+    #[test]
+    fn many_iterations_on_huge_shared_link() {
+        let nic = 12.5e9;
+        let n_private = 400usize;
+        let mut caps = vec![nic];
+        let mut flows = Vec::new();
+        for f in 0..n_private {
+            // Irrational-ish ascending private caps force one freeze
+            // iteration each, all touching the shared link.
+            caps.push(1.0 + f as f64 * std::f64::consts::SQRT_2 * 1e-3);
+            flows.push(vec![0, 1 + f]);
+        }
+        // Two symmetric NIC-only flows freeze last.
+        flows.push(vec![0]);
+        flows.push(vec![0]);
+        for rates in [
+            max_min_rates(&flows, &caps),
+            max_min_rates_reference(&flows, &caps),
+        ] {
+            for f in 0..n_private {
+                assert!((rates[f] - caps[1 + f]).abs() <= 1e-9 * caps[1 + f]);
+            }
+            assert_eq!(
+                rates[n_private],
+                rates[n_private + 1],
+                "symmetric tail flows diverged"
+            );
+            let total: f64 = rates.iter().sum();
+            assert!(total <= nic * (1.0 + 1e-9), "NIC oversubscribed: {total}");
+        }
+    }
+
+    #[test]
+    fn reference_matches_incremental_on_paper_examples() {
+        let cases: Vec<(Vec<Vec<usize>>, Vec<f64>)> = vec![
+            (vec![vec![0, 1, 2]], vec![10.0, 4.0, 7.0]),
+            (vec![vec![0], vec![0], vec![0], vec![0]], vec![8.0]),
+            (vec![vec![0, 1], vec![0], vec![1]], vec![10.0, 4.0]),
+            (vec![vec![], vec![0]], vec![5.0]),
+        ];
+        for (flows, caps) in cases {
+            assert_rates_close(
+                &max_min_rates(&flows, &caps),
+                &max_min_rates_reference(&flows, &caps),
+                1e-12,
+            );
+        }
     }
 }

@@ -80,7 +80,8 @@ impl<'a> LinkTable<'a> {
                 let next = self.index.len();
                 let idx = *self.index.entry((level, instance, up)).or_insert(next);
                 if idx == self.capacities.len() {
-                    self.capacities.push(self.net.links()[level].uplink_bandwidth);
+                    self.capacities
+                        .push(self.net.links()[level].uplink_bandwidth);
                 }
                 path.push(idx);
             }
@@ -122,7 +123,13 @@ pub fn fluid_time(net: &NetworkModel, schedules: &[Schedule]) -> f64 {
         // Solve rates for messages past their latency phase.
         let flows: Vec<Vec<usize>> = active
             .iter()
-            .map(|f| if f.latency_left > 0.0 { Vec::new() } else { f.path.clone() })
+            .map(|f| {
+                if f.latency_left > 0.0 {
+                    Vec::new()
+                } else {
+                    f.path.clone()
+                }
+            })
             .collect();
         let rates = max_min_rates(&flows, &table.capacities);
         // Time to the next event: a latency expiry or a completion.
@@ -147,7 +154,11 @@ pub fn fluid_time(net: &NetworkModel, schedules: &[Schedule]) -> f64 {
                     flight.latency_left = 0.0;
                 }
             } else {
-                let rate = if flight.path.is_empty() { flight.local_rate } else { rates[f] };
+                let rate = if flight.path.is_empty() {
+                    flight.local_rate
+                } else {
+                    rates[f]
+                };
                 flight.bytes_left -= rate * dt;
             }
         }
@@ -222,9 +233,18 @@ mod tests {
         NetworkModel::new(
             h,
             vec![
-                LinkParams { uplink_bandwidth: 10.0, crossing_latency: 2.0 },
-                LinkParams { uplink_bandwidth: 40.0, crossing_latency: 1.0 },
-                LinkParams { uplink_bandwidth: 100.0, crossing_latency: 0.5 },
+                LinkParams {
+                    uplink_bandwidth: 10.0,
+                    crossing_latency: 2.0,
+                },
+                LinkParams {
+                    uplink_bandwidth: 40.0,
+                    crossing_latency: 1.0,
+                },
+                LinkParams {
+                    uplink_bandwidth: 100.0,
+                    crossing_latency: 0.5,
+                },
             ],
             1000.0,
         )
@@ -320,10 +340,7 @@ mod tests {
     #[test]
     fn makespan_dominated_by_longest_job() {
         let net = toy();
-        let long = Schedule::with(vec![
-            Round::with(vec![Message::new(0, 4, 100)]);
-            5
-        ]);
+        let long = Schedule::with(vec![Round::with(vec![Message::new(0, 4, 100)]); 5]);
         let short = Schedule::with(vec![Round::with(vec![Message::new(8, 12, 10)])]);
         let fluid = fluid_time(&net, &[long.clone(), short]);
         let alone = fluid_time(&net, &[long]);

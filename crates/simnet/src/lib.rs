@@ -37,9 +37,9 @@ pub mod presets;
 pub mod schedule;
 pub mod utilization;
 
-pub use contention::max_min_rates;
+pub use contention::{max_min_rates, max_min_rates_reference};
 pub use fluid::fluid_time;
-pub use utilization::{utilization, Utilization};
 pub use memory::MemoryModel;
-pub use network::{ContentionMode, LinkParams, NetworkModel};
-pub use schedule::{Message, Round, Schedule};
+pub use network::{ContentionMode, LinkParams, NetworkModel, RoundProfile};
+pub use schedule::{CostCache, Message, Round, Schedule};
+pub use utilization::{utilization, Utilization};

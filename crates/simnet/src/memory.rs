@@ -56,7 +56,13 @@ impl MemoryModel {
             assert!(*bw > 0.0, "level bandwidths must be positive");
         }
         let strides = hierarchy.strides();
-        Self { hierarchy, strides, level_bandwidth, core_bandwidth, flop_rate }
+        Self {
+            hierarchy,
+            strides,
+            level_bandwidth,
+            core_bandwidth,
+            flop_rate,
+        }
     }
 
     /// The hierarchy this model covers.

@@ -72,8 +72,14 @@ impl NetworkModel {
         );
         assert!(local_copy_bandwidth > 0.0);
         for (l, p) in links.iter().enumerate() {
-            assert!(p.uplink_bandwidth > 0.0, "level {l} bandwidth must be positive");
-            assert!(p.crossing_latency >= 0.0, "level {l} latency must be non-negative");
+            assert!(
+                p.uplink_bandwidth > 0.0,
+                "level {l} bandwidth must be positive"
+            );
+            assert!(
+                p.crossing_latency >= 0.0,
+                "level {l} latency must be non-negative"
+            );
         }
         let strides = hierarchy.strides();
         Self {
@@ -122,8 +128,22 @@ impl NetworkModel {
     /// Time for a round of concurrent messages under max-min fair link
     /// sharing.
     pub fn round_time(&self, messages: &[Message]) -> f64 {
+        self.round_profile(messages).time(messages)
+    }
+
+    /// The size-independent cost structure of a round: the latency and
+    /// contended rate of every message.
+    ///
+    /// Both contention modes allocate rates from message *paths* alone —
+    /// payload sizes never enter the water-filling — so a profile computed
+    /// once can re-cost the same endpoint pattern for any payload sizes
+    /// ([`RoundProfile::time`]). [`crate::schedule::CostCache`] builds a
+    /// message-size sweep on exactly this property.
+    pub fn round_profile(&self, messages: &[Message]) -> RoundProfile {
         if messages.is_empty() {
-            return 0.0;
+            return RoundProfile {
+                entries: Vec::new(),
+            };
         }
         let k = self.hierarchy.depth();
         // Directed link table: (level, instance, is_up) → dense index.
@@ -163,15 +183,15 @@ impl NetworkModel {
             ContentionMode::MaxMinFair => max_min_rates(&flows, &capacities),
             ContentionMode::EqualShare => equal_share_rates(&flows, &capacities),
         };
-        let mut slowest: f64 = 0.0;
-        for ((m, rate), j) in messages.iter().zip(&rates).zip(&crossing) {
-            let time = match j {
-                None => m.bytes as f64 / self.local_copy_bandwidth,
-                Some(j) => self.links[*j].crossing_latency + m.bytes as f64 / rate,
-            };
-            slowest = slowest.max(time);
-        }
-        slowest
+        let entries = rates
+            .iter()
+            .zip(&crossing)
+            .map(|(&rate, j)| match j {
+                None => (0.0, self.local_copy_bandwidth),
+                Some(j) => (self.links[*j].crossing_latency, rate),
+            })
+            .collect();
+        RoundProfile { entries }
     }
 
     /// Time for a schedule: the sum of its round times (rounds are
@@ -194,6 +214,51 @@ impl NetworkModel {
     /// achieved by an isolated message of `bytes`.
     pub fn effective_bandwidth(&self, src: usize, dst: usize, bytes: u64) -> f64 {
         bytes as f64 / self.message_time(Message::new(src, dst, bytes))
+    }
+
+    /// A hash over everything that determines round costs (hierarchy shape,
+    /// link calibration, local-copy bandwidth, contention mode).
+    /// [`crate::schedule::CostCache`] uses it to detect being fed a
+    /// different model than the one its profiles were computed against.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hierarchy.levels().hash(&mut h);
+        for p in &self.links {
+            p.uplink_bandwidth.to_bits().hash(&mut h);
+            p.crossing_latency.to_bits().hash(&mut h);
+        }
+        self.local_copy_bandwidth.to_bits().hash(&mut h);
+        (self.mode == ContentionMode::MaxMinFair).hash(&mut h);
+        h.finish()
+    }
+}
+
+/// The size-independent cost structure of one round of messages: per
+/// message, the crossing latency and the contended rate it was allocated.
+///
+/// Computed once by [`NetworkModel::round_profile`] from the messages'
+/// endpoints, then reusable to cost the same communication pattern at any
+/// payload sizes — the contention solve (the expensive part of round
+/// costing) depends only on paths, never on byte counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundProfile {
+    /// Per-message `(latency_s, rate_bytes_per_s)`; self-messages carry
+    /// `(0.0, local_copy_bandwidth)`.
+    pub entries: Vec<(f64, f64)>,
+}
+
+impl RoundProfile {
+    /// Round time for `messages`, which must be the same pattern (count and
+    /// endpoint order) the profile was computed from: the slowest message's
+    /// `latency + bytes / rate`.
+    pub fn time(&self, messages: &[Message]) -> f64 {
+        debug_assert_eq!(self.entries.len(), messages.len());
+        self.entries
+            .iter()
+            .zip(messages)
+            .map(|(&(latency, rate), m)| latency + m.bytes as f64 / rate)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -229,9 +294,18 @@ mod tests {
         NetworkModel::new(
             h,
             vec![
-                LinkParams { uplink_bandwidth: 10.0, crossing_latency: 2.0 },
-                LinkParams { uplink_bandwidth: 40.0, crossing_latency: 1.0 },
-                LinkParams { uplink_bandwidth: 100.0, crossing_latency: 0.5 },
+                LinkParams {
+                    uplink_bandwidth: 10.0,
+                    crossing_latency: 2.0,
+                },
+                LinkParams {
+                    uplink_bandwidth: 40.0,
+                    crossing_latency: 1.0,
+                },
+                LinkParams {
+                    uplink_bandwidth: 100.0,
+                    crossing_latency: 0.5,
+                },
             ],
             1000.0,
         )
@@ -365,7 +439,10 @@ mod tests {
         let h = Hierarchy::new(vec![2, 2]).unwrap();
         NetworkModel::new(
             h,
-            vec![LinkParams { uplink_bandwidth: 1.0, crossing_latency: 0.0 }],
+            vec![LinkParams {
+                uplink_bandwidth: 1.0,
+                crossing_latency: 0.0,
+            }],
             1.0,
         );
     }

@@ -27,11 +27,20 @@ pub fn hydra_network(nodes: usize, nics: usize) -> NetworkModel {
                 crossing_latency: 1.8e-6,
             },
             // Socket uplink: UPI (3 links ≈ 19.2 GB/s usable, per direction).
-            LinkParams { uplink_bandwidth: 19.2e9, crossing_latency: 0.8e-6 },
+            LinkParams {
+                uplink_bandwidth: 19.2e9,
+                crossing_latency: 0.8e-6,
+            },
             // Fake-group uplink: on-die mesh slice.
-            LinkParams { uplink_bandwidth: 40.0e9, crossing_latency: 0.45e-6 },
+            LinkParams {
+                uplink_bandwidth: 40.0e9,
+                crossing_latency: 0.45e-6,
+            },
             // Core uplink: single-stream shared-memory copy rate.
-            LinkParams { uplink_bandwidth: 9.0e9, crossing_latency: 0.30e-6 },
+            LinkParams {
+                uplink_bandwidth: 9.0e9,
+                crossing_latency: 0.30e-6,
+            },
         ],
         20.0e9,
     )
@@ -52,15 +61,30 @@ pub fn lumi_node_network() -> NetworkModel {
 fn lumi_links() -> Vec<LinkParams> {
     vec![
         // Node uplink: Slingshot-11, 200 Gb/s.
-        LinkParams { uplink_bandwidth: 25.0e9, crossing_latency: 2.0e-6 },
+        LinkParams {
+            uplink_bandwidth: 25.0e9,
+            crossing_latency: 2.0e-6,
+        },
         // Socket uplink: xGMI-2 (4 links ≈ 36 GB/s per direction usable).
-        LinkParams { uplink_bandwidth: 36.0e9, crossing_latency: 0.9e-6 },
+        LinkParams {
+            uplink_bandwidth: 36.0e9,
+            crossing_latency: 0.9e-6,
+        },
         // NUMA uplink: on-die infinity fabric slice.
-        LinkParams { uplink_bandwidth: 50.0e9, crossing_latency: 0.5e-6 },
+        LinkParams {
+            uplink_bandwidth: 50.0e9,
+            crossing_latency: 0.5e-6,
+        },
         // L3 uplink.
-        LinkParams { uplink_bandwidth: 60.0e9, crossing_latency: 0.35e-6 },
+        LinkParams {
+            uplink_bandwidth: 60.0e9,
+            crossing_latency: 0.35e-6,
+        },
         // Core uplink: single-stream copy rate.
-        LinkParams { uplink_bandwidth: 11.0e9, crossing_latency: 0.25e-6 },
+        LinkParams {
+            uplink_bandwidth: 11.0e9,
+            crossing_latency: 0.25e-6,
+        },
     ]
 }
 

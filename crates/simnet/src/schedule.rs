@@ -107,7 +107,11 @@ impl Schedule {
     /// contributing). This is how simultaneous collectives in different
     /// communicators are modeled (§4.1.1 step 4).
     pub fn lockstep(schedules: &[Schedule]) -> Schedule {
-        let max_rounds = schedules.iter().map(Schedule::num_rounds).max().unwrap_or(0);
+        let max_rounds = schedules
+            .iter()
+            .map(Schedule::num_rounds)
+            .max()
+            .unwrap_or(0);
         let mut rounds = Vec::with_capacity(max_rounds);
         for i in 0..max_rounds {
             let mut round = Round::new();
@@ -122,6 +126,103 @@ impl Schedule {
     }
 }
 
+/// Memoizes round cost structures across message-size sweeps.
+///
+/// Contended rates depend only on message *endpoints*, never on payload
+/// sizes, so the expensive part of costing a round — building link paths
+/// and solving max-min water-filling — can be done once per distinct
+/// communication pattern and replayed for every payload size. A sweep that
+/// re-costs the same collective schedule at 20 message sizes performs the
+/// contention solve once per round shape instead of 20 times.
+///
+/// Keys are the round's endpoint list `[(src, dst), …]` in message order.
+/// Different process-to-core mappings (different orders σ, subcommunicator
+/// layouts, or collective algorithms) produce different endpoint lists and
+/// therefore distinct entries — the cache never conflates them. A
+/// fingerprint of the [`NetworkModel`] guards against reusing profiles
+/// across different machines or contention modes.
+#[derive(Debug, Default)]
+pub struct CostCache {
+    profiles: std::collections::HashMap<Vec<(usize, usize)>, crate::network::RoundProfile>,
+    fingerprint: Option<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+use crate::network::NetworkModel;
+
+impl CostCache {
+    /// An empty cache. The first call binds it to that call's model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(hits, misses)` — profile lookups served from the cache vs.
+    /// contention solves performed.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of distinct round patterns cached.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether no pattern has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Drops all cached profiles and unbinds the model, keeping the
+    /// hit/miss counters.
+    pub fn clear(&mut self) {
+        self.profiles.clear();
+        self.fingerprint = None;
+    }
+
+    fn check_model(&mut self, net: &NetworkModel) {
+        let fp = net.fingerprint();
+        match self.fingerprint {
+            None => self.fingerprint = Some(fp),
+            Some(bound) => assert_eq!(
+                bound, fp,
+                "CostCache used with a different NetworkModel than it was built against; \
+                 call clear() when switching models"
+            ),
+        }
+    }
+
+    /// Cached equivalent of [`NetworkModel::round_time`].
+    pub fn round_time(&mut self, net: &NetworkModel, messages: &[Message]) -> f64 {
+        self.check_model(net);
+        let key: Vec<(usize, usize)> = messages.iter().map(|m| (m.src, m.dst)).collect();
+        match self.profiles.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.get().time(messages)
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                e.insert(net.round_profile(messages)).time(messages)
+            }
+        }
+    }
+
+    /// Cached equivalent of [`NetworkModel::schedule_time`].
+    pub fn schedule_time(&mut self, net: &NetworkModel, schedule: &Schedule) -> f64 {
+        schedule
+            .rounds
+            .iter()
+            .map(|r| self.round_time(net, &r.messages))
+            .sum()
+    }
+
+    /// Cached equivalent of [`NetworkModel::concurrent_time`].
+    pub fn concurrent_time(&mut self, net: &NetworkModel, schedules: &[Schedule]) -> f64 {
+        self.schedule_time(net, &Schedule::lockstep(schedules))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,7 +230,10 @@ mod tests {
     #[test]
     fn byte_accounting() {
         let mut s = Schedule::new();
-        s.push(Round::with(vec![Message::new(0, 1, 100), Message::new(1, 0, 50)]));
+        s.push(Round::with(vec![
+            Message::new(0, 1, 100),
+            Message::new(1, 0, 50),
+        ]));
         s.push(Round::with(vec![Message::new(2, 3, 25)]));
         assert_eq!(s.num_rounds(), 2);
         assert_eq!(s.total_bytes(), 175);
@@ -161,5 +265,127 @@ mod tests {
         a.then(b);
         assert_eq!(a.num_rounds(), 2);
         assert_eq!(a.total_bytes(), 3);
+    }
+
+    use crate::network::{ContentionMode, LinkParams, NetworkModel};
+    use mre_core::Hierarchy;
+
+    fn toy_network() -> NetworkModel {
+        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        NetworkModel::new(
+            h,
+            vec![
+                LinkParams {
+                    uplink_bandwidth: 10.0,
+                    crossing_latency: 3.0,
+                },
+                LinkParams {
+                    uplink_bandwidth: 40.0,
+                    crossing_latency: 1.0,
+                },
+                LinkParams {
+                    uplink_bandwidth: 100.0,
+                    crossing_latency: 0.5,
+                },
+            ],
+            1000.0,
+        )
+    }
+
+    fn sweep_rounds() -> Vec<Round> {
+        vec![
+            Round::with(vec![Message::new(0, 8, 100), Message::new(1, 9, 100)]),
+            Round::with(vec![Message::new(0, 1, 100), Message::new(2, 2, 100)]),
+            Round::with(vec![Message::new(3, 12, 100)]),
+        ]
+    }
+
+    #[test]
+    fn cached_round_time_matches_direct_across_sizes() {
+        let net = toy_network();
+        let mut cache = CostCache::new();
+        for round in sweep_rounds() {
+            for bytes in [1u64, 100, 4096, 1 << 20] {
+                let sized: Vec<Message> = round
+                    .messages
+                    .iter()
+                    .map(|m| Message::new(m.src, m.dst, bytes))
+                    .collect();
+                assert_eq!(cache.round_time(&net, &sized), net.round_time(&sized));
+            }
+        }
+    }
+
+    #[test]
+    fn size_sweep_solves_each_pattern_once() {
+        let net = toy_network();
+        let mut cache = CostCache::new();
+        let rounds = sweep_rounds();
+        let sizes = [1u64, 100, 4096, 1 << 20];
+        for &bytes in &sizes {
+            for round in &rounds {
+                let sized: Vec<Message> = round
+                    .messages
+                    .iter()
+                    .map(|m| Message::new(m.src, m.dst, bytes))
+                    .collect();
+                cache.round_time(&net, &sized);
+            }
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, rounds.len() as u64);
+        assert_eq!(hits, (sizes.len() as u64 - 1) * rounds.len() as u64);
+        assert_eq!(cache.len(), rounds.len());
+    }
+
+    #[test]
+    fn cached_schedule_time_matches_direct() {
+        let net = toy_network();
+        let mut cache = CostCache::new();
+        let s = Schedule::with(sweep_rounds());
+        assert_eq!(cache.schedule_time(&net, &s), net.schedule_time(&s));
+        let other = Schedule::with(vec![Round::with(vec![Message::new(4, 0, 77)])]);
+        assert_eq!(
+            cache.concurrent_time(&net, &[s.clone(), other.clone()]),
+            net.concurrent_time(&[s, other])
+        );
+    }
+
+    #[test]
+    fn distinct_endpoint_patterns_get_distinct_entries() {
+        let net = toy_network();
+        let mut cache = CostCache::new();
+        // Same shape (one message), different endpoints: a node-crossing
+        // and an intra-node message must not share a profile.
+        let cross = [Message::new(0, 8, 100)];
+        let local = [Message::new(0, 1, 100)];
+        let t_cross = cache.round_time(&net, &cross);
+        let t_local = cache.round_time(&net, &local);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(t_cross, net.round_time(&cross));
+        assert_eq!(t_local, net.round_time(&local));
+        assert!(t_cross > t_local);
+    }
+
+    #[test]
+    #[should_panic(expected = "different NetworkModel")]
+    fn model_switch_without_clear_panics() {
+        let a = toy_network();
+        let b = toy_network().with_contention_mode(ContentionMode::EqualShare);
+        let mut cache = CostCache::new();
+        cache.round_time(&a, &[Message::new(0, 8, 1)]);
+        cache.round_time(&b, &[Message::new(0, 8, 1)]);
+    }
+
+    #[test]
+    fn clear_rebinds_to_a_new_model() {
+        let a = toy_network();
+        let b = toy_network().with_node_uplink_scale(2.0);
+        let mut cache = CostCache::new();
+        let m = [Message::new(0, 8, 1000)];
+        cache.round_time(&a, &m);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.round_time(&b, &m), b.round_time(&m));
     }
 }

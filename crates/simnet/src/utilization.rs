@@ -71,12 +71,8 @@ pub fn utilization(hierarchy: &Hierarchy, schedule: &Schedule) -> Utilization {
             message_counts[j] += 1;
             if j < k {
                 for (level, &stride) in strides.iter().enumerate().skip(j) {
-                    *per_round
-                        .entry((level, m.src / stride, true))
-                        .or_insert(0) += m.bytes;
-                    *per_round
-                        .entry((level, m.dst / stride, false))
-                        .or_insert(0) += m.bytes;
+                    *per_round.entry((level, m.src / stride, true)).or_insert(0) += m.bytes;
+                    *per_round.entry((level, m.dst / stride, false)).or_insert(0) += m.bytes;
                 }
             }
         }
@@ -84,7 +80,11 @@ pub fn utilization(hierarchy: &Hierarchy, schedule: &Schedule) -> Utilization {
             peak_link_bytes[level] = peak_link_bytes[level].max(bytes);
         }
     }
-    Utilization { bytes_crossing, peak_link_bytes, message_counts }
+    Utilization {
+        bytes_crossing,
+        peak_link_bytes,
+        message_counts,
+    }
 }
 
 #[cfg(test)]
@@ -100,10 +100,10 @@ mod tests {
     #[test]
     fn classifies_crossing_levels() {
         let s = Schedule::with(vec![Round::with(vec![
-            Message::new(0, 1, 10),  // same socket (level 2)
-            Message::new(0, 4, 20),  // cross socket (level 1)
-            Message::new(0, 8, 40),  // cross node (level 0)
-            Message::new(5, 5, 80),  // local copy
+            Message::new(0, 1, 10), // same socket (level 2)
+            Message::new(0, 4, 20), // cross socket (level 1)
+            Message::new(0, 8, 40), // cross node (level 0)
+            Message::new(5, 5, 80), // local copy
         ])]);
         let u = utilization(&h224(), &s);
         assert_eq!(u.bytes_crossing, vec![40, 20, 10, 80]);

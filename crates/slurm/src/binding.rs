@@ -48,7 +48,9 @@ impl JobLayout {
     pub fn from_order(machine: &Hierarchy, sigma: &Permutation) -> Result<Self, Error> {
         let reordering = RankReordering::new(machine, sigma)?;
         // Rank r runs on the r-th core of the enumeration.
-        Ok(Self { placement: reordering.inverse().to_vec() })
+        Ok(Self {
+            placement: reordering.inverse().to_vec(),
+        })
     }
 
     /// Layout of a partial-node job from a per-node `map_cpu` core list
@@ -61,10 +63,16 @@ impl JobLayout {
     ) -> Result<Self, Error> {
         let n = list.len();
         if n == 0 || n > cores_per_node {
-            return Err(Error::TooManyCores { requested: n, available: cores_per_node });
+            return Err(Error::TooManyCores {
+                requested: n,
+                available: cores_per_node,
+            });
         }
         if let Some(&bad) = list.iter().find(|&&c| c >= cores_per_node) {
-            return Err(Error::RankOutOfRange { rank: bad, size: cores_per_node });
+            return Err(Error::RankOutOfRange {
+                rank: bad,
+                size: cores_per_node,
+            });
         }
         let mut placement = Vec::with_capacity(nodes * n);
         for node in 0..nodes {

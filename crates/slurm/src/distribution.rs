@@ -72,11 +72,15 @@ impl Distribution {
                         message: format!("bad plane size: {e}"),
                     })?;
                     if n == 0 {
-                        return Err(Error::Parse { message: "plane size 0".into() });
+                        return Err(Error::Parse {
+                            message: "plane size 0".into(),
+                        });
                     }
                     Ok(Distribution::Plane(n))
                 } else {
-                    Err(Error::Parse { message: format!("unknown distribution {other:?}") })
+                    Err(Error::Parse {
+                        message: format!("unknown distribution {other:?}"),
+                    })
                 }
             }
         }
@@ -126,9 +130,7 @@ impl Distribution {
                 }
                 if product != *n || t == 0 {
                     return Err(Error::Parse {
-                        message: format!(
-                            "plane={n} does not align with hierarchy {h}"
-                        ),
+                        message: format!("plane={n} does not align with hierarchy {h}"),
                     });
                 }
                 let mut v: Vec<usize> = (t..k).rev().collect();
@@ -144,8 +146,7 @@ impl Distribution {
     /// captions of the paper's Fig. 2. Planes are probed at every suffix
     /// block size.
     pub fn from_order(h: &Hierarchy, sigma: &Permutation) -> Option<Distribution> {
-        let mut candidates: Vec<Distribution> =
-            Distribution::all_block_cyclic().to_vec();
+        let mut candidates: Vec<Distribution> = Distribution::all_block_cyclic().to_vec();
         let mut product = 1usize;
         for t in (1..h.depth()).rev() {
             product *= h.level(t);

@@ -68,7 +68,10 @@ pub fn hydra_unfaked(nodes: usize) -> MachineDesc {
 
 /// Hydra with both NICs enabled (Fig. 8b).
 pub fn hydra_two_nics(nodes: usize) -> MachineDesc {
-    MachineDesc { nics_per_node: 2, ..hydra(nodes) }
+    MachineDesc {
+        nics_per_node: 2,
+        ..hydra(nodes)
+    }
 }
 
 /// LUMI: `⟦nodes, 2, 4, 2, 8⟧` (socket, NUMA, L3, core).

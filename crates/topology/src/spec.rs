@@ -111,7 +111,10 @@ impl TopologySpec {
     pub fn hierarchy(&self) -> Result<Hierarchy, Error> {
         Hierarchy::with_names(
             self.levels.iter().map(|l| l.arity).collect(),
-            self.levels.iter().map(|l| l.kind.name().to_string()).collect(),
+            self.levels
+                .iter()
+                .map(|l| l.kind.name().to_string())
+                .collect(),
         )
     }
 
@@ -120,7 +123,10 @@ impl TopologySpec {
     /// the core level produces a Group level above new smaller core level.
     pub fn split_level(&self, i: usize, factor: usize) -> Result<Self, Error> {
         if i >= self.levels.len() {
-            return Err(Error::LevelOutOfRange { level: i, depth: self.levels.len() });
+            return Err(Error::LevelOutOfRange {
+                level: i,
+                depth: self.levels.len(),
+            });
         }
         let level = self.levels[i];
         if factor == 0 || !level.arity.is_multiple_of(factor) {
@@ -137,7 +143,10 @@ impl TopologySpec {
             levels.insert(i + 1, LevelSpec::new(LevelKind::Core, level.arity / factor));
         } else {
             levels[i] = LevelSpec::new(level.kind, factor);
-            levels.insert(i + 1, LevelSpec::new(LevelKind::Group, level.arity / factor));
+            levels.insert(
+                i + 1,
+                LevelSpec::new(LevelKind::Group, level.arity / factor),
+            );
         }
         Self::new(levels)
     }
@@ -192,10 +201,7 @@ mod tests {
     use super::*;
 
     fn spec(levels: &[(LevelKind, usize)]) -> TopologySpec {
-        TopologySpec::new(
-            levels.iter().map(|&(k, a)| LevelSpec::new(k, a)).collect(),
-        )
-        .unwrap()
+        TopologySpec::new(levels.iter().map(|&(k, a)| LevelSpec::new(k, a)).collect()).unwrap()
     }
 
     #[test]
@@ -255,10 +261,7 @@ mod tests {
 
     #[test]
     fn split_non_core_level() {
-        let s = spec(&[
-            (LevelKind::Node, 12),
-            (LevelKind::Core, 4),
-        ]);
+        let s = spec(&[(LevelKind::Node, 12), (LevelKind::Core, 4)]);
         let split = s.split_level(0, 3).unwrap();
         assert_eq!(split.hierarchy().unwrap().levels(), &[3, 4, 4]);
         assert_eq!(split.levels()[1].kind, LevelKind::Group);

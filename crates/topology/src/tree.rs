@@ -95,7 +95,12 @@ impl Topology {
         let cores = (0..counts[depth])
             .map(|i| ObjectId(depth_offsets[depth] + i))
             .collect();
-        Self { spec: spec.clone(), objects, cores, depth_offsets }
+        Self {
+            spec: spec.clone(),
+            objects,
+            cores,
+            depth_offsets,
+        }
     }
 
     /// The specification this tree was built from.
@@ -166,10 +171,14 @@ impl Topology {
     pub fn lca(&self, a: ObjectId, b: ObjectId) -> ObjectId {
         let (mut a, mut b) = (a, b);
         while self.objects[a.0].depth > self.objects[b.0].depth {
-            a = self.objects[a.0].parent.expect("deeper object must have parent");
+            a = self.objects[a.0]
+                .parent
+                .expect("deeper object must have parent");
         }
         while self.objects[b.0].depth > self.objects[a.0].depth {
-            b = self.objects[b.0].parent.expect("deeper object must have parent");
+            b = self.objects[b.0]
+                .parent
+                .expect("deeper object must have parent");
         }
         while a != b {
             a = self.objects[a.0].parent.expect("non-root in LCA walk");
@@ -320,7 +329,10 @@ mod tests {
     fn lca_examples() {
         let t = small();
         // Cores 0 and 1: same socket → LCA is the socket (depth 2).
-        assert_eq!(t.object(t.lca(t.core(0), t.core(1))).kind, LevelKind::Socket);
+        assert_eq!(
+            t.object(t.lca(t.core(0), t.core(1))).kind,
+            LevelKind::Socket
+        );
         // Cores 0 and 4: same node → LCA is the node (depth 1).
         assert_eq!(t.object(t.lca(t.core(0), t.core(4))).kind, LevelKind::Node);
         // Cores 0 and 8: different nodes → LCA is the root.

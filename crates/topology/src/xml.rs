@@ -83,10 +83,7 @@ pub fn from_xml(text: &str) -> Result<TopologySpec, Error> {
                 return Err(err("<object> before <topology>".into()));
             }
             let self_closing = rest.ends_with("/>");
-            let attrs = rest
-                .trim_end_matches("/>")
-                .trim_end_matches('>')
-                .trim();
+            let attrs = rest.trim_end_matches("/>").trim_end_matches('>').trim();
             let kind = attr(attrs, "type").ok_or_else(|| err("missing type".into()))?;
             let arity = attr(attrs, "arity")
                 .ok_or_else(|| err("missing arity".into()))?
@@ -102,7 +99,9 @@ pub fn from_xml(text: &str) -> Result<TopologySpec, Error> {
         }
     }
     if !seen_topology {
-        return Err(Error::Parse { message: "no <topology> element".into() });
+        return Err(Error::Parse {
+            message: "no <topology> element".into(),
+        });
     }
     TopologySpec::new(levels)
 }

@@ -61,8 +61,7 @@ impl SparseMatrix {
 /// off-diagonal entries per row, symmetrized, diagonal set to the row's
 /// absolute sum plus `shift` (strict diagonal dominance ⇒ SPD).
 pub fn generate_matrix(n: usize, nonzer: usize, shift: f64, seed: u64) -> SparseMatrix {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use mre_rng::SmallRng;
     let mut rng = SmallRng::seed_from_u64(seed);
     // Collect symmetric off-diagonal entries in a map per row.
     let mut rows: Vec<std::collections::BTreeMap<usize, f64>> =
@@ -104,7 +103,12 @@ pub fn generate_matrix(n: usize, nonzer: usize, shift: f64, seed: u64) -> Sparse
         }
         row_ptr.push(cols.len());
     }
-    SparseMatrix { n, row_ptr, cols, vals }
+    SparseMatrix {
+        n,
+        row_ptr,
+        cols,
+        vals,
+    }
 }
 
 /// Sequential CG: solves `A·x = b` for `iterations` steps from `x = 0`,
@@ -155,8 +159,11 @@ pub fn cg_distributed(
         let mut r: Vec<f64> = b[lo..hi].to_vec();
         let mut p: Vec<f64> = r.clone();
         let local_rho: f64 = r.iter().map(|v| v * v).sum();
-        let mut rho =
-            world.allreduce(vec![local_rho], |a, b| a + b, AllreduceAlg::RecursiveDoubling)[0];
+        let mut rho = world.allreduce(
+            vec![local_rho],
+            |a, b| a + b,
+            AllreduceAlg::RecursiveDoubling,
+        )[0];
         for _ in 0..iterations {
             // Reassemble the full p by allgather (blocks may be ragged).
             let gathered = world.allgather(p.clone(), AllgatherAlg::Ring);
@@ -211,13 +218,33 @@ pub struct CgClass {
 
 impl CgClass {
     /// Class S (the toy size).
-    pub const S: CgClass = CgClass { name: 'S', n: 1400, nonzer: 7, iterations: 15 };
+    pub const S: CgClass = CgClass {
+        name: 'S',
+        n: 1400,
+        nonzer: 7,
+        iterations: 15,
+    };
     /// Class A.
-    pub const A: CgClass = CgClass { name: 'A', n: 14000, nonzer: 11, iterations: 15 };
+    pub const A: CgClass = CgClass {
+        name: 'A',
+        n: 14000,
+        nonzer: 11,
+        iterations: 15,
+    };
     /// Class B.
-    pub const B: CgClass = CgClass { name: 'B', n: 75000, nonzer: 13, iterations: 75 };
+    pub const B: CgClass = CgClass {
+        name: 'B',
+        n: 75000,
+        nonzer: 13,
+        iterations: 75,
+    };
     /// Class C — the Fig. 9 setting.
-    pub const C: CgClass = CgClass { name: 'C', n: 150000, nonzer: 15, iterations: 75 };
+    pub const C: CgClass = CgClass {
+        name: 'C',
+        n: 150000,
+        nonzer: 15,
+        iterations: 75,
+    };
 
     /// Inner CG iterations per outer step (`cgitmax` in NPB).
     pub const INNER_ITERATIONS: usize = 25;
@@ -298,7 +325,11 @@ pub fn estimate_time(
             let col = r % npcols;
             let partner = col * npcols + row;
             if partner != r {
-                round.push(Message::new(cores[r], cores[partner], (local_rows as u64) * 8));
+                round.push(Message::new(
+                    cores[r],
+                    cores[partner],
+                    (local_rows as u64) * 8,
+                ));
             }
         }
         comm.push(round);
@@ -434,7 +465,10 @@ mod tests {
         };
         let t16 = best(16);
         let t32 = best(32);
-        assert!(t32 > t16 * 0.55, "no perfect scaling expected: {t16} → {t32}");
+        assert!(
+            t32 > t16 * 0.55,
+            "no perfect scaling expected: {t16} → {t32}"
+        );
     }
 
     #[test]

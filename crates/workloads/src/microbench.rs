@@ -19,7 +19,7 @@ use mre_core::subcomm::{subcommunicators, ColorScheme};
 use mre_core::{Error, Hierarchy, Permutation};
 use mre_mpi::schedules;
 use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
-use mre_simnet::{NetworkModel, Schedule};
+use mre_simnet::{CostCache, NetworkModel, Schedule};
 
 /// The non-rooted collectives the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,19 +124,47 @@ impl Microbench {
         net: &NetworkModel,
         scheme: ColorScheme,
     ) -> Result<MicrobenchResult, Error> {
+        self.run_with_scheme_cached(net, scheme, &mut CostCache::new())
+    }
+
+    /// Like [`run`](Self::run) but reusing `cache` across calls.
+    ///
+    /// Contended rates depend only on message endpoints, so a size sweep
+    /// over the same (machine, order, subcommunicator, collective) re-costs
+    /// cached round profiles instead of re-solving contention — with `Auto`
+    /// algorithm selection, each resolved algorithm's round shapes are
+    /// cached separately and coexist.
+    pub fn run_cached(
+        &self,
+        net: &NetworkModel,
+        cache: &mut CostCache,
+    ) -> Result<MicrobenchResult, Error> {
+        self.run_with_scheme_cached(net, ColorScheme::Quotient, cache)
+    }
+
+    /// [`run_with_scheme`](Self::run_with_scheme) with an explicit
+    /// [`CostCache`].
+    pub fn run_with_scheme_cached(
+        &self,
+        net: &NetworkModel,
+        scheme: ColorScheme,
+        cache: &mut CostCache,
+    ) -> Result<MicrobenchResult, Error> {
         assert_eq!(
             net.hierarchy(),
             &self.machine,
             "network model and benchmark must describe the same machine"
         );
-        let layout =
-            subcommunicators(&self.machine, &self.order, self.subcomm_size, scheme)?;
-        let single = net.schedule_time(&self.schedule_for(layout.members(0)));
+        let layout = subcommunicators(&self.machine, &self.order, self.subcomm_size, scheme)?;
+        let single = cache.schedule_time(net, &self.schedule_for(layout.members(0)));
         let all: Vec<Schedule> = (0..layout.count())
             .map(|c| self.schedule_for(layout.members(c)))
             .collect();
-        let simultaneous = net.concurrent_time(&all);
-        Ok(MicrobenchResult { single_duration: single, simultaneous_duration: simultaneous })
+        let simultaneous = cache.concurrent_time(net, &all);
+        Ok(MicrobenchResult {
+            single_duration: single,
+            simultaneous_duration: simultaneous,
+        })
     }
 
     /// Runs the protocol under the fluid (barrier-free) simulator — the
@@ -154,13 +182,15 @@ impl Microbench {
             self.subcomm_size,
             ColorScheme::Quotient,
         )?;
-        let single =
-            mre_simnet::fluid_time(net, &[self.schedule_for(layout.members(0))]);
+        let single = mre_simnet::fluid_time(net, &[self.schedule_for(layout.members(0))]);
         let all: Vec<Schedule> = (0..layout.count())
             .map(|c| self.schedule_for(layout.members(c)))
             .collect();
         let simultaneous = mre_simnet::fluid_time(net, &all);
-        Ok(MicrobenchResult { single_duration: single, simultaneous_duration: simultaneous })
+        Ok(MicrobenchResult {
+            single_duration: single,
+            simultaneous_duration: simultaneous,
+        })
     }
 }
 
@@ -289,7 +319,10 @@ mod tests {
 
     #[test]
     fn bandwidth_helpers_invert_duration() {
-        let r = MicrobenchResult { single_duration: 2.0, simultaneous_duration: 4.0 };
+        let r = MicrobenchResult {
+            single_duration: 2.0,
+            simultaneous_duration: 4.0,
+        };
         assert_eq!(r.single_bandwidth(8), 4.0);
         assert_eq!(r.simultaneous_bandwidth(8), 2.0);
     }
@@ -300,6 +333,26 @@ mod tests {
         assert_eq!(*sweep.first().unwrap(), 16 * 1024);
         assert_eq!(*sweep.last().unwrap(), 512 << 20);
         assert_eq!(sweep.len(), 16);
+    }
+
+    #[test]
+    fn cached_size_sweep_matches_uncached_and_reuses_profiles() {
+        let net = hydra_network(16, 1);
+        let mut cache = CostCache::new();
+        for e in [16u32, 20, 24] {
+            for order in [[0usize, 1, 2, 3], [3, 2, 1, 0], [1, 3, 0, 2]] {
+                let b = bench(&order, 1 << e);
+                let cached = b.run_cached(&net, &mut cache).unwrap();
+                let direct = b.run(&net).unwrap();
+                assert_eq!(cached, direct);
+            }
+        }
+        let (hits, misses) = cache.stats();
+        // 3 sizes per pattern → the first size populates, the rest hit.
+        assert!(
+            hits >= 2 * misses,
+            "size sweep should mostly hit: {hits} hits / {misses} misses"
+        );
     }
 
     #[test]

@@ -57,8 +57,7 @@ impl SparseTensor {
 /// Generates a random sparse tensor with `nnz` entries (duplicates
 /// collapsed), reproducible from `seed`.
 pub fn generate_tensor(dims: [usize; 3], nnz: usize, seed: u64) -> SparseTensor {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use mre_rng::SmallRng;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut map = std::collections::BTreeMap::new();
     while map.len() < nnz {
@@ -70,15 +69,18 @@ pub fn generate_tensor(dims: [usize; 3], nnz: usize, seed: u64) -> SparseTensor 
         map.entry(idx).or_insert_with(|| rng.gen_range(0.1..1.0));
     }
     let (indices, values) = map.into_iter().unzip();
-    SparseTensor { dims, indices, values }
+    SparseTensor {
+        dims,
+        indices,
+        values,
+    }
 }
 
 /// Dense factor matrix: `rows × rank`, row-major.
 pub type Factor = Vec<Vec<f64>>;
 
 fn init_factor(rows: usize, rank: usize, seed: u64) -> Factor {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use mre_rng::SmallRng;
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..rows)
         .map(|_| (0..rank).map(|_| rng.gen_range(0.1..1.0)).collect())
@@ -293,8 +295,7 @@ pub fn cpd_distributed(
                 };
                 let mut partial = vec![0.0; tensor.dims[m] * rank];
                 {
-                    let mut rows: Vec<Vec<f64>> =
-                        vec![vec![0.0; rank]; tensor.dims[m]];
+                    let mut rows: Vec<Vec<f64>> = vec![vec![0.0; rank]; tensor.dims[m]];
                     mttkrp_partial(tensor, lo..hi, m, &factors, rank, &mut rows);
                     for (i, row) in rows.into_iter().enumerate() {
                         partial[i * rank..(i + 1) * rank].copy_from_slice(&row);
@@ -306,12 +307,10 @@ pub fn cpd_distributed(
                 // S_layer / L, so the world sum is exactly the full
                 // MTTKRP: Σ_layers L · (S_layer / L).
                 let layer_size = layers[m].size() as f64;
-                let layer_sum =
-                    layers[m].allreduce(partial, |x, y| x + y, AllreduceAlg::Ring);
+                let layer_sum = layers[m].allreduce(partial, |x, y| x + y, AllreduceAlg::Ring);
                 let layer_scaled: Vec<f64> =
                     layer_sum.into_iter().map(|v| v / layer_size).collect();
-                let total =
-                    world.allreduce(layer_scaled, |x, y| x + y, AllreduceAlg::Ring);
+                let total = world.allreduce(layer_scaled, |x, y| x + y, AllreduceAlg::Ring);
                 let mttkrp: Vec<Vec<f64>> = (0..tensor.dims[m])
                     .map(|i| total[i * rank..(i + 1) * rank].to_vec())
                     .collect();
@@ -400,7 +399,10 @@ pub fn estimate_cpd_time(
 ) -> Result<CpdCost, Error> {
     let p = cfg.nprocs();
     if machine.size() != p {
-        return Err(Error::RankOutOfRange { rank: p, size: machine.size() });
+        return Err(Error::RankOutOfRange {
+            rank: p,
+            size: machine.size(),
+        });
     }
     let g = cfg.grid;
     // Reordered world: reordered rank r sits on core enumeration[r].
@@ -417,9 +419,7 @@ pub fn estimate_cpd_time(
         allreduce: 0.0,
         compute: 0.0,
     };
-    let smallest_mode = (0..3)
-        .max_by_key(|&m| g[m])
-        .expect("three modes");
+    let smallest_mode = (0..3).max_by_key(|&m| g[m]).expect("three modes");
     for m in 0..3 {
         let n_layers = g[m];
         let comm_size = p / n_layers;
@@ -444,10 +444,7 @@ pub fn estimate_cpd_time(
         }
         // λ normalization + fit pieces: one world allreduce per mode.
         let world_members: Vec<usize> = (0..p).map(|r| reordering.old_rank(r)).collect();
-        let ar = schedules::allreduce_recursive_doubling(
-            &world_members,
-            (cfg.rank * 8) as u64,
-        );
+        let ar = schedules::allreduce_recursive_doubling(&world_members, (cfg.rank * 8) as u64);
         cost.allreduce += net.schedule_time(&ar) * cfg.iterations as f64;
     }
     // MTTKRP compute: 3 modes × 5·nnz·rank/p flops per iteration.
@@ -545,7 +542,10 @@ mod tests {
     #[test]
     fn cpd_time_depends_on_order() {
         // 1024 processes on 32 Hydra nodes: the Fig. 8 setting.
-        let cfg = SplattConfig { iterations: 2, ..SplattConfig::nell1_like() };
+        let cfg = SplattConfig {
+            iterations: 2,
+            ..SplattConfig::nell1_like()
+        };
         let machine = Hierarchy::new(vec![32, 2, 2, 8]).unwrap();
         let net = hydra_network(32, 1);
         let a = estimate_cpd_time(
@@ -571,7 +571,10 @@ mod tests {
     fn cpd_time_correlates_with_small_comm_alltoallv() {
         // §4.2: Pearson ≈ 0.98 between CPD duration and the Alltoallv time
         // on the 16-process communicators across orders.
-        let cfg = SplattConfig { iterations: 1, ..SplattConfig::nell1_like() };
+        let cfg = SplattConfig {
+            iterations: 1,
+            ..SplattConfig::nell1_like()
+        };
         let machine = Hierarchy::new(vec![32, 2, 2, 8]).unwrap();
         let net = hydra_network(32, 1);
         let mut totals = Vec::new();
@@ -588,7 +591,10 @@ mod tests {
     #[test]
     fn two_nics_speed_up_every_order() {
         // Fig. 8b: with two NICs all orders get faster on average.
-        let cfg = SplattConfig { iterations: 1, ..SplattConfig::nell1_like() };
+        let cfg = SplattConfig {
+            iterations: 1,
+            ..SplattConfig::nell1_like()
+        };
         let machine = Hierarchy::new(vec![32, 2, 2, 8]).unwrap();
         let one = hydra_network(32, 1);
         let two = hydra_network(32, 2);
@@ -596,7 +602,12 @@ mod tests {
             let sigma = Permutation::parse(order).unwrap();
             let t1 = estimate_cpd_time(&cfg, &machine, &sigma, &one, 15.0e9).unwrap();
             let t2 = estimate_cpd_time(&cfg, &machine, &sigma, &two, 15.0e9).unwrap();
-            assert!(t2.total <= t1.total, "{order}: {} vs {}", t2.total, t1.total);
+            assert!(
+                t2.total <= t1.total,
+                "{order}: {} vs {}",
+                t2.total,
+                t1.total
+            );
         }
     }
 

@@ -54,8 +54,16 @@ impl Stencil {
                 // Forward face + the mirrored backward face of the
                 // neighbor (i.e. each ordered neighbor pair appears once
                 // per direction).
-                round.push(Message::new(placement[rank], placement[fwd], self.face_bytes));
-                round.push(Message::new(placement[fwd], placement[rank], self.face_bytes));
+                round.push(Message::new(
+                    placement[rank],
+                    placement[fwd],
+                    self.face_bytes,
+                ));
+                round.push(Message::new(
+                    placement[fwd],
+                    placement[rank],
+                    self.face_bytes,
+                ));
             }
         }
         Ok(Schedule::with(vec![round]))
@@ -71,11 +79,13 @@ impl Stencil {
     ) -> Result<f64, Error> {
         let grid_size: usize = self.dims.iter().product();
         if grid_size != machine.size() {
-            return Err(Error::RankOutOfRange { rank: grid_size, size: machine.size() });
+            return Err(Error::RankOutOfRange {
+                rank: grid_size,
+                size: machine.size(),
+            });
         }
         let reordering = RankReordering::new(machine, sigma)?;
-        let placement: Vec<usize> =
-            (0..grid_size).map(|r| reordering.old_rank(r)).collect();
+        let placement: Vec<usize> = (0..grid_size).map(|r| reordering.old_rank(r)).collect();
         Ok(net.schedule_time(&self.halo_schedule(&placement)?))
     }
 
@@ -162,13 +172,11 @@ mod tests {
         let reordering =
             RankReordering::new(&machine, &Permutation::parse("3-2-1-0").unwrap()).unwrap();
         let placement: Vec<usize> = (0..512).map(|r| reordering.old_rank(r)).collect();
-        let u_packed =
-            utilization(&machine, &stencil.halo_schedule(&placement).unwrap());
+        let u_packed = utilization(&machine, &stencil.halo_schedule(&placement).unwrap());
         let reordering =
             RankReordering::new(&machine, &Permutation::parse("0-1-2-3").unwrap()).unwrap();
         let placement: Vec<usize> = (0..512).map(|r| reordering.old_rank(r)).collect();
-        let u_cyclic =
-            utilization(&machine, &stencil.halo_schedule(&placement).unwrap());
+        let u_cyclic = utilization(&machine, &stencil.halo_schedule(&placement).unwrap());
         assert!(u_packed.bytes_crossing[0] < u_cyclic.bytes_crossing[0]);
     }
 
@@ -180,9 +188,18 @@ mod tests {
             NetworkModel::new(
                 machine.clone(),
                 vec![
-                    LinkParams { uplink_bandwidth: 10.0e9, crossing_latency: 1e-6 },
-                    LinkParams { uplink_bandwidth: 20.0e9, crossing_latency: 5e-7 },
-                    LinkParams { uplink_bandwidth: 9.0e9, crossing_latency: 2e-7 },
+                    LinkParams {
+                        uplink_bandwidth: 10.0e9,
+                        crossing_latency: 1e-6,
+                    },
+                    LinkParams {
+                        uplink_bandwidth: 20.0e9,
+                        crossing_latency: 5e-7,
+                    },
+                    LinkParams {
+                        uplink_bandwidth: 9.0e9,
+                        crossing_latency: 2e-7,
+                    },
                 ],
                 20.0e9,
             )

@@ -40,10 +40,22 @@ fn main() {
         NetworkModel::new(
             machine.clone(),
             vec![
-                LinkParams { uplink_bandwidth: 12.5e9, crossing_latency: 1.8e-6 },
-                LinkParams { uplink_bandwidth: 19.2e9, crossing_latency: 0.8e-6 },
-                LinkParams { uplink_bandwidth: 40.0e9, crossing_latency: 0.45e-6 },
-                LinkParams { uplink_bandwidth: 9.0e9, crossing_latency: 0.30e-6 },
+                LinkParams {
+                    uplink_bandwidth: 12.5e9,
+                    crossing_latency: 1.8e-6,
+                },
+                LinkParams {
+                    uplink_bandwidth: 19.2e9,
+                    crossing_latency: 0.8e-6,
+                },
+                LinkParams {
+                    uplink_bandwidth: 40.0e9,
+                    crossing_latency: 0.45e-6,
+                },
+                LinkParams {
+                    uplink_bandwidth: 9.0e9,
+                    crossing_latency: 0.30e-6,
+                },
             ],
             20.0e9,
         )
@@ -60,11 +72,12 @@ fn main() {
         let sigma = Permutation::parse(order).expect("valid order");
         let reordering = RankReordering::new(&machine, &sigma).expect("valid order");
         // Grid rank r runs on the r-th core of the enumeration.
-        let placement: Vec<usize> = (0..cart.size())
-            .map(|r| reordering.old_rank(r))
-            .collect();
+        let placement: Vec<usize> = (0..cart.size()).map(|r| reordering.old_rank(r)).collect();
         let t = net.schedule_time(&halo_schedule(&cart, &placement, halo_bytes));
-        println!("  {label} order [{order}]: halo exchange {:>8.2} µs/iter", t * 1e6);
+        println!(
+            "  {label} order [{order}]: halo exchange {:>8.2} µs/iter",
+            t * 1e6
+        );
     }
 
     // Functional check: the reordered Cartesian communicator really

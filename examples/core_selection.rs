@@ -43,7 +43,11 @@ fn main() {
         for sigma in orders.iter().take(3) {
             let list = map_cpu_list(&node, sigma, nprocs).expect("valid order");
             let t = estimate_time(&CgClass::C, &list, &net, &mem).expect("pow2 count");
-            let mark = if *sigma == slurm_default { "  <- Slurm default" } else { "" };
+            let mark = if *sigma == slurm_default {
+                "  <- Slurm default"
+            } else {
+                ""
+            };
             println!(
                 "  srun --cpu-bind={}   # order [{sigma}], est. CG-C {t:.2} s{mark}",
                 format_map_cpu(&list)

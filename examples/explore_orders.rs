@@ -24,7 +24,10 @@ fn main() {
         }
     };
     if machine.size() % subcomm != 0 {
-        eprintln!("subcommunicator size {subcomm} must divide {}", machine.size());
+        eprintln!(
+            "subcommunicator size {subcomm} must divide {}",
+            machine.size()
+        );
         std::process::exit(1);
     }
     let k = machine.depth();
@@ -40,7 +43,10 @@ fn main() {
         classes.len()
     );
     for (i, class) in classes.iter().enumerate() {
-        println!("\nclass {i} — {} orders map communicators to the same resources:", class.len());
+        println!(
+            "\nclass {i} — {} orders map communicators to the same resources:",
+            class.len()
+        );
         for sigma in class {
             let c = characterize_order(&machine, sigma, subcomm).expect("valid order");
             let slurm = Distribution::from_order(&machine, sigma)

@@ -24,9 +24,8 @@ fn main() {
     let results = run(machine.size(), move |proc_| {
         let world = Comm::world(proc_);
         // Method 1 of §3.2: new communicator keyed by the reordered rank.
-        let new_rank =
-            reorder_rank(&machine_for_threads, proc_.world_rank(), &order_for_threads)
-                .expect("valid rank");
+        let new_rank = reorder_rank(&machine_for_threads, proc_.world_rank(), &order_for_threads)
+            .expect("valid rank");
         let reordered = world.split(0, new_rank as i64).expect("color 0");
         // Quotient coloring into 4-process subcommunicators.
         let sub = reordered
@@ -34,7 +33,10 @@ fn main() {
             .expect("non-negative color");
         // A real allgather: collect the world ranks of the members.
         let gathered = sub.allgather(vec![proc_.world_rank()], AllgatherAlg::Ring);
-        (proc_.world_rank(), gathered.into_iter().flatten().collect::<Vec<_>>())
+        (
+            proc_.world_rank(),
+            gathered.into_iter().flatten().collect::<Vec<_>>(),
+        )
     });
     println!("subcommunicator membership seen by each world rank (functional run):");
     for (world_rank, members) in results.iter().take(4) {
@@ -45,9 +47,18 @@ fn main() {
     let net = NetworkModel::new(
         machine.clone(),
         vec![
-            LinkParams { uplink_bandwidth: 12.5e9, crossing_latency: 1.8e-6 },
-            LinkParams { uplink_bandwidth: 19.2e9, crossing_latency: 0.8e-6 },
-            LinkParams { uplink_bandwidth: 9.0e9, crossing_latency: 0.3e-6 },
+            LinkParams {
+                uplink_bandwidth: 12.5e9,
+                crossing_latency: 1.8e-6,
+            },
+            LinkParams {
+                uplink_bandwidth: 19.2e9,
+                crossing_latency: 0.8e-6,
+            },
+            LinkParams {
+                uplink_bandwidth: 9.0e9,
+                crossing_latency: 0.3e-6,
+            },
         ],
         20.0e9,
     );

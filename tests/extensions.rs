@@ -27,7 +27,10 @@ fn cartesian_stencil_is_mapping_invariant() {
             let sigma = &sigma_for_threads;
             let world = Comm::world(p);
             let cart = CartTopology::new(vec![4, 4], vec![true, true]).unwrap();
-            let comm = world.cart_create(&cart, Some((&m, sigma))).unwrap().unwrap();
+            let comm = world
+                .cart_create(&cart, Some((&m, sigma)))
+                .unwrap()
+                .unwrap();
             let me = comm.rank();
             // One Jacobi step on a field f(r) = r²: average of the four
             // neighbors.
@@ -43,8 +46,7 @@ fn cartesian_stencil_is_mapping_invariant() {
             acc / 4.0
         });
         // Collect by cart rank: world rank w has cart rank = reordered w.
-        let reordering =
-            mixed_radix_enum::core::RankReordering::new(&machine, &sigma).unwrap();
+        let reordering = mixed_radix_enum::core::RankReordering::new(&machine, &sigma).unwrap();
         let mut by_cart_rank = vec![0.0f64; 16];
         for (w, &v) in results.iter().enumerate() {
             by_cart_rank[reordering.new_rank(w)] = v;
@@ -83,12 +85,8 @@ fn ragged_layouts_simulate_end_to_end() {
     let machine = Hierarchy::new(vec![16, 2, 2, 8]).unwrap();
     let net = hydra_network(16, 1);
     let sizes = [64usize, 32, 128, 16, 16, 256];
-    let layout = subcommunicators_ragged(
-        &machine,
-        &Permutation::parse("1-3-0-2").unwrap(),
-        &sizes,
-    )
-    .unwrap();
+    let layout =
+        subcommunicators_ragged(&machine, &Permutation::parse("1-3-0-2").unwrap(), &sizes).unwrap();
     let schedules: Vec<Schedule> = (0..layout.count())
         .map(|c| schedules::alltoall_pairwise(layout.members(c), 4096))
         .collect();
@@ -96,7 +94,10 @@ fn ragged_layouts_simulate_end_to_end() {
     let fluid = fluid_time(&net, &schedules);
     assert!(fluid > 0.0);
     // Near-or-below lockstep (tiny excess possible; see fluid.rs docs).
-    assert!(fluid <= lockstep * 1.05, "fluid {fluid} lockstep {lockstep}");
+    assert!(
+        fluid <= lockstep * 1.05,
+        "fluid {fluid} lockstep {lockstep}"
+    );
 }
 
 /// Segmented multi-order layouts cover the machine and their communicators
@@ -105,8 +106,16 @@ fn ragged_layouts_simulate_end_to_end() {
 fn segmented_orders_run_collectives() {
     let machine = Hierarchy::new(vec![2, 2, 4]).unwrap();
     let segments = [
-        Segment { nodes: 1, order: Permutation::parse("2-1-0").unwrap(), subcomm_size: 4 },
-        Segment { nodes: 1, order: Permutation::parse("1-2-0").unwrap(), subcomm_size: 8 },
+        Segment {
+            nodes: 1,
+            order: Permutation::parse("2-1-0").unwrap(),
+            subcomm_size: 4,
+        },
+        Segment {
+            nodes: 1,
+            order: Permutation::parse("1-2-0").unwrap(),
+            subcomm_size: 8,
+        },
     ];
     let layouts = segmented_layout(&machine, &segments).unwrap();
     // Realize the layout functionally: each core joins the communicator
@@ -131,7 +140,9 @@ fn segmented_orders_run_collectives() {
     let results = run(16, move |p| {
         let world = Comm::world(p);
         let (seg, c) = assignment[p.world_rank()];
-        let comm = world.split((seg * 100 + c) as i64, p.world_rank() as i64).unwrap();
+        let comm = world
+            .split((seg * 100 + c) as i64, p.world_rank() as i64)
+            .unwrap();
         comm.allreduce(vec![1u64], |a, b| a + b, AllreduceAlg::RecursiveDoubling)[0]
     });
     for (core, count) in results.into_iter().enumerate() {

@@ -137,7 +137,10 @@ fn ring_cost_predicts_ring_collective_ranking() {
 /// the 16-process communicators; (c) two NICs help on average.
 #[test]
 fn figure8_splatt_claims() {
-    let cfg = SplattConfig { iterations: 2, ..SplattConfig::nell1_like() };
+    let cfg = SplattConfig {
+        iterations: 2,
+        ..SplattConfig::nell1_like()
+    };
     let machine = Hierarchy::new(vec![32, 2, 2, 8]).unwrap();
     let slurm_default = Permutation::parse("1-3-2-0").unwrap();
     let net1 = hydra_network(32, 1);
@@ -164,7 +167,10 @@ fn figure8_splatt_claims() {
         "best order should beat the Slurm default by >10 % (paper: 32 %), got {:.0} %",
         improvement * 100.0
     );
-    assert!(pearson(&totals1, &smalls) > 0.9, "paper reports Pearson 0.98");
+    assert!(
+        pearson(&totals1, &smalls) > 0.9,
+        "paper reports Pearson 0.98"
+    );
     let mean1 = totals1.iter().sum::<f64>() / totals1.len() as f64;
     let mean2 = totals2.iter().sum::<f64>() / totals2.len() as f64;
     assert!(mean2 < mean1, "two NICs must help on average");

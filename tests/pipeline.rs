@@ -33,7 +33,10 @@ fn functional_reordering_matches_pure_layout() {
             // Gather the *world* ranks in sub-rank order; world rank ==
             // core id because one process per core in sequential order.
             let members = sub.allgather(vec![proc_.world_rank()], AllgatherAlg::Ring);
-            (color as usize, members.into_iter().flatten().collect::<Vec<usize>>())
+            (
+                color as usize,
+                members.into_iter().flatten().collect::<Vec<usize>>(),
+            )
         });
         for (world_rank, (color, members)) in observed.iter().enumerate() {
             assert_eq!(

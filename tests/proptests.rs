@@ -1,6 +1,10 @@
 //! Property-based tests over the whole stack: algebraic invariants of the
 //! mixed-radix machinery, conservation laws of the contention model, and
 //! correctness of the collective algorithms on arbitrary payloads.
+//!
+//! Runs on the in-tree `mre_rng::propcheck` harness (deterministic seeded
+//! cases; a failing case prints its seed for replay) since the build
+//! environment cannot fetch `proptest`.
 
 use mixed_radix_enum::core::metrics::{pair_counts_per_level, pairs_per_level, ring_cost};
 use mixed_radix_enum::core::subcomm::{subcommunicators, ColorScheme};
@@ -9,85 +13,94 @@ use mixed_radix_enum::core::{
 };
 use mixed_radix_enum::mpi::{run, schedules, AllgatherAlg, AllreduceAlg, AlltoallAlg, Comm};
 use mixed_radix_enum::simnet::{
-    fluid_time, max_min_rates, LinkParams, Message, NetworkModel, Schedule,
+    fluid_time, max_min_rates, LinkParams, Message, NetworkModel, Round, Schedule,
 };
-use proptest::prelude::*;
+use mre_rng::{propcheck, SmallRng};
 
 /// Arbitrary small hierarchy: 2–5 levels of size 1–6.
-fn arb_hierarchy() -> impl Strategy<Value = Hierarchy> {
-    prop::collection::vec(1usize..=6, 2..=5)
-        .prop_map(|levels| Hierarchy::new(levels).expect("non-zero levels"))
+fn arb_hierarchy(rng: &mut SmallRng) -> Hierarchy {
+    let depth = rng.gen_range(2usize..6);
+    let levels: Vec<usize> = (0..depth).map(|_| rng.gen_range(1usize..7)).collect();
+    Hierarchy::new(levels).expect("non-zero levels")
 }
 
 /// A hierarchy together with a random permutation of its levels.
-fn arb_hierarchy_and_order() -> impl Strategy<Value = (Hierarchy, Permutation)> {
-    arb_hierarchy().prop_flat_map(|h| {
-        let k = h.depth();
-        Just(h).prop_flat_map(move |h| {
-            prop::sample::select(Permutation::all(k)).prop_map(move |p| (h.clone(), p))
-        })
-    })
+fn arb_hierarchy_and_order(rng: &mut SmallRng) -> (Hierarchy, Permutation) {
+    let h = arb_hierarchy(rng);
+    let all = Permutation::all(h.depth());
+    let sigma = rng.choose(&all).expect("k! ≥ 1 orders").clone();
+    (h, sigma)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Algorithm 1 ∘ its inverse is the identity for every rank.
-    #[test]
-    fn decompose_compose_roundtrip((h, sigma) in arb_hierarchy_and_order(),
-                                   seed in 0usize..10_000) {
-        let rank = seed % h.size();
+/// Algorithm 1 ∘ its inverse is the identity for every rank.
+#[test]
+fn decompose_compose_roundtrip() {
+    propcheck(64, 0xD0C0_0001, |rng| {
+        let (h, sigma) = arb_hierarchy_and_order(rng);
+        let rank = rng.gen_range(0usize..10_000) % h.size();
         let c = coordinates(&h, rank).unwrap();
-        prop_assert_eq!(rank_from_coordinates(&h, &c).unwrap(), rank);
+        assert_eq!(rank_from_coordinates(&h, &c).unwrap(), rank);
         // Algorithm 2 with the reversal order is also the identity.
         let rev = Permutation::reversal(h.depth());
-        prop_assert_eq!(compose(&h, &c, &rev).unwrap(), rank);
+        assert_eq!(compose(&h, &c, &rev).unwrap(), rank);
         // Any order produces an in-range rank.
-        prop_assert!(compose(&h, &c, &sigma).unwrap() < h.size());
-    }
+        assert!(compose(&h, &c, &sigma).unwrap() < h.size());
+    });
+}
 
-    /// Reordering is a bijection and its bulk map matches pointwise
-    /// computation.
-    #[test]
-    fn reordering_bijection((h, sigma) in arb_hierarchy_and_order()) {
+/// Reordering is a bijection and its bulk map matches pointwise
+/// computation.
+#[test]
+fn reordering_bijection() {
+    propcheck(64, 0xD0C0_0002, |rng| {
+        let (h, sigma) = arb_hierarchy_and_order(rng);
         let map = RankReordering::new(&h, &sigma).unwrap();
         let mut seen = vec![false; h.size()];
         for r in 0..h.size() {
             let n = map.new_rank(r);
-            prop_assert!(!seen[n]);
+            assert!(!seen[n]);
             seen[n] = true;
-            prop_assert_eq!(map.old_rank(n), r);
+            assert_eq!(map.old_rank(n), r);
         }
-    }
+    });
+}
 
-    /// Metrics invariants: percentages sum to 100, ring cost is bounded by
-    /// `(m−1)·[1, k]`, pair counts total C(m,2).
-    #[test]
-    fn metric_invariants((h, sigma) in arb_hierarchy_and_order(),
-                         divider in 1usize..4) {
+/// Metrics invariants: percentages sum to 100, ring cost is bounded by
+/// `(m−1)·[1, k]`, pair counts total C(m,2).
+#[test]
+fn metric_invariants() {
+    propcheck(64, 0xD0C0_0003, |rng| {
+        let (h, sigma) = arb_hierarchy_and_order(rng);
         // Pick a subcommunicator size dividing the world.
         let world = h.size();
         let mut s = world;
-        for _ in 0..divider {
-            if s % 2 == 0 { s /= 2; }
+        for _ in 0..rng.gen_range(1usize..4) {
+            if s % 2 == 0 {
+                s /= 2;
+            }
         }
-        prop_assume!(s >= 2);
+        if s < 2 {
+            return; // degenerate world; nothing to measure
+        }
         let layout = subcommunicators(&h, &sigma, s, ColorScheme::Quotient).unwrap();
         let members = layout.members(0);
         let rc = ring_cost(&h, members);
-        prop_assert!(rc >= members.len() - 1);
-        prop_assert!(rc <= (members.len() - 1) * h.depth());
+        assert!(rc >= members.len() - 1);
+        assert!(rc <= (members.len() - 1) * h.depth());
         let pct = pairs_per_level(&h, members);
         let sum: f64 = pct.iter().sum();
-        prop_assert!((sum - 100.0).abs() < 1e-6);
+        assert!((sum - 100.0).abs() < 1e-6);
         let counts = pair_counts_per_level(&h, members);
-        prop_assert_eq!(counts.iter().sum::<usize>(), s * (s - 1) / 2);
-    }
+        assert_eq!(counts.iter().sum::<usize>(), s * (s - 1) / 2);
+    });
+}
 
-    /// Subcommunicators partition the machine exactly, under both color
-    /// schemes.
-    #[test]
-    fn subcomms_partition((h, sigma) in arb_hierarchy_and_order()) {
+/// Subcommunicators partition the machine exactly, under both color
+/// schemes.
+#[test]
+fn subcomms_partition() {
+    propcheck(64, 0xD0C0_0004, |rng| {
+        let (h, sigma) = arb_hierarchy_and_order(rng);
         let world = h.size();
         let s = if world % 2 == 0 { world / 2 } else { world };
         for scheme in [ColorScheme::Quotient, ColorScheme::Modulo] {
@@ -95,26 +108,27 @@ proptest! {
             let mut seen = vec![false; world];
             for c in 0..layout.count() {
                 for &m in layout.members(c) {
-                    prop_assert!(!seen[m]);
+                    assert!(!seen[m]);
                     seen[m] = true;
                 }
             }
-            prop_assert!(seen.iter().all(|&x| x));
+            assert!(seen.iter().all(|&x| x));
         }
-    }
+    });
+}
 
-    /// Max-min fairness never oversubscribes a link and always saturates
-    /// every flow's bottleneck.
-    #[test]
-    fn contention_conservation(
-        caps in prop::collection::vec(1.0f64..100.0, 1..6),
-        paths in prop::collection::vec(prop::collection::vec(0usize..6, 1..4), 1..20),
-    ) {
-        let nl = caps.len();
-        let flows: Vec<Vec<usize>> = paths
-            .into_iter()
-            .map(|p| {
-                let mut q: Vec<usize> = p.into_iter().map(|l| l % nl).collect();
+/// Max-min fairness never oversubscribes a link and always saturates
+/// every flow's bottleneck.
+#[test]
+fn contention_conservation() {
+    propcheck(64, 0xD0C0_0005, |rng| {
+        let nl = rng.gen_range(1usize..6);
+        let caps: Vec<f64> = (0..nl).map(|_| rng.gen_range(1.0f64..100.0)).collect();
+        let nf = rng.gen_range(1usize..20);
+        let flows: Vec<Vec<usize>> = (0..nf)
+            .map(|_| {
+                let len = rng.gen_range(1usize..4);
+                let mut q: Vec<usize> = (0..len).map(|_| rng.gen_range(0usize..nl)).collect();
                 q.sort_unstable();
                 q.dedup();
                 q
@@ -123,37 +137,141 @@ proptest! {
         let rates = max_min_rates(&flows, &caps);
         let mut totals = vec![0.0f64; nl];
         for (f, links) in flows.iter().enumerate() {
-            prop_assert!(rates[f] > 0.0);
+            assert!(rates[f] > 0.0);
             for &l in links {
                 totals[l] += rates[f];
             }
         }
         for (l, &t) in totals.iter().enumerate() {
-            prop_assert!(t <= caps[l] * (1.0 + 1e-9), "link {} oversubscribed", l);
+            assert!(t <= caps[l] * (1.0 + 1e-9), "link {l} oversubscribed");
         }
-    }
+    });
+}
 
-    /// Round-time invariants. Note max-min fairness is *not* monotone
-    /// under flow removal (removing a flow can shift a bottleneck and
-    /// lower another flow's allocation), so we assert what does hold:
-    /// a round is never faster than its slowest message run alone, and
-    /// growing a message never speeds the round up.
-    #[test]
-    fn round_time_invariants(
-        srcs in prop::collection::vec((0usize..16, 0usize..16, 1u64..100_000), 1..12),
-    ) {
-        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
-        let net = NetworkModel::new(
-            h,
-            vec![
-                LinkParams { uplink_bandwidth: 10.0e9, crossing_latency: 1e-6 },
-                LinkParams { uplink_bandwidth: 20.0e9, crossing_latency: 5e-7 },
-                LinkParams { uplink_bandwidth: 8.0e9, crossing_latency: 2e-7 },
-            ],
-            20.0e9,
+/// The O(m·k) prefix-group pair counting agrees with the naive O(m²·k)
+/// oracle on arbitrary hierarchies and arbitrary (unsorted, non-layout)
+/// member sets.
+#[test]
+fn fast_pair_counts_match_naive() {
+    use mixed_radix_enum::core::metrics::pair_counts_per_level_naive;
+    propcheck(64, 0xD0C0_000D, |rng| {
+        let h = arb_hierarchy(rng);
+        let world = h.size();
+        let m = rng.gen_range(2usize..world.max(3)).min(world);
+        let mut cores: Vec<usize> = (0..world).collect();
+        rng.shuffle(&mut cores);
+        let members = &cores[..m];
+        assert_eq!(
+            pair_counts_per_level(&h, members),
+            pair_counts_per_level_naive(&h, members)
         );
-        let msgs: Vec<Message> =
-            srcs.iter().map(|&(s, d, b)| Message::new(s, d, b)).collect();
+    });
+}
+
+/// The parallel ranking engine returns byte-identical results to the
+/// serial path for arbitrary machines and a cost function with frequent
+/// ties (ties are where nondeterministic ordering would first show).
+#[test]
+fn parallel_ranking_matches_serial() {
+    use mixed_radix_enum::core::order_search::{rank_orders_by, rank_orders_by_par, spreadness};
+    propcheck(16, 0xD0C0_000E, |rng| {
+        let (h, _) = arb_hierarchy_and_order(rng);
+        let world = h.size();
+        if world < 4 || world % 2 != 0 {
+            return;
+        }
+        let s = if world % 4 == 0 && rng.gen_bool(0.5) {
+            world / 4
+        } else {
+            world / 2
+        };
+        if s < 2 {
+            return;
+        }
+        let cost =
+            |sigma: &Permutation| (spreadness(&h, sigma, s).expect("valid order") * 4.0).round();
+        let serial = rank_orders_by(&h, s, cost).unwrap();
+        let parallel = rank_orders_by_par(&h, s, cost).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for ((cs, ts), (cp, tp)) in serial.iter().zip(&parallel) {
+            assert_eq!(cs.order, cp.order);
+            assert_eq!(ts.to_bits(), tp.to_bits());
+        }
+    });
+}
+
+/// The incremental heap-based contention solver matches the dense
+/// reference solver on random flow populations.
+#[test]
+fn incremental_contention_matches_reference() {
+    use mixed_radix_enum::simnet::max_min_rates_reference;
+    propcheck(64, 0xD0C0_000F, |rng| {
+        let nl = rng.gen_range(1usize..8);
+        let caps: Vec<f64> = (0..nl).map(|_| rng.gen_range(0.5f64..500.0)).collect();
+        let nf = rng.gen_range(1usize..50);
+        let flows: Vec<Vec<usize>> = (0..nf)
+            .map(|_| {
+                let mut q: Vec<usize> = (0..nl).filter(|_| rng.gen_bool(0.4)).collect();
+                if q.is_empty() && rng.gen_bool(0.9) {
+                    q.push(rng.gen_range(0usize..nl));
+                }
+                q
+            })
+            .collect();
+        let fast = max_min_rates(&flows, &caps);
+        let reference = max_min_rates_reference(&flows, &caps);
+        for (f, (&x, &y)) in fast.iter().zip(&reference).enumerate() {
+            if x.is_infinite() || y.is_infinite() {
+                assert_eq!(x, y, "flow {f}");
+            } else {
+                let scale = x.abs().max(y.abs()).max(1e-300);
+                assert!((x - y).abs() <= 1e-6 * scale, "flow {f}: {x} vs {y}");
+            }
+        }
+    });
+}
+
+fn small_test_network() -> NetworkModel {
+    let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+    NetworkModel::new(
+        h,
+        vec![
+            LinkParams {
+                uplink_bandwidth: 10.0e9,
+                crossing_latency: 1e-6,
+            },
+            LinkParams {
+                uplink_bandwidth: 20.0e9,
+                crossing_latency: 5e-7,
+            },
+            LinkParams {
+                uplink_bandwidth: 8.0e9,
+                crossing_latency: 2e-7,
+            },
+        ],
+        20.0e9,
+    )
+}
+
+/// Round-time invariants. Note max-min fairness is *not* monotone
+/// under flow removal (removing a flow can shift a bottleneck and
+/// lower another flow's allocation), so we assert what does hold:
+/// a round is never faster than its slowest message run alone, and
+/// growing a message never speeds the round up.
+#[test]
+fn round_time_invariants() {
+    propcheck(64, 0xD0C0_0006, |rng| {
+        let net = small_test_network();
+        let n = rng.gen_range(1usize..12);
+        let msgs: Vec<Message> = (0..n)
+            .map(|_| {
+                Message::new(
+                    rng.gen_range(0usize..16),
+                    rng.gen_range(0usize..16),
+                    rng.gen_range(1u64..100_000),
+                )
+            })
+            .collect();
         let t_all = net.round_time(&msgs);
         // In a round every message's rate is at most its alone rate, so
         // the round is at least as slow as the slowest isolated message.
@@ -161,44 +279,38 @@ proptest! {
             .iter()
             .map(|&m| net.message_time(m))
             .fold(0.0f64, f64::max);
-        prop_assert!(t_all >= slowest_alone * (1.0 - 1e-12));
+        assert!(t_all >= slowest_alone * (1.0 - 1e-12));
         // Growing a message never speeds the round up (rates depend only
         // on paths, not sizes).
         let mut bigger = msgs.clone();
         bigger[0].bytes *= 2;
-        prop_assert!(net.round_time(&bigger) >= t_all - 1e-15);
-    }
+        assert!(net.round_time(&bigger) >= t_all - 1e-15);
+    });
+}
 
-    /// Fluid simulation invariants: a single schedule costs exactly its
-    /// round-based time; concurrent schedules stay close to (and usually
-    /// below) the lockstep model — barriers can occasionally *help* by
-    /// avoiding convoy sharing, so the upper bound carries a tolerance —
-    /// and never beat the longest job run alone.
-    #[test]
-    fn fluid_bounds(
-        jobs in prop::collection::vec(
-            prop::collection::vec((0usize..16, 0usize..16, 1u64..100_000), 1..5),
-            1..4,
-        ),
-    ) {
-        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
-        let net = NetworkModel::new(
-            h,
-            vec![
-                LinkParams { uplink_bandwidth: 10.0e9, crossing_latency: 1e-6 },
-                LinkParams { uplink_bandwidth: 20.0e9, crossing_latency: 5e-7 },
-                LinkParams { uplink_bandwidth: 8.0e9, crossing_latency: 2e-7 },
-            ],
-            20.0e9,
-        );
-        use mixed_radix_enum::simnet::Round;
-        let schedules: Vec<Schedule> = jobs
-            .iter()
-            .map(|msgs| {
+/// Fluid simulation invariants: a single schedule costs exactly its
+/// round-based time; concurrent schedules stay close to (and usually
+/// below) the lockstep model — barriers can occasionally *help* by
+/// avoiding convoy sharing, so the upper bound carries a tolerance —
+/// and never beat the longest job run alone.
+#[test]
+fn fluid_bounds() {
+    propcheck(64, 0xD0C0_0007, |rng| {
+        let net = small_test_network();
+        let njobs = rng.gen_range(1usize..4);
+        let schedules: Vec<Schedule> = (0..njobs)
+            .map(|_| {
                 // Each job: its messages as successive one-message rounds.
+                let nmsgs = rng.gen_range(1usize..5);
                 Schedule::with(
-                    msgs.iter()
-                        .map(|&(s, d, b)| Round::with(vec![Message::new(s, d, b)]))
+                    (0..nmsgs)
+                        .map(|_| {
+                            Round::with(vec![Message::new(
+                                rng.gen_range(0usize..16),
+                                rng.gen_range(0usize..16),
+                                rng.gen_range(1u64..100_000),
+                            )])
+                        })
                         .collect(),
                 )
             })
@@ -206,31 +318,38 @@ proptest! {
         for s in &schedules {
             let fluid = fluid_time(&net, std::slice::from_ref(s));
             let rounds = net.schedule_time(s);
-            prop_assert!((fluid - rounds).abs() <= 1e-9 * rounds.max(1e-12),
-                "single-schedule fluid {fluid} != rounds {rounds}");
+            assert!(
+                (fluid - rounds).abs() <= 1e-9 * rounds.max(1e-12),
+                "single-schedule fluid {fluid} != rounds {rounds}"
+            );
         }
         let fluid_all = fluid_time(&net, &schedules);
         let lockstep = net.concurrent_time(&schedules);
-        prop_assert!(fluid_all <= lockstep * 1.25,
-            "fluid {fluid_all} far exceeds lockstep {lockstep}");
+        assert!(
+            fluid_all <= lockstep * 1.25,
+            "fluid {fluid_all} far exceeds lockstep {lockstep}"
+        );
         // The makespan is at least the longest isolated job.
         let longest = schedules
             .iter()
             .map(|s| net.schedule_time(s))
             .fold(0.0f64, f64::max);
-        prop_assert!(fluid_all >= longest * (1.0 - 1e-9));
-    }
+        assert!(fluid_all >= longest * (1.0 - 1e-9));
+    });
+}
 
-    /// Ragged layouts partition the machine for arbitrary size splits.
-    #[test]
-    fn ragged_partition((h, sigma) in arb_hierarchy_and_order(),
-                        cuts in prop::collection::vec(1usize..5, 0..3)) {
+/// Ragged layouts partition the machine for arbitrary size splits.
+#[test]
+fn ragged_partition() {
+    propcheck(64, 0xD0C0_0008, |rng| {
         use mixed_radix_enum::core::subcommunicators_ragged;
-        // Derive sizes that sum to the world from the random cuts.
+        let (h, sigma) = arb_hierarchy_and_order(rng);
+        // Derive sizes that sum to the world from random cuts.
         let world = h.size();
         let mut sizes = Vec::new();
         let mut remaining = world;
-        for c in cuts {
+        for _ in 0..rng.gen_range(0usize..3) {
+            let c = rng.gen_range(1usize..5);
             let take = c.min(remaining.saturating_sub(1));
             if take > 0 {
                 sizes.push(take);
@@ -242,59 +361,64 @@ proptest! {
         let mut seen = vec![false; world];
         for c in 0..layout.count() {
             for &m in layout.members(c) {
-                prop_assert!(!seen[m]);
+                assert!(!seen[m]);
                 seen[m] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&x| x));
+        assert!(seen.iter().all(|&x| x));
         // Members are ordered by reordered rank: consecutive comms cover
         // consecutive reordered rank ranges.
         let reordering = RankReordering::new(&h, &sigma).unwrap();
         let mut next = 0usize;
         for c in 0..layout.count() {
             for &m in layout.members(c) {
-                prop_assert_eq!(reordering.new_rank(m), next);
+                assert_eq!(reordering.new_rank(m), next);
                 next += 1;
             }
         }
-    }
+    });
+}
 
-    /// Schedule generators conserve payload: the bytes a collective moves
-    /// equal the algorithm's theoretical volume.
-    #[test]
-    fn schedule_volumes(p in 2usize..24, bytes in 1u64..10_000) {
+/// Schedule generators conserve payload: the bytes a collective moves
+/// equal the algorithm's theoretical volume.
+#[test]
+fn schedule_volumes() {
+    propcheck(64, 0xD0C0_0009, |rng| {
+        let p = rng.gen_range(2usize..24);
+        let bytes = rng.gen_range(1u64..10_000);
         let members: Vec<usize> = (0..p).collect();
-        prop_assert_eq!(
+        assert_eq!(
             schedules::alltoall_pairwise(&members, bytes).total_bytes(),
             (p * (p - 1)) as u64 * bytes
         );
-        prop_assert_eq!(
+        assert_eq!(
             schedules::allgather_ring(&members, bytes).total_bytes(),
             (p * (p - 1)) as u64 * bytes
         );
-        prop_assert_eq!(
+        assert_eq!(
             schedules::allgather_bruck(&members, bytes).total_bytes(),
             (p * (p - 1)) as u64 * bytes
         );
         // Ring allreduce moves 2(p−1)/p of the vector per rank.
         let ring = schedules::allreduce_ring(&members, bytes * p as u64);
-        prop_assert_eq!(ring.total_bytes(), 2 * (p as u64 - 1) * bytes * p as u64);
-    }
+        assert_eq!(ring.total_bytes(), 2 * (p as u64 - 1) * bytes * p as u64);
+    });
 }
 
-proptest! {
-    // Thread-spawning cases are expensive; keep the case count low.
-    #![proptest_config(ProptestConfig::with_cases(8))]
+// Thread-spawning cases are expensive; keep the case count low.
 
-    /// Allreduce computes the exact integer sum for arbitrary payloads,
-    /// rank counts and algorithms.
-    #[test]
-    fn functional_allreduce_sums(
-        p in 2usize..10,
-        len in 1usize..40,
-        ring in proptest::bool::ANY,
-    ) {
-        let alg = if ring { AllreduceAlg::Ring } else { AllreduceAlg::RecursiveDoubling };
+/// Allreduce computes the exact integer sum for arbitrary payloads,
+/// rank counts and algorithms.
+#[test]
+fn functional_allreduce_sums() {
+    propcheck(8, 0xD0C0_000A, |rng| {
+        let p = rng.gen_range(2usize..10);
+        let len = rng.gen_range(1usize..40);
+        let alg = if rng.gen_bool(0.5) {
+            AllreduceAlg::Ring
+        } else {
+            AllreduceAlg::RecursiveDoubling
+        };
         let results = run(p, move |proc_| {
             let world = Comm::world(proc_);
             let mine: Vec<u64> = (0..len)
@@ -306,15 +430,22 @@ proptest! {
             .map(|i| (0..p).map(|r| (r * 1009 + i * 31) as u64).sum())
             .collect();
         for r in results {
-            prop_assert_eq!(&r, &expected);
+            assert_eq!(&r, &expected);
         }
-    }
+    });
+}
 
-    /// Alltoallv delivers exactly the payload addressed to each rank,
-    /// via both routing algorithms.
-    #[test]
-    fn functional_alltoallv_delivers(p in 2usize..9, bruck in proptest::bool::ANY) {
-        let alg = if bruck { AlltoallAlg::Bruck } else { AlltoallAlg::Pairwise };
+/// Alltoallv delivers exactly the payload addressed to each rank,
+/// via both routing algorithms.
+#[test]
+fn functional_alltoallv_delivers() {
+    propcheck(8, 0xD0C0_000B, |rng| {
+        let p = rng.gen_range(2usize..9);
+        let alg = if rng.gen_bool(0.5) {
+            AlltoallAlg::Bruck
+        } else {
+            AlltoallAlg::Pairwise
+        };
         let results = run(p, move |proc_| {
             let world = Comm::world(proc_);
             let me = world.rank();
@@ -325,27 +456,32 @@ proptest! {
         });
         for (me, blocks) in results.iter().enumerate() {
             for (src, block) in blocks.iter().enumerate() {
-                prop_assert_eq!(
-                    block,
-                    &vec![(src * 100 + me) as u32; (src + me) % 3 + 1]
-                );
+                assert_eq!(block, &vec![(src * 100 + me) as u32; (src + me) % 3 + 1]);
             }
         }
-    }
+    });
+}
 
-    /// Allgather preserves block identity under all algorithms.
-    #[test]
-    fn functional_allgather_orders_blocks(p in 2usize..9, which in 0usize..3) {
-        let alg = [AllgatherAlg::Ring, AllgatherAlg::Bruck, AllgatherAlg::RecursiveDoubling]
-            [which];
+/// Allgather preserves block identity under all algorithms.
+#[test]
+fn functional_allgather_orders_blocks() {
+    propcheck(8, 0xD0C0_000C, |rng| {
+        let p = rng.gen_range(2usize..9);
+        let alg = *rng
+            .choose(&[
+                AllgatherAlg::Ring,
+                AllgatherAlg::Bruck,
+                AllgatherAlg::RecursiveDoubling,
+            ])
+            .unwrap();
         let results = run(p, move |proc_| {
             let world = Comm::world(proc_);
             world.allgather(vec![world.rank() as u16 * 7], alg)
         });
         for blocks in results {
             for (src, block) in blocks.iter().enumerate() {
-                prop_assert_eq!(block, &vec![src as u16 * 7]);
+                assert_eq!(block, &vec![src as u16 * 7]);
             }
         }
-    }
+    });
 }

@@ -83,8 +83,7 @@ fn full_node_map_cpu_equals_whole_machine_order() {
         let layout = JobLayout::from_map_cpu(nodes, node.size(), &list).unwrap();
         // Equivalent whole-machine order: shift node-level indices by one
         // and enumerate nodes last.
-        let mut image: Vec<usize> =
-            node_order.as_slice().iter().map(|&l| l + 1).collect();
+        let mut image: Vec<usize> = node_order.as_slice().iter().map(|&l| l + 1).collect();
         image.push(0);
         let machine_order = Permutation::new(image).unwrap();
         let machine = node.with_outer_level(nodes, "node").unwrap();
