@@ -13,4 +13,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== cargo doc (no deps, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== trace_report smoke"
+cargo run -q -p mre-bench --bin trace_report -- \
+  --machine hydra --collective alltoall --order 3-2-1-0 \
+  --out target/trace_smoke.json >/dev/null
+if command -v python3 >/dev/null; then
+  python3 -c "import json; json.load(open('target/trace_smoke.json'))"
+else
+  echo "  (python3 unavailable; skipped JSON parse check)"
+fi
+
 echo "== CI OK"

@@ -1,0 +1,265 @@
+//! Timeline profile of one collective under one order — the `mre-trace`
+//! front end.
+//!
+//! Builds the collective's schedule for the first subcommunicator of the
+//! chosen order (the §4.1 protocol's "single" measurement), reconstructs
+//! its per-message timeline under the machine's contention model, and
+//! prints the critical path, the time-sliced per-level link occupancy and
+//! the per-rank busy/idle breakdown. With `--out` the full timeline is
+//! written as Chrome `trace_event` JSON (open in Perfetto or
+//! `chrome://tracing`); `--csv` writes the same events as CSV.
+//!
+//! ```text
+//! trace_report --machine hydra --collective alltoall --order 3-2-1-0 \
+//!              --subcomm 16 --bytes 4194304 --out trace.json
+//! ```
+
+use mre_core::subcomm::{subcommunicators, ColorScheme};
+use mre_core::{Hierarchy, Permutation};
+use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
+use mre_simnet::presets::{hydra_network, lumi_network};
+use mre_simnet::NetworkModel;
+use mre_trace::{
+    chrome_trace_json, critical_path, csv, level_occupancy, rank_activity, schedule_trace,
+};
+use mre_workloads::microbench::{Collective, Microbench};
+
+struct Options {
+    machine: String,
+    nodes: usize,
+    collective: String,
+    order: Option<String>,
+    subcomm: usize,
+    bytes: u64,
+    out: Option<String>,
+    csv_out: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        machine: "hydra".into(),
+        nodes: 16,
+        collective: "alltoall".into(),
+        order: None,
+        subcomm: 16,
+        bytes: 4 << 20,
+        out: None,
+        csv_out: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> String {
+            i += 1;
+            args.get(i)
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match flag {
+            "--machine" => opts.machine = value("--machine"),
+            "--nodes" => {
+                opts.nodes = value("--nodes").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --nodes: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--collective" => opts.collective = value("--collective"),
+            "--order" => opts.order = Some(value("--order")),
+            "--subcomm" => {
+                opts.subcomm = value("--subcomm").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --subcomm: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--bytes" => {
+                opts.bytes = value("--bytes").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --bytes: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => opts.out = Some(value("--out")),
+            "--csv" => opts.csv_out = Some(value("--csv")),
+            "--help" | "-h" => {
+                println!(
+                    "trace_report [--machine hydra|lumi] [--nodes N] \
+                     [--collective alltoall|allreduce|allgather] [--order SPEC] \
+                     [--subcomm N] [--bytes N] [--out FILE.json] [--csv FILE.csv]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn network_for(machine: &str, nodes: usize) -> Option<NetworkModel> {
+    match machine {
+        "hydra" => Some(hydra_network(nodes, 1)),
+        "lumi" => Some(lumi_network(nodes)),
+        _ => None,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let Some(net) = network_for(&opts.machine, opts.nodes) else {
+        eprintln!("unknown machine {:?} (hydra|lumi)", opts.machine);
+        std::process::exit(2);
+    };
+    let machine: Hierarchy = net.hierarchy().clone();
+    let order = match &opts.order {
+        None => Permutation::identity(machine.depth()),
+        Some(text) => Permutation::parse(text).unwrap_or_else(|e| {
+            eprintln!("bad --order {text:?}: {e}");
+            std::process::exit(2);
+        }),
+    };
+    if order.len() != machine.depth() {
+        eprintln!(
+            "order has {} levels but {} ({} levels) needs {}",
+            order.len(),
+            opts.machine,
+            machine.depth(),
+            machine.depth()
+        );
+        std::process::exit(2);
+    }
+    let collective = match opts.collective.as_str() {
+        "alltoall" => Collective::Alltoall(AlltoallAlg::Auto),
+        "allreduce" => Collective::Allreduce(AllreduceAlg::Auto),
+        "allgather" => Collective::Allgather(AllgatherAlg::Auto),
+        other => {
+            eprintln!("unknown collective {other:?} (alltoall|allreduce|allgather)");
+            std::process::exit(2);
+        }
+    };
+    if opts.subcomm == 0 || !machine.size().is_multiple_of(opts.subcomm) {
+        eprintln!(
+            "subcommunicator size {} must divide {}",
+            opts.subcomm,
+            machine.size()
+        );
+        std::process::exit(2);
+    }
+
+    let layout = subcommunicators(&machine, &order, opts.subcomm, ColorScheme::Quotient)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot build subcommunicators: {e}");
+            std::process::exit(2);
+        });
+    let members = layout.members(0);
+    let bench = Microbench {
+        machine: machine.clone(),
+        order: order.clone(),
+        subcomm_size: opts.subcomm,
+        collective,
+        total_bytes: opts.bytes,
+    };
+    let schedule = bench.schedule_for(members).canonicalized();
+    let timeline = net
+        .schedule_timeline(&schedule)
+        .expect("canonical schedule");
+    let label = format!("{}:{}", opts.collective, opts.machine);
+
+    println!(
+        "machine {machine} ({} cores), order [{order}], {} comms x {} procs, {} bytes",
+        machine.size(),
+        layout.count(),
+        opts.subcomm,
+        opts.bytes
+    );
+    println!(
+        "schedule: {} rounds, {} messages, {} payload bytes",
+        schedule.num_rounds(),
+        timeline.num_messages(),
+        timeline.total_bytes()
+    );
+    println!(
+        "simulated time: {:.3} us (first subcommunicator alone)\n",
+        timeline.total_time() * 1e6
+    );
+
+    let cp = critical_path(&machine, &timeline);
+    println!("critical path ({} hops):", cp.hops.len());
+    println!(
+        "  {:>5}  {:>14}  {:>12}  {:>10}  level",
+        "round", "message", "dur (us)", "bytes"
+    );
+    for hop in &cp.hops {
+        println!(
+            "  {:>5}  {:>6} -> {:<5}  {:>12.3}  {:>10}  {}",
+            hop.round,
+            hop.src,
+            hop.dst,
+            (hop.finish - hop.start) * 1e6,
+            hop.bytes,
+            hop.level_name
+        );
+    }
+    println!(
+        "  total: {:.3} us (= costed schedule time)\n",
+        cp.total_time * 1e6
+    );
+
+    let occ = level_occupancy(&machine, &timeline);
+    println!("link occupancy by crossing level:");
+    for (j, name) in occ.level_names.iter().enumerate() {
+        let totals = occ.total_bytes_crossing();
+        println!(
+            "  {:>8}: {:>12} bytes, busy {:>5.1}% of the time, peak {:>9.2} MB/s",
+            name,
+            totals[j],
+            occ.busy_fraction(j) * 100.0,
+            occ.peak_rate(j) / 1e6
+        );
+    }
+
+    let acts = rank_activity(&timeline);
+    let mean_busy = if acts.is_empty() {
+        0.0
+    } else {
+        acts.iter().map(|a| a.busy_fraction()).sum::<f64>() / acts.len() as f64
+    };
+    println!(
+        "\nrank activity: {} active cores, mean busy fraction {:.1}%",
+        acts.len(),
+        mean_busy * 100.0
+    );
+    if let Some(most_idle) = acts.iter().min_by(|a, b| {
+        a.busy_fraction()
+            .partial_cmp(&b.busy_fraction())
+            .expect("finite fractions")
+    }) {
+        println!(
+            "  most idle: core {} ({:.1}% busy, {} messages)",
+            most_idle.core,
+            most_idle.busy_fraction() * 100.0,
+            most_idle.messages
+        );
+    }
+
+    let trace = schedule_trace(&machine, &timeline, &label);
+    if let Some(path) = &opts.out {
+        std::fs::write(path, chrome_trace_json(&trace)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\nwrote Chrome trace_event JSON to {path} (load in Perfetto)");
+    }
+    if let Some(path) = &opts.csv_out {
+        std::fs::write(path, csv(&trace)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote CSV to {path}");
+    }
+}

@@ -81,6 +81,25 @@ pub enum Error {
         /// Available core count.
         available: usize,
     },
+    /// A communication schedule contained a self-message (`src == dst`),
+    /// which occupies no network link and silently distorts round costing.
+    SelfMessage {
+        /// Round index containing the offending message.
+        round: usize,
+        /// The core sending to itself.
+        core: usize,
+    },
+    /// A communication schedule contained two messages with the same
+    /// `(src, dst)` endpoints in one round; the contention solver would
+    /// treat them as independent flows and mis-cost the round.
+    DuplicateMessage {
+        /// Round index containing the duplicate.
+        round: usize,
+        /// Sending core of the duplicated pair.
+        src: usize,
+        /// Receiving core of the duplicated pair.
+        dst: usize,
+    },
     /// A textual representation (hierarchy, permutation, rankfile) failed to
     /// parse.
     Parse {
@@ -148,6 +167,16 @@ impl fmt::Display for Error {
             } => write!(
                 f,
                 "requested {requested} cores but the hierarchy only provides {available}"
+            ),
+            Error::SelfMessage { round, core } => write!(
+                f,
+                "round {round} contains a self-message on core {core} \
+                 (src == dst); drop it or use Schedule::canonicalized()"
+            ),
+            Error::DuplicateMessage { round, src, dst } => write!(
+                f,
+                "round {round} contains duplicate messages {src} -> {dst}; \
+                 merge them or use Schedule::canonicalized()"
             ),
             Error::Parse { message } => write!(f, "parse error: {message}"),
         }

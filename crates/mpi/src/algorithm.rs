@@ -51,6 +51,15 @@ pub enum AllreduceAlg {
 pub const SMALL_MESSAGE_BYTES: u64 = 32 * 1024;
 
 impl AlltoallAlg {
+    /// Short stable name used in trace span labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlltoallAlg::Auto => "auto",
+            AlltoallAlg::Pairwise => "pairwise",
+            AlltoallAlg::Bruck => "bruck",
+        }
+    }
+
     /// Resolves `Auto` for a given per-destination payload.
     pub fn resolve(self, bytes_per_pair: u64, comm_size: usize) -> AlltoallAlg {
         match self {
@@ -67,6 +76,16 @@ impl AlltoallAlg {
 }
 
 impl AllgatherAlg {
+    /// Short stable name used in trace span labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            AllgatherAlg::Auto => "auto",
+            AllgatherAlg::Ring => "ring",
+            AllgatherAlg::Bruck => "bruck",
+            AllgatherAlg::RecursiveDoubling => "recursive-doubling",
+        }
+    }
+
     /// Resolves `Auto` for a given per-rank block size.
     pub fn resolve(self, block_bytes: u64, comm_size: usize) -> AllgatherAlg {
         match self {
@@ -84,6 +103,15 @@ impl AllgatherAlg {
 }
 
 impl AllreduceAlg {
+    /// Short stable name used in trace span labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            AllreduceAlg::Auto => "auto",
+            AllreduceAlg::RecursiveDoubling => "recursive-doubling",
+            AllreduceAlg::Ring => "ring",
+        }
+    }
+
     /// Resolves `Auto` for a given vector size.
     pub fn resolve(self, total_bytes: u64, _comm_size: usize) -> AllreduceAlg {
         match self {

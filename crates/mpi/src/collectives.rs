@@ -52,6 +52,7 @@ impl<'p> Comm<'p> {
 
     /// Dissemination barrier: `⌈log₂ p⌉` rounds.
     pub fn barrier(&self) {
+        let _span = self.collective_span("barrier:dissemination".to_string());
         let p = self.size();
         let tag = self.next_tag();
         let me = self.rank();
@@ -66,6 +67,7 @@ impl<'p> Comm<'p> {
     /// Binomial-tree broadcast. `value` must be `Some` on `root` (its
     /// content is returned everywhere).
     pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        let _span = self.collective_span("bcast:binomial".to_string());
         let p = self.size();
         let tag = self.next_tag();
         let r = (self.rank() + p - root) % p;
@@ -98,6 +100,7 @@ impl<'p> Comm<'p> {
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
+        let _span = self.collective_span("reduce:binomial".to_string());
         let p = self.size();
         let tag = self.next_tag();
         let r = (self.rank() + p - root) % p;
@@ -126,7 +129,9 @@ impl<'p> Comm<'p> {
         F: Fn(&T, &T) -> T,
     {
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
-        match alg.resolve(bytes, self.size()) {
+        let resolved = alg.resolve(bytes, self.size());
+        let _span = self.collective_span(format!("allreduce:{}", resolved.label()));
+        match resolved {
             AllreduceAlg::RecursiveDoubling => self.allreduce_recursive_doubling(data, op),
             AllreduceAlg::Ring => self.allreduce_ring(data, op),
             AllreduceAlg::Auto => unreachable!("resolve() never returns Auto"),
@@ -226,7 +231,9 @@ impl<'p> Comm<'p> {
         alg: AllgatherAlg,
     ) -> Vec<Vec<T>> {
         let bytes = (mine.len() * std::mem::size_of::<T>()) as u64;
-        match alg.resolve(bytes, self.size()) {
+        let resolved = alg.resolve(bytes, self.size());
+        let _span = self.collective_span(format!("allgather:{}", resolved.label()));
+        match resolved {
             AllgatherAlg::Ring => self.allgather_ring(mine),
             AllgatherAlg::Bruck => self.allgather_bruck(mine),
             AllgatherAlg::RecursiveDoubling => self.allgather_recursive_doubling(mine),
@@ -306,7 +313,9 @@ impl<'p> Comm<'p> {
         assert_eq!(send.len(), p, "one payload per destination rank");
         let max_pair = send.iter().map(|v| v.len()).max().unwrap_or(0);
         let bytes = (max_pair * std::mem::size_of::<T>()) as u64;
-        match alg.resolve(bytes, p) {
+        let resolved = alg.resolve(bytes, p);
+        let _span = self.collective_span(format!("alltoall:{}", resolved.label()));
+        match resolved {
             AlltoallAlg::Pairwise => self.alltoallv_pairwise(send),
             AlltoallAlg::Bruck => self.alltoallv_bruck(send),
             AlltoallAlg::Auto => unreachable!("resolve() never returns Auto"),
@@ -384,6 +393,7 @@ impl<'p> Comm<'p> {
         root: usize,
         mine: Vec<T>,
     ) -> Option<Vec<Vec<T>>> {
+        let _span = self.collective_span("gather:linear".to_string());
         let p = self.size();
         let tag = self.next_tag();
         if self.rank() == root {
@@ -409,6 +419,7 @@ impl<'p> Comm<'p> {
         root: usize,
         parts: Option<Vec<Vec<T>>>,
     ) -> Vec<T> {
+        let _span = self.collective_span("scatter:linear".to_string());
         let p = self.size();
         let tag = self.next_tag();
         if self.rank() == root {
@@ -434,6 +445,7 @@ impl<'p> Comm<'p> {
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
+        let _span = self.collective_span("reduce_scatter:ring".to_string());
         let p = self.size();
         assert!(
             data.len().is_multiple_of(p),
@@ -474,6 +486,7 @@ impl<'p> Comm<'p> {
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
+        let _span = self.collective_span("exscan:hillis-steele".to_string());
         let p = self.size();
         let tag = self.next_tag();
         let me = self.rank();
@@ -512,6 +525,7 @@ impl<'p> Comm<'p> {
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
+        let _span = self.collective_span("scan:hillis-steele".to_string());
         let p = self.size();
         let tag = self.next_tag();
         let me = self.rank();

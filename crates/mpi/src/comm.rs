@@ -11,6 +11,7 @@
 //! operation counter that isolates successive collectives relies on it.
 
 use crate::runtime::{Proc, Tag};
+use mre_trace::{EventKind, SpanGuard};
 use std::cell::Cell;
 use std::sync::Arc;
 
@@ -63,6 +64,17 @@ impl<'p> Comm<'p> {
     /// All members' world ranks, indexed by communicator rank.
     pub fn world_ranks(&self) -> &[usize] {
         &self.ranks
+    }
+
+    /// Opens a wall-clock span covering one collective invocation, when
+    /// this rank runs under `run_traced` (`None` — one branch — otherwise).
+    pub(crate) fn collective_span(&self, name: String) -> Option<SpanGuard<'p>> {
+        self.proc_.recorder().map(|rec| {
+            let mut span = rec.span(name, EventKind::Collective);
+            span.arg("comm_size", self.size().to_string());
+            span.arg("ctx", self.ctx.to_string());
+            span
+        })
     }
 
     /// Allocates the tag for the next collective operation.

@@ -39,4 +39,4 @@ pub mod split_type;
 pub use algorithm::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
 pub use cart::CartTopology;
 pub use comm::Comm;
-pub use runtime::{run, Proc};
+pub use runtime::{run, run_traced, Proc};

@@ -9,7 +9,13 @@
 //!
 //! Delivery between a fixed (sender, receiver) pair is FIFO; receives
 //! match on `(source, tag)` and buffer out-of-order arrivals.
+//!
+//! [`run_traced`] is [`run`] plus wall-clock tracing: each rank thread
+//! records its sends, receive waits and collective invocations into a
+//! per-rank `mre-trace` buffer. Untraced runs carry a `None` recorder, so
+//! tracing disabled costs one branch per operation.
 
+use mre_trace::{EventKind, RankRecorder, Recorder};
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -44,6 +50,7 @@ pub struct Proc {
     shared: Arc<Shared>,
     rx: Receiver<Envelope>,
     pending: RefCell<HashMap<(usize, Tag), VecDeque<AnyPayload>>>,
+    recorder: Option<RankRecorder>,
 }
 
 impl Proc {
@@ -57,11 +64,24 @@ impl Proc {
         self.size
     }
 
+    /// The wall-clock recorder handle of this rank, when running under
+    /// [`run_traced`].
+    pub fn recorder(&self) -> Option<&RankRecorder> {
+        self.recorder.as_ref()
+    }
+
     /// Sends `value` to world rank `dst` with `tag`. Never blocks.
     ///
     /// # Panics
     /// If `dst` is out of range.
     pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
+        if let Some(rec) = &self.recorder {
+            rec.instant(
+                format!("send -> {dst}"),
+                EventKind::Send,
+                vec![("dst".to_string(), dst.to_string())],
+            );
+        }
         self.shared.senders[dst]
             .send(Envelope {
                 src: self.rank,
@@ -85,6 +105,13 @@ impl Proc {
                 return downcast(payload);
             }
         }
+        // Only a blocking wait gets a span: buffered hits above cost
+        // nothing and would clutter the trace.
+        let _wait = self.recorder.as_ref().map(|rec| {
+            let mut span = rec.span(format!("recv <- {src}"), EventKind::RecvWait);
+            span.arg("src", src.to_string());
+            span
+        });
         loop {
             let envelope = self
                 .rx
@@ -140,6 +167,39 @@ where
     F: Fn(&Proc) -> R + Send + Sync,
     R: Send,
 {
+    run_inner(nprocs, None, f)
+}
+
+/// Like [`run`], with every rank recording wall-clock events into
+/// `recorder`. After the call returns, [`Recorder::take_trace`] yields the
+/// merged timeline (each rank's buffer is flushed when its thread's
+/// [`Proc`] drops).
+///
+/// ```
+/// use mre_mpi::runtime::{run_traced, Tag};
+/// use mre_trace::Recorder;
+/// let recorder = Recorder::new();
+/// run_traced(2, &recorder, |p| {
+///     let tag = Tag { ctx: 0, tag: 0 };
+///     let other = 1 - p.world_rank();
+///     p.sendrecv(other, other, tag, p.world_rank())
+/// });
+/// let trace = recorder.take_trace();
+/// assert!(!trace.events.is_empty());
+/// ```
+pub fn run_traced<F, R>(nprocs: usize, recorder: &Recorder, f: F) -> Vec<R>
+where
+    F: Fn(&Proc) -> R + Send + Sync,
+    R: Send,
+{
+    run_inner(nprocs, Some(recorder), f)
+}
+
+fn run_inner<F, R>(nprocs: usize, recorder: Option<&Recorder>, f: F) -> Vec<R>
+where
+    F: Fn(&Proc) -> R + Send + Sync,
+    R: Send,
+{
     assert!(nprocs > 0, "need at least one rank");
     let mut senders = Vec::with_capacity(nprocs);
     let mut receivers = Vec::with_capacity(nprocs);
@@ -156,6 +216,7 @@ where
             .enumerate()
             .map(|(rank, rx)| {
                 let shared = Arc::clone(&shared);
+                let rank_recorder = recorder.map(|r| r.rank(rank));
                 scope.spawn(move || {
                     let proc_ = Proc {
                         rank,
@@ -163,6 +224,7 @@ where
                         shared,
                         rx,
                         pending: RefCell::new(HashMap::new()),
+                        recorder: rank_recorder,
                     };
                     f(&proc_)
                 })

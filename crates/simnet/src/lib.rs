@@ -35,6 +35,7 @@ pub mod memory;
 pub mod network;
 pub mod presets;
 pub mod schedule;
+pub mod timeline;
 pub mod utilization;
 
 pub use contention::{max_min_rates, max_min_rates_reference};
@@ -42,4 +43,5 @@ pub use fluid::fluid_time;
 pub use memory::MemoryModel;
 pub use network::{ContentionMode, LinkParams, NetworkModel, RoundProfile};
 pub use schedule::{CostCache, Message, Round, Schedule};
+pub use timeline::{MessageTiming, RoundTimeline, ScheduleTimeline};
 pub use utilization::{utilization, Utilization};

@@ -143,6 +143,7 @@ impl NetworkModel {
         if messages.is_empty() {
             return RoundProfile {
                 entries: Vec::new(),
+                crossing: Vec::new(),
             };
         }
         let k = self.hierarchy.depth();
@@ -191,7 +192,7 @@ impl NetworkModel {
                 Some(j) => (self.links[*j].crossing_latency, rate),
             })
             .collect();
-        RoundProfile { entries }
+        RoundProfile { entries, crossing }
     }
 
     /// Time for a schedule: the sum of its round times (rounds are
@@ -246,6 +247,9 @@ pub struct RoundProfile {
     /// Per-message `(latency_s, rate_bytes_per_s)`; self-messages carry
     /// `(0.0, local_copy_bandwidth)`.
     pub entries: Vec<(f64, f64)>,
+    /// Per-message crossing level (the level of the outermost coordinate
+    /// difference between endpoints); `None` for self-messages.
+    pub crossing: Vec<Option<usize>>,
 }
 
 impl RoundProfile {
@@ -259,6 +263,36 @@ impl RoundProfile {
             .zip(messages)
             .map(|(&(latency, rate), m)| latency + m.bytes as f64 / rate)
             .fold(0.0, f64::max)
+    }
+
+    /// Per-message `(start, finish, achieved rate)` timings for `messages`
+    /// (same pattern the profile was computed from), with every message
+    /// starting at `round_start` — rounds are barrier-synchronized, so all
+    /// messages of a round are injected together and each finishes at
+    /// `round_start + latency + bytes / rate`.
+    pub fn message_timings(
+        &self,
+        messages: &[Message],
+        round_start: f64,
+    ) -> Vec<crate::timeline::MessageTiming> {
+        debug_assert_eq!(self.entries.len(), messages.len());
+        self.entries
+            .iter()
+            .zip(&self.crossing)
+            .zip(messages)
+            .map(
+                |((&(latency, rate), &crossing), m)| crate::timeline::MessageTiming {
+                    src: m.src,
+                    dst: m.dst,
+                    bytes: m.bytes,
+                    start: round_start,
+                    finish: round_start + latency + m.bytes as f64 / rate,
+                    rate,
+                    latency,
+                    crossing,
+                },
+            )
+            .collect()
     }
 }
 

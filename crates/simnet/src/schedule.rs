@@ -60,6 +60,26 @@ impl Round {
     pub fn merge(&mut self, other: &Round) {
         self.messages.extend_from_slice(&other.messages);
     }
+
+    /// Checks this round's messages for self-messages and duplicate
+    /// `(src, dst)` pairs; `round` is the round's index in its schedule,
+    /// used only for error reporting.
+    fn validate(&self, round: usize) -> Result<(), mre_core::Error> {
+        let mut seen = std::collections::HashSet::with_capacity(self.messages.len());
+        for m in &self.messages {
+            if m.src == m.dst {
+                return Err(mre_core::Error::SelfMessage { round, core: m.src });
+            }
+            if !seen.insert((m.src, m.dst)) {
+                return Err(mre_core::Error::DuplicateMessage {
+                    round,
+                    src: m.src,
+                    dst: m.dst,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// An ordered list of rounds.
@@ -100,6 +120,55 @@ impl Schedule {
     /// composition).
     pub fn then(&mut self, other: Schedule) {
         self.rounds.extend(other.rounds);
+    }
+
+    /// Checks the schedule is well-formed for costing: no self-messages
+    /// (`src == dst` occupies no network link — the local-copy cost would
+    /// silently enter the round max) and no duplicate `(src, dst)` pairs
+    /// within a round (the contention solver would treat them as two
+    /// independent flows and halve their rates).
+    ///
+    /// The collective generators in `mre-mpi` always produce valid
+    /// schedules; hand-built or merged ones may not — repair those with
+    /// [`canonicalized`](Self::canonicalized).
+    pub fn validate(&self) -> Result<(), mre_core::Error> {
+        for (i, round) in self.rounds.iter().enumerate() {
+            round.validate(i)?;
+        }
+        Ok(())
+    }
+
+    /// A cleaned copy that [`validate`](Self::validate) accepts: drops
+    /// self-messages and merges duplicate `(src, dst)` pairs within each
+    /// round by summing their bytes (first-appearance order is kept).
+    /// Empty rounds are preserved so round indices stay aligned with the
+    /// original schedule.
+    pub fn canonicalized(&self) -> Schedule {
+        let rounds = self
+            .rounds
+            .iter()
+            .map(|round| {
+                let mut index: std::collections::HashMap<(usize, usize), usize> =
+                    std::collections::HashMap::with_capacity(round.messages.len());
+                let mut messages: Vec<Message> = Vec::with_capacity(round.messages.len());
+                for m in &round.messages {
+                    if m.src == m.dst {
+                        continue;
+                    }
+                    match index.entry((m.src, m.dst)) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            messages[*e.get()].bytes += m.bytes;
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(messages.len());
+                            messages.push(*m);
+                        }
+                    }
+                }
+                Round { messages }
+            })
+            .collect();
+        Schedule { rounds }
     }
 
     /// Merges schedules in lockstep: round `i` of the result is the union
@@ -256,6 +325,59 @@ mod tests {
     #[test]
     fn lockstep_of_nothing_is_empty() {
         assert_eq!(Schedule::lockstep(&[]).num_rounds(), 0);
+    }
+
+    #[test]
+    fn validate_flags_self_messages_and_duplicates() {
+        let ok = Schedule::with(vec![Round::with(vec![
+            Message::new(0, 1, 10),
+            Message::new(1, 0, 10),
+        ])]);
+        assert_eq!(ok.validate(), Ok(()));
+        let self_msg = Schedule::with(vec![
+            Round::with(vec![Message::new(0, 1, 10)]),
+            Round::with(vec![Message::new(2, 2, 10)]),
+        ]);
+        assert_eq!(
+            self_msg.validate(),
+            Err(mre_core::Error::SelfMessage { round: 1, core: 2 })
+        );
+        let dup = Schedule::with(vec![Round::with(vec![
+            Message::new(0, 1, 10),
+            Message::new(0, 2, 10),
+            Message::new(0, 1, 5),
+        ])]);
+        assert_eq!(
+            dup.validate(),
+            Err(mre_core::Error::DuplicateMessage {
+                round: 0,
+                src: 0,
+                dst: 1
+            })
+        );
+    }
+
+    #[test]
+    fn canonicalized_repairs_and_preserves_bytes_and_order() {
+        let messy = Schedule::with(vec![
+            Round::with(vec![
+                Message::new(0, 1, 10),
+                Message::new(3, 3, 99), // self-message: dropped
+                Message::new(0, 2, 7),
+                Message::new(0, 1, 5), // duplicate: merged into the first
+            ]),
+            Round::new(), // empty rounds survive so indices stay aligned
+        ]);
+        let clean = messy.canonicalized();
+        assert_eq!(clean.validate(), Ok(()));
+        assert_eq!(clean.num_rounds(), 2);
+        assert_eq!(
+            clean.rounds[0].messages,
+            vec![Message::new(0, 1, 15), Message::new(0, 2, 7)]
+        );
+        assert!(clean.rounds[1].messages.is_empty());
+        // A valid schedule canonicalizes to itself.
+        assert_eq!(clean.canonicalized(), clean);
     }
 
     #[test]

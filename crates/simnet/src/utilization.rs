@@ -22,16 +22,25 @@ pub struct Utilization {
     pub peak_link_bytes: Vec<u64>,
     /// Number of messages per crossing level (same indexing).
     pub message_counts: Vec<usize>,
+    /// Sum of `bytes_crossing`, computed once at construction so the
+    /// per-level fraction queries don't re-sum on every call.
+    total_bytes: u64,
 }
 
 impl Utilization {
+    /// Total payload bytes transferred by the schedule (including local
+    /// copies) — the denominator of [`Self::crossing_fraction`] and of
+    /// the time-sliced occupancy view in `mre-trace`.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
     /// Fraction of all transferred bytes that cross level `j`.
     pub fn crossing_fraction(&self, j: usize) -> f64 {
-        let total: u64 = self.bytes_crossing.iter().sum();
-        if total == 0 {
+        if self.total_bytes == 0 {
             0.0
         } else {
-            self.bytes_crossing[j] as f64 / total as f64
+            self.bytes_crossing[j] as f64 / self.total_bytes as f64
         }
     }
 
@@ -80,10 +89,12 @@ pub fn utilization(hierarchy: &Hierarchy, schedule: &Schedule) -> Utilization {
             peak_link_bytes[level] = peak_link_bytes[level].max(bytes);
         }
     }
+    let total_bytes = bytes_crossing.iter().sum();
     Utilization {
         bytes_crossing,
         peak_link_bytes,
         message_counts,
+        total_bytes,
     }
 }
 
@@ -109,6 +120,7 @@ mod tests {
         assert_eq!(u.bytes_crossing, vec![40, 20, 10, 80]);
         assert_eq!(u.message_counts, vec![1, 1, 1, 1]);
         assert_eq!(u.outermost_level_used(), Some(0));
+        assert_eq!(u.total_bytes(), 150);
         assert!((u.crossing_fraction(0) - 40.0 / 150.0).abs() < 1e-12);
     }
 
@@ -187,6 +199,7 @@ mod tests {
         let u = utilization(&h224(), &Schedule::new());
         assert_eq!(u.bytes_crossing, vec![0, 0, 0, 0]);
         assert_eq!(u.outermost_level_used(), None);
+        assert_eq!(u.total_bytes(), 0);
         assert_eq!(u.crossing_fraction(0), 0.0);
     }
 }

@@ -1,0 +1,180 @@
+//! The structured event model shared by both trace sources.
+//!
+//! A [`Trace`] is a flat list of [`Event`]s on a set of *lanes*. For
+//! simulated traces (built from a
+//! [`ScheduleTimeline`](mre_simnet::ScheduleTimeline)) a lane is a global
+//! core id and times are simulated seconds; for wall-clock traces recorded
+//! from the threaded `mre-mpi` runtime a lane is an MPI rank and times are
+//! seconds since the [`Recorder`](crate::Recorder) epoch. Which
+//! interpretation applies is carried in [`Trace::clock`].
+
+use std::collections::BTreeMap;
+
+/// Which clock an event's `start`/`finish` refer to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Simulated time reconstructed from the contention solve.
+    Simulated,
+    /// Host wall-clock time measured while the threaded runtime ran.
+    Wall,
+}
+
+/// The category of a traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A whole collective invocation (e.g. `alltoall:pairwise`).
+    Collective,
+    /// A named application phase (e.g. `spmv`, `mttkrp-0`).
+    Phase,
+    /// One barrier-synchronized round of a schedule.
+    Round,
+    /// One simulated point-to-point message.
+    Message,
+    /// A point-to-point send on the threaded runtime (instant).
+    Send,
+    /// Time a rank spent blocked in `recv` on the threaded runtime.
+    RecvWait,
+}
+
+impl EventKind {
+    /// Short stable label used as the Chrome `cat` field and in CSV.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Collective => "collective",
+            EventKind::Phase => "phase",
+            EventKind::Round => "round",
+            EventKind::Message => "message",
+            EventKind::Send => "send",
+            EventKind::RecvWait => "recv-wait",
+        }
+    }
+}
+
+/// One traced span (or instant, when `finish == start`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The lane the event belongs to (core id or rank, see [`Trace`]).
+    pub lane: usize,
+    /// Human-readable event name.
+    pub name: String,
+    /// Category of the event.
+    pub kind: EventKind,
+    /// Start time in seconds on the trace's clock.
+    pub start: f64,
+    /// Finish time in seconds; `== start` marks an instant event.
+    pub finish: f64,
+    /// Extra key/value payload, preserved in insertion order.
+    pub args: Vec<(String, String)>,
+}
+
+impl Event {
+    /// Duration of the event in seconds.
+    pub fn duration(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+/// A complete recorded or reconstructed timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Which clock `start`/`finish` values refer to.
+    pub clock: Clock,
+    /// Display names for lanes (e.g. `core 3`, `rank 0`, `rounds`); lanes
+    /// without an entry fall back to `lane N` on export.
+    pub lane_names: BTreeMap<usize, String>,
+    /// The events, in canonical order after [`Trace::sort`].
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// An empty trace on the given clock.
+    pub fn new(clock: Clock) -> Self {
+        Trace {
+            clock,
+            lane_names: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Sorts events into the canonical `(start, lane, finish, name)` order
+    /// so exports are deterministic regardless of recording interleaving.
+    pub fn sort(&mut self) {
+        self.events.sort_by(|a, b| {
+            a.start
+                .total_cmp(&b.start)
+                .then(a.lane.cmp(&b.lane))
+                .then(a.finish.total_cmp(&b.finish))
+                .then(a.name.cmp(&b.name))
+        });
+    }
+
+    /// Span from the earliest start to the latest finish (0 when empty).
+    pub fn duration(&self) -> f64 {
+        let start = self
+            .events
+            .iter()
+            .map(|e| e.start)
+            .fold(f64::INFINITY, f64::min);
+        let finish = self.events.iter().map(|e| e.finish).fold(0.0f64, f64::max);
+        if start.is_finite() {
+            finish - start
+        } else {
+            0.0
+        }
+    }
+
+    /// The distinct lanes that carry events, ascending.
+    pub fn lanes(&self) -> Vec<usize> {
+        let mut lanes: Vec<usize> = self.events.iter().map(|e| e.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        lanes
+    }
+
+    /// Display name of a lane (falls back to `lane N`).
+    pub fn lane_name(&self, lane: usize) -> String {
+        self.lane_names
+            .get(&lane)
+            .cloned()
+            .unwrap_or_else(|| format!("lane {lane}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(lane: usize, name: &str, start: f64, finish: f64) -> Event {
+        Event {
+            lane,
+            name: name.to_string(),
+            kind: EventKind::Phase,
+            start,
+            finish,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sort_is_canonical_and_duration_spans_all_events() {
+        let mut t = Trace::new(Clock::Wall);
+        t.events.push(ev(1, "b", 2.0, 5.0));
+        t.events.push(ev(0, "a", 2.0, 3.0));
+        t.events.push(ev(0, "c", 1.0, 2.0));
+        t.sort();
+        assert_eq!(
+            t.events.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            vec!["c", "a", "b"]
+        );
+        assert_eq!(t.duration(), 4.0);
+        assert_eq!(t.lanes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_trace_has_zero_duration() {
+        let t = Trace::new(Clock::Simulated);
+        assert_eq!(t.duration(), 0.0);
+        assert!(t.lanes().is_empty());
+        assert_eq!(t.lane_name(7), "lane 7");
+    }
+}

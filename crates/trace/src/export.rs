@@ -1,0 +1,214 @@
+//! Exporters: Chrome `trace_event` JSON (loadable in Perfetto /
+//! `chrome://tracing`) and a compact CSV.
+//!
+//! Both outputs are fully deterministic — field order is fixed, floats are
+//! formatted with fixed precision, and events are emitted in the trace's
+//! canonical sort order — so they can be golden-file tested byte for byte.
+//! JSON is hand-rolled: the repo deliberately has no serde dependency.
+
+use crate::event::{Event, Trace};
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Seconds → microseconds with fixed 3-decimal formatting (Chrome's `ts`
+/// unit is µs).
+fn micros(seconds: f64) -> String {
+    format!("{:.3}", seconds * 1e6)
+}
+
+fn args_json(args: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push('}');
+    out
+}
+
+fn event_json(e: &Event) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",",
+        json_escape(&e.name),
+        e.kind.label()
+    );
+    if e.finish > e.start {
+        let _ = write!(
+            out,
+            "\"ph\":\"X\",\"ts\":{},\"dur\":{},",
+            micros(e.start),
+            micros(e.finish - e.start)
+        );
+    } else {
+        let _ = write!(out, "\"ph\":\"i\",\"ts\":{},\"s\":\"t\",", micros(e.start));
+    }
+    let _ = write!(
+        out,
+        "\"pid\":0,\"tid\":{},\"args\":{}}}",
+        e.lane,
+        args_json(&e.args)
+    );
+    out
+}
+
+/// Serializes `trace` as Chrome `trace_event` JSON.
+///
+/// The output is an object with a `traceEvents` array: first one
+/// `thread_name` metadata record per lane (so Perfetto labels the rows),
+/// then one complete (`ph: "X"`) or instant (`ph: "i"`) record per event
+/// in canonical order. Times are microseconds.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut lanes = trace.lanes();
+    for &lane in trace.lane_names.keys() {
+        if !lanes.contains(&lane) {
+            lanes.push(lane);
+        }
+    }
+    lanes.sort_unstable();
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    for lane in lanes {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            lane,
+            json_escape(&trace.lane_name(lane))
+        );
+    }
+    for e in &trace.events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&event_json(e));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Serializes `trace` as CSV with the columns
+/// `lane,lane_name,kind,name,start,finish,duration,args`; `args` is a
+/// `;`-joined `key=value` list. Times are seconds with 9 decimals.
+pub fn csv(trace: &Trace) -> String {
+    let mut out = String::from("lane,lane_name,kind,name,start,finish,duration,args\n");
+    for e in &trace.events {
+        let args = e
+            .args
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(";");
+        let quote = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.9},{:.9},{:.9},{}",
+            e.lane,
+            quote(&trace.lane_name(e.lane)),
+            e.kind.label(),
+            quote(&e.name),
+            e.start,
+            e.finish,
+            e.finish - e.start,
+            quote(&args)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Clock, EventKind};
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(Clock::Simulated);
+        t.lane_names.insert(0, "core 0".to_string());
+        t.lane_names.insert(2, "rounds".to_string());
+        t.events.push(Event {
+            lane: 0,
+            name: "0 -> 1".to_string(),
+            kind: EventKind::Message,
+            start: 0.0,
+            finish: 1.5e-6,
+            args: vec![("bytes".to_string(), "64".to_string())],
+        });
+        t.events.push(Event {
+            lane: 0,
+            name: "tick \"q\"".to_string(),
+            kind: EventKind::Send,
+            start: 2e-6,
+            finish: 2e-6,
+            args: Vec::new(),
+        });
+        t
+    }
+
+    #[test]
+    fn chrome_json_is_deterministic_and_well_formed() {
+        let t = sample();
+        let json = chrome_trace_json(&t);
+        assert_eq!(json, chrome_trace_json(&t), "must be reproducible");
+        // Metadata rows for both named lanes, even the event-less one.
+        assert!(json.contains("\"args\":{\"name\":\"core 0\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"rounds\"}"));
+        // Complete event with µs times and fixed field order.
+        assert!(json.contains(
+            "{\"name\":\"0 -> 1\",\"cat\":\"message\",\"ph\":\"X\",\"ts\":0.000,\"dur\":1.500,\"pid\":0,\"tid\":0,\"args\":{\"bytes\":\"64\"}}"
+        ));
+        // Instant event + escaping.
+        assert!(json.contains("\"name\":\"tick \\\"q\\\"\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        // Balanced braces (cheap well-formedness check).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_event() {
+        let t = sample();
+        let out = csv(&t);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "lane,lane_name,kind,name,start,finish,duration,args"
+        );
+        assert!(lines[1].contains("message"));
+        assert!(lines[1].contains("bytes=64"));
+        // Quoted comma-free fields stay bare; the quoted name round-trips.
+        assert!(lines[2].contains("\"tick \"\"q\"\"\""));
+    }
+}

@@ -1,0 +1,40 @@
+//! # mre-trace — tracing & timeline profiling for the simulated MPI stack
+//!
+//! Two sources feed one event model ([`Trace`]):
+//!
+//! * **Simulated timelines** — [`schedule_trace`] lifts a
+//!   [`mre_simnet::ScheduleTimeline`] (per-message start/finish/rate as
+//!   reconstructed by the max-min contention solve) into a trace whose
+//!   lanes are cores. Analyses operate on the timeline directly:
+//!   [`critical_path`] chains each round's bottleneck message,
+//!   [`level_occupancy`] gives the time-sliced counterpart of
+//!   [`mre_simnet::Utilization`], and [`rank_activity`] splits each core's
+//!   time into busy and barrier-idle.
+//! * **Wall-clock recording** — a [`Recorder`] hands lock-cheap
+//!   [`RankRecorder`] handles to the rank threads of the `mre-mpi`
+//!   runtime; sends, receive waits, collective invocations and
+//!   application phases record into per-rank buffers that are merged once
+//!   at thread exit.
+//!
+//! Either kind of trace exports to Chrome `trace_event` JSON
+//! ([`chrome_trace_json`], loadable in Perfetto or `chrome://tracing`) or
+//! CSV ([`csv`]); both outputs are byte-deterministic. The `trace_report`
+//! binary in `mre-bench` wires it all together for the paper's machines.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod event;
+pub mod export;
+pub mod recorder;
+pub mod simtrace;
+
+pub use analysis::{
+    critical_path, level_occupancy, rank_activity, CriticalHop, CriticalPath, LevelOccupancy,
+    OccupancySlice, RankBreakdown,
+};
+pub use event::{Clock, Event, EventKind, Trace};
+pub use export::{chrome_trace_json, csv};
+pub use recorder::{RankRecorder, Recorder, SpanGuard};
+pub use simtrace::schedule_trace;

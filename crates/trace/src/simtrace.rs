@@ -1,0 +1,138 @@
+//! Building a [`Trace`] from a simulated [`ScheduleTimeline`].
+//!
+//! Lanes are global core ids; one extra lane (id = number of cores) holds
+//! the round spans and the enclosing collective span, so Perfetto shows
+//! the barrier structure above the per-core message rows.
+
+use crate::event::{Clock, Event, EventKind, Trace};
+use mre_core::Hierarchy;
+use mre_simnet::ScheduleTimeline;
+
+/// Converts a simulated timeline into a renderable [`Trace`].
+///
+/// `name` labels the enclosing collective span (e.g. `alltoall:pairwise`).
+/// Every message produces one span on its *source* core's lane (the
+/// destination is in the event args — a simulated message occupies both
+/// endpoints, but one span keeps the view readable); every non-empty round
+/// and the whole collective produce spans on the dedicated rounds lane.
+pub fn schedule_trace(hierarchy: &Hierarchy, timeline: &ScheduleTimeline, name: &str) -> Trace {
+    let rounds_lane = hierarchy.size();
+    let mut trace = Trace::new(Clock::Simulated);
+    for core in 0..hierarchy.size() {
+        trace.lane_names.insert(core, format!("core {core}"));
+    }
+    trace.lane_names.insert(rounds_lane, "rounds".to_string());
+    if !timeline.rounds.is_empty() {
+        trace.events.push(Event {
+            lane: rounds_lane,
+            name: name.to_string(),
+            kind: EventKind::Collective,
+            start: 0.0,
+            finish: timeline.total_time(),
+            args: vec![
+                ("rounds".to_string(), timeline.rounds.len().to_string()),
+                ("bytes".to_string(), timeline.total_bytes().to_string()),
+            ],
+        });
+    }
+    for (i, r) in timeline.rounds.iter().enumerate() {
+        if r.messages.is_empty() {
+            continue;
+        }
+        trace.events.push(Event {
+            lane: rounds_lane,
+            name: format!("round {i}"),
+            kind: EventKind::Round,
+            start: r.start,
+            finish: r.finish,
+            args: vec![("messages".to_string(), r.messages.len().to_string())],
+        });
+        for m in &r.messages {
+            let level = m
+                .crossing
+                .map_or_else(|| "local".to_string(), |j| hierarchy.name(j).to_string());
+            trace.events.push(Event {
+                lane: m.src,
+                name: format!("{} -> {}", m.src, m.dst),
+                kind: EventKind::Message,
+                start: m.start,
+                finish: m.finish,
+                args: vec![
+                    ("round".to_string(), i.to_string()),
+                    ("dst".to_string(), m.dst.to_string()),
+                    ("bytes".to_string(), m.bytes.to_string()),
+                    ("rate".to_string(), format!("{:.6e}", m.rate)),
+                    ("level".to_string(), level),
+                ],
+            });
+        }
+    }
+    trace.sort();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mre_simnet::{LinkParams, Message, NetworkModel, Round, Schedule};
+
+    fn toy() -> NetworkModel {
+        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        NetworkModel::new(
+            h,
+            vec![
+                LinkParams {
+                    uplink_bandwidth: 10.0,
+                    crossing_latency: 2.0,
+                },
+                LinkParams {
+                    uplink_bandwidth: 40.0,
+                    crossing_latency: 1.0,
+                },
+                LinkParams {
+                    uplink_bandwidth: 100.0,
+                    crossing_latency: 0.5,
+                },
+            ],
+            1000.0,
+        )
+    }
+
+    #[test]
+    fn trace_carries_collective_rounds_and_messages() {
+        let net = toy();
+        let s = Schedule::with(vec![
+            Round::with(vec![Message::new(0, 8, 100), Message::new(1, 9, 100)]),
+            Round::with(vec![Message::new(0, 1, 100)]),
+        ]);
+        let tl = net.schedule_timeline(&s).unwrap();
+        let trace = schedule_trace(net.hierarchy(), &tl, "test:sched");
+        // 1 collective + 2 rounds + 3 messages.
+        assert_eq!(trace.events.len(), 6);
+        let rounds_lane = net.hierarchy().size();
+        assert_eq!(trace.lane_name(rounds_lane), "rounds");
+        assert_eq!(trace.lane_name(0), "core 0");
+        let collective = trace
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Collective)
+            .unwrap();
+        assert_eq!(collective.name, "test:sched");
+        assert_eq!(collective.finish, tl.total_time());
+        let msg = trace
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Message && e.lane == 1)
+            .unwrap();
+        assert!(msg.args.iter().any(|(k, v)| k == "level" && v == "node"));
+        assert_eq!(trace.duration(), tl.total_time());
+    }
+
+    #[test]
+    fn empty_timeline_gives_empty_trace() {
+        let net = toy();
+        let tl = net.schedule_timeline(&Schedule::new()).unwrap();
+        let trace = schedule_trace(net.hierarchy(), &tl, "empty");
+        assert!(trace.events.is_empty());
+    }
+}

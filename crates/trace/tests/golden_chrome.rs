@@ -1,0 +1,98 @@
+//! Golden-file test for the Chrome `trace_event` exporter.
+//!
+//! The exporter promises byte-deterministic output (fixed field order,
+//! fixed float formatting, canonical event order); this pins the exact
+//! bytes for a representative two-round schedule on the toy ⟦2,2,4⟧
+//! machine. Regenerate with `BLESS=1 cargo test -p mre-trace`.
+
+use mre_core::Hierarchy;
+use mre_simnet::{LinkParams, Message, NetworkModel, Round, Schedule};
+use mre_trace::{chrome_trace_json, csv, schedule_trace};
+
+const GOLDEN_JSON: &str = include_str!("golden/two_round_toy.json");
+const GOLDEN_CSV: &str = include_str!("golden/two_round_toy.csv");
+
+fn toy() -> NetworkModel {
+    let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+    NetworkModel::new(
+        h,
+        vec![
+            LinkParams {
+                uplink_bandwidth: 10.0,
+                crossing_latency: 2.0,
+            },
+            LinkParams {
+                uplink_bandwidth: 40.0,
+                crossing_latency: 1.0,
+            },
+            LinkParams {
+                uplink_bandwidth: 100.0,
+                crossing_latency: 0.5,
+            },
+        ],
+        1000.0,
+    )
+}
+
+fn sample_trace() -> mre_trace::Trace {
+    let net = toy();
+    let s = Schedule::with(vec![
+        Round::with(vec![
+            Message::new(0, 8, 100), // node crossing, contended with the next
+            Message::new(1, 9, 100), // node crossing
+            Message::new(2, 3, 40),  // same socket
+        ]),
+        Round::with(vec![Message::new(8, 0, 50)]),
+    ]);
+    let tl = net.schedule_timeline(&s).unwrap();
+    schedule_trace(net.hierarchy(), &tl, "golden:two-round")
+}
+
+#[test]
+fn chrome_export_matches_golden_bytes() {
+    let json = chrome_trace_json(&sample_trace());
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/tests/golden/two_round_toy.json"
+            ),
+            &json,
+        )
+        .unwrap();
+        return;
+    }
+    assert_eq!(
+        json, GOLDEN_JSON,
+        "Chrome export drifted from the golden file; if intentional, \
+         regenerate with BLESS=1 cargo test -p mre-trace"
+    );
+}
+
+#[test]
+fn csv_export_matches_golden_bytes() {
+    let out = csv(&sample_trace());
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/tests/golden/two_round_toy.csv"
+            ),
+            &out,
+        )
+        .unwrap();
+        return;
+    }
+    assert_eq!(
+        out, GOLDEN_CSV,
+        "CSV export drifted from the golden file; if intentional, \
+         regenerate with BLESS=1 cargo test -p mre-trace"
+    );
+}
+
+#[test]
+fn export_is_stable_across_repeated_runs() {
+    let a = chrome_trace_json(&sample_trace());
+    let b = chrome_trace_json(&sample_trace());
+    assert_eq!(a, b);
+}

@@ -16,8 +16,9 @@
 //!   communication pattern costed on the intra-node network.
 
 use mre_core::Error;
-use mre_mpi::{run, AllgatherAlg, AllreduceAlg, Comm};
+use mre_mpi::{run, run_traced, AllgatherAlg, AllreduceAlg, Comm, Proc};
 use mre_simnet::{MemoryModel, Message, NetworkModel, Round, Schedule};
+use mre_trace::{EventKind, Recorder};
 
 /// Compressed sparse row matrix.
 #[derive(Debug, Clone)]
@@ -149,51 +150,80 @@ pub fn cg_distributed(
     iterations: usize,
     nprocs: usize,
 ) -> Vec<(Vec<f64>, f64)> {
+    run(nprocs, move |proc_| cg_rank(a, b, iterations, proc_))
+}
+
+/// [`cg_distributed`] with wall-clock tracing: each rank records its
+/// compute phases (as `spmv`/`axpy` phase spans) and — through the traced
+/// runtime — every collective, send and receive wait into `recorder`.
+pub fn cg_distributed_traced(
+    a: &SparseMatrix,
+    b: &[f64],
+    iterations: usize,
+    nprocs: usize,
+    recorder: &Recorder,
+) -> Vec<(Vec<f64>, f64)> {
+    run_traced(nprocs, recorder, move |proc_| {
+        cg_rank(a, b, iterations, proc_)
+    })
+}
+
+/// One rank's CG solve; the shared body of the traced and untraced entry
+/// points (the only difference is whether `proc_` carries a recorder).
+fn cg_rank(a: &SparseMatrix, b: &[f64], iterations: usize, proc_: &Proc) -> (Vec<f64>, f64) {
     let n = a.n;
-    run(nprocs, move |proc_| {
-        let world = Comm::world(proc_);
-        let p_count = world.size();
-        let me = world.rank();
-        let (lo, hi) = block_bounds(n, p_count, me);
-        let mut x = vec![0.0; hi - lo];
-        let mut r: Vec<f64> = b[lo..hi].to_vec();
-        let mut p: Vec<f64> = r.clone();
-        let local_rho: f64 = r.iter().map(|v| v * v).sum();
-        let mut rho = world.allreduce(
-            vec![local_rho],
-            |a, b| a + b,
-            AllreduceAlg::RecursiveDoubling,
-        )[0];
-        for _ in 0..iterations {
-            // Reassemble the full p by allgather (blocks may be ragged).
-            let gathered = world.allgather(p.clone(), AllgatherAlg::Ring);
-            let full_p: Vec<f64> = gathered.into_iter().flatten().collect();
-            let mut q = vec![0.0; hi - lo];
+    let world = Comm::world(proc_);
+    let p_count = world.size();
+    let me = world.rank();
+    let (lo, hi) = block_bounds(n, p_count, me);
+    let mut x = vec![0.0; hi - lo];
+    let mut r: Vec<f64> = b[lo..hi].to_vec();
+    let mut p: Vec<f64> = r.clone();
+    let local_rho: f64 = r.iter().map(|v| v * v).sum();
+    let mut rho = world.allreduce(
+        vec![local_rho],
+        |a, b| a + b,
+        AllreduceAlg::RecursiveDoubling,
+    )[0];
+    for _ in 0..iterations {
+        // Reassemble the full p by allgather (blocks may be ragged).
+        let gathered = world.allgather(p.clone(), AllgatherAlg::Ring);
+        let full_p: Vec<f64> = gathered.into_iter().flatten().collect();
+        let mut q = vec![0.0; hi - lo];
+        {
+            let _phase = proc_
+                .recorder()
+                .map(|rec| rec.span("spmv", EventKind::Phase));
             a.spmv_rows(&full_p, lo..hi, &mut q);
-            let local_pq: f64 = p.iter().zip(&q).map(|(a, b)| a * b).sum();
-            let pq = world.allreduce(vec![local_pq], |a, b| a + b, AllreduceAlg::Ring)[0];
-            if pq == 0.0 {
-                break;
-            }
-            let alpha = rho / pq;
+        }
+        let local_pq: f64 = p.iter().zip(&q).map(|(a, b)| a * b).sum();
+        let pq = world.allreduce(vec![local_pq], |a, b| a + b, AllreduceAlg::Ring)[0];
+        if pq == 0.0 {
+            break;
+        }
+        let alpha = rho / pq;
+        let local_rho: f64 = {
+            let _phase = proc_
+                .recorder()
+                .map(|rec| rec.span("axpy", EventKind::Phase));
             for i in 0..x.len() {
                 x[i] += alpha * p[i];
                 r[i] -= alpha * q[i];
             }
-            let local_rho: f64 = r.iter().map(|v| v * v).sum();
-            let rho_new = world.allreduce(
-                vec![local_rho],
-                |a, b| a + b,
-                AllreduceAlg::RecursiveDoubling,
-            )[0];
-            let beta = rho_new / rho;
-            rho = rho_new;
-            for i in 0..p.len() {
-                p[i] = r[i] + beta * p[i];
-            }
+            r.iter().map(|v| v * v).sum()
+        };
+        let rho_new = world.allreduce(
+            vec![local_rho],
+            |a, b| a + b,
+            AllreduceAlg::RecursiveDoubling,
+        )[0];
+        let beta = rho_new / rho;
+        rho = rho_new;
+        for i in 0..p.len() {
+            p[i] = r[i] + beta * p[i];
         }
-        (x, rho.sqrt())
-    })
+    }
+    (x, rho.sqrt())
 }
 
 fn block_bounds(n: usize, p: usize, rank: usize) -> (usize, usize) {
@@ -404,6 +434,32 @@ mod tests {
             for (_, res) in &results {
                 assert!((res - res_seq).abs() < 1e-8, "p={p}");
             }
+        }
+    }
+
+    #[test]
+    fn traced_cg_matches_untraced_and_records_phases() {
+        let a = generate_matrix(48, 3, 1.0, 5);
+        let b: Vec<f64> = (0..48).map(|i| (i % 3) as f64).collect();
+        let recorder = Recorder::new();
+        let traced = cg_distributed_traced(&a, &b, 10, 4, &recorder);
+        let untraced = cg_distributed(&a, &b, 10, 4);
+        for ((xt, rt), (xu, ru)) in traced.iter().zip(&untraced) {
+            assert_eq!(xt, xu, "tracing must not change results");
+            assert_eq!(rt, ru);
+        }
+        let trace = recorder.take_trace();
+        assert_eq!(trace.lanes(), vec![0, 1, 2, 3]);
+        for rank in 0..4 {
+            let spmv = trace
+                .events
+                .iter()
+                .filter(|e| e.lane == rank && e.kind == EventKind::Phase && e.name == "spmv")
+                .count();
+            assert_eq!(spmv, 10, "one spmv phase per iteration on rank {rank}");
+            assert!(trace.events.iter().any(|e| e.lane == rank
+                && e.kind == EventKind::Collective
+                && e.name == "allgather:ring"));
         }
     }
 

@@ -24,8 +24,9 @@
 
 use mre_core::{Error, Hierarchy, Permutation};
 use mre_mpi::schedules;
-use mre_mpi::{run, AllreduceAlg, Comm};
+use mre_mpi::{run, run_traced, AllreduceAlg, Comm, Proc};
 use mre_simnet::{NetworkModel, Schedule};
+use mre_trace::{EventKind, Recorder};
 
 // ---------------------------------------------------------------------------
 // Sparse tensors and the sequential reference
@@ -260,66 +261,100 @@ pub fn cpd_distributed(
 ) -> Vec<f64> {
     let nprocs = grid[0] * grid[1] * grid[2];
     run(nprocs, move |proc_| {
-        let world = Comm::world(proc_);
-        let me = world.rank();
-        let coords = [
-            me / (grid[1] * grid[2]),
-            (me / grid[2]) % grid[1],
-            me % grid[2],
-        ];
-        // Layer communicators: same m-th grid coordinate.
-        let layers: Vec<Comm<'_>> = (0..3)
-            .map(|m| {
-                world
-                    .split(coords[m] as i64, me as i64)
-                    .expect("layer colors are non-negative")
-            })
-            .collect();
-        // Nonzero ownership: block partition of the nnz range by world
-        // rank (a simplification of Splatt's hypergraph partitioning that
-        // preserves the communication structure).
-        let nnz = tensor.nnz();
-        let lo = me * nnz / nprocs;
-        let hi = (me + 1) * nnz / nprocs;
-        let mut factors: [Factor; 3] = [
-            init_factor(tensor.dims[0], rank, seed),
-            init_factor(tensor.dims[1], rank, seed + 1),
-            init_factor(tensor.dims[2], rank, seed + 2),
-        ];
-        for _ in 0..iterations {
-            for m in 0..3 {
-                let (a, b) = match m {
-                    0 => (1, 2),
-                    1 => (0, 2),
-                    _ => (0, 1),
-                };
-                let mut partial = vec![0.0; tensor.dims[m] * rank];
-                {
-                    let mut rows: Vec<Vec<f64>> = vec![vec![0.0; rank]; tensor.dims[m]];
-                    mttkrp_partial(tensor, lo..hi, m, &factors, rank, &mut rows);
-                    for (i, row) in rows.into_iter().enumerate() {
-                        partial[i * rank..(i + 1) * rank].copy_from_slice(&row);
-                    }
-                }
-                // Combine inside the mode's layer communicator, then
-                // across layers through the world (replicated-factor
-                // verification path). Each layer member ends up holding
-                // S_layer / L, so the world sum is exactly the full
-                // MTTKRP: Σ_layers L · (S_layer / L).
-                let layer_size = layers[m].size() as f64;
-                let layer_sum = layers[m].allreduce(partial, |x, y| x + y, AllreduceAlg::Ring);
-                let layer_scaled: Vec<f64> =
-                    layer_sum.into_iter().map(|v| v / layer_size).collect();
-                let total = world.allreduce(layer_scaled, |x, y| x + y, AllreduceAlg::Ring);
-                let mttkrp: Vec<Vec<f64>> = (0..tensor.dims[m])
-                    .map(|i| total[i * rank..(i + 1) * rank].to_vec())
-                    .collect();
-                let g = hadamard(&gram(&factors[a], rank), &gram(&factors[b], rank), rank);
-                factors[m] = solve_factor(&mttkrp, &g, rank);
-            }
-        }
-        cpd_fit(tensor, &factors, rank)
+        cpd_rank(tensor, rank, iterations, grid, seed, proc_)
     })
+}
+
+/// [`cpd_distributed`] with wall-clock tracing: per-mode MTTKRP compute
+/// phases and every layer/world collective are recorded into `recorder`.
+pub fn cpd_distributed_traced(
+    tensor: &SparseTensor,
+    rank: usize,
+    iterations: usize,
+    grid: [usize; 3],
+    seed: u64,
+    recorder: &Recorder,
+) -> Vec<f64> {
+    let nprocs = grid[0] * grid[1] * grid[2];
+    run_traced(nprocs, recorder, move |proc_| {
+        cpd_rank(tensor, rank, iterations, grid, seed, proc_)
+    })
+}
+
+/// One rank's CP-ALS; shared body of the traced and untraced entry points.
+fn cpd_rank(
+    tensor: &SparseTensor,
+    rank: usize,
+    iterations: usize,
+    grid: [usize; 3],
+    seed: u64,
+    proc_: &Proc,
+) -> f64 {
+    let nprocs = grid[0] * grid[1] * grid[2];
+    let world = Comm::world(proc_);
+    let me = world.rank();
+    let coords = [
+        me / (grid[1] * grid[2]),
+        (me / grid[2]) % grid[1],
+        me % grid[2],
+    ];
+    // Layer communicators: same m-th grid coordinate.
+    let layers: Vec<Comm<'_>> = (0..3)
+        .map(|m| {
+            world
+                .split(coords[m] as i64, me as i64)
+                .expect("layer colors are non-negative")
+        })
+        .collect();
+    // Nonzero ownership: block partition of the nnz range by world
+    // rank (a simplification of Splatt's hypergraph partitioning that
+    // preserves the communication structure).
+    let nnz = tensor.nnz();
+    let lo = me * nnz / nprocs;
+    let hi = (me + 1) * nnz / nprocs;
+    let mut factors: [Factor; 3] = [
+        init_factor(tensor.dims[0], rank, seed),
+        init_factor(tensor.dims[1], rank, seed + 1),
+        init_factor(tensor.dims[2], rank, seed + 2),
+    ];
+    for _ in 0..iterations {
+        for m in 0..3 {
+            let (a, b) = match m {
+                0 => (1, 2),
+                1 => (0, 2),
+                _ => (0, 1),
+            };
+            let mut partial = vec![0.0; tensor.dims[m] * rank];
+            {
+                let _phase = proc_
+                    .recorder()
+                    .map(|rec| rec.span(format!("mttkrp-{m}"), EventKind::Phase));
+                let mut rows: Vec<Vec<f64>> = vec![vec![0.0; rank]; tensor.dims[m]];
+                mttkrp_partial(tensor, lo..hi, m, &factors, rank, &mut rows);
+                for (i, row) in rows.into_iter().enumerate() {
+                    partial[i * rank..(i + 1) * rank].copy_from_slice(&row);
+                }
+            }
+            // Combine inside the mode's layer communicator, then
+            // across layers through the world (replicated-factor
+            // verification path). Each layer member ends up holding
+            // S_layer / L, so the world sum is exactly the full
+            // MTTKRP: Σ_layers L · (S_layer / L).
+            let layer_size = layers[m].size() as f64;
+            let layer_sum = layers[m].allreduce(partial, |x, y| x + y, AllreduceAlg::Ring);
+            let layer_scaled: Vec<f64> = layer_sum.into_iter().map(|v| v / layer_size).collect();
+            let total = world.allreduce(layer_scaled, |x, y| x + y, AllreduceAlg::Ring);
+            let mttkrp: Vec<Vec<f64>> = (0..tensor.dims[m])
+                .map(|i| total[i * rank..(i + 1) * rank].to_vec())
+                .collect();
+            let g = hadamard(&gram(&factors[a], rank), &gram(&factors[b], rank), rank);
+            let _phase = proc_
+                .recorder()
+                .map(|rec| rec.span(format!("solve-{m}"), EventKind::Phase));
+            factors[m] = solve_factor(&mttkrp, &g, rank);
+        }
+    }
+    cpd_fit(tensor, &factors, rank)
 }
 
 // ---------------------------------------------------------------------------
@@ -528,6 +563,31 @@ mod tests {
                 (fit - fit_seq).abs() < 1e-9,
                 "distributed fit {fit} vs sequential {fit_seq}"
             );
+        }
+    }
+
+    #[test]
+    fn traced_cpd_matches_untraced_and_records_phases() {
+        let tensor = generate_tensor([8, 8, 12], 120, 21);
+        let recorder = Recorder::new();
+        let traced = cpd_distributed_traced(&tensor, 3, 2, [2, 2, 2], 13, &recorder);
+        let untraced = cpd_distributed(&tensor, 3, 2, [2, 2, 2], 13);
+        assert_eq!(traced, untraced, "tracing must not change results");
+        let trace = recorder.take_trace();
+        assert_eq!(trace.lanes(), (0..8).collect::<Vec<_>>());
+        for rank in 0..8 {
+            for m in 0..3 {
+                let name = format!("mttkrp-{m}");
+                let count = trace
+                    .events
+                    .iter()
+                    .filter(|e| e.lane == rank && e.kind == EventKind::Phase && e.name == name)
+                    .count();
+                assert_eq!(count, 2, "one {name} phase per iteration on rank {rank}");
+            }
+            assert!(trace.events.iter().any(|e| e.lane == rank
+                && e.kind == EventKind::Collective
+                && e.name == "allreduce:ring"));
         }
     }
 

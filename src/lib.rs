@@ -10,6 +10,8 @@
 //! * [`mpi`] — thread-backed message-passing runtime with communicators and
 //!   collectives.
 //! * [`slurm`] — launcher policies (`--distribution`, `map_cpu`, rankfiles).
+//! * [`trace`] — structured tracing of simulated collectives: recorders,
+//!   critical-path / occupancy analyses, Chrome `trace_event` + CSV export.
 //! * [`workloads`] — micro-benchmark protocol, Splatt-like CP-ALS,
 //!   NAS-CG-like conjugate gradient.
 //!
@@ -22,4 +24,5 @@ pub use mre_mpi as mpi;
 pub use mre_simnet as simnet;
 pub use mre_slurm as slurm;
 pub use mre_topology as topology;
+pub use mre_trace as trace;
 pub use mre_workloads as workloads;
