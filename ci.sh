@@ -26,4 +26,11 @@ else
   echo "  (python3 unavailable; skipped JSON parse check)"
 fi
 
+echo "== trace_diff smoke"
+cargo run -q -p mre-bench --bin trace_diff -- \
+  --machine hydra --nodes 1 --procs 4 --n 128 --iters 3 \
+  --metrics-csv target/trace_diff_metrics.csv > target/trace_diff_smoke.out
+grep -q "fidelity score:" target/trace_diff_smoke.out
+grep -q "^counter,mpi.send.count," target/trace_diff_metrics.csv
+
 echo "== CI OK"

@@ -1,0 +1,113 @@
+//! Overhead of the observability channels (this PR's additions): the
+//! distributed CG solver run bare, with a [`MetricsRegistry`] attached,
+//! with a wall-clock [`Recorder`] attached, and with both — plus the raw
+//! cost of the registry's hot-path primitives.
+//!
+//! The runtime guards every instrumentation site with a single `Option`
+//! check, so the metrics-attached run should be indistinguishable from
+//! the bare one within noise; the recorder pays for event construction.
+//! Numbers are recorded in `BENCH_trace_metrics.json` at the repo root.
+
+use mre_bench::tinybench::{black_box, Bench, Stats};
+use mre_trace::{MetricsRegistry, Recorder};
+use mre_workloads::cg::{
+    cg_distributed, cg_distributed_instrumented, generate_matrix, SparseMatrix,
+};
+
+const N: usize = 128;
+const ITERS: usize = 5;
+const PROCS: usize = 4;
+
+fn problem() -> (SparseMatrix, Vec<f64>) {
+    (generate_matrix(N, 7, 20.0, 42), vec![1.0; N])
+}
+
+fn bench_cg_channels(b: &mut Bench) -> [Option<Stats>; 4] {
+    let (a, rhs) = problem();
+    let bare = b.bench("cg/bare", || {
+        cg_distributed(black_box(&a), black_box(&rhs), ITERS, PROCS)
+    });
+    let metrics = b.bench("cg/metrics", || {
+        let registry = MetricsRegistry::new();
+        cg_distributed_instrumented(
+            black_box(&a),
+            black_box(&rhs),
+            ITERS,
+            PROCS,
+            None,
+            Some(&registry),
+        )
+    });
+    let recorder = b.bench("cg/recorder", || {
+        let rec = Recorder::new();
+        cg_distributed_instrumented(
+            black_box(&a),
+            black_box(&rhs),
+            ITERS,
+            PROCS,
+            Some(&rec),
+            None,
+        )
+    });
+    let both = b.bench("cg/recorder+metrics", || {
+        let rec = Recorder::new();
+        let registry = MetricsRegistry::new();
+        cg_distributed_instrumented(
+            black_box(&a),
+            black_box(&rhs),
+            ITERS,
+            PROCS,
+            Some(&rec),
+            Some(&registry),
+        )
+    });
+    [bare, metrics, recorder, both]
+}
+
+fn bench_primitives(b: &mut Bench) -> [Option<Stats>; 2] {
+    let registry = MetricsRegistry::new();
+    let rank = registry.rank();
+    let counter = b.bench("primitive/counter_add", || {
+        rank.counter_add("bench.counter", black_box(1));
+    });
+    let observe = b.bench("primitive/histogram_observe", || {
+        rank.observe("bench.hist", black_box(1234.0));
+    });
+    [counter, observe]
+}
+
+fn ratio(base: &Option<Stats>, other: &Option<Stats>) -> f64 {
+    match (base, other) {
+        (Some(b), Some(o)) => o.median_ns / b.median_ns,
+        _ => f64::NAN,
+    }
+}
+
+fn main() {
+    let mut b = Bench::from_env();
+    let [bare, metrics, recorder, both] = bench_cg_channels(&mut b);
+    let [counter, observe] = bench_primitives(&mut b);
+
+    // Machine-readable summary for BENCH_trace_metrics.json: overheads as
+    // ratios over the bare run (1.0 = no measurable overhead).
+    if let Some(bare_stats) = &bare {
+        let med = |s: &Option<Stats>| s.as_ref().map_or(f64::NAN, |s| s.median_ns);
+        println!(
+            "\njson: {{\"cg\": {{\"n\": {N}, \"iters\": {ITERS}, \"procs\": {PROCS}, \
+             \"bare_ns\": {:.1}, \"metrics_ns\": {:.1}, \"recorder_ns\": {:.1}, \
+             \"both_ns\": {:.1}, \"metrics_overhead\": {:.3}, \
+             \"recorder_overhead\": {:.3}, \"both_overhead\": {:.3}}}, \
+             \"primitives\": {{\"counter_add_ns\": {:.1}, \"histogram_observe_ns\": {:.1}}}}}",
+            bare_stats.median_ns,
+            med(&metrics),
+            med(&recorder),
+            med(&both),
+            ratio(&bare, &metrics),
+            ratio(&bare, &recorder),
+            ratio(&bare, &both),
+            med(&counter),
+            med(&observe),
+        );
+    }
+    b.finish();
+}

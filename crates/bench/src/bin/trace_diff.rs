@@ -1,0 +1,221 @@
+//! Span-by-span validation of the contention model against a real run —
+//! the `mre-trace` diffing front end.
+//!
+//! Runs the distributed CG solver on the thread runtime with wall-clock
+//! recording and live metrics attached, builds the costed-schedule
+//! counterpart of its communication ([`mre_workloads::cg::cg_comm_schedule`])
+//! on the chosen machine model, and diffs the two traces with
+//! [`mre_trace::diff_traces`]: every message span is matched on
+//! `(src core, dst core, occurrence)`, per-span and per-level skews are
+//! reported, and a single model-fidelity score summarises how well the
+//! max-min contention model explains the observed run.
+//!
+//! ```text
+//! trace_diff --machine hydra --nodes 2 --procs 8 --n 1024 --iters 10 \
+//!            --csv spans.csv --metrics-csv metrics.csv --out wall.json
+//! ```
+//!
+//! The wall clock measures host threads, not the modeled machine, so the
+//! *absolute* skews mostly reflect the host; the interesting outputs are
+//! the matched fraction (does the model send the same messages?) and the
+//! normalised per-level skews (does contention bite where the model says
+//! it does?).
+
+use mre_core::Hierarchy;
+use mre_simnet::presets::{hydra_network, lumi_network};
+use mre_simnet::NetworkModel;
+use mre_trace::{
+    chrome_trace_json_with_metrics, diff_traces, metrics_csv, schedule_trace, DiffOptions,
+    MetricsRegistry, Recorder,
+};
+use mre_workloads::cg::{cg_comm_schedule, cg_distributed_instrumented, generate_matrix};
+
+struct Options {
+    machine: String,
+    nodes: usize,
+    procs: usize,
+    n: usize,
+    iters: usize,
+    csv_out: Option<String>,
+    metrics_out: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        machine: "hydra".into(),
+        nodes: 1,
+        procs: 4,
+        n: 256,
+        iters: 10,
+        csv_out: None,
+        metrics_out: None,
+        out: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> String {
+            i += 1;
+            args.get(i)
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        let parse_usize = |name: &str, text: String| -> usize {
+            text.parse().unwrap_or_else(|e| {
+                eprintln!("bad {name}: {e}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--machine" => opts.machine = value("--machine"),
+            "--nodes" => opts.nodes = parse_usize("--nodes", value("--nodes")),
+            "--procs" => opts.procs = parse_usize("--procs", value("--procs")),
+            "--n" => opts.n = parse_usize("--n", value("--n")),
+            "--iters" => opts.iters = parse_usize("--iters", value("--iters")),
+            "--csv" => opts.csv_out = Some(value("--csv")),
+            "--metrics-csv" => opts.metrics_out = Some(value("--metrics-csv")),
+            "--out" => opts.out = Some(value("--out")),
+            "--help" | "-h" => {
+                println!(
+                    "trace_diff [--machine hydra|lumi] [--nodes N] [--procs P] \
+                     [--n N] [--iters K] [--csv FILE.csv] [--metrics-csv FILE.csv] \
+                     [--out FILE.json]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn network_for(machine: &str, nodes: usize) -> Option<NetworkModel> {
+    match machine {
+        "hydra" => Some(hydra_network(nodes, 1)),
+        "lumi" => Some(lumi_network(nodes)),
+        _ => None,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let Some(net) = network_for(&opts.machine, opts.nodes) else {
+        eprintln!("unknown machine {:?} (hydra|lumi)", opts.machine);
+        std::process::exit(2);
+    };
+    let machine: Hierarchy = net.hierarchy().clone();
+    if opts.procs == 0 || opts.procs > machine.size() {
+        eprintln!(
+            "--procs {} must be in 1..={} ({} with {} nodes)",
+            opts.procs,
+            machine.size(),
+            opts.machine,
+            opts.nodes
+        );
+        std::process::exit(2);
+    }
+    if opts.n < opts.procs {
+        eprintln!("--n {} must be at least --procs {}", opts.n, opts.procs);
+        std::process::exit(2);
+    }
+
+    // Rank r lives on core r: ranks fill the machine depth-first, so the
+    // communication crosses the innermost levels first — the placement the
+    // costed schedule is charged for.
+    let cores: Vec<usize> = (0..opts.procs).collect();
+
+    println!(
+        "machine {machine} ({} cores), CG n={} iters={} on {} procs (cores 0..{})",
+        machine.size(),
+        opts.n,
+        opts.iters,
+        opts.procs,
+        opts.procs
+    );
+
+    // Real run: wall-clock recorder + live metrics on the thread runtime.
+    let a = generate_matrix(opts.n, 7, 20.0, 42);
+    let b = vec![1.0; opts.n];
+    let recorder = Recorder::new();
+    let metrics = MetricsRegistry::new();
+    let results = {
+        // While the guard lives, the contention solver and timeline byte
+        // accounting below also feed the registry.
+        let _telemetry = metrics.install_telemetry();
+        let results = cg_distributed_instrumented(
+            &a,
+            &b,
+            opts.iters,
+            opts.procs,
+            Some(&recorder),
+            Some(&metrics),
+        );
+
+        // Costed counterpart: the same collective sequence, scheduled and
+        // priced on the machine model.
+        let schedule = cg_comm_schedule(&cores, opts.n, opts.iters);
+        let timeline = net
+            .schedule_timeline(&schedule)
+            .expect("canonical schedule");
+        let wall = recorder.take_trace();
+        let sim = schedule_trace(&machine, &timeline, "cg:costed");
+        println!(
+            "wall: {} events; costed: {} rounds, {} messages, {:.3} us simulated",
+            wall.events.len(),
+            schedule.num_rounds(),
+            timeline.num_messages(),
+            timeline.total_time() * 1e6
+        );
+
+        let diff = diff_traces(
+            &wall,
+            &sim,
+            &DiffOptions {
+                cores: cores.clone(),
+            },
+        );
+        println!("\n{}", diff.text_report());
+
+        if let Some(path) = &opts.csv_out {
+            std::fs::write(path, diff.csv()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote span diff CSV to {path}");
+        }
+        if let Some(path) = &opts.out {
+            std::fs::write(
+                path,
+                chrome_trace_json_with_metrics(&wall, &metrics.snapshot()),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote wall-clock Chrome trace_event JSON to {path}");
+        }
+        results
+    };
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, metrics_csv(&metrics.snapshot())).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote metrics CSV to {path}");
+    }
+
+    let residual = results.first().map_or(f64::NAN, |(_, r)| *r);
+    println!(
+        "CG residual after {} iterations: {residual:.3e}",
+        opts.iters
+    );
+}

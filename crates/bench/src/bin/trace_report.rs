@@ -1,13 +1,16 @@
 //! Timeline profile of one collective under one order — the `mre-trace`
 //! front end.
 //!
-//! Builds the collective's schedule for the first subcommunicator of the
-//! chosen order (the §4.1 protocol's "single" measurement), reconstructs
-//! its per-message timeline under the machine's contention model, and
-//! prints the critical path, the time-sliced per-level link occupancy and
-//! the per-rank busy/idle breakdown. With `--out` the full timeline is
-//! written as Chrome `trace_event` JSON (open in Perfetto or
-//! `chrome://tracing`); `--csv` writes the same events as CSV.
+//! Builds the collective's schedule for **every** subcommunicator of the
+//! chosen order, merges them round-for-round into one lockstep schedule
+//! (the §4.1 protocol's "concurrent" measurement — all subcommunicators
+//! compete for the shared links), reconstructs the per-message timeline
+//! under the machine's contention model, and prints the critical path,
+//! the time-sliced per-level link occupancy and the per-rank busy/idle
+//! breakdown. With `--out` the full timeline is written as Chrome
+//! `trace_event` JSON (open in Perfetto or `chrome://tracing`), each
+//! message labeled with its subcommunicator; `--csv` writes the same
+//! events as CSV.
 //!
 //! ```text
 //! trace_report --machine hydra --collective alltoall --order 3-2-1-0 \
@@ -18,9 +21,10 @@ use mre_core::subcomm::{subcommunicators, ColorScheme};
 use mre_core::{Hierarchy, Permutation};
 use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
 use mre_simnet::presets::{hydra_network, lumi_network};
-use mre_simnet::NetworkModel;
+use mre_simnet::{NetworkModel, Schedule};
 use mre_trace::{
-    chrome_trace_json, critical_path, csv, level_occupancy, rank_activity, schedule_trace,
+    chrome_trace_json, concurrent_schedule_trace, critical_path, csv, level_occupancy,
+    rank_activity,
 };
 use mre_workloads::microbench::{Collective, Microbench};
 
@@ -156,7 +160,6 @@ fn main() {
             eprintln!("cannot build subcommunicators: {e}");
             std::process::exit(2);
         });
-    let members = layout.members(0);
     let bench = Microbench {
         machine: machine.clone(),
         order: order.clone(),
@@ -164,7 +167,17 @@ fn main() {
         collective,
         total_bytes: opts.bytes,
     };
-    let schedule = bench.schedule_for(members).canonicalized();
+    // Every subcommunicator runs the collective concurrently: merge the
+    // per-communicator schedules round-for-round so they contend for the
+    // shared links.
+    let mut schedules = Vec::with_capacity(layout.count());
+    let mut groups = Vec::with_capacity(layout.count());
+    for c in 0..layout.count() {
+        let members = layout.members(c);
+        schedules.push(bench.schedule_for(members).canonicalized());
+        groups.push((format!("comm {c}"), members.to_vec()));
+    }
+    let schedule = Schedule::lockstep(&schedules);
     let timeline = net
         .schedule_timeline(&schedule)
         .expect("canonical schedule");
@@ -184,8 +197,9 @@ fn main() {
         timeline.total_bytes()
     );
     println!(
-        "simulated time: {:.3} us (first subcommunicator alone)\n",
-        timeline.total_time() * 1e6
+        "simulated time: {:.3} us (all {} subcommunicators concurrent)\n",
+        timeline.total_time() * 1e6,
+        layout.count()
     );
 
     let cp = critical_path(&machine, &timeline);
@@ -247,7 +261,7 @@ fn main() {
         );
     }
 
-    let trace = schedule_trace(&machine, &timeline, &label);
+    let trace = concurrent_schedule_trace(&machine, &timeline, &label, &groups);
     if let Some(path) = &opts.out {
         std::fs::write(path, chrome_trace_json(&trace)).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");

@@ -55,6 +55,7 @@ pub mod par;
 pub mod permutation;
 pub mod rankfile;
 pub mod subcomm;
+pub mod telemetry;
 pub mod visualize;
 
 pub use core_select::{distinct_core_sets, map_cpu_list, selected_hierarchy};

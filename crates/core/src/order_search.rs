@@ -56,6 +56,14 @@ pub fn representatives(
     // compares the precomputed characterizations instead of re-deriving
     // them per comparison.
     let classes = characterized_classes(h, subcomm_size)?;
+    if crate::telemetry::enabled() {
+        let candidates: usize = classes.iter().map(Vec::len).sum();
+        crate::telemetry::counter_add("core.order_search.candidates", candidates as u64);
+        crate::telemetry::counter_add(
+            "core.order_search.pruned",
+            (candidates - classes.len()) as u64,
+        );
+    }
     Ok(classes
         .into_iter()
         .map(|class| {

@@ -1,0 +1,137 @@
+//! A process-wide telemetry sink for low-frequency instrumentation.
+//!
+//! Crates below `mre-trace` in the dependency graph (this crate and
+//! `mre-simnet`) cannot hold a `mre_trace::MetricsRegistry` directly, so
+//! they publish through this indirection instead: a global [`Collector`]
+//! that is `None` by default. Every emission site is guarded by one
+//! relaxed atomic load — the same "single `Option` check" contract the
+//! traced runtime makes — so uninstrumented runs pay nothing measurable.
+//!
+//! Emission is expected to be *coarse*: one call per contention solve, per
+//! timeline reconstruction, per order-search pruning pass — never per
+//! message or per heap operation. The collector itself may take a lock.
+//!
+//! `mre-trace` installs its metrics registry here via
+//! [`install`]/[`uninstall`] (wrapped in a guard on its side). The sink is
+//! process-global: concurrent tests sharing a binary can observe each
+//! other's counts, so assertions on collected values should be lower
+//! bounds, not equalities.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Receives telemetry emitted by the algorithm crates.
+pub trait Collector: Send + Sync {
+    /// Adds `value` to the monotonic counter `name`.
+    fn counter_add(&self, name: &str, value: u64);
+    /// Sets the gauge `name` to `value` (last write wins).
+    fn gauge_set(&self, name: &str, value: f64);
+    /// Records one observation of `value` into the histogram `name`.
+    fn observe(&self, name: &str, value: f64);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn Collector>>> = RwLock::new(None);
+
+/// Installs `collector` as the process-wide sink (replacing any previous
+/// one). Emission sites become active immediately.
+pub fn install(collector: Arc<dyn Collector>) {
+    *SINK.write().expect("telemetry sink poisoned") = Some(collector);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the installed sink; emission sites return to the single-load
+/// fast path.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+    *SINK.write().expect("telemetry sink poisoned") = None;
+}
+
+/// Whether a collector is currently installed (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `value` to counter `name` if a collector is installed.
+#[inline]
+pub fn counter_add(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Ok(sink) = SINK.read() {
+        if let Some(c) = sink.as_ref() {
+            c.counter_add(name, value);
+        }
+    }
+}
+
+/// Sets gauge `name` to `value` if a collector is installed.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    if let Ok(sink) = SINK.read() {
+        if let Some(c) = sink.as_ref() {
+            c.gauge_set(name, value);
+        }
+    }
+}
+
+/// Records one histogram observation of `value` under `name` if a
+/// collector is installed.
+#[inline]
+pub fn observe(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    if let Ok(sink) = SINK.read() {
+        if let Some(c) = sink.as_ref() {
+            c.observe(name, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Capture {
+        counters: Mutex<Vec<(String, u64)>>,
+    }
+
+    impl Collector for Capture {
+        fn counter_add(&self, name: &str, value: u64) {
+            self.counters
+                .lock()
+                .unwrap()
+                .push((name.to_string(), value));
+        }
+        fn gauge_set(&self, _name: &str, _value: f64) {}
+        fn observe(&self, _name: &str, _value: f64) {}
+    }
+
+    #[test]
+    fn disabled_sink_swallows_and_installed_sink_receives() {
+        // Note: the sink is process-global; this test is the only one in
+        // this crate installing it, and it restores the disabled state.
+        counter_add("t.before", 1); // no sink: must not panic
+        let cap = Arc::new(Capture {
+            counters: Mutex::new(Vec::new()),
+        });
+        install(cap.clone());
+        assert!(enabled());
+        counter_add("t.counter", 3);
+        counter_add("t.counter", 4);
+        uninstall();
+        assert!(!enabled());
+        counter_add("t.after", 9);
+        let got = cap.counters.lock().unwrap().clone();
+        assert_eq!(
+            got,
+            vec![("t.counter".to_string(), 3), ("t.counter".to_string(), 4)]
+        );
+    }
+}

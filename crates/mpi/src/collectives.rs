@@ -13,6 +13,7 @@
 
 use crate::algorithm::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
 use crate::comm::Comm;
+use crate::payload::Payload;
 use crate::runtime::Tag;
 
 /// Number of dissemination/doubling rounds for `p` ranks.
@@ -42,11 +43,11 @@ fn combine<T, F: Fn(&T, &T) -> T>(acc: &mut [T], other: &[T], op: &F) {
 }
 
 impl<'p> Comm<'p> {
-    fn csend<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
+    fn csend<T: Payload>(&self, dst: usize, tag: Tag, value: T) {
         self.proc_.send(self.world_rank_of(dst), tag, value);
     }
 
-    fn crecv<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
+    fn crecv<T: Payload>(&self, src: usize, tag: Tag) -> T {
         self.proc_.recv(self.world_rank_of(src), tag)
     }
 
@@ -66,7 +67,7 @@ impl<'p> Comm<'p> {
 
     /// Binomial-tree broadcast. `value` must be `Some` on `root` (its
     /// content is returned everywhere).
-    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+    pub fn bcast<T: Clone + Payload>(&self, root: usize, value: Option<T>) -> T {
         let _span = self.collective_span("bcast:binomial".to_string());
         let p = self.size();
         let tag = self.next_tag();
@@ -97,7 +98,7 @@ impl<'p> Comm<'p> {
     /// root and `None` elsewhere.
     pub fn reduce<T, F>(&self, root: usize, mut data: Vec<T>, op: F) -> Option<Vec<T>>
     where
-        T: Clone + Send + 'static,
+        T: Clone + Payload,
         F: Fn(&T, &T) -> T,
     {
         let _span = self.collective_span("reduce:binomial".to_string());
@@ -125,7 +126,7 @@ impl<'p> Comm<'p> {
     /// Allreduce of an element-wise vector reduction.
     pub fn allreduce<T, F>(&self, data: Vec<T>, op: F, alg: AllreduceAlg) -> Vec<T>
     where
-        T: Clone + Send + 'static,
+        T: Clone + Payload,
         F: Fn(&T, &T) -> T,
     {
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
@@ -140,7 +141,7 @@ impl<'p> Comm<'p> {
 
     fn allreduce_recursive_doubling<T, F>(&self, mut data: Vec<T>, op: F) -> Vec<T>
     where
-        T: Clone + Send + 'static,
+        T: Clone + Payload,
         F: Fn(&T, &T) -> T,
     {
         let p = self.size();
@@ -187,7 +188,7 @@ impl<'p> Comm<'p> {
 
     fn allreduce_ring<T, F>(&self, mut data: Vec<T>, op: F) -> Vec<T>
     where
-        T: Clone + Send + 'static,
+        T: Clone + Payload,
         F: Fn(&T, &T) -> T,
     {
         let p = self.size();
@@ -225,11 +226,7 @@ impl<'p> Comm<'p> {
 
     /// Allgather: returns every rank's contribution, indexed by
     /// communicator rank.
-    pub fn allgather<T: Clone + Send + 'static>(
-        &self,
-        mine: Vec<T>,
-        alg: AllgatherAlg,
-    ) -> Vec<Vec<T>> {
+    pub fn allgather<T: Clone + Payload>(&self, mine: Vec<T>, alg: AllgatherAlg) -> Vec<Vec<T>> {
         let bytes = (mine.len() * std::mem::size_of::<T>()) as u64;
         let resolved = alg.resolve(bytes, self.size());
         let _span = self.collective_span(format!("allgather:{}", resolved.label()));
@@ -241,7 +238,7 @@ impl<'p> Comm<'p> {
         }
     }
 
-    fn allgather_ring<T: Clone + Send + 'static>(&self, mine: Vec<T>) -> Vec<Vec<T>> {
+    fn allgather_ring<T: Clone + Payload>(&self, mine: Vec<T>) -> Vec<Vec<T>> {
         let p = self.size();
         let tag = self.next_tag();
         let me = self.rank();
@@ -264,7 +261,7 @@ impl<'p> Comm<'p> {
             .collect()
     }
 
-    fn allgather_recursive_doubling<T: Clone + Send + 'static>(&self, mine: Vec<T>) -> Vec<Vec<T>> {
+    fn allgather_recursive_doubling<T: Clone + Payload>(&self, mine: Vec<T>) -> Vec<Vec<T>> {
         let p = self.size();
         debug_assert!(p.is_power_of_two(), "resolve() guards non-powers of two");
         let tag = self.next_tag();
@@ -281,7 +278,7 @@ impl<'p> Comm<'p> {
         finish_blocks(owned, p)
     }
 
-    fn allgather_bruck<T: Clone + Send + 'static>(&self, mine: Vec<T>) -> Vec<Vec<T>> {
+    fn allgather_bruck<T: Clone + Payload>(&self, mine: Vec<T>) -> Vec<Vec<T>> {
         let p = self.size();
         let tag = self.next_tag();
         let me = self.rank();
@@ -304,7 +301,7 @@ impl<'p> Comm<'p> {
     /// Personalized all-to-all exchange with per-destination payloads
     /// (the `MPI_Alltoallv` shape): `send[d]` goes to communicator rank
     /// `d`; the result's entry `s` came from rank `s`.
-    pub fn alltoallv<T: Clone + Send + 'static>(
+    pub fn alltoallv<T: Clone + Payload>(
         &self,
         send: Vec<Vec<T>>,
         alg: AlltoallAlg,
@@ -324,7 +321,7 @@ impl<'p> Comm<'p> {
 
     /// Regular all-to-all: `send` holds `p` equal chunks concatenated;
     /// returns the received chunks concatenated in rank order.
-    pub fn alltoall<T: Clone + Send + 'static>(&self, send: &[T], alg: AlltoallAlg) -> Vec<T> {
+    pub fn alltoall<T: Clone + Payload>(&self, send: &[T], alg: AlltoallAlg) -> Vec<T> {
         let p = self.size();
         assert!(
             send.len().is_multiple_of(p),
@@ -337,7 +334,7 @@ impl<'p> Comm<'p> {
         self.alltoallv(blocks, alg).into_iter().flatten().collect()
     }
 
-    fn alltoallv_pairwise<T: Clone + Send + 'static>(&self, mut send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    fn alltoallv_pairwise<T: Clone + Payload>(&self, mut send: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let p = self.size();
         let tag = self.next_tag();
         let me = self.rank();
@@ -352,7 +349,7 @@ impl<'p> Comm<'p> {
         result
     }
 
-    fn alltoallv_bruck<T: Clone + Send + 'static>(&self, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    fn alltoallv_bruck<T: Clone + Payload>(&self, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let p = self.size();
         let tag = self.next_tag();
         let me = self.rank();
@@ -388,11 +385,7 @@ impl<'p> Comm<'p> {
 
     /// Linear gather to `root`: returns `Some(contributions by rank)` on
     /// the root, `None` elsewhere.
-    pub fn gather<T: Clone + Send + 'static>(
-        &self,
-        root: usize,
-        mine: Vec<T>,
-    ) -> Option<Vec<Vec<T>>> {
+    pub fn gather<T: Clone + Payload>(&self, root: usize, mine: Vec<T>) -> Option<Vec<Vec<T>>> {
         let _span = self.collective_span("gather:linear".to_string());
         let p = self.size();
         let tag = self.next_tag();
@@ -414,11 +407,7 @@ impl<'p> Comm<'p> {
 
     /// Linear scatter from `root`: `parts` must be `Some` on the root with
     /// one payload per rank.
-    pub fn scatter<T: Clone + Send + 'static>(
-        &self,
-        root: usize,
-        parts: Option<Vec<Vec<T>>>,
-    ) -> Vec<T> {
+    pub fn scatter<T: Clone + Payload>(&self, root: usize, parts: Option<Vec<Vec<T>>>) -> Vec<T> {
         let _span = self.collective_span("scatter:linear".to_string());
         let p = self.size();
         let tag = self.next_tag();
@@ -442,7 +431,7 @@ impl<'p> Comm<'p> {
     /// exposed as `MPI_Reduce_scatter_block`).
     pub fn reduce_scatter_block<T, F>(&self, data: Vec<T>, op: F) -> Vec<T>
     where
-        T: Clone + Send + 'static,
+        T: Clone + Payload,
         F: Fn(&T, &T) -> T,
     {
         let _span = self.collective_span("reduce_scatter:ring".to_string());
@@ -483,7 +472,7 @@ impl<'p> Comm<'p> {
     /// receives `op(data₀, …, data₍ᵣ₋₁₎)` element-wise.
     pub fn exscan<T, F>(&self, data: Vec<T>, op: F) -> Option<Vec<T>>
     where
-        T: Clone + Send + 'static,
+        T: Clone + Payload,
         F: Fn(&T, &T) -> T,
     {
         let _span = self.collective_span("exscan:hillis-steele".to_string());
@@ -522,7 +511,7 @@ impl<'p> Comm<'p> {
     /// `op(data₀, …, data_r)` element-wise.
     pub fn scan<T, F>(&self, mut data: Vec<T>, op: F) -> Vec<T>
     where
-        T: Clone + Send + 'static,
+        T: Clone + Payload,
         F: Fn(&T, &T) -> T,
     {
         let _span = self.collective_span("scan:hillis-steele".to_string());

@@ -10,6 +10,7 @@
 //! the same order (the usual MPI requirement); the per-communicator
 //! operation counter that isolates successive collectives relies on it.
 
+use crate::payload::Payload;
 use crate::runtime::{Proc, Tag};
 use mre_trace::{EventKind, SpanGuard};
 use std::cell::Cell;
@@ -68,7 +69,12 @@ impl<'p> Comm<'p> {
 
     /// Opens a wall-clock span covering one collective invocation, when
     /// this rank runs under `run_traced` (`None` — one branch — otherwise).
+    /// Under `run_instrumented` with metrics attached, also counts the
+    /// invocation per algorithm (`mpi.collective.<name>`).
     pub(crate) fn collective_span(&self, name: String) -> Option<SpanGuard<'p>> {
+        if let Some(m) = self.proc_.metrics() {
+            m.counter_add(&format!("mpi.collective.{name}"), 1);
+        }
         self.proc_.recorder().map(|rec| {
             let mut span = rec.span(name, EventKind::Collective);
             span.arg("comm_size", self.size().to_string());
@@ -86,7 +92,7 @@ impl<'p> Comm<'p> {
 
     /// Point-to-point send to a *communicator* rank under a caller-chosen
     /// tag number (namespaced by this communicator's context).
-    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) {
+    pub fn send<T: Payload>(&self, dst: usize, tag: u64, value: T) {
         self.proc_.send(
             self.ranks[dst],
             Tag {
@@ -98,7 +104,7 @@ impl<'p> Comm<'p> {
     }
 
     /// Point-to-point receive from a *communicator* rank.
-    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+    pub fn recv<T: Payload>(&self, src: usize, tag: u64) -> T {
         self.proc_.recv(
             self.ranks[src],
             Tag {
@@ -110,7 +116,7 @@ impl<'p> Comm<'p> {
 
     /// Combined exchange with communicator ranks (see
     /// [`Proc::sendrecv`]).
-    pub(crate) fn sendrecv_internal<T: Send + 'static>(
+    pub(crate) fn sendrecv_internal<T: Payload>(
         &self,
         dst: usize,
         src: usize,

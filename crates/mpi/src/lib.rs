@@ -32,6 +32,7 @@ pub mod algorithm;
 pub mod cart;
 pub mod collectives;
 pub mod comm;
+pub mod payload;
 pub mod runtime;
 pub mod schedules;
 pub mod split_type;
@@ -39,4 +40,5 @@ pub mod split_type;
 pub use algorithm::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
 pub use cart::CartTopology;
 pub use comm::Comm;
-pub use runtime::{run, run_traced, Proc};
+pub use payload::Payload;
+pub use runtime::{run, run_instrumented, run_traced, Proc};

@@ -1,0 +1,146 @@
+//! Payload byte accounting for the thread runtime.
+//!
+//! The runtime moves typed values between rank threads without
+//! serializing them, so "message size" is not observable from the wire —
+//! it must be declared by the type. [`Payload`] supplies that: every type
+//! that crosses [`Proc::send`](crate::runtime::Proc::send) reports the
+//! number of bytes its value would occupy in a dense MPI-style encoding
+//! (fixed-width scalars, length-free concatenation for vectors and
+//! tuples). Wall-clock send/receive events and the metrics registry use
+//! it, so wall traces carry the same per-message byte annotations as
+//! simulated ones.
+//!
+//! The accounting is only consulted when a recorder or metrics handle is
+//! attached; untraced runs never call [`Payload::payload_bytes`].
+
+/// A value the runtime can ship between ranks, with declared size.
+pub trait Payload: Send + 'static {
+    /// `Some(n)` when **every** value of this type occupies exactly `n`
+    /// bytes — lets containers of fixed-size elements report their bytes
+    /// in O(1) instead of walking each element.
+    const FIXED_BYTES: Option<u64> = None;
+
+    /// The bytes this value would occupy in a dense encoding.
+    fn payload_bytes(&self) -> u64;
+}
+
+macro_rules! fixed_payload {
+    ($($t:ty),* $(,)?) => {$(
+        impl Payload for $t {
+            const FIXED_BYTES: Option<u64> = Some(std::mem::size_of::<$t>() as u64);
+            fn payload_bytes(&self) -> u64 {
+                std::mem::size_of::<$t>() as u64
+            }
+        }
+    )*};
+}
+
+fixed_payload!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
+
+impl Payload for String {
+    fn payload_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl<T: Payload> Payload for Vec<T> {
+    fn payload_bytes(&self) -> u64 {
+        match T::FIXED_BYTES {
+            Some(n) => n * self.len() as u64,
+            None => self.iter().map(Payload::payload_bytes).sum(),
+        }
+    }
+}
+
+impl<T: Payload> Payload for Option<T> {
+    fn payload_bytes(&self) -> u64 {
+        self.as_ref().map_or(0, Payload::payload_bytes)
+    }
+}
+
+/// Combines component sizes: fixed only when every component is fixed.
+const fn sum_fixed(parts: &[Option<u64>]) -> Option<u64> {
+    let mut total = 0u64;
+    let mut i = 0;
+    while i < parts.len() {
+        match parts[i] {
+            Some(n) => total += n,
+            None => return None,
+        }
+        i += 1;
+    }
+    Some(total)
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    const FIXED_BYTES: Option<u64> = sum_fixed(&[A::FIXED_BYTES, B::FIXED_BYTES]);
+    fn payload_bytes(&self) -> u64 {
+        self.0.payload_bytes() + self.1.payload_bytes()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    const FIXED_BYTES: Option<u64> = sum_fixed(&[A::FIXED_BYTES, B::FIXED_BYTES, C::FIXED_BYTES]);
+    fn payload_bytes(&self) -> u64 {
+        self.0.payload_bytes() + self.1.payload_bytes() + self.2.payload_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_report_their_width() {
+        assert_eq!(0u8.payload_bytes(), 1);
+        assert_eq!(0u64.payload_bytes(), 8);
+        assert_eq!(1.5f64.payload_bytes(), 8);
+        assert_eq!(true.payload_bytes(), 1);
+        assert_eq!(<u64 as Payload>::FIXED_BYTES, Some(8));
+    }
+
+    #[test]
+    fn containers_sum_elements() {
+        assert_eq!(vec![1.0f64; 10].payload_bytes(), 80);
+        assert_eq!("hello".to_string().payload_bytes(), 5);
+        assert_eq!(vec!["ab".to_string(), "c".to_string()].payload_bytes(), 3);
+        assert_eq!(Vec::<u32>::new().payload_bytes(), 0);
+    }
+
+    #[test]
+    fn tuples_combine_and_stay_fixed_when_components_are() {
+        assert_eq!((1usize, 2i64).payload_bytes(), 16);
+        assert_eq!(<(usize, (i64, i64)) as Payload>::FIXED_BYTES, Some(24));
+        // A tuple with a variable-size component loses the fast path…
+        assert_eq!(<(usize, Vec<f64>) as Payload>::FIXED_BYTES, None);
+        // …but still sums correctly.
+        assert_eq!((1usize, vec![0.0f64; 4]).payload_bytes(), 8 + 32);
+        // Ragged nesting: the allgather ring's (index, block) pairs.
+        let blocks: Vec<(usize, Vec<f64>)> = vec![(0, vec![0.0; 2]), (1, vec![0.0; 3])];
+        assert_eq!(blocks.payload_bytes(), 2 * 8 + 5 * 8);
+    }
+
+    #[test]
+    fn option_counts_only_present_values() {
+        assert_eq!(Some(7u64).payload_bytes(), 8);
+        assert_eq!(None::<u64>.payload_bytes(), 0);
+    }
+}

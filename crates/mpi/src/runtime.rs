@@ -12,10 +12,15 @@
 //!
 //! [`run_traced`] is [`run`] plus wall-clock tracing: each rank thread
 //! records its sends, receive waits and collective invocations into a
-//! per-rank `mre-trace` buffer. Untraced runs carry a `None` recorder, so
-//! tracing disabled costs one branch per operation.
+//! per-rank `mre-trace` buffer. [`run_instrumented`] additionally (or
+//! instead) attaches a [`MetricsRegistry`] whose per-rank handles count
+//! messages, bytes and receive-wait time. Untraced, unmetered runs carry
+//! `None` handles, so instrumentation disabled costs one `Option` check
+//! per operation — payload byte accounting ([`Payload::payload_bytes`])
+//! is only consulted when a recorder or metrics handle is present.
 
-use mre_trace::{EventKind, RankRecorder, Recorder};
+use crate::payload::Payload;
+use mre_trace::{EventKind, MetricsRegistry, RankMetrics, RankRecorder, Recorder};
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -51,6 +56,7 @@ pub struct Proc {
     rx: Receiver<Envelope>,
     pending: RefCell<HashMap<(usize, Tag), VecDeque<AnyPayload>>>,
     recorder: Option<RankRecorder>,
+    metrics: Option<RankMetrics>,
 }
 
 impl Proc {
@@ -65,22 +71,49 @@ impl Proc {
     }
 
     /// The wall-clock recorder handle of this rank, when running under
-    /// [`run_traced`].
+    /// [`run_traced`] or [`run_instrumented`].
     pub fn recorder(&self) -> Option<&RankRecorder> {
         self.recorder.as_ref()
     }
 
+    /// The metrics handle of this rank, when running under
+    /// [`run_instrumented`] with a registry attached.
+    pub fn metrics(&self) -> Option<&RankMetrics> {
+        self.metrics.as_ref()
+    }
+
+    fn instrumented(&self) -> bool {
+        self.recorder.is_some() || self.metrics.is_some()
+    }
+
     /// Sends `value` to world rank `dst` with `tag`. Never blocks.
+    ///
+    /// Under instrumentation the send event carries the payload size
+    /// (`bytes`) and the communicator context (`ctx`), so wall-clock
+    /// traces support the same per-level byte accounting as simulated
+    /// ones.
     ///
     /// # Panics
     /// If `dst` is out of range.
-    pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
-        if let Some(rec) = &self.recorder {
-            rec.instant(
-                format!("send -> {dst}"),
-                EventKind::Send,
-                vec![("dst".to_string(), dst.to_string())],
-            );
+    pub fn send<T: Payload>(&self, dst: usize, tag: Tag, value: T) {
+        if self.instrumented() {
+            let bytes = value.payload_bytes();
+            if let Some(rec) = &self.recorder {
+                rec.instant(
+                    format!("send -> {dst}"),
+                    EventKind::Send,
+                    vec![
+                        ("dst".to_string(), dst.to_string()),
+                        ("bytes".to_string(), bytes.to_string()),
+                        ("ctx".to_string(), tag.ctx.to_string()),
+                    ],
+                );
+            }
+            if let Some(m) = &self.metrics {
+                m.counter_add("mpi.send.count", 1);
+                m.counter_add("mpi.send.bytes", bytes);
+                m.observe("mpi.send.bytes.hist", bytes as f64);
+            }
         }
         self.shared.senders[dst]
             .send(Envelope {
@@ -94,20 +127,43 @@ impl Proc {
     /// Receives the next message from world rank `src` with `tag`,
     /// blocking until it arrives.
     ///
+    /// Under instrumentation every receive records a completion: a
+    /// buffered (already-arrived) message records an instant event, a
+    /// blocking wait records a span covering the wait. Both carry `src`
+    /// and `bytes` args.
+    ///
     /// # Panics
     /// If the arrived payload's type is not `T` (a protocol bug), or if
     /// all senders disconnected while waiting (a deadlock symptom).
-    pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> T {
+    pub fn recv<T: Payload>(&self, src: usize, tag: Tag) -> T {
         let key = (src, tag);
         // Check the out-of-order buffer first.
         if let Some(queue) = self.pending.borrow_mut().get_mut(&key) {
             if let Some(payload) = queue.pop_front() {
-                return downcast(payload);
+                let value: T = downcast(payload);
+                if self.instrumented() {
+                    let bytes = value.payload_bytes();
+                    if let Some(rec) = &self.recorder {
+                        rec.instant(
+                            format!("recv <- {src}"),
+                            EventKind::RecvWait,
+                            vec![
+                                ("src".to_string(), src.to_string()),
+                                ("bytes".to_string(), bytes.to_string()),
+                            ],
+                        );
+                    }
+                    if let Some(m) = &self.metrics {
+                        m.counter_add("mpi.recv.count", 1);
+                        m.counter_add("mpi.recv.bytes", bytes);
+                        m.counter_add("mpi.recv.buffered.count", 1);
+                    }
+                }
+                return value;
             }
         }
-        // Only a blocking wait gets a span: buffered hits above cost
-        // nothing and would clutter the trace.
-        let _wait = self.recorder.as_ref().map(|rec| {
+        let wait_start = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let mut wait = self.recorder.as_ref().map(|rec| {
             let mut span = rec.span(format!("recv <- {src}"), EventKind::RecvWait);
             span.arg("src", src.to_string());
             span
@@ -118,7 +174,21 @@ impl Proc {
                 .recv()
                 .expect("no message will ever arrive: all peers are gone (deadlock?)");
             if envelope.src == src && envelope.tag == tag {
-                return downcast(envelope.payload);
+                let value: T = downcast(envelope.payload);
+                if self.instrumented() {
+                    let bytes = value.payload_bytes();
+                    if let Some(span) = &mut wait {
+                        span.arg("bytes", bytes.to_string());
+                    }
+                    if let Some(m) = &self.metrics {
+                        m.counter_add("mpi.recv.count", 1);
+                        m.counter_add("mpi.recv.bytes", bytes);
+                        if let Some(t0) = wait_start {
+                            m.observe("mpi.recv.wait_seconds", t0.elapsed().as_secs_f64());
+                        }
+                    }
+                }
+                return value;
             }
             self.pending
                 .borrow_mut()
@@ -130,7 +200,7 @@ impl Proc {
 
     /// Sends to `dst` and receives from `src` with the same tag —
     /// the `MPI_Sendrecv` idiom every round-based collective needs.
-    pub fn sendrecv<T: Send + 'static>(&self, dst: usize, src: usize, tag: Tag, value: T) -> T {
+    pub fn sendrecv<T: Payload>(&self, dst: usize, src: usize, tag: Tag, value: T) -> T {
         if dst == self.rank && src == self.rank {
             return value;
         }
@@ -167,7 +237,7 @@ where
     F: Fn(&Proc) -> R + Send + Sync,
     R: Send,
 {
-    run_inner(nprocs, None, f)
+    run_inner(nprocs, None, None, f)
 }
 
 /// Like [`run`], with every rank recording wall-clock events into
@@ -192,10 +262,46 @@ where
     F: Fn(&Proc) -> R + Send + Sync,
     R: Send,
 {
-    run_inner(nprocs, Some(recorder), f)
+    run_inner(nprocs, Some(recorder), None, f)
 }
 
-fn run_inner<F, R>(nprocs: usize, recorder: Option<&Recorder>, f: F) -> Vec<R>
+/// The fully general entry point: [`run`] plus an optional wall-clock
+/// recorder and an optional metrics registry, each independently
+/// attachable. Rank threads buffer metrics locally and merge them into
+/// the registry at thread exit; if the recorder is bounded
+/// ([`Recorder::bounded`]) and evicted events during this run, the count
+/// is surfaced as the `trace.recorder.dropped` counter.
+///
+/// ```
+/// use mre_mpi::runtime::{run_instrumented, Tag};
+/// use mre_trace::MetricsRegistry;
+/// let metrics = MetricsRegistry::new();
+/// run_instrumented(2, None, Some(&metrics), |p| {
+///     let tag = Tag { ctx: 0, tag: 0 };
+///     let other = 1 - p.world_rank();
+///     p.sendrecv(other, other, tag, p.world_rank() as u64)
+/// });
+/// assert_eq!(metrics.snapshot().counter("mpi.send.count"), 2);
+/// ```
+pub fn run_instrumented<F, R>(
+    nprocs: usize,
+    recorder: Option<&Recorder>,
+    metrics: Option<&MetricsRegistry>,
+    f: F,
+) -> Vec<R>
+where
+    F: Fn(&Proc) -> R + Send + Sync,
+    R: Send,
+{
+    run_inner(nprocs, recorder, metrics, f)
+}
+
+fn run_inner<F, R>(
+    nprocs: usize,
+    recorder: Option<&Recorder>,
+    metrics: Option<&MetricsRegistry>,
+    f: F,
+) -> Vec<R>
 where
     F: Fn(&Proc) -> R + Send + Sync,
     R: Send,
@@ -210,13 +316,15 @@ where
     }
     let shared = Arc::new(Shared { senders });
     let f = &f;
-    std::thread::scope(|scope| {
+    let dropped_before = recorder.map_or(0, Recorder::dropped_events);
+    let results = std::thread::scope(|scope| {
         let handles: Vec<_> = receivers
             .into_iter()
             .enumerate()
             .map(|(rank, rx)| {
                 let shared = Arc::clone(&shared);
                 let rank_recorder = recorder.map(|r| r.rank(rank));
+                let rank_metrics = metrics.map(MetricsRegistry::rank);
                 scope.spawn(move || {
                     let proc_ = Proc {
                         rank,
@@ -225,6 +333,7 @@ where
                         rx,
                         pending: RefCell::new(HashMap::new()),
                         recorder: rank_recorder,
+                        metrics: rank_metrics,
                     };
                     f(&proc_)
                 })
@@ -234,7 +343,14 @@ where
             .into_iter()
             .map(|h| h.join().expect("rank thread panicked"))
             .collect()
-    })
+    });
+    if let (Some(rec), Some(m)) = (recorder, metrics) {
+        let dropped = rec.dropped_events() - dropped_before;
+        if dropped > 0 {
+            m.counter_add("trace.recorder.dropped", dropped);
+        }
+    }
+    results
 }
 
 #[cfg(test)]
@@ -350,6 +466,90 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_panics() {
         run(0, |_p| ());
+    }
+
+    #[test]
+    fn instrumented_run_counts_messages_bytes_and_buffered_hits() {
+        let recorder = Recorder::new();
+        let metrics = MetricsRegistry::new();
+        run_instrumented(2, Some(&recorder), Some(&metrics), |p| {
+            if p.world_rank() == 0 {
+                p.send(1, T0, vec![1.0f64; 4]);
+                p.send(1, T1, 7u32);
+            } else {
+                // Force a buffered hit: receive the second send first…
+                let b: u32 = p.recv(0, T1);
+                // …then the first, which by now sits in the buffer.
+                let v: Vec<f64> = p.recv(0, T0);
+                assert_eq!(b, 7);
+                assert_eq!(v.len(), 4);
+            }
+        });
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("mpi.send.count"), 2);
+        assert_eq!(snap.counter("mpi.send.bytes"), 32 + 4);
+        assert_eq!(snap.counter("mpi.recv.count"), 2);
+        assert_eq!(snap.counter("mpi.recv.bytes"), 32 + 4);
+        // At least the Vec receive hit the out-of-order buffer.
+        assert!(snap.counter("mpi.recv.buffered.count") >= 1);
+        assert_eq!(snap.histogram("mpi.send.bytes.hist").unwrap().count, 2);
+
+        // Every send and every recv completion carries a bytes arg.
+        let trace = recorder.take_trace();
+        let sends: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Send)
+            .collect();
+        assert_eq!(sends.len(), 2);
+        for e in &sends {
+            assert!(e.args.iter().any(|(k, v)| k == "bytes" && !v.is_empty()));
+            assert!(e.args.iter().any(|(k, _)| k == "ctx"));
+        }
+        let recvs: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::RecvWait)
+            .collect();
+        assert_eq!(recvs.len(), 2, "buffered receives must record too");
+        for e in &recvs {
+            assert!(e.args.iter().any(|(k, v)| k == "bytes" && !v.is_empty()));
+        }
+    }
+
+    #[test]
+    fn metrics_without_recorder_and_vice_versa() {
+        let metrics = MetricsRegistry::new();
+        run_instrumented(2, None, Some(&metrics), |p| {
+            let other = 1 - p.world_rank();
+            p.sendrecv(other, other, T0, 1u8)
+        });
+        assert_eq!(metrics.snapshot().counter("mpi.send.count"), 2);
+
+        let recorder = Recorder::new();
+        run_instrumented(2, Some(&recorder), None, |p| {
+            let other = 1 - p.world_rank();
+            p.sendrecv(other, other, T0, 1u8)
+        });
+        assert!(!recorder.take_trace().events.is_empty());
+    }
+
+    #[test]
+    fn bounded_recorder_drop_count_becomes_a_metric() {
+        let recorder = Recorder::bounded(1);
+        let metrics = MetricsRegistry::new();
+        run_instrumented(2, Some(&recorder), Some(&metrics), |p| {
+            let other = 1 - p.world_rank();
+            for _ in 0..5 {
+                p.sendrecv(other, other, T0, 0u8);
+            }
+        });
+        let snap = metrics.snapshot();
+        assert!(snap.counter("trace.recorder.dropped") > 0);
+        assert_eq!(
+            snap.counter("trace.recorder.dropped"),
+            recorder.dropped_events()
+        );
     }
 
     #[test]

@@ -118,12 +118,14 @@ pub fn max_min_rates(flows: &[Vec<usize>], capacities: &[f64]) -> Vec<f64> {
             .collect::<Vec<_>>(),
     );
     let mut touched: Vec<usize> = Vec::new();
+    let mut freeze_iterations = 0u64;
     while active > 0 {
         let Reverse(candidate) = heap.pop().expect("active flows imply a candidate link");
         let l = candidate.link;
         if candidate.version != version[l] || count[l] == 0 {
             continue; // superseded by a later state change
         }
+        freeze_iterations += 1;
         let bottleneck_share = candidate.share;
         debug_assert!(bottleneck_share.is_finite());
         // Freeze every still-active flow through the bottleneck link and
@@ -159,6 +161,14 @@ pub fn max_min_rates(flows: &[Vec<usize>], capacities: &[f64]) -> Vec<f64> {
                 }));
             }
         }
+    }
+    // One coarse telemetry emission per solve (a relaxed load when no
+    // collector is installed).
+    if mre_core::telemetry::enabled() {
+        mre_core::telemetry::counter_add("simnet.maxmin.solves", 1);
+        mre_core::telemetry::counter_add("simnet.maxmin.iterations", freeze_iterations);
+        mre_core::telemetry::counter_add("simnet.maxmin.flows", nf as u64);
+        mre_core::telemetry::observe("simnet.maxmin.iterations.hist", freeze_iterations as f64);
     }
     rates
 }

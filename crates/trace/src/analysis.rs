@@ -12,9 +12,16 @@
 //!   [`mre_simnet::Utilization`]: per-round time slices with bytes and
 //!   achieved rates broken down by crossing level;
 //! * [`rank_activity`] — per-core busy/idle split over the schedule.
+//!
+//! [`wall_level_bytes`] is the one pass over *wall-clock* traces: since
+//! the instrumented runtime stamps every send with its payload size, the
+//! same per-level byte-occupancy breakdown the simulator computes is
+//! available for recorded runs too.
 
+use crate::event::{EventKind, Trace};
 use mre_core::Hierarchy;
 use mre_simnet::ScheduleTimeline;
+use std::collections::BTreeMap;
 
 /// One hop of the critical path: the slowest message of one round.
 #[derive(Debug, Clone, PartialEq)]
@@ -228,7 +235,6 @@ impl RankBreakdown {
 /// intervals are unioned, so a core sending and receiving concurrently is
 /// not double-counted.
 pub fn rank_activity(timeline: &ScheduleTimeline) -> Vec<RankBreakdown> {
-    use std::collections::BTreeMap;
     let total = timeline.total_time();
     // Per-core in-flight intervals.
     let mut intervals: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
@@ -274,9 +280,50 @@ pub fn rank_activity(timeline: &ScheduleTimeline) -> Vec<RankBreakdown> {
         .collect()
 }
 
+/// Per-level payload byte totals of a *wall-clock* trace, keyed by level
+/// name (plus `"local"` for same-core traffic) — the wall-side
+/// counterpart of [`LevelOccupancy::total_bytes_crossing`].
+///
+/// Every [`EventKind::Send`] event's `bytes` arg is attributed to the
+/// hierarchy level its endpoints cross; `cores[rank]` maps wall lanes
+/// (MPI ranks) to global core ids (identity when empty). Send events
+/// without a parsable `bytes` or `dst` arg are skipped.
+pub fn wall_level_bytes(
+    hierarchy: &Hierarchy,
+    trace: &Trace,
+    cores: &[usize],
+) -> BTreeMap<String, u64> {
+    let strides = hierarchy.strides();
+    let map = |rank: usize| cores.get(rank).copied().unwrap_or(rank);
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for e in &trace.events {
+        if e.kind != EventKind::Send {
+            continue;
+        }
+        let find = |key: &str| {
+            e.args
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.parse::<u64>().ok())
+        };
+        let (Some(dst), Some(bytes)) = (find("dst"), find("bytes")) else {
+            continue;
+        };
+        let src = map(e.lane);
+        let dst = map(dst as usize);
+        let level = strides
+            .iter()
+            .position(|&s| src / s != dst / s)
+            .map_or("local", |j| hierarchy.name(j));
+        *totals.entry(level.to_string()).or_insert(0) += bytes;
+    }
+    totals
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::{Clock, Event};
     use mre_simnet::{LinkParams, Message, NetworkModel, Round, Schedule};
 
     fn toy() -> NetworkModel {
@@ -367,6 +414,37 @@ mod tests {
         assert!(core0.busy < sum);
         assert!((core0.busy + core0.idle - tl.total_time()).abs() < 1e-12);
         assert!(core0.busy_fraction() > 0.0 && core0.busy_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn wall_level_bytes_classifies_crossings() {
+        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        let mut trace = Trace::new(Clock::Wall);
+        let send = |rank: usize, dst: usize, bytes: u64| Event {
+            lane: rank,
+            name: format!("send -> {dst}"),
+            kind: EventKind::Send,
+            start: 0.0,
+            finish: 0.0,
+            args: vec![
+                ("dst".to_string(), dst.to_string()),
+                ("bytes".to_string(), bytes.to_string()),
+            ],
+        };
+        // Ranks 0..4 on cores 0, 1, 4, 8 of ⟦2,2,4⟧ (strides 8, 4, 1).
+        let cores = vec![0, 1, 4, 8];
+        trace.events = vec![
+            send(0, 1, 100), // cores 0→1: innermost level
+            send(0, 2, 10),  // cores 0→4: middle level
+            send(0, 3, 1),   // cores 0→8: outermost level
+        ];
+        let totals = wall_level_bytes(&h, &trace, &cores);
+        assert_eq!(totals.get(h.name(2)), Some(&100));
+        assert_eq!(totals.get(h.name(1)), Some(&10));
+        assert_eq!(totals.get(h.name(0)), Some(&1));
+        // Identity mapping when `cores` is empty.
+        let totals = wall_level_bytes(&h, &trace, &[]);
+        assert_eq!(totals.values().sum::<u64>(), 111);
     }
 
     #[test]

@@ -1,0 +1,603 @@
+//! Span-by-span diffing of a wall-clock trace against its costed
+//! simulated schedule — the validation loop of the contention model.
+//!
+//! Both trace sources describe the same communication pattern: the wall
+//! trace records what the threaded runtime actually did, the simulated
+//! trace what the max-min contention model predicts. The schedule
+//! generators mirror the functional collectives' `(src, dst)` pairs
+//! round-for-round (see `mre_mpi::schedules`), so the k-th wall message
+//! from core `s` to core `d` corresponds to the k-th simulated message
+//! between the same endpoints. [`diff_traces`] exploits exactly that:
+//!
+//! 1. **Normalize** each trace to message spans. Simulated traces carry
+//!    [`EventKind::Message`] spans directly; wall traces are rebuilt by
+//!    pairing each [`EventKind::Send`] instant with the matching
+//!    [`EventKind::RecvWait`] completion on the destination lane (FIFO
+//!    per `(src, dst)` pair, which the runtime guarantees).
+//! 2. **Align** spans on `(src core, dst core, occurrence index)`, after
+//!    mapping wall lanes (ranks) to simulated cores through
+//!    [`DiffOptions::cores`].
+//! 3. **Score** every aligned pair: absolute skew (wall − sim duration),
+//!    relative skew, and *normalized* skew — each side's duration as a
+//!    fraction of that side's total matched duration, compared as
+//!    `|a − b| / (a + b)`. Normalization makes the score unit-free: the
+//!    wall clock runs on host nanoseconds, the simulated clock on modeled
+//!    seconds, and only the *shape* of the two timelines is comparable.
+//!
+//! The single **fidelity score** is
+//! `matched_fraction × (1 − weighted mean normalized skew)` with weights
+//! `(a + b) / 2`: 1.0 means every span aligned and both timelines
+//! distribute time identically; diffing a trace against itself is
+//! *exactly* 1.0 with every skew exactly zero.
+
+use crate::event::{Clock, EventKind, Trace};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Options controlling trace normalization and alignment.
+#[derive(Debug, Clone, Default)]
+pub struct DiffOptions {
+    /// Maps a wall-trace lane (MPI rank) to its simulated global core id:
+    /// `cores[rank] = core`. Applied to wall-clock traces only; empty
+    /// means the identity (rank r is core r).
+    pub cores: Vec<usize>,
+}
+
+/// One aligned pair of message spans and its skews.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanDiff {
+    /// Sending core (simulated id space).
+    pub src: usize,
+    /// Receiving core (simulated id space).
+    pub dst: usize,
+    /// Occurrence index among the pair's messages, in start-time order.
+    pub occurrence: usize,
+    /// Hierarchy level label from the simulated span (`"unknown"` when
+    /// the simulated side carries no level arg).
+    pub level: String,
+    /// Wall-side span start (seconds since the recorder epoch).
+    pub wall_start: f64,
+    /// Wall-side span duration.
+    pub wall_duration: f64,
+    /// Simulated span start.
+    pub sim_start: f64,
+    /// Simulated span duration.
+    pub sim_duration: f64,
+    /// `wall_duration − sim_duration` (signed, in seconds — note the two
+    /// clocks are not calibrated against each other).
+    pub abs_skew: f64,
+    /// `abs_skew / max(wall_duration, sim_duration)` (0 when both are 0).
+    pub rel_skew: f64,
+    /// Unit-free skew of the *normalized* durations: with
+    /// `a = wall_duration / wall_total` and `b = sim_duration / sim_total`
+    /// over the matched spans, `|a − b| / (a + b)` (0 when both are 0).
+    pub norm_skew: f64,
+}
+
+/// Skew aggregates for one hierarchy level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSkew {
+    /// Level label (e.g. `node`, `socket`, `local`, `unknown`).
+    pub level: String,
+    /// Number of matched spans crossing this level.
+    pub spans: usize,
+    /// Total wall-side duration of those spans.
+    pub wall_total: f64,
+    /// Total simulated duration of those spans.
+    pub sim_total: f64,
+    /// Mean |absolute skew|.
+    pub mean_abs_skew: f64,
+    /// Mean normalized skew.
+    pub mean_norm_skew: f64,
+}
+
+/// The full result of diffing two traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDiff {
+    /// Aligned span pairs, sorted by `(src, dst, occurrence)`.
+    pub spans: Vec<SpanDiff>,
+    /// Wall-side message spans that found no simulated partner.
+    pub unmatched_wall: usize,
+    /// Simulated message spans that found no wall partner.
+    pub unmatched_sim: usize,
+    /// Per-level aggregates over the matched spans, sorted by level name.
+    pub levels: Vec<LevelSkew>,
+    /// `2·matched / (total_wall + total_sim)` — 1.0 when every span on
+    /// both sides aligned.
+    pub matched_fraction: f64,
+    /// `matched_fraction × (1 − weighted mean normalized skew)`; 1.0 is a
+    /// perfect model, 0.0 is no agreement at all.
+    pub fidelity: f64,
+}
+
+impl TraceDiff {
+    /// Number of aligned span pairs.
+    pub fn matched(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Renders a deterministic human-readable report.
+    pub fn text_report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace diff: {} spans matched, {} unmatched (wall), {} unmatched (sim)",
+            self.matched(),
+            self.unmatched_wall,
+            self.unmatched_sim,
+        );
+        let _ = writeln!(out, "matched fraction: {:.4}", self.matched_fraction);
+        let _ = writeln!(out, "fidelity score: {:.6}", self.fidelity);
+        if !self.levels.is_empty() {
+            let _ = writeln!(out, "per-level skew:");
+            for l in &self.levels {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} spans={:<5} wall={:.9}s sim={:.9}s mean|abs|={:.9}s mean-norm={:.6}",
+                    l.level, l.spans, l.wall_total, l.sim_total, l.mean_abs_skew, l.mean_norm_skew,
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the matched spans as CSV (`src,dst,occurrence,level,
+    /// wall_start,wall_duration,sim_start,sim_duration,abs_skew,rel_skew,
+    /// norm_skew`; times in seconds with 9 decimals).
+    pub fn csv(&self) -> String {
+        let mut out = String::from(
+            "src,dst,occurrence,level,wall_start,wall_duration,sim_start,sim_duration,abs_skew,rel_skew,norm_skew\n",
+        );
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.9},{:.9},{:.9},{:.9},{:.9},{:.6},{:.6}",
+                s.src,
+                s.dst,
+                s.occurrence,
+                s.level,
+                s.wall_start,
+                s.wall_duration,
+                s.sim_start,
+                s.sim_duration,
+                s.abs_skew,
+                s.rel_skew,
+                s.norm_skew,
+            );
+        }
+        out
+    }
+}
+
+/// One normalized message span, in the simulated core id space.
+struct MsgSpan {
+    src: usize,
+    dst: usize,
+    start: f64,
+    finish: f64,
+    level: Option<String>,
+}
+
+fn arg<'e>(args: &'e [(String, String)], key: &str) -> Option<&'e str> {
+    args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+fn map_lane(lane: usize, cores: &[usize]) -> usize {
+    cores.get(lane).copied().unwrap_or(lane)
+}
+
+/// Extracts the message spans of a trace, in the simulated core id space.
+///
+/// Simulated traces contribute their `Message` spans directly. Wall
+/// traces are rebuilt from `Send`/`RecvWait` events: the k-th send from
+/// rank `s` to rank `d` (by start time) pairs with the k-th receive
+/// completion of a message from `s` on lane `d` (by finish time); the
+/// span runs from the send instant to the receive completion. Sends whose
+/// receive never recorded (or vice versa) are dropped here and will
+/// surface as unmatched spans.
+fn normalize(trace: &Trace, cores: &[usize]) -> Vec<MsgSpan> {
+    let map = |lane: usize| {
+        if trace.clock == Clock::Wall {
+            map_lane(lane, cores)
+        } else {
+            lane
+        }
+    };
+    let mut spans = Vec::new();
+    if trace.clock == Clock::Simulated {
+        for e in &trace.events {
+            if e.kind != EventKind::Message {
+                continue;
+            }
+            let Some(dst) = arg(&e.args, "dst").and_then(|v| v.parse().ok()) else {
+                continue;
+            };
+            spans.push(MsgSpan {
+                src: e.lane,
+                dst,
+                start: e.start,
+                finish: e.finish,
+                level: arg(&e.args, "level").map(str::to_string),
+            });
+        }
+        return spans;
+    }
+    // Wall trace: pair sends with receive completions per (src, dst).
+    let mut sends: BTreeMap<(usize, usize), Vec<f64>> = BTreeMap::new();
+    let mut recvs: BTreeMap<(usize, usize), Vec<f64>> = BTreeMap::new();
+    for e in &trace.events {
+        match e.kind {
+            EventKind::Send => {
+                let Some(dst) = arg(&e.args, "dst").and_then(|v| v.parse().ok()) else {
+                    continue;
+                };
+                sends.entry((e.lane, dst)).or_default().push(e.start);
+            }
+            EventKind::RecvWait => {
+                let Some(src) = arg(&e.args, "src").and_then(|v| v.parse().ok()) else {
+                    continue;
+                };
+                recvs.entry((src, e.lane)).or_default().push(e.finish);
+            }
+            _ => {}
+        }
+    }
+    for (&(src, dst), send_starts) in &mut sends {
+        send_starts.sort_by(f64::total_cmp);
+        let Some(recv_finishes) = recvs.get_mut(&(src, dst)) else {
+            continue;
+        };
+        recv_finishes.sort_by(f64::total_cmp);
+        for (k, &start) in send_starts.iter().enumerate() {
+            let Some(&finish) = recv_finishes.get(k) else {
+                break;
+            };
+            spans.push(MsgSpan {
+                src: map(src),
+                dst: map(dst),
+                start,
+                finish: finish.max(start),
+                level: None,
+            });
+        }
+    }
+    spans
+}
+
+fn duration(s: &MsgSpan) -> f64 {
+    s.finish - s.start
+}
+
+/// Diffs a wall-clock trace (`wall`) against a simulated trace (`sim`).
+/// See the module docs for the alignment and scoring rules.
+pub fn diff_traces(wall: &Trace, sim: &Trace, opts: &DiffOptions) -> TraceDiff {
+    let wall_spans = normalize(wall, &opts.cores);
+    let sim_spans = normalize(sim, &opts.cores);
+
+    let mut by_pair_wall: BTreeMap<(usize, usize), Vec<&MsgSpan>> = BTreeMap::new();
+    for s in &wall_spans {
+        by_pair_wall.entry((s.src, s.dst)).or_default().push(s);
+    }
+    let mut by_pair_sim: BTreeMap<(usize, usize), Vec<&MsgSpan>> = BTreeMap::new();
+    for s in &sim_spans {
+        by_pair_sim.entry((s.src, s.dst)).or_default().push(s);
+    }
+    for spans in by_pair_wall.values_mut().chain(by_pair_sim.values_mut()) {
+        spans.sort_by(|a, b| {
+            a.start
+                .total_cmp(&b.start)
+                .then(a.finish.total_cmp(&b.finish))
+        });
+    }
+
+    // Align per (src, dst) by occurrence index.
+    let mut pairs: Vec<(&MsgSpan, &MsgSpan, usize)> = Vec::new();
+    let mut unmatched_wall = 0;
+    let mut unmatched_sim = 0;
+    let keys: Vec<(usize, usize)> = by_pair_wall
+        .keys()
+        .chain(by_pair_sim.keys())
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for key in keys {
+        let empty = Vec::new();
+        let w = by_pair_wall.get(&key).unwrap_or(&empty);
+        let s = by_pair_sim.get(&key).unwrap_or(&empty);
+        let m = w.len().min(s.len());
+        for k in 0..m {
+            pairs.push((w[k], s[k], k));
+        }
+        unmatched_wall += w.len() - m;
+        unmatched_sim += s.len() - m;
+    }
+
+    // Totals over the matched spans only, so stragglers don't distort the
+    // normalization.
+    let wall_total: f64 = pairs.iter().map(|(w, _, _)| duration(w)).sum();
+    let sim_total: f64 = pairs.iter().map(|(_, s, _)| duration(s)).sum();
+
+    let mut spans = Vec::with_capacity(pairs.len());
+    for (w, s, occurrence) in pairs {
+        let wd = duration(w);
+        let sd = duration(s);
+        let abs_skew = wd - sd;
+        let max = wd.max(sd);
+        let rel_skew = if max > 0.0 { abs_skew / max } else { 0.0 };
+        let a = if wall_total > 0.0 {
+            wd / wall_total
+        } else {
+            0.0
+        };
+        let b = if sim_total > 0.0 { sd / sim_total } else { 0.0 };
+        let norm_skew = if a + b > 0.0 {
+            (a - b).abs() / (a + b)
+        } else {
+            0.0
+        };
+        spans.push(SpanDiff {
+            src: w.src,
+            dst: w.dst,
+            occurrence,
+            level: s.level.clone().unwrap_or_else(|| "unknown".to_string()),
+            wall_start: w.start,
+            wall_duration: wd,
+            sim_start: s.start,
+            sim_duration: sd,
+            abs_skew,
+            rel_skew,
+            norm_skew,
+        });
+    }
+    spans.sort_by_key(|x| (x.src, x.dst, x.occurrence));
+
+    // Per-level aggregates.
+    let mut level_acc: BTreeMap<String, (usize, f64, f64, f64, f64)> = BTreeMap::new();
+    for s in &spans {
+        let acc = level_acc
+            .entry(s.level.clone())
+            .or_insert((0, 0.0, 0.0, 0.0, 0.0));
+        acc.0 += 1;
+        acc.1 += s.wall_duration;
+        acc.2 += s.sim_duration;
+        acc.3 += s.abs_skew.abs();
+        acc.4 += s.norm_skew;
+    }
+    let levels = level_acc
+        .into_iter()
+        .map(|(level, (n, wt, st, abs, norm))| LevelSkew {
+            level,
+            spans: n,
+            wall_total: wt,
+            sim_total: st,
+            mean_abs_skew: abs / n as f64,
+            mean_norm_skew: norm / n as f64,
+        })
+        .collect();
+
+    let matched = spans.len();
+    let total = 2 * matched + unmatched_wall + unmatched_sim;
+    let matched_fraction = if total > 0 {
+        2.0 * matched as f64 / total as f64
+    } else {
+        1.0
+    };
+    // Weighted mean normalized skew, weights (a + b) / 2; the weights of
+    // all matched spans sum to 1 when both totals are positive.
+    let weighted_skew: f64 = spans
+        .iter()
+        .map(|s| {
+            let a = if wall_total > 0.0 {
+                s.wall_duration / wall_total
+            } else {
+                0.0
+            };
+            let b = if sim_total > 0.0 {
+                s.sim_duration / sim_total
+            } else {
+                0.0
+            };
+            0.5 * (a + b) * s.norm_skew
+        })
+        .sum();
+    let fidelity = matched_fraction * (1.0 - weighted_skew);
+
+    TraceDiff {
+        spans,
+        unmatched_wall,
+        unmatched_sim,
+        levels,
+        matched_fraction,
+        fidelity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn sim_message(src: usize, dst: usize, start: f64, finish: f64, level: &str) -> Event {
+        Event {
+            lane: src,
+            name: format!("{src} -> {dst}"),
+            kind: EventKind::Message,
+            start,
+            finish,
+            args: vec![
+                ("dst".to_string(), dst.to_string()),
+                ("bytes".to_string(), "64".to_string()),
+                ("level".to_string(), level.to_string()),
+            ],
+        }
+    }
+
+    fn sim_trace(events: Vec<Event>) -> Trace {
+        let mut t = Trace::new(Clock::Simulated);
+        t.events = events;
+        t.sort();
+        t
+    }
+
+    fn wall_send(rank: usize, dst: usize, t: f64) -> Event {
+        Event {
+            lane: rank,
+            name: format!("send -> {dst}"),
+            kind: EventKind::Send,
+            start: t,
+            finish: t,
+            args: vec![
+                ("dst".to_string(), dst.to_string()),
+                ("bytes".to_string(), "64".to_string()),
+                ("ctx".to_string(), "0".to_string()),
+            ],
+        }
+    }
+
+    fn wall_recv(rank: usize, src: usize, start: f64, finish: f64) -> Event {
+        Event {
+            lane: rank,
+            name: format!("recv <- {src}"),
+            kind: EventKind::RecvWait,
+            start,
+            finish,
+            args: vec![("src".to_string(), src.to_string())],
+        }
+    }
+
+    #[test]
+    fn diff_of_a_trace_with_itself_is_exactly_zero() {
+        let t = sim_trace(vec![
+            sim_message(0, 1, 0.0, 1.0, "node"),
+            sim_message(1, 2, 0.0, 2.0, "cabinet"),
+            sim_message(0, 1, 1.0, 1.5, "node"),
+        ]);
+        let d = diff_traces(&t, &t, &DiffOptions::default());
+        assert_eq!(d.matched(), 3);
+        assert_eq!(d.unmatched_wall, 0);
+        assert_eq!(d.unmatched_sim, 0);
+        assert_eq!(d.matched_fraction, 1.0);
+        assert_eq!(d.fidelity, 1.0);
+        for s in &d.spans {
+            assert_eq!(s.abs_skew, 0.0);
+            assert_eq!(s.rel_skew, 0.0);
+            assert_eq!(s.norm_skew, 0.0);
+        }
+        for l in &d.levels {
+            assert_eq!(l.mean_abs_skew, 0.0);
+            assert_eq!(l.mean_norm_skew, 0.0);
+        }
+    }
+
+    #[test]
+    fn skews_measure_disagreement() {
+        let sim = sim_trace(vec![
+            sim_message(0, 1, 0.0, 1.0, "node"),
+            sim_message(1, 0, 0.0, 1.0, "node"),
+        ]);
+        // The "wall" side (here another simulated trace for determinism)
+        // doubles the second span's share of total time.
+        let wall = sim_trace(vec![
+            sim_message(0, 1, 0.0, 1.0, "node"),
+            sim_message(1, 0, 0.0, 2.0, "node"),
+        ]);
+        let d = diff_traces(&wall, &sim, &DiffOptions::default());
+        assert_eq!(d.matched(), 2);
+        assert_eq!(d.matched_fraction, 1.0);
+        assert!(d.fidelity < 1.0);
+        let s01 = &d.spans[0];
+        assert_eq!((s01.src, s01.dst), (0, 1));
+        // wall 1/3 vs sim 1/2 → |1/3−1/2|/(1/3+1/2) = 1/5.
+        assert!((s01.norm_skew - 0.2).abs() < 1e-12);
+        let s10 = &d.spans[1];
+        assert_eq!(s10.abs_skew, 1.0);
+        assert!((s10.rel_skew - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_sends_pair_with_recv_completions_fifo() {
+        let mut wall = Trace::new(Clock::Wall);
+        wall.events = vec![
+            wall_send(0, 1, 0.0),
+            wall_send(0, 1, 0.1),
+            wall_recv(1, 0, 0.0, 0.3),
+            // Second receive was buffered: instant completion.
+            wall_recv(1, 0, 0.5, 0.5),
+        ];
+        wall.sort();
+        let sim = sim_trace(vec![
+            sim_message(0, 1, 0.0, 0.3, "node"),
+            sim_message(0, 1, 0.3, 0.7, "node"),
+        ]);
+        let d = diff_traces(&wall, &sim, &DiffOptions::default());
+        assert_eq!(d.matched(), 2);
+        assert_eq!(d.unmatched_wall + d.unmatched_sim, 0);
+        // First wall span: send at 0.0, recv completes 0.3 → duration 0.3.
+        assert_eq!(d.spans[0].wall_duration, 0.3);
+        // Second: send 0.1, completion 0.5 → 0.4.
+        assert!((d.spans[1].wall_duration - 0.4).abs() < 1e-12);
+        assert_eq!(d.spans[0].level, "node");
+    }
+
+    #[test]
+    fn rank_to_core_mapping_applies_to_wall_traces_only() {
+        let mut wall = Trace::new(Clock::Wall);
+        wall.events = vec![wall_send(0, 1, 0.0), wall_recv(1, 0, 0.0, 0.2)];
+        wall.sort();
+        // Ranks 0, 1 run on cores 4, 7.
+        let sim = sim_trace(vec![sim_message(4, 7, 0.0, 0.2, "node")]);
+        let opts = DiffOptions { cores: vec![4, 7] };
+        let d = diff_traces(&wall, &sim, &opts);
+        assert_eq!(d.matched(), 1);
+        assert_eq!((d.spans[0].src, d.spans[0].dst), (4, 7));
+        // Without the mapping nothing aligns.
+        let d = diff_traces(&wall, &sim, &DiffOptions::default());
+        assert_eq!(d.matched(), 0);
+        assert_eq!(d.unmatched_wall, 1);
+        assert_eq!(d.unmatched_sim, 1);
+        assert_eq!(d.fidelity, 0.0);
+    }
+
+    #[test]
+    fn unmatched_spans_lower_the_matched_fraction() {
+        let wall = sim_trace(vec![
+            sim_message(0, 1, 0.0, 1.0, "node"),
+            sim_message(2, 3, 0.0, 1.0, "node"),
+        ]);
+        let sim = sim_trace(vec![sim_message(0, 1, 0.0, 1.0, "node")]);
+        let d = diff_traces(&wall, &sim, &DiffOptions::default());
+        assert_eq!(d.matched(), 1);
+        assert_eq!(d.unmatched_wall, 1);
+        // 2·1 / (2·1 + 1 + 0) = 2/3.
+        assert!((d.matched_fraction - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_diff_is_vacuously_perfect() {
+        let t = Trace::new(Clock::Simulated);
+        let d = diff_traces(&t, &t, &DiffOptions::default());
+        assert_eq!(d.matched(), 0);
+        assert_eq!(d.matched_fraction, 1.0);
+        assert_eq!(d.fidelity, 1.0);
+        assert!(d.text_report().contains("fidelity score: 1.000000"));
+    }
+
+    #[test]
+    fn reports_are_deterministic_and_carry_the_score() {
+        let t = sim_trace(vec![
+            sim_message(0, 1, 0.0, 1.0, "node"),
+            sim_message(1, 2, 0.5, 2.0, "cabinet"),
+        ]);
+        let d = diff_traces(&t, &t, &DiffOptions::default());
+        let report = d.text_report();
+        assert_eq!(report, d.text_report());
+        assert!(report.contains("fidelity score: 1.000000"));
+        assert!(report.contains("per-level skew:"));
+        assert!(report.contains("cabinet"));
+        let csv = d.csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("src,dst,occurrence,level"));
+    }
+}

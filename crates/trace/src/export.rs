@@ -7,6 +7,7 @@
 //! JSON is hand-rolled: the repo deliberately has no serde dependency.
 
 use crate::event::{Event, Trace};
+use crate::metrics::MetricsSnapshot;
 use std::fmt::Write as _;
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -80,6 +81,28 @@ fn event_json(e: &Event) -> String {
 /// then one complete (`ph: "X"`) or instant (`ph: "i"`) record per event
 /// in canonical order. Times are microseconds.
 pub fn chrome_trace_json(trace: &Trace) -> String {
+    chrome_impl(trace, None)
+}
+
+/// Like [`chrome_trace_json`], with the metrics snapshot appended as
+/// Chrome counter (`ph: "C"`) records at the trace's end time: one
+/// counter per metric counter, one per gauge, and `<name>.count` /
+/// `<name>.sum` per histogram. Perfetto renders them as counter tracks
+/// next to the timeline.
+pub fn chrome_trace_json_with_metrics(trace: &Trace, metrics: &MetricsSnapshot) -> String {
+    chrome_impl(trace, Some(metrics))
+}
+
+fn counter_json(name: &str, ts: &str, value: String) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"metric\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{\"value\":{}}}}}",
+        json_escape(name),
+        ts,
+        value
+    )
+}
+
+fn chrome_impl(trace: &Trace, metrics: Option<&MetricsSnapshot>) -> String {
     let mut lanes = trace.lanes();
     for &lane in trace.lane_names.keys() {
         if !lanes.contains(&lane) {
@@ -107,6 +130,35 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
         }
         first = false;
         out.push_str(&event_json(e));
+    }
+    if let Some(snapshot) = metrics {
+        let end = trace.events.iter().map(|e| e.finish).fold(0.0f64, f64::max);
+        let ts = micros(end);
+        let mut push = |row: String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&row);
+        };
+        for (name, &v) in &snapshot.counters {
+            push(counter_json(name, &ts, v.to_string()));
+        }
+        for (name, &v) in &snapshot.gauges {
+            push(counter_json(name, &ts, format!("{v:.9}")));
+        }
+        for (name, h) in &snapshot.histograms {
+            push(counter_json(
+                &format!("{name}.count"),
+                &ts,
+                h.count.to_string(),
+            ));
+            push(counter_json(
+                &format!("{name}.sum"),
+                &ts,
+                format!("{:.9}", h.sum),
+            ));
+        }
     }
     out.push_str("\n]}\n");
     out
@@ -143,6 +195,32 @@ pub fn csv(trace: &Trace) -> String {
             e.finish - e.start,
             quote(&args)
         );
+    }
+    out
+}
+
+/// Serializes a metrics snapshot as CSV with the columns
+/// `kind,name,key,value`. Counters and gauges get one `value` row each;
+/// histograms get a `count` row, a `sum` row, a `zero` row when non-empty,
+/// and one `le_2^<e>` row per occupied bucket. Rows are sorted (kind, then
+/// name, then bucket exponent), so the output is byte-deterministic.
+pub fn metrics_csv(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("kind,name,key,value\n");
+    for (name, v) in &snapshot.counters {
+        let _ = writeln!(out, "counter,{name},value,{v}");
+    }
+    for (name, v) in &snapshot.gauges {
+        let _ = writeln!(out, "gauge,{name},value,{v:.9}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let _ = writeln!(out, "histogram,{name},count,{}", h.count);
+        let _ = writeln!(out, "histogram,{name},sum,{:.9}", h.sum);
+        if h.zero > 0 {
+            let _ = writeln!(out, "histogram,{name},zero,{}", h.zero);
+        }
+        for (&e, &c) in &h.buckets {
+            let _ = writeln!(out, "histogram,{name},le_2^{e},{c}");
+        }
     }
     out
 }
@@ -210,5 +288,52 @@ mod tests {
         assert!(lines[1].contains("bytes=64"));
         // Quoted comma-free fields stay bare; the quoted name round-trips.
         assert!(lines[2].contains("\"tick \"\"q\"\"\""));
+    }
+
+    fn sample_metrics() -> MetricsSnapshot {
+        use crate::metrics::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        registry.counter_add("mpi.send.count", 12);
+        registry.gauge_set("fidelity", 0.875);
+        registry.observe("mpi.send.bytes.hist", 0.0);
+        registry.observe("mpi.send.bytes.hist", 64.0);
+        registry.observe("mpi.send.bytes.hist", 100.0);
+        registry.snapshot()
+    }
+
+    #[test]
+    fn metrics_csv_is_sorted_and_deterministic() {
+        let out = metrics_csv(&sample_metrics());
+        assert_eq!(out, metrics_csv(&sample_metrics()));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "kind,name,key,value");
+        assert_eq!(lines[1], "counter,mpi.send.count,value,12");
+        assert_eq!(lines[2], "gauge,fidelity,value,0.875000000");
+        assert_eq!(lines[3], "histogram,mpi.send.bytes.hist,count,3");
+        assert_eq!(lines[4], "histogram,mpi.send.bytes.hist,sum,164.000000000");
+        assert_eq!(lines[5], "histogram,mpi.send.bytes.hist,zero,1");
+        // 64 → 2^6, 100 → 2^7.
+        assert_eq!(lines[6], "histogram,mpi.send.bytes.hist,le_2^6,1");
+        assert_eq!(lines[7], "histogram,mpi.send.bytes.hist,le_2^7,1");
+        assert_eq!(lines.len(), 8);
+    }
+
+    #[test]
+    fn chrome_export_appends_counter_events() {
+        let t = sample();
+        let json = chrome_trace_json_with_metrics(&t, &sample_metrics());
+        assert!(json.contains(
+            "{\"name\":\"mpi.send.count\",\"cat\":\"metric\",\"ph\":\"C\",\"ts\":2.000,\"pid\":0,\"tid\":0,\"args\":{\"value\":12}}"
+        ));
+        assert!(json.contains("\"name\":\"mpi.send.bytes.hist.count\""));
+        assert!(json.contains("\"name\":\"fidelity\""));
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+        // Without metrics the counters are absent and the base output is
+        // unchanged.
+        assert_eq!(
+            chrome_trace_json(&t),
+            chrome_trace_json_with_metrics(&t, &MetricsSnapshot::default())
+        );
     }
 }

@@ -16,25 +16,43 @@
 //!   application phases record into per-rank buffers that are merged once
 //!   at thread exit.
 //!
+//! Two consumers close the loop between the sources:
+//!
+//! * **Trace diffing** — [`diff_traces`] aligns a wall-clock trace
+//!   against the costed simulated schedule of the same run span-by-span
+//!   (matching messages on `(src core, dst core, occurrence)`), computes
+//!   per-span and per-level skews and a single model-fidelity score. This
+//!   is how the contention model is validated against reality.
+//! * **Live metrics** — a [`MetricsRegistry`] collects lock-cheap
+//!   counters, gauges and log₂ histograms from the runtime's rank
+//!   threads and (through the [`mre_core::telemetry`] bridge) from the
+//!   contention solver, timeline byte accounting and order search.
+//!
 //! Either kind of trace exports to Chrome `trace_event` JSON
 //! ([`chrome_trace_json`], loadable in Perfetto or `chrome://tracing`) or
-//! CSV ([`csv`]); both outputs are byte-deterministic. The `trace_report`
-//! binary in `mre-bench` wires it all together for the paper's machines.
+//! CSV ([`csv`]); metrics export as CSV ([`metrics_csv`]) or Chrome
+//! counter events ([`chrome_trace_json_with_metrics`]). All outputs are
+//! byte-deterministic. The `trace_report` and `trace_diff` binaries in
+//! `mre-bench` wire it all together for the paper's machines.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod diff;
 pub mod event;
 pub mod export;
+pub mod metrics;
 pub mod recorder;
 pub mod simtrace;
 
 pub use analysis::{
-    critical_path, level_occupancy, rank_activity, CriticalHop, CriticalPath, LevelOccupancy,
-    OccupancySlice, RankBreakdown,
+    critical_path, level_occupancy, rank_activity, wall_level_bytes, CriticalHop, CriticalPath,
+    LevelOccupancy, OccupancySlice, RankBreakdown,
 };
+pub use diff::{diff_traces, DiffOptions, LevelSkew, SpanDiff, TraceDiff};
 pub use event::{Clock, Event, EventKind, Trace};
-pub use export::{chrome_trace_json, csv};
+pub use export::{chrome_trace_json, chrome_trace_json_with_metrics, csv, metrics_csv};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, RankMetrics, TelemetryGuard};
 pub use recorder::{RankRecorder, Recorder, SpanGuard};
-pub use simtrace::schedule_trace;
+pub use simtrace::{concurrent_schedule_trace, schedule_trace};

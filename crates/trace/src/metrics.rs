@@ -1,0 +1,361 @@
+//! A live metrics registry: counters, gauges and log₂-bucketed
+//! histograms collected while the runtime executes.
+//!
+//! The design mirrors the [`Recorder`](crate::Recorder): the driver
+//! creates one [`MetricsRegistry`]; each rank thread gets a
+//! [`RankMetrics`] handle that accumulates into thread-local `BTreeMap`s
+//! (no locks, no atomics in the hot path) and merges into the shared
+//! store exactly once, when the handle drops at thread exit. Coarse
+//! producers — the contention solver, timeline reconstruction, the order
+//! search — publish through the [`mre_core::telemetry`] sink instead;
+//! [`MetricsRegistry::install_telemetry`] bridges that sink into the same
+//! store for the lifetime of the returned guard.
+//!
+//! A [`MetricsSnapshot`] is a deterministic, sorted copy of everything
+//! collected; [`metrics_csv`](crate::export::metrics_csv) and
+//! [`chrome_trace_json_with_metrics`](crate::export::chrome_trace_json_with_metrics)
+//! export it alongside traces.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A log₂-bucketed histogram: each observation lands in the bucket whose
+/// upper bound is the smallest power of two `≥` the value. Non-positive
+/// observations land in a dedicated zero bucket; exponents are clamped to
+/// `[-64, 64]`, which comfortably covers nanoseconds-to-hours in seconds
+/// and bytes-to-exabytes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    /// Observations `≤ 0`.
+    pub zero: u64,
+    /// Bucket counts keyed by exponent `e`: values `v` with
+    /// `2^(e-1) < v ≤ 2^e`.
+    pub buckets: BTreeMap<i32, u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        if value <= 0.0 {
+            self.zero += 1;
+        } else {
+            let e = value.log2().ceil().clamp(-64.0, 64.0) as i32;
+            *self.buckets.entry(e).or_insert(0) += 1;
+        }
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        self.zero += other.zero;
+        self.count += other.count;
+        self.sum += other.sum;
+        for (&e, &c) in &other.buckets {
+            *self.buckets.entry(e).or_insert(0) += c;
+        }
+    }
+}
+
+/// The mutable store behind a registry or a rank handle.
+#[derive(Debug, Clone, Default)]
+struct Store {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Store {
+    fn counter_add(&mut self, name: &str, value: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += value,
+            None => {
+                self.counters.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    fn gauge_set(&mut self, name: &str, value: f64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = value,
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    fn observe(&mut self, name: &str, value: f64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = Histogram::default();
+                h.observe(value);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &Store) {
+        for (name, &v) in &other.counters {
+            self.counter_add(name, v);
+        }
+        for (name, &v) in &other.gauges {
+            self.gauge_set(name, v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Collects metrics from rank threads and coarse telemetry producers.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    shared: Arc<Mutex<Store>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A buffered handle for one rank thread; its accumulations merge into
+    /// the registry when the handle drops.
+    pub fn rank(&self) -> RankMetrics {
+        RankMetrics {
+            shared: Arc::clone(&self.shared),
+            local: RefCell::new(Store::default()),
+        }
+    }
+
+    /// Adds `value` to counter `name` directly (takes the shared lock —
+    /// meant for coarse, per-run accounting, not per-message hot paths).
+    pub fn counter_add(&self, name: &str, value: u64) {
+        self.shared
+            .lock()
+            .expect("metrics poisoned")
+            .counter_add(name, value);
+    }
+
+    /// Sets gauge `name` directly (takes the shared lock).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.shared
+            .lock()
+            .expect("metrics poisoned")
+            .gauge_set(name, value);
+    }
+
+    /// Records a histogram observation directly (takes the shared lock).
+    pub fn observe(&self, name: &str, value: f64) {
+        self.shared
+            .lock()
+            .expect("metrics poisoned")
+            .observe(name, value);
+    }
+
+    /// Installs this registry as the process-wide
+    /// [`mre_core::telemetry`] sink, so the contention solver, timeline
+    /// byte accounting and order search feed the same store. The sink is
+    /// removed when the returned guard drops. Only one telemetry consumer
+    /// can be installed at a time (last install wins).
+    pub fn install_telemetry(&self) -> TelemetryGuard {
+        mre_core::telemetry::install(Arc::new(self.clone()));
+        TelemetryGuard { _private: () }
+    }
+
+    /// A sorted, deterministic copy of everything collected so far. Rank
+    /// handles still alive have not merged yet — call after the run
+    /// returns (the runtime drops each rank's handle at thread exit).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let store = self.shared.lock().expect("metrics poisoned").clone();
+        MetricsSnapshot {
+            counters: store.counters,
+            gauges: store.gauges,
+            histograms: store.histograms,
+        }
+    }
+}
+
+impl mre_core::telemetry::Collector for MetricsRegistry {
+    fn counter_add(&self, name: &str, value: u64) {
+        MetricsRegistry::counter_add(self, name, value);
+    }
+    fn gauge_set(&self, name: &str, value: f64) {
+        MetricsRegistry::gauge_set(self, name, value);
+    }
+    fn observe(&self, name: &str, value: f64) {
+        MetricsRegistry::observe(self, name, value);
+    }
+}
+
+/// Uninstalls the telemetry bridge on drop.
+pub struct TelemetryGuard {
+    _private: (),
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        mre_core::telemetry::uninstall();
+    }
+}
+
+/// Per-rank buffered metrics handle; lock-free to record into, merged
+/// into the registry once on drop.
+pub struct RankMetrics {
+    shared: Arc<Mutex<Store>>,
+    local: RefCell<Store>,
+}
+
+impl RankMetrics {
+    /// Adds `value` to counter `name` in the rank-local buffer.
+    pub fn counter_add(&self, name: &str, value: u64) {
+        self.local.borrow_mut().counter_add(name, value);
+    }
+
+    /// Sets gauge `name` in the rank-local buffer.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.local.borrow_mut().gauge_set(name, value);
+    }
+
+    /// Records a histogram observation in the rank-local buffer.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.local.borrow_mut().observe(name, value);
+    }
+}
+
+impl Drop for RankMetrics {
+    fn drop(&mut self) {
+        let local = self.local.borrow();
+        if let Ok(mut shared) = self.shared.lock() {
+            shared.merge(&local);
+        }
+    }
+}
+
+/// An immutable, sorted view of a registry's contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name (last write wins).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram, if it ever received an observation.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_handles_merge_on_drop_across_threads() {
+        let registry = MetricsRegistry::new();
+        let handles: Vec<_> = (0..4)
+            .map(|rank| {
+                let rm = registry.rank();
+                std::thread::spawn(move || {
+                    rm.counter_add("sends", rank as u64 + 1);
+                    rm.observe("bytes", 100.0 * (rank as f64 + 1.0));
+                    rm.gauge_set("last_rank", rank as f64);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sends"), 1 + 2 + 3 + 4);
+        let h = snap.histogram("bytes").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 100.0 + 200.0 + 300.0 + 400.0);
+        assert!(snap.gauge("last_rank").is_some());
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        h.observe(0.0); // zero bucket
+        h.observe(1.0); // 2^0
+        h.observe(3.0); // 2^2
+        h.observe(4.0); // 2^2
+        h.observe(1e-6); // fractional exponent, rounds up to 2^-19
+        assert_eq!(h.zero, 1);
+        assert_eq!(h.buckets.get(&0), Some(&1));
+        assert_eq!(h.buckets.get(&2), Some(&2));
+        assert_eq!(h.buckets.get(&-19), Some(&1));
+        assert_eq!(h.count, 5);
+        assert!((h.mean() - (1.0 + 3.0 + 4.0 + 1e-6) / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_bridge_feeds_the_registry() {
+        let registry = MetricsRegistry::new();
+        {
+            let _guard = registry.install_telemetry();
+            mre_core::telemetry::counter_add("bridge.counter", 5);
+            mre_core::telemetry::observe("bridge.hist", 2.0);
+        }
+        // Guard dropped: sink uninstalled, later emissions are swallowed.
+        mre_core::telemetry::counter_add("bridge.counter", 100);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("bridge.counter"), 5);
+        assert_eq!(snap.histogram("bridge.hist").unwrap().count, 1);
+    }
+
+    #[test]
+    fn direct_registry_calls_and_snapshot_defaults() {
+        let registry = MetricsRegistry::new();
+        registry.counter_add("c", 2);
+        registry.counter_add("c", 3);
+        registry.gauge_set("g", 1.0);
+        registry.gauge_set("g", 2.5);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("c"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("g"), Some(2.5));
+        assert!(snap.histogram("missing").is_none());
+        assert!(!snap.is_empty());
+        assert!(MetricsRegistry::new().snapshot().is_empty());
+    }
+}

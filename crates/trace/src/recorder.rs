@@ -1,20 +1,34 @@
 //! Wall-clock event recording for the threaded `mre-mpi` runtime.
 //!
 //! A [`Recorder`] is created by the driver; each rank thread receives its
-//! own [`RankRecorder`] handle. Events are buffered in a plain per-rank
-//! `Vec` — recording a span is two `Instant::elapsed` reads and a push, no
-//! locks — and the shared mutex is taken exactly once per rank, when the
-//! handle is dropped at thread exit. [`Recorder::take_trace`] then merges
-//! everything into one canonical [`Trace`].
+//! own [`RankRecorder`] handle. Events are buffered in a per-rank deque —
+//! recording a span is two `Instant::elapsed` reads and a push, no locks —
+//! and the shared mutex is taken exactly once per rank, when the handle is
+//! dropped at thread exit. [`Recorder::take_trace`] then merges everything
+//! into one canonical [`Trace`].
+//!
+//! [`Recorder::bounded`] turns each rank buffer into a ring: once a rank
+//! holds `capacity` events, recording a new one evicts that rank's oldest
+//! buffered event. Eviction is per rank and oldest-first in *recording*
+//! order — spans record when they close, so a long span that closes late
+//! can outlive instants that happened during it. Dropped events are
+//! counted on [`Recorder::dropped_events`] (and surfaced as the
+//! `trace.recorder.dropped` metric by the instrumented runtime); the trace
+//! that remains is the tail of each rank's activity, which is what you
+//! want when tracing a long run on a memory budget.
 
 use crate::event::{Clock, Event, EventKind, Trace};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 struct Shared {
     epoch: Instant,
+    /// Per-rank buffer bound; `None` means unbounded.
+    capacity: Option<usize>,
+    dropped: AtomicU64,
     merged: Mutex<Vec<Event>>,
 }
 
@@ -31,14 +45,34 @@ impl Default for Recorder {
 }
 
 impl Recorder {
-    /// Creates a recorder; its epoch (time zero) is `now`.
+    /// Creates an unbounded recorder; its epoch (time zero) is `now`.
     pub fn new() -> Self {
+        Self::with_capacity(None)
+    }
+
+    /// Creates a bounded (ring-buffer) recorder: each rank keeps at most
+    /// `capacity` events, evicting its oldest when full. See the module
+    /// docs for the drop semantics; evicted events are counted on
+    /// [`Recorder::dropped_events`]. A capacity of 0 is treated as 1.
+    pub fn bounded(capacity: usize) -> Self {
+        Self::with_capacity(Some(capacity.max(1)))
+    }
+
+    fn with_capacity(capacity: Option<usize>) -> Self {
         Recorder {
             shared: Arc::new(Shared {
                 epoch: Instant::now(),
+                capacity,
+                dropped: AtomicU64::new(0),
                 merged: Mutex::new(Vec::new()),
             }),
         }
+    }
+
+    /// Number of events evicted so far across all ranks (always 0 for an
+    /// unbounded recorder).
+    pub fn dropped_events(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
     }
 
     /// A recording handle for one rank, to be moved into its thread.
@@ -46,7 +80,7 @@ impl Recorder {
         RankRecorder {
             lane: rank,
             shared: Arc::clone(&self.shared),
-            buffer: RefCell::new(Vec::new()),
+            buffer: RefCell::new(VecDeque::new()),
         }
     }
 
@@ -75,7 +109,7 @@ impl Recorder {
 pub struct RankRecorder {
     lane: usize,
     shared: Arc<Shared>,
-    buffer: RefCell<Vec<Event>>,
+    buffer: RefCell<VecDeque<Event>>,
 }
 
 impl RankRecorder {
@@ -89,10 +123,21 @@ impl RankRecorder {
         self.shared.epoch.elapsed().as_secs_f64()
     }
 
+    fn push(&self, event: Event) {
+        let mut buffer = self.buffer.borrow_mut();
+        if let Some(cap) = self.shared.capacity {
+            if buffer.len() == cap {
+                buffer.pop_front();
+                self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        buffer.push_back(event);
+    }
+
     /// Records a zero-duration event at the current time.
     pub fn instant(&self, name: impl Into<String>, kind: EventKind, args: Vec<(String, String)>) {
         let t = self.now();
-        self.buffer.borrow_mut().push(Event {
+        self.push(Event {
             lane: self.lane,
             name: name.into(),
             kind,
@@ -122,7 +167,7 @@ impl Drop for RankRecorder {
             return;
         }
         if let Ok(mut merged) = self.shared.merged.lock() {
-            merged.append(&mut buffer);
+            merged.extend(buffer.drain(..));
         }
     }
 }
@@ -146,7 +191,7 @@ impl SpanGuard<'_> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let finish = self.recorder.now();
-        self.recorder.buffer.borrow_mut().push(Event {
+        self.recorder.push(Event {
             lane: self.recorder.lane,
             name: std::mem::take(&mut self.name),
             kind: self.kind,
@@ -195,5 +240,43 @@ mod tests {
         let recorder = Recorder::new();
         drop(recorder.rank(0)); // never recorded into
         assert!(recorder.take_trace().events.is_empty());
+    }
+
+    #[test]
+    fn bounded_recorder_keeps_the_tail_and_counts_drops() {
+        let recorder = Recorder::bounded(3);
+        let rr = recorder.rank(0);
+        for i in 0..10 {
+            rr.instant(format!("e{i}"), EventKind::Send, Vec::new());
+        }
+        drop(rr);
+        assert_eq!(recorder.dropped_events(), 7);
+        let trace = recorder.take_trace();
+        let names: Vec<_> = trace.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["e7", "e8", "e9"]);
+    }
+
+    #[test]
+    fn bounded_capacity_is_per_rank() {
+        let recorder = Recorder::bounded(2);
+        for rank in 0..3 {
+            let rr = recorder.rank(rank);
+            rr.instant("a", EventKind::Send, Vec::new());
+            rr.instant("b", EventKind::Send, Vec::new());
+        }
+        assert_eq!(recorder.dropped_events(), 0);
+        assert_eq!(recorder.take_trace().events.len(), 6);
+    }
+
+    #[test]
+    fn unbounded_recorder_never_drops() {
+        let recorder = Recorder::new();
+        let rr = recorder.rank(0);
+        for _ in 0..1000 {
+            rr.instant("e", EventKind::Send, Vec::new());
+        }
+        drop(rr);
+        assert_eq!(recorder.dropped_events(), 0);
+        assert_eq!(recorder.take_trace().events.len(), 1000);
     }
 }

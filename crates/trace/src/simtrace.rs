@@ -71,6 +71,42 @@ pub fn schedule_trace(hierarchy: &Hierarchy, timeline: &ScheduleTimeline, name: 
     trace
 }
 
+/// Like [`schedule_trace`], for a timeline in which several
+/// subcommunicators run *concurrently* (a lockstep-merged schedule, see
+/// [`mre_simnet::Schedule::lockstep`]). `groups` lists each
+/// subcommunicator's label and member cores; every message span gains a
+/// `comm` arg naming the group its source core belongs to, and the
+/// enclosing collective span gains a `comms` count, so per-communicator
+/// filtering works in Perfetto and in the diff reports.
+pub fn concurrent_schedule_trace(
+    hierarchy: &Hierarchy,
+    timeline: &ScheduleTimeline,
+    name: &str,
+    groups: &[(String, Vec<usize>)],
+) -> Trace {
+    let mut trace = schedule_trace(hierarchy, timeline, name);
+    let mut owner: std::collections::HashMap<usize, &str> = std::collections::HashMap::new();
+    for (label, cores) in groups {
+        for &core in cores {
+            owner.insert(core, label);
+        }
+    }
+    for e in &mut trace.events {
+        match e.kind {
+            EventKind::Message => {
+                if let Some(&label) = owner.get(&e.lane) {
+                    e.args.push(("comm".to_string(), label.to_string()));
+                }
+            }
+            EventKind::Collective => {
+                e.args.push(("comms".to_string(), groups.len().to_string()));
+            }
+            _ => {}
+        }
+    }
+    trace
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +162,41 @@ mod tests {
             .unwrap();
         assert!(msg.args.iter().any(|(k, v)| k == "level" && v == "node"));
         assert_eq!(trace.duration(), tl.total_time());
+    }
+
+    #[test]
+    fn concurrent_trace_labels_messages_with_their_communicator() {
+        let net = toy();
+        // Two disjoint "subcommunicators" exchanging in lockstep.
+        let merged = Schedule::lockstep(&[
+            Schedule::with(vec![Round::with(vec![Message::new(0, 1, 100)])]),
+            Schedule::with(vec![Round::with(vec![Message::new(8, 9, 100)])]),
+        ]);
+        let tl = net.schedule_timeline(&merged).unwrap();
+        let groups = vec![
+            ("comm 0".to_string(), vec![0, 1]),
+            ("comm 1".to_string(), vec![8, 9]),
+        ];
+        let trace = concurrent_schedule_trace(net.hierarchy(), &tl, "micro:alltoall", &groups);
+        let comm_of = |lane: usize| {
+            trace
+                .events
+                .iter()
+                .find(|e| e.kind == EventKind::Message && e.lane == lane)
+                .and_then(|e| e.args.iter().find(|(k, _)| k == "comm"))
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(comm_of(0).as_deref(), Some("comm 0"));
+        assert_eq!(comm_of(8).as_deref(), Some("comm 1"));
+        let collective = trace
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Collective)
+            .unwrap();
+        assert!(collective
+            .args
+            .iter()
+            .any(|(k, v)| k == "comms" && v == "2"));
     }
 
     #[test]

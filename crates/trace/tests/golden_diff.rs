@@ -1,0 +1,126 @@
+//! Golden-file tests for the trace-diff report formats and the metrics
+//! CSV exporter.
+//!
+//! Wall-clock traces are nondeterministic, so the pinned diff compares
+//! two *simulated* traces of the same message pattern costed under two
+//! different network models — a deterministic stand-in for "measured vs
+//! modeled" that exercises matching, skew computation and the unmatched
+//! path (one side sends an extra message). The metrics CSV is pinned
+//! from a registry fed directly (the process-global telemetry sink is
+//! shared across parallel tests, so only registry-direct metrics are
+//! byte-stable). Regenerate with `BLESS=1 cargo test -p mre-trace`.
+
+use mre_core::Hierarchy;
+use mre_simnet::{LinkParams, Message, NetworkModel, Round, Schedule};
+use mre_trace::{diff_traces, metrics_csv, schedule_trace, DiffOptions, MetricsRegistry, Trace};
+
+const GOLDEN_REPORT: &str = include_str!("golden/diff_report.txt");
+const GOLDEN_SPANS: &str = include_str!("golden/diff_spans.csv");
+const GOLDEN_METRICS: &str = include_str!("golden/metrics.csv");
+
+fn net(node_bw: f64, socket_bw: f64) -> NetworkModel {
+    let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+    NetworkModel::new(
+        h,
+        vec![
+            LinkParams {
+                uplink_bandwidth: node_bw,
+                crossing_latency: 2.0,
+            },
+            LinkParams {
+                uplink_bandwidth: socket_bw,
+                crossing_latency: 1.0,
+            },
+            LinkParams {
+                uplink_bandwidth: 100.0,
+                crossing_latency: 0.5,
+            },
+        ],
+        1000.0,
+    )
+}
+
+fn costed(model: &NetworkModel, schedule: &Schedule, name: &str) -> Trace {
+    let tl = model.schedule_timeline(schedule).unwrap();
+    schedule_trace(model.hierarchy(), &tl, name)
+}
+
+/// "Measured": the reference model; "modeled": node links twice as fast,
+/// socket links half as fast, plus one extra local message the reference
+/// side never sends (an unmatched sim span).
+fn sample_diff() -> mre_trace::TraceDiff {
+    let pattern = vec![
+        Round::with(vec![
+            Message::new(0, 8, 100), // node crossing
+            Message::new(1, 9, 100), // node crossing
+            Message::new(2, 3, 40),  // same socket
+        ]),
+        Round::with(vec![Message::new(8, 0, 50)]),
+    ];
+    let reference = costed(
+        &net(10.0, 40.0),
+        &Schedule::with(pattern.clone()),
+        "golden:reference",
+    );
+    let mut perturbed_pattern = pattern;
+    perturbed_pattern.push(Round::with(vec![Message::new(4, 5, 10)]));
+    let perturbed = costed(
+        &net(20.0, 20.0),
+        &Schedule::with(perturbed_pattern),
+        "golden:perturbed",
+    );
+    diff_traces(&reference, &perturbed, &DiffOptions { cores: Vec::new() })
+}
+
+fn check_golden(actual: &str, golden: &str, path: &str) {
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(
+            format!("{}/tests/golden/{path}", env!("CARGO_MANIFEST_DIR")),
+            actual,
+        )
+        .unwrap();
+        return;
+    }
+    assert_eq!(
+        actual, golden,
+        "{path} drifted from the golden file; if intentional, \
+         regenerate with BLESS=1 cargo test -p mre-trace"
+    );
+}
+
+#[test]
+fn diff_text_report_matches_golden_bytes() {
+    let d = sample_diff();
+    assert_eq!(d.spans.len(), 4);
+    assert_eq!(d.unmatched_sim, 1);
+    check_golden(&d.text_report(), GOLDEN_REPORT, "diff_report.txt");
+}
+
+#[test]
+fn diff_csv_matches_golden_bytes() {
+    check_golden(&sample_diff().csv(), GOLDEN_SPANS, "diff_spans.csv");
+}
+
+#[test]
+fn metrics_csv_matches_golden_bytes() {
+    let registry = MetricsRegistry::new();
+    let rank = registry.rank();
+    rank.counter_add("mpi.send.count", 12);
+    rank.counter_add("mpi.send.bytes", 4096);
+    rank.gauge_set("solver.residual", 0.125);
+    rank.observe("mpi.send.bytes.hist", 64.0);
+    rank.observe("mpi.send.bytes.hist", 512.0);
+    rank.observe("mpi.recv.wait_seconds", 0.0);
+    drop(rank);
+    check_golden(
+        &metrics_csv(&registry.snapshot()),
+        GOLDEN_METRICS,
+        "metrics.csv",
+    );
+}
+
+#[test]
+fn diff_report_is_stable_across_repeated_runs() {
+    assert_eq!(sample_diff().text_report(), sample_diff().text_report());
+    assert_eq!(sample_diff().csv(), sample_diff().csv());
+}

@@ -16,9 +16,9 @@
 //!   communication pattern costed on the intra-node network.
 
 use mre_core::Error;
-use mre_mpi::{run, run_traced, AllgatherAlg, AllreduceAlg, Comm, Proc};
+use mre_mpi::{run, run_instrumented, run_traced, AllgatherAlg, AllreduceAlg, Comm, Proc};
 use mre_simnet::{MemoryModel, Message, NetworkModel, Round, Schedule};
-use mre_trace::{EventKind, Recorder};
+use mre_trace::{EventKind, MetricsRegistry, Recorder};
 
 /// Compressed sparse row matrix.
 #[derive(Debug, Clone)]
@@ -166,6 +166,46 @@ pub fn cg_distributed_traced(
     run_traced(nprocs, recorder, move |proc_| {
         cg_rank(a, b, iterations, proc_)
     })
+}
+
+/// [`cg_distributed`] with both instrumentation channels optional: a
+/// wall-clock recorder and/or a metrics registry (message counts, bytes,
+/// receive-wait time and per-algorithm collective counts).
+pub fn cg_distributed_instrumented(
+    a: &SparseMatrix,
+    b: &[f64],
+    iterations: usize,
+    nprocs: usize,
+    recorder: Option<&Recorder>,
+    metrics: Option<&MetricsRegistry>,
+) -> Vec<(Vec<f64>, f64)> {
+    run_instrumented(nprocs, recorder, metrics, move |proc_| {
+        cg_rank(a, b, iterations, proc_)
+    })
+}
+
+/// The costed-schedule counterpart of the distributed CG solver's
+/// communication: the exact sequence of collectives the per-rank solver issues —
+/// one scalar recursive-doubling Allreduce up front, then per iteration a
+/// ring Allgather of the operand vector, a scalar ring Allreduce and a
+/// scalar recursive-doubling Allreduce — generated from the same schedule
+/// builders the functional collectives mirror. `members[r]` is the global
+/// core of MPI rank `r`. Byte sizes match the runtime payloads (each
+/// allgather block carries a `usize` index plus `n/p` doubles; scalar
+/// allreduces move one double); for ragged blocks (`n % p != 0`) the
+/// schedule uses the uniform `n/p` size — the `(src, dst)` pattern, which
+/// is what trace diffing aligns on, is unaffected.
+pub fn cg_comm_schedule(members: &[usize], n: usize, iterations: usize) -> Schedule {
+    use mre_mpi::schedules as sched;
+    let p = members.len().max(1);
+    let block_bytes = ((n / p) * 8 + 8) as u64;
+    let mut s = sched::allreduce_recursive_doubling(members, 8);
+    for _ in 0..iterations {
+        s.then(sched::allgather_ring(members, block_bytes));
+        s.then(sched::allreduce_ring(members, 8));
+        s.then(sched::allreduce_recursive_doubling(members, 8));
+    }
+    s
 }
 
 /// One rank's CG solve; the shared body of the traced and untraced entry
@@ -461,6 +501,91 @@ mod tests {
                 && e.kind == EventKind::Collective
                 && e.name == "allgather:ring"));
         }
+    }
+
+    fn toy_net_4() -> NetworkModel {
+        // ⟦2,2⟧: 4 cores, two hierarchy levels.
+        let h = Hierarchy::new(vec![2, 2]).unwrap();
+        NetworkModel::new(
+            h,
+            vec![
+                mre_simnet::LinkParams {
+                    uplink_bandwidth: 1e9,
+                    crossing_latency: 1e-6,
+                },
+                mre_simnet::LinkParams {
+                    uplink_bandwidth: 4e9,
+                    crossing_latency: 2e-7,
+                },
+            ],
+            1e10,
+        )
+    }
+
+    #[test]
+    fn trace_diff_aligns_traced_cg_with_its_costed_schedule() {
+        use mre_trace::{critical_path, diff_traces, schedule_trace, DiffOptions};
+        let n = 64;
+        let iters = 10;
+        let p = 4;
+        let a = generate_matrix(n, 3, 1.0, 5);
+        let b = vec![1.0; n];
+        let recorder = Recorder::new();
+        cg_distributed_traced(&a, &b, iters, p, &recorder);
+        let wall = recorder.take_trace();
+
+        let net = toy_net_4();
+        let cores = vec![0, 1, 2, 3];
+        let schedule = cg_comm_schedule(&cores, n, iters);
+        let tl = net.schedule_timeline(&schedule).unwrap();
+        let sim = schedule_trace(net.hierarchy(), &tl, "cg");
+        let d = diff_traces(&wall, &sim, &DiffOptions { cores });
+
+        // The schedule generators mirror the functional collectives'
+        // (src, dst) pairs one-to-one, so everything aligns.
+        assert!(
+            d.matched_fraction >= 0.95,
+            "matched fraction {} (wall unmatched {}, sim unmatched {})",
+            d.matched_fraction,
+            d.unmatched_wall,
+            d.unmatched_sim,
+        );
+        assert_eq!(d.unmatched_sim, 0, "every simulated span must align");
+        assert!(d.fidelity > 0.0 && d.fidelity <= 1.0);
+        assert!(!d.levels.is_empty(), "per-level skew must be reported");
+
+        // Consistency with the critical-path identity of the timeline:
+        // the matched simulated spans are exactly the timeline's
+        // messages, and the path end equals the costed schedule time.
+        let sim_total: f64 = d.spans.iter().map(|s| s.sim_duration).sum();
+        let tl_total: f64 = tl.messages().map(|m| m.finish - m.start).sum();
+        assert!((sim_total - tl_total).abs() <= 1e-12 * tl_total.max(1.0));
+        let cp = critical_path(net.hierarchy(), &tl);
+        assert!((cp.total_time - tl.total_time()).abs() <= 1e-12 * tl.total_time());
+    }
+
+    #[test]
+    fn instrumented_cg_collects_runtime_metrics() {
+        let n = 48;
+        let a = generate_matrix(n, 3, 1.0, 5);
+        let b = vec![1.0; n];
+        let metrics = MetricsRegistry::new();
+        let plain = cg_distributed(&a, &b, 5, 4);
+        let metered = cg_distributed_instrumented(&a, &b, 5, 4, None, Some(&metrics));
+        for ((xm, rm), (xp, rp)) in metered.iter().zip(&plain) {
+            assert_eq!(xm, xp, "metrics must not change results");
+            assert_eq!(rm, rp);
+        }
+        let snap = metrics.snapshot();
+        assert!(snap.counter("mpi.send.count") > 0);
+        assert_eq!(
+            snap.counter("mpi.send.bytes"),
+            snap.counter("mpi.recv.bytes"),
+            "every sent byte is received"
+        );
+        // One ring allgather per iteration on each of 4 ranks.
+        assert_eq!(snap.counter("mpi.collective.allgather:ring"), 5 * 4);
+        assert!(snap.histogram("mpi.recv.wait_seconds").is_some());
     }
 
     #[test]
