@@ -33,4 +33,22 @@ cargo run -q -p mre-bench --bin trace_diff -- \
 grep -q "fidelity score:" target/trace_diff_smoke.out
 grep -q "^counter,mpi.send.count," target/trace_diff_metrics.csv
 
+echo "== trace_diff stencil smoke (streamed metrics)"
+cargo run -q -p mre-bench --bin trace_diff -- \
+  --workload stencil --dims 2x4 --face-bytes 4096 --iters 3 \
+  --snapshot-every 16 --stream-csv target/trace_diff_stream.csv \
+  > target/trace_diff_stencil_smoke.out
+grep -q "fidelity score:" target/trace_diff_stencil_smoke.out
+grep -q "^seq,events,kind,name,key,value" target/trace_diff_stream.csv
+
+echo "== trace_report autotune smoke"
+cargo run -q -p mre-bench --bin trace_report -- \
+  --machine hydra --collective allgather --order 3-2-1-0 --autotune \
+  --out target/trace_autotune_smoke.json > target/trace_autotune_smoke.out
+grep -q "cost cache:" target/trace_autotune_smoke.out
+
+echo "== autotune bench smoke (asserts pruned sweep is byte-identical)"
+cargo bench -q -p mre-bench --bench autotune -- --quick sweep \
+  | grep "byte-identical check passed"
+
 echo "== CI OK"

@@ -1,0 +1,217 @@
+//! Trace-guided autotuning benchmarks (this PR's additions): exhaustive
+//! grid sweeps vs. the branch-and-bound [`sweep_pruned`], the cross-sweep
+//! [`SharedCostCache`], and the per-subcommunicator [`AlgorithmSelector`]
+//! with cold vs. warm caches.
+//!
+//! Before timing anything, the harness re-checks the acceptance property:
+//! on the Hydra grid the pruned sweep must return byte-identical best
+//! orders and best costs to the exhaustive sweep in every cell, while
+//! actually pruning candidates. Numbers are recorded in
+//! `BENCH_autotune.json` at the repo root.
+
+use mre_bench::tinybench::{black_box, Bench, Stats};
+use mre_core::order_search::{sweep, sweep_pruned, SweepSpec};
+use mre_core::subcomm::{subcommunicators, ColorScheme};
+use mre_core::{Hierarchy, Permutation};
+use mre_mpi::{AlgorithmSelector, AllgatherAlg, CollectiveKind};
+use mre_simnet::presets::hydra_network;
+use mre_simnet::{schedule_lower_bound, NetworkModel, Schedule, SharedCostCache};
+use mre_workloads::microbench::{Collective, Microbench};
+
+const NODES: usize = 4;
+const SELECTOR_BYTES: u64 = 4 << 20;
+
+fn grid_spec() -> SweepSpec {
+    SweepSpec {
+        subcomm_sizes: vec![16, 32],
+        payload_sizes: vec![64 << 10, 4 << 20],
+    }
+}
+
+fn microbench(machine: &Hierarchy, sigma: &Permutation, s: usize, bytes: u64) -> Microbench {
+    Microbench {
+        machine: machine.clone(),
+        order: sigma.clone(),
+        subcomm_size: s,
+        collective: Collective::Allgather(AllgatherAlg::Ring),
+        total_bytes: bytes,
+    }
+}
+
+/// The merged lockstep schedule the microbench prices: one sized schedule
+/// per subcommunicator, advanced round by round together.
+fn merged_schedule(machine: &Hierarchy, sigma: &Permutation, s: usize, bytes: u64) -> Schedule {
+    let b = microbench(machine, sigma, s, bytes);
+    let layout =
+        subcommunicators(machine, sigma, s, ColorScheme::Quotient).expect("valid configuration");
+    let all: Vec<Schedule> = (0..layout.count())
+        .map(|c| b.schedule_for(layout.members(c)))
+        .collect();
+    Schedule::lockstep(&all)
+}
+
+fn contended_duration(
+    machine: &Hierarchy,
+    net: &NetworkModel,
+    sigma: &Permutation,
+    s: usize,
+    bytes: u64,
+) -> f64 {
+    microbench(machine, sigma, s, bytes)
+        .run(net)
+        .expect("valid configuration")
+        .simultaneous_duration
+}
+
+/// Re-checks the acceptance property once, un-timed: byte-identical best
+/// orders and costs per cell, with the bound actually pruning. Returns
+/// `(evaluated, pruned)` totals over the grid.
+fn check_byte_identical(machine: &Hierarchy, net: &NetworkModel, spec: &SweepSpec) -> (u64, u64) {
+    let cost = |sigma: &Permutation, s: usize, bytes: u64| {
+        contended_duration(machine, net, sigma, s, bytes)
+    };
+    let bound = |sigma: &Permutation, s: usize, bytes: u64| {
+        schedule_lower_bound(net, &merged_schedule(machine, sigma, s, bytes))
+    };
+    let exhaustive = sweep(machine, spec, cost).expect("valid spec");
+    let pruned = sweep_pruned(machine, spec, bound, cost).expect("valid spec");
+    assert_eq!(exhaustive.len(), pruned.len());
+    let (mut evaluated, mut skipped) = (0u64, 0u64);
+    for (e, p) in exhaustive.iter().zip(&pruned) {
+        let (best_c, best_t) = &e.ranked[0];
+        assert_eq!(best_c.order, p.best.0.order, "best order must be identical");
+        assert_eq!(
+            best_t.to_bits(),
+            p.best.1.to_bits(),
+            "best cost must be byte-identical"
+        );
+        evaluated += p.stats.evaluated;
+        skipped += p.stats.pruned;
+    }
+    assert!(skipped > 0, "the bound must actually prune on this grid");
+    (evaluated, skipped)
+}
+
+struct SweepStats {
+    exhaustive: Option<Stats>,
+    pruned: Option<Stats>,
+    warm: Option<Stats>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn bench_sweeps(
+    b: &mut Bench,
+    machine: &Hierarchy,
+    net: &NetworkModel,
+    spec: &SweepSpec,
+) -> SweepStats {
+    let cost = |sigma: &Permutation, s: usize, bytes: u64| {
+        contended_duration(machine, net, sigma, s, bytes)
+    };
+    let bound = |sigma: &Permutation, s: usize, bytes: u64| {
+        schedule_lower_bound(net, &merged_schedule(machine, sigma, s, bytes))
+    };
+    let exhaustive = b.bench("sweep/exhaustive/2x2-grid", || {
+        sweep(black_box(machine), spec, cost).unwrap()
+    });
+    let pruned = b.bench("sweep/pruned/2x2-grid", || {
+        sweep_pruned(black_box(machine), spec, bound, cost).unwrap()
+    });
+
+    // Cross-sweep caching: the same cost closure, memoized on the merged
+    // schedule's `(pattern fingerprint, payload)`. After one warming
+    // sweep every repeat is pure lookups — the "re-run the figure grid"
+    // scenario.
+    let cache = SharedCostCache::new();
+    let cached_cost = |sigma: &Permutation, s: usize, bytes: u64| {
+        let merged = merged_schedule(machine, sigma, s, bytes);
+        cache.time_with(net, &merged, bytes, || {
+            contended_duration(machine, net, sigma, s, bytes)
+        })
+    };
+    sweep_pruned(machine, spec, bound, cached_cost).unwrap();
+    let warm = b.bench("sweep/pruned+warm-cache/2x2-grid", || {
+        sweep_pruned(black_box(machine), spec, bound, cached_cost).unwrap()
+    });
+    let (cache_hits, cache_misses) = cache.stats();
+    SweepStats {
+        exhaustive,
+        pruned,
+        warm,
+        cache_hits,
+        cache_misses,
+    }
+}
+
+fn bench_selector(
+    b: &mut Bench,
+    machine: &Hierarchy,
+    net: &NetworkModel,
+) -> (Option<Stats>, Option<Stats>) {
+    let layout = subcommunicators(
+        machine,
+        &Permutation::identity(machine.depth()),
+        16,
+        ColorScheme::Quotient,
+    )
+    .expect("valid configuration");
+    let comms: Vec<Vec<usize>> = (0..layout.count())
+        .map(|c| layout.members(c).to_vec())
+        .collect();
+    let cold = b.bench("selector/allgather/cold-cache", || {
+        let cache = SharedCostCache::new();
+        let selector = AlgorithmSelector::new(net, &cache);
+        selector.select_layout(CollectiveKind::Allgather, black_box(&comms), SELECTOR_BYTES)
+    });
+    let cache = SharedCostCache::new();
+    let selector = AlgorithmSelector::new(net, &cache);
+    selector.select_layout(CollectiveKind::Allgather, &comms, SELECTOR_BYTES);
+    let warm = b.bench("selector/allgather/warm-cache", || {
+        selector.select_layout(CollectiveKind::Allgather, black_box(&comms), SELECTOR_BYTES)
+    });
+    (cold, warm)
+}
+
+fn main() {
+    let mut b = Bench::from_env();
+    let net = hydra_network(NODES, 1);
+    let machine = net.hierarchy().clone();
+    let spec = grid_spec();
+
+    let (evaluated, skipped) = check_byte_identical(&machine, &net, &spec);
+    println!(
+        "byte-identical check passed: {evaluated} costed, {skipped} pruned of {} candidates\n",
+        evaluated + skipped
+    );
+
+    let sweeps = bench_sweeps(&mut b, &machine, &net, &spec);
+    let (cold, warm_sel) = bench_selector(&mut b, &machine, &net);
+
+    // Machine-readable summary for BENCH_autotune.json.
+    let med = |s: &Option<Stats>| s.as_ref().map_or(f64::NAN, |s| s.median_ns);
+    let ratio = |base: &Option<Stats>, other: &Option<Stats>| match (base, other) {
+        (Some(b), Some(o)) => b.median_ns / o.median_ns,
+        _ => f64::NAN,
+    };
+    println!(
+        "\njson: {{\"sweep\": {{\"machine\": \"{machine}\", \"subcomm_sizes\": [16, 32], \
+         \"payload_sizes\": [65536, 4194304], \"exhaustive_ns\": {:.1}, \"pruned_ns\": {:.1}, \
+         \"pruned_warm_cache_ns\": {:.1}, \"pruned_speedup\": {:.3}, \
+         \"warm_cache_speedup\": {:.3}, \"evaluated\": {evaluated}, \"pruned\": {skipped}, \
+         \"cache_hits\": {}, \"cache_misses\": {}}}, \
+         \"selector\": {{\"total_bytes\": {SELECTOR_BYTES}, \"cold_ns\": {:.1}, \
+         \"warm_ns\": {:.1}, \"warm_speedup\": {:.3}}}}}",
+        med(&sweeps.exhaustive),
+        med(&sweeps.pruned),
+        med(&sweeps.warm),
+        ratio(&sweeps.exhaustive, &sweeps.pruned),
+        ratio(&sweeps.exhaustive, &sweeps.warm),
+        sweeps.cache_hits,
+        sweeps.cache_misses,
+        med(&cold),
+        med(&warm_sel),
+        ratio(&cold, &warm_sel),
+    );
+    b.finish();
+}

@@ -5,19 +5,27 @@
 //! §5 sketches.
 //!
 //! ```text
-//! order_sweep [HIERARCHY] [SUBCOMM] [COLLECTIVE] [SIZE_BYTES]
+//! order_sweep [HIERARCHY] [SUBCOMM] [COLLECTIVE] [SIZE_BYTES] [--pruned]
 //! order_sweep 16,2,2,8 16 alltoall 4194304
 //! ```
+//!
+//! With `--pruned` the exhaustive evaluation is replaced by the
+//! branch-and-bound search: candidates are visited in ascending
+//! [`mre_simnet::schedule_lower_bound`] order and skipped once their
+//! bound exceeds the incumbent best cost. The recommended order is
+//! byte-identical to the exhaustive one (the bound is admissible); the
+//! table then lists only the candidates that were actually costed.
 //!
 //! `HIERARCHY` must be one of the calibrated machines (a Hydra-shaped
 //! `nodes,2,2,8` or a LUMI-shaped `nodes,2,4,2,8`); `COLLECTIVE` is
 //! `alltoall`, `allreduce` or `allgather`.
 
-use mre_core::order_search::{rank_orders_by_par, spreadness};
-use mre_core::Hierarchy;
+use mre_core::order_search::{rank_orders_by_par, rank_orders_pruned, spreadness};
+use mre_core::subcomm::{subcommunicators, ColorScheme};
+use mre_core::{Hierarchy, Permutation};
 use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
 use mre_simnet::presets::{hydra_network, lumi_network};
-use mre_simnet::NetworkModel;
+use mre_simnet::{schedule_lower_bound, NetworkModel, Schedule};
 use mre_slurm::Distribution;
 use mre_workloads::microbench::{Collective, Microbench};
 
@@ -30,7 +38,9 @@ fn network_for(machine: &Hierarchy) -> Option<NetworkModel> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let pruned_mode = args.iter().any(|a| a == "--pruned");
+    args.retain(|a| a != "--pruned");
     let hierarchy_text = args.get(1).map(String::as_str).unwrap_or("16,2,2,8");
     let subcomm: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(16);
     let collective_name = args.get(3).map(String::as_str).unwrap_or("alltoall");
@@ -73,19 +83,48 @@ fn main() {
         size
     );
     println!("(one representative per mapping-equivalence class, ranked by contended duration)\n");
-    let ranked = rank_orders_by_par(&machine, subcomm, |sigma| {
-        Microbench {
-            machine: machine.clone(),
-            order: sigma.clone(),
-            subcomm_size: subcomm,
-            collective,
-            total_bytes: size,
-        }
-        .run(&net)
-        .expect("valid configuration")
-        .simultaneous_duration
-    })
-    .expect("valid configuration");
+    let bench_for = |sigma: &Permutation| Microbench {
+        machine: machine.clone(),
+        order: sigma.clone(),
+        subcomm_size: subcomm,
+        collective,
+        total_bytes: size,
+    };
+    let cost = |sigma: &Permutation| {
+        bench_for(sigma)
+            .run(&net)
+            .expect("valid configuration")
+            .simultaneous_duration
+    };
+    let ranked = if pruned_mode {
+        // Admissible lower bound on the contended duration: the physics
+        // bound of the lockstep-merged schedule all subcommunicators
+        // execute concurrently.
+        let result = rank_orders_pruned(
+            &machine,
+            subcomm,
+            |sigma| {
+                let bench = bench_for(sigma);
+                let layout = subcommunicators(&machine, sigma, subcomm, ColorScheme::Quotient)
+                    .expect("valid configuration");
+                let all: Vec<Schedule> = (0..layout.count())
+                    .map(|c| bench.schedule_for(layout.members(c)))
+                    .collect();
+                schedule_lower_bound(&net, &Schedule::lockstep(&all))
+            },
+            cost,
+        )
+        .expect("valid configuration");
+        println!(
+            "branch-and-bound: {} costed, {} pruned of {} candidates\n",
+            result.stats.evaluated,
+            result.stats.pruned,
+            result.stats.candidates()
+        );
+        result.ranked
+    } else {
+        rank_orders_by_par(&machine, subcomm, cost).expect("valid configuration")
+    };
 
     println!(
         "{:<44} {:>10} {:>12}           slurm",

@@ -1,18 +1,26 @@
 //! Span-by-span validation of the contention model against a real run —
 //! the `mre-trace` diffing front end.
 //!
-//! Runs the distributed CG solver on the thread runtime with wall-clock
+//! Runs a distributed workload on the thread runtime with wall-clock
 //! recording and live metrics attached, builds the costed-schedule
-//! counterpart of its communication ([`mre_workloads::cg::cg_comm_schedule`])
-//! on the chosen machine model, and diffs the two traces with
+//! counterpart of its communication, and diffs the two traces with
 //! [`mre_trace::diff_traces`]: every message span is matched on
 //! `(src core, dst core, occurrence)`, per-span and per-level skews are
 //! reported, and a single model-fidelity score summarises how well the
 //! max-min contention model explains the observed run.
 //!
+//! Two workloads validate the model from different angles:
+//!
+//! * `--workload cg` (default) — the CG solver's collective sequence
+//!   ([`mre_workloads::cg::cg_comm_schedule`]);
+//! * `--workload stencil` — the halo exchange of a periodic Cartesian
+//!   grid ([`mre_workloads::stencil::Stencil::comm_schedule`]), a pure
+//!   point-to-point neighbor pattern with no collectives at all.
+//!
 //! ```text
 //! trace_diff --machine hydra --nodes 2 --procs 8 --n 1024 --iters 10 \
 //!            --csv spans.csv --metrics-csv metrics.csv --out wall.json
+//! trace_diff --workload stencil --dims 2x4 --face-bytes 4096 --iters 10
 //! ```
 //!
 //! The wall clock measures host threads, not the modeled machine, so the
@@ -23,33 +31,44 @@
 
 use mre_core::Hierarchy;
 use mre_simnet::presets::{hydra_network, lumi_network};
-use mre_simnet::NetworkModel;
+use mre_simnet::{NetworkModel, Schedule};
 use mre_trace::{
-    chrome_trace_json_with_metrics, diff_traces, metrics_csv, schedule_trace, DiffOptions,
-    MetricsRegistry, Recorder,
+    chrome_trace_json_with_metrics, diff_traces, metrics_csv, metrics_stream_csv, schedule_trace,
+    DiffOptions, MetricsRegistry, Recorder,
 };
 use mre_workloads::cg::{cg_comm_schedule, cg_distributed_instrumented, generate_matrix};
+use mre_workloads::stencil::{stencil_distributed_instrumented, Stencil};
 
 struct Options {
     machine: String,
+    workload: String,
     nodes: usize,
     procs: usize,
     n: usize,
     iters: usize,
+    dims: Vec<usize>,
+    face_bytes: u64,
+    snapshot_every: Option<u64>,
     csv_out: Option<String>,
     metrics_out: Option<String>,
+    stream_out: Option<String>,
     out: Option<String>,
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
         machine: "hydra".into(),
+        workload: "cg".into(),
         nodes: 1,
         procs: 4,
         n: 256,
         iters: 10,
+        dims: vec![2, 4],
+        face_bytes: 4096,
+        snapshot_every: None,
         csv_out: None,
         metrics_out: None,
+        stream_out: None,
         out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,18 +92,35 @@ fn parse_args() -> Options {
         };
         match flag {
             "--machine" => opts.machine = value("--machine"),
+            "--workload" => opts.workload = value("--workload"),
             "--nodes" => opts.nodes = parse_usize("--nodes", value("--nodes")),
             "--procs" => opts.procs = parse_usize("--procs", value("--procs")),
             "--n" => opts.n = parse_usize("--n", value("--n")),
             "--iters" => opts.iters = parse_usize("--iters", value("--iters")),
+            "--dims" => {
+                let text = value("--dims");
+                opts.dims = text
+                    .split('x')
+                    .map(|d| parse_usize("--dims", d.to_string()))
+                    .collect();
+            }
+            "--face-bytes" => {
+                opts.face_bytes = parse_usize("--face-bytes", value("--face-bytes")) as u64
+            }
+            "--snapshot-every" => {
+                opts.snapshot_every =
+                    Some(parse_usize("--snapshot-every", value("--snapshot-every")) as u64)
+            }
             "--csv" => opts.csv_out = Some(value("--csv")),
             "--metrics-csv" => opts.metrics_out = Some(value("--metrics-csv")),
+            "--stream-csv" => opts.stream_out = Some(value("--stream-csv")),
             "--out" => opts.out = Some(value("--out")),
             "--help" | "-h" => {
                 println!(
-                    "trace_diff [--machine hydra|lumi] [--nodes N] [--procs P] \
-                     [--n N] [--iters K] [--csv FILE.csv] [--metrics-csv FILE.csv] \
-                     [--out FILE.json]"
+                    "trace_diff [--machine hydra|lumi] [--workload cg|stencil] [--nodes N] \
+                     [--procs P] [--n N] [--iters K] [--dims AxBxC] [--face-bytes B] \
+                     [--snapshot-every E] [--csv FILE.csv] [--metrics-csv FILE.csv] \
+                     [--stream-csv FILE.csv] [--out FILE.json]"
                 );
                 std::process::exit(0);
             }
@@ -106,6 +142,66 @@ fn network_for(machine: &str, nodes: usize) -> Option<NetworkModel> {
     }
 }
 
+/// Runs the selected workload under `recorder`/`metrics` and returns its
+/// costed-schedule counterpart plus a result line for the final summary.
+fn run_workload(
+    opts: &Options,
+    procs: usize,
+    cores: &[usize],
+    recorder: &Recorder,
+    metrics: &MetricsRegistry,
+) -> (Schedule, String) {
+    match opts.workload.as_str() {
+        "cg" => {
+            let a = generate_matrix(opts.n, 7, 20.0, 42);
+            let b = vec![1.0; opts.n];
+            let results = cg_distributed_instrumented(
+                &a,
+                &b,
+                opts.iters,
+                procs,
+                Some(recorder),
+                Some(metrics),
+            );
+            let residual = results.first().map_or(f64::NAN, |(_, r)| *r);
+            let schedule = cg_comm_schedule(cores, opts.n, opts.iters);
+            (
+                schedule,
+                format!(
+                    "CG residual after {} iterations: {residual:.3e}",
+                    opts.iters
+                ),
+            )
+        }
+        "stencil" => {
+            let stencil =
+                Stencil::new(opts.dims.clone(), opts.face_bytes).expect("dims validated by caller");
+            let checksums = stencil_distributed_instrumented(
+                &stencil,
+                opts.iters,
+                Some(recorder),
+                Some(metrics),
+            )
+            .expect("grid validated by caller");
+            let schedule = stencil
+                .comm_schedule(cores, opts.iters)
+                .expect("grid validated by caller");
+            (
+                schedule,
+                format!(
+                    "stencil rank-0 checksum after {} iterations: {:#x}",
+                    opts.iters,
+                    checksums.first().copied().unwrap_or(0)
+                ),
+            )
+        }
+        other => {
+            eprintln!("unknown workload {other:?} (cg|stencil)");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let Some(net) = network_for(&opts.machine, opts.nodes) else {
@@ -113,17 +209,29 @@ fn main() {
         std::process::exit(2);
     };
     let machine: Hierarchy = net.hierarchy().clone();
-    if opts.procs == 0 || opts.procs > machine.size() {
+
+    // The stencil grid fixes its own rank count; CG takes --procs.
+    let procs = match opts.workload.as_str() {
+        "stencil" => {
+            if opts.dims.is_empty() || opts.dims.contains(&0) {
+                eprintln!("--dims must name a non-empty grid of positive extents");
+                std::process::exit(2);
+            }
+            opts.dims.iter().product()
+        }
+        _ => opts.procs,
+    };
+    if procs == 0 || procs > machine.size() {
         eprintln!(
-            "--procs {} must be in 1..={} ({} with {} nodes)",
-            opts.procs,
+            "workload needs {} procs, must be in 1..={} ({} with {} nodes)",
+            procs,
             machine.size(),
             opts.machine,
             opts.nodes
         );
         std::process::exit(2);
     }
-    if opts.n < opts.procs {
+    if opts.workload == "cg" && opts.n < opts.procs {
         eprintln!("--n {} must be at least --procs {}", opts.n, opts.procs);
         std::process::exit(2);
     }
@@ -131,43 +239,36 @@ fn main() {
     // Rank r lives on core r: ranks fill the machine depth-first, so the
     // communication crosses the innermost levels first — the placement the
     // costed schedule is charged for.
-    let cores: Vec<usize> = (0..opts.procs).collect();
+    let cores: Vec<usize> = (0..procs).collect();
 
     println!(
-        "machine {machine} ({} cores), CG n={} iters={} on {} procs (cores 0..{})",
+        "machine {machine} ({} cores), workload {} iters={} on {} procs (cores 0..{})",
         machine.size(),
-        opts.n,
+        opts.workload,
         opts.iters,
-        opts.procs,
-        opts.procs
+        procs,
+        procs
     );
 
     // Real run: wall-clock recorder + live metrics on the thread runtime.
-    let a = generate_matrix(opts.n, 7, 20.0, 42);
-    let b = vec![1.0; opts.n];
     let recorder = Recorder::new();
     let metrics = MetricsRegistry::new();
-    let results = {
+    if let Some(every) = opts.snapshot_every {
+        metrics.snapshot_every(every);
+    }
+    {
         // While the guard lives, the contention solver and timeline byte
         // accounting below also feed the registry.
         let _telemetry = metrics.install_telemetry();
-        let results = cg_distributed_instrumented(
-            &a,
-            &b,
-            opts.iters,
-            opts.procs,
-            Some(&recorder),
-            Some(&metrics),
-        );
+        let (schedule, result_line) = run_workload(&opts, procs, &cores, &recorder, &metrics);
 
-        // Costed counterpart: the same collective sequence, scheduled and
+        // Costed counterpart: the same message sequence, scheduled and
         // priced on the machine model.
-        let schedule = cg_comm_schedule(&cores, opts.n, opts.iters);
         let timeline = net
             .schedule_timeline(&schedule)
             .expect("canonical schedule");
         let wall = recorder.take_trace();
-        let sim = schedule_trace(&machine, &timeline, "cg:costed");
+        let sim = schedule_trace(&machine, &timeline, &format!("{}:costed", opts.workload));
         println!(
             "wall: {} events; costed: {} rounds, {} messages, {:.3} us simulated",
             wall.events.len(),
@@ -203,8 +304,8 @@ fn main() {
             });
             println!("wrote wall-clock Chrome trace_event JSON to {path}");
         }
-        results
-    };
+        println!("{result_line}");
+    }
     if let Some(path) = &opts.metrics_out {
         std::fs::write(path, metrics_csv(&metrics.snapshot())).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
@@ -212,10 +313,23 @@ fn main() {
         });
         println!("wrote metrics CSV to {path}");
     }
-
-    let residual = results.first().map_or(f64::NAN, |(_, r)| *r);
-    println!(
-        "CG residual after {} iterations: {residual:.3e}",
-        opts.iters
-    );
+    if let Some(path) = &opts.stream_out {
+        match metrics.take_stream() {
+            Some(stream) => {
+                std::fs::write(path, metrics_stream_csv(&stream)).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                println!(
+                    "wrote {} streamed snapshots (every {} events) to {path}",
+                    stream.snapshots.len(),
+                    stream.every
+                );
+            }
+            None => {
+                eprintln!("--stream-csv needs --snapshot-every to enable streaming");
+                std::process::exit(2);
+            }
+        }
+    }
 }

@@ -19,9 +19,9 @@
 
 use mre_core::subcomm::{subcommunicators, ColorScheme};
 use mre_core::{Hierarchy, Permutation};
-use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
+use mre_mpi::{AlgorithmSelector, AllgatherAlg, AllreduceAlg, AlltoallAlg, CollectiveKind};
 use mre_simnet::presets::{hydra_network, lumi_network};
-use mre_simnet::{NetworkModel, Schedule};
+use mre_simnet::{NetworkModel, Schedule, SharedCostCache};
 use mre_trace::{
     chrome_trace_json, concurrent_schedule_trace, critical_path, csv, level_occupancy,
     rank_activity,
@@ -35,6 +35,7 @@ struct Options {
     order: Option<String>,
     subcomm: usize,
     bytes: u64,
+    autotune: bool,
     out: Option<String>,
     csv_out: Option<String>,
 }
@@ -47,6 +48,7 @@ fn parse_args() -> Options {
         order: None,
         subcomm: 16,
         bytes: 4 << 20,
+        autotune: false,
         out: None,
         csv_out: None,
     };
@@ -85,13 +87,15 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 })
             }
+            "--autotune" => opts.autotune = true,
             "--out" => opts.out = Some(value("--out")),
             "--csv" => opts.csv_out = Some(value("--csv")),
             "--help" | "-h" => {
                 println!(
                     "trace_report [--machine hydra|lumi] [--nodes N] \
                      [--collective alltoall|allreduce|allgather] [--order SPEC] \
-                     [--subcomm N] [--bytes N] [--out FILE.json] [--csv FILE.csv]"
+                     [--subcomm N] [--bytes N] [--autotune] [--out FILE.json] \
+                     [--csv FILE.csv]"
                 );
                 std::process::exit(0);
             }
@@ -169,13 +173,48 @@ fn main() {
     };
     // Every subcommunicator runs the collective concurrently: merge the
     // per-communicator schedules round-for-round so they contend for the
-    // shared links.
+    // shared links. With --autotune the size-based Auto policy is replaced
+    // by the per-subcommunicator selector, which picks whichever algorithm
+    // minimizes the costed schedule on this machine.
     let mut schedules = Vec::with_capacity(layout.count());
     let mut groups = Vec::with_capacity(layout.count());
-    for c in 0..layout.count() {
-        let members = layout.members(c);
-        schedules.push(bench.schedule_for(members).canonicalized());
-        groups.push((format!("comm {c}"), members.to_vec()));
+    if opts.autotune {
+        let kind = match opts.collective.as_str() {
+            "alltoall" => CollectiveKind::Alltoall,
+            "allreduce" => CollectiveKind::Allreduce,
+            _ => CollectiveKind::Allgather,
+        };
+        let cache = SharedCostCache::new();
+        let selector = AlgorithmSelector::new(&net, &cache);
+        let comms: Vec<Vec<usize>> = (0..layout.count())
+            .map(|c| layout.members(c).to_vec())
+            .collect();
+        let choices = selector.select_layout(kind, &comms, opts.bytes);
+        println!("autotune: per-subcommunicator algorithm selection");
+        for (c, choice) in choices.iter().enumerate() {
+            println!(
+                "  comm {c}: {} ({:.3} us, outer busy {:.1}%, {} evaluated, {} pruned)",
+                choice.alg.label(),
+                choice.cost * 1e6,
+                choice.outer_busy_fraction * 100.0,
+                choice.evaluated,
+                choice.skipped
+            );
+            schedules.push(
+                selector
+                    .candidate_schedule(choices[c].alg, &comms[c], opts.bytes)
+                    .canonicalized(),
+            );
+            groups.push((format!("comm {c}"), comms[c].clone()));
+        }
+        let (hits, misses) = cache.stats();
+        println!("  cost cache: {hits} hits, {misses} misses\n");
+    } else {
+        for c in 0..layout.count() {
+            let members = layout.members(c);
+            schedules.push(bench.schedule_for(members).canonicalized());
+            groups.push((format!("comm {c}"), members.to_vec()));
+        }
     }
     let schedule = Schedule::lockstep(&schedules);
     let timeline = net

@@ -16,7 +16,13 @@
 //!   the [`crate::par`] worker pool with byte-identical results;
 //! * [`sweep`] evaluates a whole (order × subcommunicator size × payload
 //!   size) grid in one parallel pass — the engine behind the figure
-//!   binaries' size sweeps.
+//!   binaries' size sweeps;
+//! * [`rank_orders_pruned`] / [`sweep_pruned`] are the branch-and-bound
+//!   variants: candidates are visited in ascending order of a
+//!   caller-supplied **admissible lower bound** (e.g. `mre-simnet`'s
+//!   `schedule_lower_bound`), and any candidate whose bound exceeds the
+//!   incumbent best cost is skipped without paying the full evaluation —
+//!   provably returning the same best order per cell (DESIGN.md §7e).
 
 use crate::error::Error;
 use crate::hierarchy::Hierarchy;
@@ -125,14 +131,172 @@ where
     Ok(scored)
 }
 
+/// Outcome counters of a branch-and-bound search: how many candidates
+/// paid the full cost evaluation vs. were skipped on their lower bound
+/// alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Candidates whose full cost was evaluated.
+    pub evaluated: u64,
+    /// Candidates skipped because their lower bound exceeded the
+    /// incumbent best cost.
+    pub pruned: u64,
+}
+
+impl PruneStats {
+    /// Total candidates considered (evaluated + pruned).
+    pub fn candidates(&self) -> u64 {
+        self.evaluated + self.pruned
+    }
+}
+
+/// Result of [`rank_orders_pruned`]: the provably-best order plus the
+/// subset of candidates that were actually evaluated.
+#[derive(Debug, Clone)]
+pub struct PrunedRanking {
+    /// The best `(characterization, cost)` — byte-identical to
+    /// `rank_orders_by(...)[0]` when the bound is admissible.
+    pub best: (OrderCharacterization, f64),
+    /// The evaluated candidates, lowest cost first (pruned candidates are
+    /// absent — their exact costs were never computed).
+    pub ranked: Vec<(OrderCharacterization, f64)>,
+    /// Evaluated/pruned counters.
+    pub stats: PruneStats,
+}
+
+/// Branch-and-bound core shared by [`rank_orders_pruned`] and
+/// [`sweep_pruned`]: visit candidates in ascending `(bound, enumeration
+/// index)` order, keep a `(cost, enumeration index)` incumbent, and stop
+/// at the first candidate whose bound *strictly* exceeds the incumbent
+/// cost (bounds are sorted, so every later candidate is prunable too).
+///
+/// Strict inequality and the index tie-breaks are what make the result
+/// byte-identical to the exhaustive search: a candidate whose bound
+/// *equals* the incumbent cost could still tie it with a smaller
+/// enumeration index, so it must be evaluated; and any candidate whose
+/// true cost equals the final best has (by admissibility) a bound ≤ that
+/// cost ≤ every incumbent, hence is never skipped.
+///
+/// Returns evaluated `(enumeration index, cost)` pairs sorted by
+/// `(cost, enumeration index)` — position 0 is the provable optimum —
+/// plus the prune counters.
+fn branch_and_bound(
+    bounds: &[f64],
+    mut cost: impl FnMut(usize) -> f64,
+) -> (Vec<(usize, f64)>, PruneStats) {
+    let mut visit: Vec<usize> = (0..bounds.len()).collect();
+    visit.sort_by(|&a, &b| bounds[a].total_cmp(&bounds[b]).then(a.cmp(&b)));
+    let mut evaluated: Vec<(usize, f64)> = Vec::new();
+    let mut incumbent: Option<(f64, usize)> = None;
+    let mut pruned = 0u64;
+    for (pos, &i) in visit.iter().enumerate() {
+        if let Some((best_cost, _)) = incumbent {
+            if bounds[i].total_cmp(&best_cost) == std::cmp::Ordering::Greater {
+                pruned = (visit.len() - pos) as u64;
+                break;
+            }
+        }
+        let c = cost(i);
+        evaluated.push((i, c));
+        incumbent = Some(match incumbent {
+            None => (c, i),
+            Some((bc, bi)) => match c.total_cmp(&bc) {
+                std::cmp::Ordering::Less => (c, i),
+                std::cmp::Ordering::Equal if i < bi => (c, i),
+                _ => (bc, bi),
+            },
+        });
+    }
+    evaluated.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let stats = PruneStats {
+        evaluated: evaluated.len() as u64,
+        pruned,
+    };
+    (evaluated, stats)
+}
+
+fn emit_prune_telemetry(stats: PruneStats) {
+    if crate::telemetry::enabled() {
+        crate::telemetry::counter_add("core.order_search.bound.evaluated", stats.evaluated);
+        crate::telemetry::counter_add("core.order_search.bound.pruned", stats.pruned);
+    }
+}
+
+/// Branch-and-bound variant of [`rank_orders_by`]: evaluates candidates
+/// in ascending order of `bound` and skips any whose bound exceeds the
+/// incumbent best cost.
+///
+/// `bound` **must be admissible** — `bound(σ) ≤ cost(σ)` for every
+/// candidate (e.g. `mre-simnet::schedule_lower_bound` of the schedule
+/// that `cost` ends up costing). Under that contract the returned
+/// [`PrunedRanking::best`] is byte-identical to the exhaustive
+/// `rank_orders_by(...)[0]`; a non-admissible bound can prune the true
+/// optimum. Bounds are computed on the worker pool (they are cheap but
+/// numerous); costs are evaluated serially in bound order, which is the
+/// point — the search usually stops after a handful of evaluations. When
+/// all candidates must be costed anyway (no pruning potential), prefer
+/// [`rank_orders_by_par`], which parallelizes the expensive part.
+pub fn rank_orders_pruned<B, F>(
+    h: &Hierarchy,
+    subcomm_size: usize,
+    bound: B,
+    mut cost: F,
+) -> Result<PrunedRanking, Error>
+where
+    B: Fn(&Permutation) -> f64 + Sync,
+    F: FnMut(&Permutation) -> f64,
+{
+    let reps = representatives(h, subcomm_size)?;
+    let bounds = par::map(&reps, |_, c| bound(&c.order));
+    let (evaluated, stats) = branch_and_bound(&bounds, |i| cost(&reps[i].order));
+    emit_prune_telemetry(stats);
+    let ranked: Vec<(OrderCharacterization, f64)> = evaluated
+        .into_iter()
+        .map(|(i, c)| (reps[i].clone(), c))
+        .collect();
+    let best = ranked
+        .first()
+        .cloned()
+        .expect("a valid subcommunicator size has at least one representative order");
+    Ok(PrunedRanking {
+        best,
+        ranked,
+        stats,
+    })
+}
+
 /// The grid a [`sweep`] evaluates: every representative order of each
 /// subcommunicator size, at every payload size.
+///
+/// **Invariant:** duplicate values within an axis denote the *same* grid
+/// cell — the sweep evaluates each distinct `(subcomm_size, payload)`
+/// pair exactly once and clones the resulting cell into every spec
+/// position that names it, so the output shape always matches
+/// `subcomm_sizes.len() × payload_sizes.len()` but the work done matches
+/// the deduplicated grid.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Subcommunicator sizes (each must divide the machine size).
     pub subcomm_sizes: Vec<usize>,
     /// Total payload sizes in bytes (the figure sweeps' x-axis).
     pub payload_sizes: Vec<u64>,
+}
+
+/// First-occurrence deduplication of a grid axis: the unique values in
+/// order of first appearance, plus for each spec position the index of
+/// its value in the unique list.
+fn dedup_axis<T: Copy + Eq + std::hash::Hash>(values: &[T]) -> (Vec<T>, Vec<usize>) {
+    let mut unique: Vec<T> = Vec::new();
+    let mut index: std::collections::HashMap<T, usize> = std::collections::HashMap::new();
+    let mut positions = Vec::with_capacity(values.len());
+    for &v in values {
+        let i = *index.entry(v).or_insert_with(|| {
+            unique.push(v);
+            unique.len() - 1
+        });
+        positions.push(i);
+    }
+    (unique, positions)
 }
 
 /// One (subcommunicator size, payload size) cell of a sweep: the
@@ -153,11 +317,12 @@ pub struct SweepCell {
 /// and returns one ranked [`SweepCell`] per grid cell, in `spec` order
 /// (subcommunicator sizes outer, payloads inner).
 ///
-/// Representatives are computed once per subcommunicator size; all cost
-/// evaluations across all cells form a single flat work list, so a few
-/// expensive cells (large payloads, spread orders) still load-balance
-/// across workers. Results are deterministic for the same reasons as
-/// [`rank_orders_by_par`].
+/// Representatives are computed once per *distinct* subcommunicator size
+/// and duplicate grid cells are evaluated once (see [`SweepSpec`]); all
+/// cost evaluations across all distinct cells form a single flat work
+/// list, so a few expensive cells (large payloads, spread orders) still
+/// load-balance across workers. Results are deterministic for the same
+/// reasons as [`rank_orders_by_par`].
 ///
 /// ```
 /// use mre_core::{Hierarchy, order_search::{sweep, SweepSpec}};
@@ -174,35 +339,32 @@ pub fn sweep<F>(h: &Hierarchy, spec: &SweepSpec, cost: F) -> Result<Vec<SweepCel
 where
     F: Fn(&Permutation, usize, u64) -> f64 + Sync,
 {
-    // Representatives once per subcommunicator size (parallel inside).
-    let reps_per_size: Vec<Vec<OrderCharacterization>> = spec
-        .subcomm_sizes
+    let (sizes, size_pos) = dedup_axis(&spec.subcomm_sizes);
+    let (payloads, payload_pos) = dedup_axis(&spec.payload_sizes);
+    // Representatives once per distinct subcommunicator size (parallel
+    // inside).
+    let reps_per_size: Vec<Vec<OrderCharacterization>> = sizes
         .iter()
         .map(|&s| representatives(h, s))
         .collect::<Result<_, _>>()?;
-    // One flat work list over the full grid, as (size, rep, payload)
-    // index triples.
+    // One flat work list over the deduplicated grid, as
+    // (size, rep, payload) index triples.
     let mut work: Vec<(usize, usize, usize)> = Vec::new();
     for (si, reps) in reps_per_size.iter().enumerate() {
         for ri in 0..reps.len() {
-            for pi in 0..spec.payload_sizes.len() {
+            for pi in 0..payloads.len() {
                 work.push((si, ri, pi));
             }
         }
     }
     let costs = par::map(&work, |_, &(si, ri, pi)| {
-        cost(
-            &reps_per_size[si][ri].order,
-            spec.subcomm_sizes[si],
-            spec.payload_sizes[pi],
-        )
+        cost(&reps_per_size[si][ri].order, sizes[si], payloads[pi])
     });
-    // Regroup the flat results into ranked cells.
-    let mut cells: Vec<SweepCell> =
-        Vec::with_capacity(spec.subcomm_sizes.len() * spec.payload_sizes.len());
-    for &subcomm_size in &spec.subcomm_sizes {
-        for &payload in &spec.payload_sizes {
-            cells.push(SweepCell {
+    // Regroup the flat results into ranked cells of the deduplicated grid.
+    let mut unique_cells: Vec<SweepCell> = Vec::with_capacity(sizes.len() * payloads.len());
+    for &subcomm_size in &sizes {
+        for &payload in &payloads {
+            unique_cells.push(SweepCell {
                 subcomm_size,
                 payload,
                 ranked: Vec::new(),
@@ -210,12 +372,117 @@ where
         }
     }
     for (&(si, ri, pi), cost_value) in work.iter().zip(costs) {
-        cells[si * spec.payload_sizes.len() + pi]
+        unique_cells[si * payloads.len() + pi]
             .ranked
             .push((reps_per_size[si][ri].clone(), cost_value));
     }
-    for cell in &mut cells {
+    for cell in &mut unique_cells {
         cell.ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+    }
+    // Expand back to spec order (duplicate positions clone their cell).
+    let mut cells = Vec::with_capacity(size_pos.len() * payload_pos.len());
+    for &si in &size_pos {
+        for &pi in &payload_pos {
+            cells.push(unique_cells[si * payloads.len() + pi].clone());
+        }
+    }
+    Ok(cells)
+}
+
+/// One cell of a [`sweep_pruned`]: the provably-best order plus the
+/// evaluated subset and prune counters.
+#[derive(Debug, Clone)]
+pub struct PrunedSweepCell {
+    /// Processes per subcommunicator for this cell.
+    pub subcomm_size: usize,
+    /// Payload size (bytes) for this cell.
+    pub payload: u64,
+    /// The best `(characterization, cost)` — byte-identical to the
+    /// corresponding exhaustive [`SweepCell`]'s `ranked[0]` when the
+    /// bound is admissible.
+    pub best: (OrderCharacterization, f64),
+    /// The evaluated candidates, lowest cost first (pruned candidates
+    /// are absent).
+    pub ranked: Vec<(OrderCharacterization, f64)>,
+    /// Evaluated/pruned counters for this cell.
+    pub stats: PruneStats,
+}
+
+/// Branch-and-bound variant of [`sweep`]: one incumbent per grid cell,
+/// candidates visited in ascending lower-bound order, and every candidate
+/// whose bound exceeds the incumbent skipped without evaluating `cost`.
+///
+/// `bound(σ, subcomm_size, payload)` **must be admissible** —
+/// `bound ≤ cost` pointwise (see [`rank_orders_pruned`]); then each
+/// cell's [`PrunedSweepCell::best`] is byte-identical to the exhaustive
+/// [`sweep`]'s `ranked[0]` for that cell. Cells of the deduplicated grid
+/// are independent, so they fan out on the worker pool; *within* a cell
+/// the incumbent loop is inherently serial (each decision depends on the
+/// previous best), which is exactly the work the pruning eliminates.
+///
+/// Emits `core.order_search.bound.{evaluated, pruned}` telemetry
+/// counters aggregated over all distinct cells.
+pub fn sweep_pruned<B, F>(
+    h: &Hierarchy,
+    spec: &SweepSpec,
+    bound: B,
+    cost: F,
+) -> Result<Vec<PrunedSweepCell>, Error>
+where
+    B: Fn(&Permutation, usize, u64) -> f64 + Sync,
+    F: Fn(&Permutation, usize, u64) -> f64 + Sync,
+{
+    let (sizes, size_pos) = dedup_axis(&spec.subcomm_sizes);
+    let (payloads, payload_pos) = dedup_axis(&spec.payload_sizes);
+    let reps_per_size: Vec<Vec<OrderCharacterization>> = sizes
+        .iter()
+        .map(|&s| representatives(h, s))
+        .collect::<Result<_, _>>()?;
+    // Distinct cells are the parallel unit: each runs its own serial
+    // branch-and-bound loop.
+    let mut grid: Vec<(usize, usize)> = Vec::with_capacity(sizes.len() * payloads.len());
+    for si in 0..sizes.len() {
+        for pi in 0..payloads.len() {
+            grid.push((si, pi));
+        }
+    }
+    let unique_cells: Vec<PrunedSweepCell> = par::map(&grid, |_, &(si, pi)| {
+        let reps = &reps_per_size[si];
+        let (subcomm_size, payload) = (sizes[si], payloads[pi]);
+        let bounds: Vec<f64> = reps
+            .iter()
+            .map(|c| bound(&c.order, subcomm_size, payload))
+            .collect();
+        let (evaluated, stats) =
+            branch_and_bound(&bounds, |i| cost(&reps[i].order, subcomm_size, payload));
+        let ranked: Vec<(OrderCharacterization, f64)> = evaluated
+            .into_iter()
+            .map(|(i, c)| (reps[i].clone(), c))
+            .collect();
+        let best = ranked
+            .first()
+            .cloned()
+            .expect("a valid subcommunicator size has at least one representative order");
+        PrunedSweepCell {
+            subcomm_size,
+            payload,
+            best,
+            ranked,
+            stats,
+        }
+    });
+    let total = unique_cells
+        .iter()
+        .fold(PruneStats::default(), |acc, c| PruneStats {
+            evaluated: acc.evaluated + c.stats.evaluated,
+            pruned: acc.pruned + c.stats.pruned,
+        });
+    emit_prune_telemetry(total);
+    let mut cells = Vec::with_capacity(size_pos.len() * payload_pos.len());
+    for &si in &size_pos {
+        for &pi in &payload_pos {
+            cells.push(unique_cells[si * payloads.len() + pi].clone());
+        }
     }
     Ok(cells)
 }
@@ -354,5 +621,113 @@ mod tests {
         let cells = sweep(&h, &spec, |sigma, _, _| cost_of(sigma)).unwrap();
         let direct = rank_orders_by(&h, 16, cost_of).unwrap();
         assert_eq!(cells[0].ranked, direct);
+    }
+
+    #[test]
+    fn sweep_dedups_duplicate_axes() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let h = hydra();
+        let evals = AtomicU64::new(0);
+        let cost = |sigma: &Permutation, s: usize, bytes: u64| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            spreadness(&h, sigma, s).unwrap() * bytes as f64
+        };
+        let spec = SweepSpec {
+            subcomm_sizes: vec![16, 16, 64],
+            payload_sizes: vec![1 << 14, 1 << 14],
+        };
+        let cells = sweep(&h, &spec, cost).unwrap();
+        // Output shape still matches the spec…
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[0].subcomm_size, 16);
+        assert_eq!(cells[5].subcomm_size, 64);
+        // …duplicate positions are byte-identical clones…
+        assert_eq!(cells[0].ranked, cells[1].ranked);
+        assert_eq!(cells[0].ranked, cells[2].ranked);
+        assert_eq!(cells[4].ranked, cells[5].ranked);
+        // …and the work done matches the deduplicated 2×1 grid.
+        let n16 = representatives(&h, 16).unwrap().len() as u64;
+        let n64 = representatives(&h, 64).unwrap().len() as u64;
+        assert_eq!(evals.load(Ordering::Relaxed), n16 + n64);
+    }
+
+    /// A cost with a matching admissible bound for branch-and-bound tests:
+    /// cost = ring cost scaled by payload, bound = half of it (admissible
+    /// but informative enough to prune).
+    fn bb_cost(h: &Hierarchy) -> impl Fn(&Permutation, usize, u64) -> f64 + Sync + '_ {
+        |sigma, s, bytes| {
+            characterize_order(h, sigma, s).unwrap().ring_cost as f64 * (1.0 + bytes as f64)
+        }
+    }
+
+    #[test]
+    fn pruned_ranking_matches_exhaustive_best_and_prunes() {
+        let h = hydra();
+        let cost = bb_cost(&h);
+        let result = rank_orders_pruned(
+            &h,
+            16,
+            |sigma| cost(sigma, 16, 1024) * 0.5,
+            |sigma| cost(sigma, 16, 1024),
+        )
+        .unwrap();
+        let exhaustive = rank_orders_by(&h, 16, |sigma| cost(sigma, 16, 1024)).unwrap();
+        assert_eq!(result.best.0, exhaustive[0].0);
+        assert_eq!(result.best.1.to_bits(), exhaustive[0].1.to_bits());
+        assert_eq!(result.best, result.ranked[0].clone());
+        assert!(result.stats.pruned > 0, "stats {:?}", result.stats);
+        assert_eq!(
+            result.stats.candidates(),
+            representatives(&h, 16).unwrap().len() as u64
+        );
+        // Evaluated subset is ranked best-first.
+        for pair in result.ranked.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn pruned_sweep_best_is_byte_identical_to_exhaustive() {
+        let h = hydra();
+        let cost = bb_cost(&h);
+        let spec = SweepSpec {
+            subcomm_sizes: vec![16, 64],
+            payload_sizes: vec![1 << 10, 1 << 20],
+        };
+        let exhaustive = sweep(&h, &spec, &cost).unwrap();
+        let pruned = sweep_pruned(&h, &spec, |sigma, s, b| cost(sigma, s, b) * 0.5, &cost).unwrap();
+        assert_eq!(exhaustive.len(), pruned.len());
+        let mut total_pruned = 0;
+        for (e, p) in exhaustive.iter().zip(&pruned) {
+            assert_eq!(e.subcomm_size, p.subcomm_size);
+            assert_eq!(e.payload, p.payload);
+            assert_eq!(e.ranked[0].0, p.best.0);
+            assert_eq!(e.ranked[0].1.to_bits(), p.best.1.to_bits());
+            total_pruned += p.stats.pruned;
+        }
+        assert!(total_pruned > 0);
+    }
+
+    #[test]
+    fn pruned_sweep_survives_ties_and_exact_bounds() {
+        // A bound equal to the cost (the tightest admissible bound) plus a
+        // cost with massive ties is the adversarial case for strict-vs-
+        // non-strict pruning: the winner must still be the first minimal
+        // candidate in enumeration order.
+        let h = hydra();
+        let tied = |sigma: &Permutation, s: usize, _: u64| {
+            (spreadness(&h, sigma, s).unwrap() * 2.0).round()
+        };
+        let spec = SweepSpec {
+            subcomm_sizes: vec![16],
+            payload_sizes: vec![1],
+        };
+        let exhaustive = sweep(&h, &spec, tied).unwrap();
+        let pruned = sweep_pruned(&h, &spec, tied, tied).unwrap();
+        assert_eq!(exhaustive[0].ranked[0].0, pruned[0].best.0);
+        assert_eq!(
+            exhaustive[0].ranked[0].1.to_bits(),
+            pruned[0].best.1.to_bits()
+        );
     }
 }

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod algorithm;
+pub mod autotune;
 pub mod cart;
 pub mod collectives;
 pub mod comm;
@@ -38,6 +39,7 @@ pub mod schedules;
 pub mod split_type;
 
 pub use algorithm::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
+pub use autotune::{AlgorithmChoice, AlgorithmSelector, ChosenAlg, CollectiveKind};
 pub use cart::CartTopology;
 pub use comm::Comm;
 pub use payload::Payload;

@@ -1,0 +1,327 @@
+//! Admissible lower bounds on schedule cost — the pruning oracle of the
+//! branch-and-bound order search.
+//!
+//! Costing a round exactly means solving max-min water-filling over every
+//! traversed directed link. This module computes something far cheaper
+//! that is **provably never above** the exact cost, so a search can skip
+//! any candidate whose bound already exceeds the incumbent best without
+//! risking the optimum (DESIGN.md §7e gives the derivation):
+//!
+//! * **Aggregate-capacity term.** Every message whose endpoints first
+//!   differ at level `j` pushes its bytes through exactly one *up*-direction
+//!   uplink and one *down*-direction uplink of every level `l ≥ j`. The
+//!   flows sharing the round's active level-`l` links can jointly drain at
+//!   most `active_links · bandwidth_l` bytes per second, so the round lasts
+//!   at least `min_latency + bytes_through(l) / (active_links · bandwidth_l)`.
+//! * **Latency term.** The round time is a max of per-message
+//!   `latency + bytes/rate`, so it is at least the largest crossing
+//!   latency present — summing that over rounds gives the
+//!   latency-weighted round count of the schedule.
+//! * **Local-copy term.** A self-message drains at the local-copy
+//!   bandwidth, so the round lasts at least its largest local payload
+//!   divided by that bandwidth.
+//!
+//! All three hold for both contention modes (no flow is ever allocated
+//! more than any traversed link's capacity, and link rate sums never
+//! exceed capacity), hence `schedule_lower_bound ≤ schedule_time` always —
+//! property-tested against every collective generator in
+//! `tests/proptests.rs` at 1e-12 relative tolerance.
+//!
+//! The per-level totals live in a [`RoundLoad`], built in one pass over a
+//! round's messages; evaluating a bound from a load is O(levels), so a
+//! search that keeps loads around re-bounds in O(levels), not O(messages).
+
+use crate::network::NetworkModel;
+use crate::schedule::{Message, Schedule};
+
+/// Per-level byte totals and activity of one round — everything a bound
+/// evaluation needs, in O(levels) space.
+///
+/// Built by [`NetworkModel::round_load`]; `bytes_through[l]` aggregates the
+/// payloads of all messages whose path traverses level `l` (equivalently:
+/// whose crossing level is `≤ l`), which is the same total for the up and
+/// the down direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundLoad {
+    /// Total payload bytes traversing level-`l` uplinks (per direction).
+    pub bytes_through: Vec<u64>,
+    /// Distinct up-direction (sender-side) level-`l` links carrying traffic.
+    pub active_up: Vec<usize>,
+    /// Distinct down-direction (receiver-side) level-`l` links carrying
+    /// traffic.
+    pub active_down: Vec<usize>,
+    /// Smallest crossing latency among the messages contributing to level
+    /// `l` (`0` when none do).
+    pub min_latency_through: Vec<f64>,
+    /// Largest crossing latency of any message in the round (`0` when no
+    /// message crosses a level).
+    pub max_latency: f64,
+    /// Largest self-message payload in the round (local copies bypass the
+    /// link fabric but still take `bytes / local_copy_bandwidth`).
+    pub max_local_bytes: u64,
+}
+
+impl RoundLoad {
+    /// An empty load for a machine of `depth` levels.
+    fn empty(depth: usize) -> Self {
+        Self {
+            bytes_through: vec![0; depth],
+            active_up: vec![0; depth],
+            active_down: vec![0; depth],
+            min_latency_through: vec![0.0; depth],
+            max_latency: 0.0,
+            max_local_bytes: 0,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Aggregates one round of messages into a [`RoundLoad`] (one pass over
+    /// the messages; bounds evaluated from the load are O(levels)).
+    pub fn round_load(&self, messages: &[Message]) -> RoundLoad {
+        let strides = self.hierarchy().strides();
+        let k = strides.len();
+        let links = self.links();
+        let mut load = RoundLoad::empty(k);
+        let mut seen = std::collections::HashSet::new();
+        for m in messages {
+            if m.src == m.dst {
+                load.max_local_bytes = load.max_local_bytes.max(m.bytes);
+                continue;
+            }
+            let j = strides
+                .iter()
+                .position(|&s| m.src / s != m.dst / s)
+                .expect("distinct cores differ at some level");
+            let latency = links[j].crossing_latency;
+            load.max_latency = load.max_latency.max(latency);
+            for (level, &stride) in strides.iter().enumerate().take(k).skip(j) {
+                load.bytes_through[level] += m.bytes;
+                if seen.insert((level, m.src / stride, true)) {
+                    load.active_up[level] += 1;
+                }
+                if seen.insert((level, m.dst / stride, false)) {
+                    load.active_down[level] += 1;
+                }
+                let entry = &mut load.min_latency_through[level];
+                if load.bytes_through[level] == m.bytes {
+                    *entry = latency;
+                } else {
+                    *entry = entry.min(latency);
+                }
+            }
+        }
+        load
+    }
+
+    /// Admissible lower bound on [`round_time`](Self::round_time) from a
+    /// precomputed [`RoundLoad`] — O(levels).
+    pub fn round_lower_bound_from(&self, load: &RoundLoad) -> f64 {
+        let links = self.links();
+        let mut t = load.max_latency;
+        if load.max_local_bytes > 0 {
+            t = t.max(load.max_local_bytes as f64 / self.local_copy_bandwidth());
+        }
+        for (l, link) in links.iter().enumerate() {
+            if load.bytes_through[l] == 0 {
+                continue;
+            }
+            // Either direction caps the round; the one with fewer active
+            // links gives the tighter (still admissible) bound.
+            let active = load.active_up[l].min(load.active_down[l]).max(1) as f64;
+            let bound = load.min_latency_through[l]
+                + load.bytes_through[l] as f64 / (active * link.uplink_bandwidth);
+            t = t.max(bound);
+        }
+        t
+    }
+
+    /// Admissible lower bound on [`round_time`](Self::round_time).
+    pub fn round_lower_bound(&self, messages: &[Message]) -> f64 {
+        self.round_lower_bound_from(&self.round_load(messages))
+    }
+
+    /// Per-round [`RoundLoad`]s of a schedule, for bound evaluations that
+    /// want to stay O(levels) per round across repeated calls.
+    pub fn schedule_loads(&self, schedule: &Schedule) -> Vec<RoundLoad> {
+        schedule
+            .rounds
+            .iter()
+            .map(|r| self.round_load(&r.messages))
+            .collect()
+    }
+
+    /// Admissible lower bound on [`schedule_time`](Self::schedule_time):
+    /// the sum of per-round bounds (rounds are barrier-synchronized, so
+    /// per-round lower bounds add).
+    ///
+    /// Repeated rounds — ring and pairwise collectives re-issue the same
+    /// message set every round — are aggregated once: equal rounds share a
+    /// load, so the bound costs O(distinct rounds · messages), mirroring
+    /// the pattern memoization the exact [`CostCache`](crate::CostCache)
+    /// path enjoys. Hash matches are verified by full equality before
+    /// reuse, so a collision can never substitute a wrong (inadmissible)
+    /// bound.
+    pub fn schedule_lower_bound(&self, schedule: &Schedule) -> f64 {
+        use std::collections::HashMap;
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut memo: HashMap<u64, Vec<(&[Message], f64)>> = HashMap::new();
+        schedule
+            .rounds
+            .iter()
+            .map(|r| {
+                let mut h = DefaultHasher::new();
+                for m in &r.messages {
+                    (m.src, m.dst, m.bytes).hash(&mut h);
+                }
+                let bucket = memo.entry(h.finish()).or_default();
+                if let Some((_, t)) = bucket
+                    .iter()
+                    .find(|(msgs, _)| *msgs == r.messages.as_slice())
+                {
+                    return *t;
+                }
+                let t = self.round_lower_bound(&r.messages);
+                bucket.push((r.messages.as_slice(), t));
+                t
+            })
+            .sum()
+    }
+}
+
+/// Free-function spelling of
+/// [`NetworkModel::schedule_lower_bound`]: a cheap, provably admissible
+/// lower bound on `net.schedule_time(schedule)`.
+pub fn schedule_lower_bound(net: &NetworkModel, schedule: &Schedule) -> f64 {
+    net.schedule_lower_bound(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{ContentionMode, LinkParams};
+    use crate::schedule::Round;
+    use mre_core::Hierarchy;
+
+    /// Two nodes × two sockets × four cores; NIC 10 B/s, socket 40 B/s,
+    /// core 100 B/s.
+    fn toy() -> NetworkModel {
+        let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+        NetworkModel::new(
+            h,
+            vec![
+                LinkParams {
+                    uplink_bandwidth: 10.0,
+                    crossing_latency: 2.0,
+                },
+                LinkParams {
+                    uplink_bandwidth: 40.0,
+                    crossing_latency: 1.0,
+                },
+                LinkParams {
+                    uplink_bandwidth: 100.0,
+                    crossing_latency: 0.5,
+                },
+            ],
+            1000.0,
+        )
+    }
+
+    #[test]
+    fn load_aggregates_per_level() {
+        let net = toy();
+        // One node-crossing and one same-socket message plus a local copy.
+        let load = net.round_load(&[
+            Message::new(0, 8, 100),
+            Message::new(2, 3, 40),
+            Message::new(5, 5, 70),
+        ]);
+        assert_eq!(load.bytes_through, vec![100, 100, 140]);
+        // Node level: 1 sender-side and 1 receiver-side NIC active.
+        assert_eq!(load.active_up[0], 1);
+        assert_eq!(load.active_down[0], 1);
+        // Core level: two distinct senders and two distinct receivers.
+        assert_eq!(load.active_up[2], 2);
+        assert_eq!(load.active_down[2], 2);
+        assert_eq!(load.max_latency, 2.0);
+        assert_eq!(load.min_latency_through[0], 2.0);
+        assert_eq!(load.min_latency_through[2], 0.5);
+        assert_eq!(load.max_local_bytes, 70);
+    }
+
+    #[test]
+    fn bound_is_exact_for_a_single_message() {
+        let net = toy();
+        // One isolated cross-node message: bound = latency + bytes/NIC,
+        // which is also the exact time.
+        let m = [Message::new(0, 8, 100)];
+        let lb = net.round_lower_bound(&m);
+        assert!((lb - net.round_time(&m)).abs() < 1e-12, "{lb}");
+    }
+
+    #[test]
+    fn bound_sees_shared_nic_aggregate() {
+        let net = toy();
+        // Two cross-node flows out of the same node: one active up NIC, so
+        // the aggregate term is 2 + 200/10 = 22 — the exact contended time.
+        let m = [Message::new(0, 8, 100), Message::new(1, 9, 100)];
+        let lb = net.round_lower_bound(&m);
+        let t = net.round_time(&m);
+        assert!((lb - 22.0).abs() < 1e-12, "{lb}");
+        assert!(lb <= t * (1.0 + 1e-12), "{lb} vs {t}");
+    }
+
+    #[test]
+    fn bound_never_exceeds_time_under_either_mode() {
+        let fair = toy();
+        let naive = toy().with_contention_mode(ContentionMode::EqualShare);
+        let rounds = [
+            vec![Message::new(0, 1, 100)],
+            vec![Message::new(0, 8, 100), Message::new(1, 9, 50)],
+            vec![
+                Message::new(0, 4, 1000),
+                Message::new(0, 8, 1000),
+                Message::new(2, 10, 1000),
+                Message::new(3, 3, 5000),
+            ],
+        ];
+        for msgs in &rounds {
+            for net in [&fair, &naive] {
+                let lb = net.round_lower_bound(msgs);
+                let t = net.round_time(msgs);
+                assert!(lb <= t * (1.0 + 1e-12), "bound {lb} vs time {t}");
+                assert!(lb > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_bound_sums_rounds_and_stays_below_time() {
+        let net = toy();
+        let s = Schedule::with(vec![
+            Round::with(vec![Message::new(0, 8, 100), Message::new(1, 9, 100)]),
+            Round::with(vec![Message::new(0, 1, 100)]),
+            Round::new(),
+        ]);
+        let lb = net.schedule_lower_bound(&s);
+        let t = net.schedule_time(&s);
+        assert!(lb <= t * (1.0 + 1e-12), "{lb} vs {t}");
+        // The empty round contributes nothing.
+        assert_eq!(net.round_lower_bound(&[]), 0.0);
+        // Free function agrees with the method.
+        assert_eq!(schedule_lower_bound(&net, &s), lb);
+        // Per-round loads expose the O(levels) path.
+        let loads = net.schedule_loads(&s);
+        let from_loads: f64 = loads.iter().map(|l| net.round_lower_bound_from(l)).sum();
+        assert_eq!(from_loads, lb);
+    }
+
+    #[test]
+    fn local_copies_bound_by_copy_bandwidth() {
+        let net = toy();
+        let m = [Message::new(3, 3, 5000)];
+        let lb = net.round_lower_bound(&m);
+        assert!((lb - 5.0).abs() < 1e-12, "{lb}");
+        assert!(lb <= net.round_time(&m) * (1.0 + 1e-12));
+    }
+}

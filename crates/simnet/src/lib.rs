@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bound;
 pub mod contention;
 pub mod fluid;
 pub mod memory;
@@ -38,10 +39,11 @@ pub mod schedule;
 pub mod timeline;
 pub mod utilization;
 
+pub use bound::{schedule_lower_bound, RoundLoad};
 pub use contention::{max_min_rates, max_min_rates_reference};
 pub use fluid::fluid_time;
 pub use memory::MemoryModel;
 pub use network::{ContentionMode, LinkParams, NetworkModel, RoundProfile};
-pub use schedule::{CostCache, Message, Round, Schedule};
+pub use schedule::{CostCache, Message, Round, Schedule, SharedCostCache};
 pub use timeline::{MessageTiming, RoundTimeline, ScheduleTimeline};
 pub use utilization::{utilization, Utilization};

@@ -112,6 +112,11 @@ impl NetworkModel {
         &self.links
     }
 
+    /// Bandwidth applied to self-messages (intra-core copies).
+    pub fn local_copy_bandwidth(&self) -> f64 {
+        self.local_copy_bandwidth
+    }
+
     /// Scales the outermost level's uplink bandwidth (e.g. enabling a
     /// second NIC doubles it — the paper's Fig. 8b variant).
     pub fn with_node_uplink_scale(mut self, factor: f64) -> Self {

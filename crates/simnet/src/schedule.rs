@@ -171,6 +171,30 @@ impl Schedule {
         Schedule { rounds }
     }
 
+    /// Fingerprint of the schedule's communication *pattern*: the round
+    /// structure and message endpoints, ignoring payload sizes.
+    ///
+    /// Two schedules share a fingerprint exactly when they send the same
+    /// `(src, dst)` sequences in the same rounds — which is the unit the
+    /// shared cost cache keys on: a collective generator re-instantiated
+    /// at a different payload produces the same pattern fingerprint, so
+    /// `(pattern_fingerprint, payload)` identifies its cost. This is *not*
+    /// collision-free (it is a 64-bit hash), but collisions require
+    /// adversarial schedules; the generators in `mre-mpi` are safe.
+    pub fn pattern_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.rounds.len().hash(&mut h);
+        for round in &self.rounds {
+            round.messages.len().hash(&mut h);
+            for m in &round.messages {
+                m.src.hash(&mut h);
+                m.dst.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
     /// Merges schedules in lockstep: round `i` of the result is the union
     /// of round `i` of every input (shorter schedules simply stop
     /// contributing). This is how simultaneous collectives in different
@@ -289,6 +313,151 @@ impl CostCache {
     /// Cached equivalent of [`NetworkModel::concurrent_time`].
     pub fn concurrent_time(&mut self, net: &NetworkModel, schedules: &[Schedule]) -> f64 {
         self.schedule_time(net, &Schedule::lockstep(schedules))
+    }
+}
+
+/// Thread-safe memo of `(schedule pattern, payload)` → cost, shared across
+/// sweep workers.
+///
+/// Where [`CostCache`] memoizes per-round contention *profiles* behind a
+/// `&mut` receiver, this cache memoizes whole evaluated *costs* behind
+/// `&self`, so the parallel sweep's workers — and consecutive payload
+/// sweeps, and neighbouring grid cells that happen to generate the same
+/// schedule pattern — all share one pool. Entries are sharded across
+/// several mutex-protected maps to keep lock contention negligible.
+///
+/// # Caller contract
+///
+/// Keys are `(Schedule::pattern_fingerprint(), payload)`. The pattern
+/// fingerprint covers endpoints and round structure but **not** byte
+/// counts, so the cached cost is only correct if the schedule's bytes are
+/// a deterministic function of (pattern, payload key) — true for every
+/// collective generator in `mre-mpi`, where the payload determines all
+/// message sizes. Do not feed hand-built schedules whose byte assignment
+/// varies independently of the payload key.
+#[derive(Debug)]
+pub struct SharedCostCache {
+    shards: Vec<std::sync::Mutex<std::collections::HashMap<(u64, u64), f64>>>,
+    fingerprint: std::sync::Mutex<Option<u64>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl Default for SharedCostCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedCostCache {
+    const SHARDS: usize = 16;
+
+    /// An empty cache. The first lookup binds it to that call's model.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..Self::SHARDS)
+                .map(|_| std::sync::Mutex::new(std::collections::HashMap::new()))
+                .collect(),
+            fingerprint: std::sync::Mutex::new(None),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// `(hits, misses)` — costs served from the cache vs. full schedule
+    /// costings performed.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            self.misses.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct `(pattern, payload)` costs cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether no cost has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached costs and unbinds the model, keeping the hit/miss
+    /// counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
+        *self.fingerprint.lock().unwrap() = None;
+    }
+
+    fn check_model(&self, net: &NetworkModel) {
+        let fp = net.fingerprint();
+        let mut bound = self.fingerprint.lock().unwrap();
+        match *bound {
+            None => *bound = Some(fp),
+            Some(prev) => assert_eq!(
+                prev, fp,
+                "SharedCostCache used with a different NetworkModel than it was built \
+                 against; call clear() when switching models"
+            ),
+        }
+    }
+
+    fn shard(
+        &self,
+        key: (u64, u64),
+    ) -> &std::sync::Mutex<std::collections::HashMap<(u64, u64), f64>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// `schedule_time(schedule)` memoized under the key
+    /// `(schedule.pattern_fingerprint(), payload)` — see the caller
+    /// contract on the type.
+    pub fn schedule_time(&self, net: &NetworkModel, schedule: &Schedule, payload: u64) -> f64 {
+        self.check_model(net);
+        let key = (schedule.pattern_fingerprint(), payload);
+        let shard = self.shard(key);
+        if let Some(&cost) = shard.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return cost;
+        }
+        // Cost outside the lock: a duplicate solve on a race is cheaper
+        // than serializing all workers behind one costing.
+        let cost = net.schedule_time(schedule);
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        shard.lock().unwrap().insert(key, cost);
+        cost
+    }
+
+    /// Memoized cost via an arbitrary costing function — for callers whose
+    /// cost is not plain `schedule_time` (e.g. concurrent lockstep runs).
+    /// The same caller contract applies: `cost()` must be a deterministic
+    /// function of `(schedule pattern, payload)`.
+    pub fn time_with(
+        &self,
+        net: &NetworkModel,
+        schedule: &Schedule,
+        payload: u64,
+        cost: impl FnOnce() -> f64,
+    ) -> f64 {
+        self.check_model(net);
+        let key = (schedule.pattern_fingerprint(), payload);
+        let shard = self.shard(key);
+        if let Some(&t) = shard.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return t;
+        }
+        let t = cost();
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        shard.lock().unwrap().insert(key, t);
+        t
     }
 }
 
@@ -509,5 +678,88 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.round_time(&b, &m), b.round_time(&m));
+    }
+
+    #[test]
+    fn pattern_fingerprint_ignores_bytes_but_not_endpoints() {
+        let small = Schedule::with(vec![Round::with(vec![Message::new(0, 8, 1)])]);
+        let large = Schedule::with(vec![Round::with(vec![Message::new(0, 8, 1 << 20)])]);
+        let other = Schedule::with(vec![Round::with(vec![Message::new(0, 9, 1)])]);
+        let split = Schedule::with(vec![Round::with(vec![Message::new(0, 8, 1)]), Round::new()]);
+        assert_eq!(small.pattern_fingerprint(), large.pattern_fingerprint());
+        assert_ne!(small.pattern_fingerprint(), other.pattern_fingerprint());
+        assert_ne!(small.pattern_fingerprint(), split.pattern_fingerprint());
+    }
+
+    #[test]
+    fn shared_cache_matches_direct_and_counts_hits() {
+        let net = toy_network();
+        let cache = SharedCostCache::new();
+        let s = Schedule::with(sweep_rounds());
+        let t = cache.schedule_time(&net, &s, 100);
+        assert_eq!(t, net.schedule_time(&s));
+        // Same pattern + payload: served from cache.
+        assert_eq!(cache.schedule_time(&net, &s, 100), t);
+        // Same pattern, new payload key: a distinct entry.
+        cache.schedule_time(&net, &s, 200);
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn shared_cache_is_shared_across_threads() {
+        let net = toy_network();
+        let cache = SharedCostCache::new();
+        let s = Schedule::with(sweep_rounds());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for payload in [1u64, 2, 3] {
+                        cache.schedule_time(&net, &s, payload);
+                    }
+                });
+            }
+        });
+        // All threads agreed on 3 distinct entries; at least one lookup
+        // per payload was a miss, the rest hits or racing duplicate solves.
+        assert_eq!(cache.len(), 3);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 12);
+        assert!(misses >= 3);
+    }
+
+    #[test]
+    fn shared_cache_time_with_uses_custom_costing() {
+        let net = toy_network();
+        let cache = SharedCostCache::new();
+        let s = Schedule::with(sweep_rounds());
+        let t = cache.time_with(&net, &s, 7, || 42.0);
+        assert_eq!(t, 42.0);
+        // Cached: the closure is not consulted again.
+        assert_eq!(cache.time_with(&net, &s, 7, || unreachable!()), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different NetworkModel")]
+    fn shared_cache_model_switch_without_clear_panics() {
+        let a = toy_network();
+        let b = toy_network().with_contention_mode(ContentionMode::EqualShare);
+        let cache = SharedCostCache::new();
+        let s = Schedule::with(vec![Round::with(vec![Message::new(0, 8, 1)])]);
+        cache.schedule_time(&a, &s, 1);
+        cache.schedule_time(&b, &s, 1);
+    }
+
+    #[test]
+    fn shared_cache_clear_rebinds() {
+        let a = toy_network();
+        let b = toy_network().with_node_uplink_scale(2.0);
+        let cache = SharedCostCache::new();
+        let s = Schedule::with(vec![Round::with(vec![Message::new(0, 8, 1000)])]);
+        cache.schedule_time(&a, &s, 1000);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.schedule_time(&b, &s, 1000), b.schedule_time(&s));
     }
 }

@@ -7,7 +7,7 @@
 //! JSON is hand-rolled: the repo deliberately has no serde dependency.
 
 use crate::event::{Event, Trace};
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{MetricsSnapshot, MetricsStream};
 use std::fmt::Write as _;
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -206,21 +206,42 @@ pub fn csv(trace: &Trace) -> String {
 /// name, then bucket exponent), so the output is byte-deterministic.
 pub fn metrics_csv(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::from("kind,name,key,value\n");
+    metrics_rows(&mut out, "", snapshot);
+    out
+}
+
+/// The shared row body of [`metrics_csv`] and [`metrics_stream_csv`]:
+/// every row is `{prefix}kind,name,key,value`.
+fn metrics_rows(out: &mut String, prefix: &str, snapshot: &MetricsSnapshot) {
     for (name, v) in &snapshot.counters {
-        let _ = writeln!(out, "counter,{name},value,{v}");
+        let _ = writeln!(out, "{prefix}counter,{name},value,{v}");
     }
     for (name, v) in &snapshot.gauges {
-        let _ = writeln!(out, "gauge,{name},value,{v:.9}");
+        let _ = writeln!(out, "{prefix}gauge,{name},value,{v:.9}");
     }
     for (name, h) in &snapshot.histograms {
-        let _ = writeln!(out, "histogram,{name},count,{}", h.count);
-        let _ = writeln!(out, "histogram,{name},sum,{:.9}", h.sum);
+        let _ = writeln!(out, "{prefix}histogram,{name},count,{}", h.count);
+        let _ = writeln!(out, "{prefix}histogram,{name},sum,{:.9}", h.sum);
         if h.zero > 0 {
-            let _ = writeln!(out, "histogram,{name},zero,{}", h.zero);
+            let _ = writeln!(out, "{prefix}histogram,{name},zero,{}", h.zero);
         }
         for (&e, &c) in &h.buckets {
-            let _ = writeln!(out, "histogram,{name},le_2^{e},{c}");
+            let _ = writeln!(out, "{prefix}histogram,{name},le_2^{e},{c}");
         }
+    }
+}
+
+/// Serializes a streamed snapshot sequence
+/// ([`MetricsRegistry::snapshot_every`](crate::MetricsRegistry::snapshot_every))
+/// as CSV with the columns `seq,events,kind,name,key,value`: the
+/// [`metrics_csv`] rows of every captured snapshot, prefixed with the
+/// capture's ordinal (`seq`, 0-based) and the registry event clock at
+/// capture time. Deterministic for a deterministic producer, so the
+/// output can be golden-file tested byte for byte.
+pub fn metrics_stream_csv(stream: &MetricsStream) -> String {
+    let mut out = String::from("seq,events,kind,name,key,value\n");
+    for (seq, (events, snapshot)) in stream.snapshots.iter().enumerate() {
+        metrics_rows(&mut out, &format!("{seq},{events},"), snapshot);
     }
     out
 }

@@ -52,7 +52,11 @@ pub use analysis::{
 };
 pub use diff::{diff_traces, DiffOptions, LevelSkew, SpanDiff, TraceDiff};
 pub use event::{Clock, Event, EventKind, Trace};
-pub use export::{chrome_trace_json, chrome_trace_json_with_metrics, csv, metrics_csv};
-pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, RankMetrics, TelemetryGuard};
+pub use export::{
+    chrome_trace_json, chrome_trace_json_with_metrics, csv, metrics_csv, metrics_stream_csv,
+};
+pub use metrics::{
+    Histogram, MetricsRegistry, MetricsSnapshot, MetricsStream, RankMetrics, TelemetryGuard,
+};
 pub use recorder::{RankRecorder, Recorder, SpanGuard};
 pub use simtrace::{concurrent_schedule_trace, schedule_trace};

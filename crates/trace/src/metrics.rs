@@ -76,10 +76,14 @@ struct Store {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    /// Number of recording calls (counter adds, gauge sets, observations)
+    /// folded into this store — the event clock streamed snapshots tick on.
+    events: u64,
 }
 
 impl Store {
     fn counter_add(&mut self, name: &str, value: u64) {
+        self.events += 1;
         match self.counters.get_mut(name) {
             Some(c) => *c += value,
             None => {
@@ -89,6 +93,7 @@ impl Store {
     }
 
     fn gauge_set(&mut self, name: &str, value: f64) {
+        self.events += 1;
         match self.gauges.get_mut(name) {
             Some(g) => *g = value,
             None => {
@@ -98,6 +103,7 @@ impl Store {
     }
 
     fn observe(&mut self, name: &str, value: f64) {
+        self.events += 1;
         match self.histograms.get_mut(name) {
             Some(h) => h.observe(value),
             None => {
@@ -109,6 +115,7 @@ impl Store {
     }
 
     fn merge(&mut self, other: &Store) {
+        let events_before = self.events;
         for (name, &v) in &other.counters {
             self.counter_add(name, v);
         }
@@ -123,13 +130,63 @@ impl Store {
                 }
             }
         }
+        // The per-name loops above ticked the clock once per *name*; a
+        // merged batch must advance it by the number of recording calls
+        // the handle buffered instead.
+        self.events = events_before + other.events;
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+/// Streaming-snapshot state: capture a [`MetricsSnapshot`] every time the
+/// event clock crosses a multiple of `every`.
+#[derive(Debug, Clone)]
+struct StreamState {
+    every: u64,
+    /// `events / every` as of the last capture, so a batched merge that
+    /// jumps the clock across several multiples captures once, not once
+    /// per multiple.
+    taken: u64,
+    snapshots: Vec<(u64, MetricsSnapshot)>,
+}
+
+/// The shared state behind a [`MetricsRegistry`]: the store plus optional
+/// streaming-snapshot capture.
+#[derive(Debug, Clone, Default)]
+struct Shared {
+    store: Store,
+    stream: Option<StreamState>,
+}
+
+impl Shared {
+    /// Captures a snapshot if the event clock crossed a multiple of the
+    /// streaming period since the last capture. Called after every
+    /// mutation batch (one direct call, or one rank-handle merge), so at
+    /// most one snapshot is taken per batch.
+    fn maybe_stream(&mut self) {
+        if let Some(stream) = &mut self.stream {
+            let due = self.store.events / stream.every;
+            if due > stream.taken {
+                stream.taken = due;
+                stream
+                    .snapshots
+                    .push((self.store.events, self.store.snapshot()));
+            }
+        }
     }
 }
 
 /// Collects metrics from rank threads and coarse telemetry producers.
 #[derive(Clone, Default)]
 pub struct MetricsRegistry {
-    shared: Arc<Mutex<Store>>,
+    shared: Arc<Mutex<Shared>>,
 }
 
 impl MetricsRegistry {
@@ -150,26 +207,65 @@ impl MetricsRegistry {
     /// Adds `value` to counter `name` directly (takes the shared lock —
     /// meant for coarse, per-run accounting, not per-message hot paths).
     pub fn counter_add(&self, name: &str, value: u64) {
-        self.shared
-            .lock()
-            .expect("metrics poisoned")
-            .counter_add(name, value);
+        let mut shared = self.shared.lock().expect("metrics poisoned");
+        shared.store.counter_add(name, value);
+        shared.maybe_stream();
     }
 
     /// Sets gauge `name` directly (takes the shared lock).
     pub fn gauge_set(&self, name: &str, value: f64) {
-        self.shared
-            .lock()
-            .expect("metrics poisoned")
-            .gauge_set(name, value);
+        let mut shared = self.shared.lock().expect("metrics poisoned");
+        shared.store.gauge_set(name, value);
+        shared.maybe_stream();
     }
 
     /// Records a histogram observation directly (takes the shared lock).
     pub fn observe(&self, name: &str, value: f64) {
-        self.shared
-            .lock()
-            .expect("metrics poisoned")
-            .observe(name, value);
+        let mut shared = self.shared.lock().expect("metrics poisoned");
+        shared.store.observe(name, value);
+        shared.maybe_stream();
+    }
+
+    /// Starts streaming-snapshot capture: from now on, every time the
+    /// registry's event clock (one tick per recording call — counter add,
+    /// gauge set or observation) crosses a multiple of `n_events`, a full
+    /// [`MetricsSnapshot`] is captured. A rank handle that merges a large
+    /// buffer advances the clock by its whole batch at once and captures
+    /// at most one snapshot. Collect the captures with
+    /// [`take_stream`](Self::take_stream); calling `snapshot_every` again
+    /// restarts the stream with the new period, discarding pending
+    /// captures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_events` is zero.
+    pub fn snapshot_every(&self, n_events: u64) {
+        assert!(n_events > 0, "snapshot period must be positive");
+        let mut shared = self.shared.lock().expect("metrics poisoned");
+        let taken = shared.store.events / n_events;
+        shared.stream = Some(StreamState {
+            every: n_events,
+            taken,
+            snapshots: Vec::new(),
+        });
+    }
+
+    /// Takes the snapshots streamed since [`snapshot_every`](Self::snapshot_every)
+    /// (or the previous `take_stream`), leaving the stream armed.
+    /// Returns `None` when streaming was never enabled.
+    pub fn take_stream(&self) -> Option<MetricsStream> {
+        let mut shared = self.shared.lock().expect("metrics poisoned");
+        let stream = shared.stream.as_mut()?;
+        Some(MetricsStream {
+            every: stream.every,
+            snapshots: std::mem::take(&mut stream.snapshots),
+        })
+    }
+
+    /// The event clock: total recording calls folded into the registry so
+    /// far (rank handles count on merge, not per call).
+    pub fn events(&self) -> u64 {
+        self.shared.lock().expect("metrics poisoned").store.events
     }
 
     /// Installs this registry as the process-wide
@@ -186,12 +282,11 @@ impl MetricsRegistry {
     /// handles still alive have not merged yet — call after the run
     /// returns (the runtime drops each rank's handle at thread exit).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let store = self.shared.lock().expect("metrics poisoned").clone();
-        MetricsSnapshot {
-            counters: store.counters,
-            gauges: store.gauges,
-            histograms: store.histograms,
-        }
+        self.shared
+            .lock()
+            .expect("metrics poisoned")
+            .store
+            .snapshot()
     }
 }
 
@@ -221,7 +316,7 @@ impl Drop for TelemetryGuard {
 /// Per-rank buffered metrics handle; lock-free to record into, merged
 /// into the registry once on drop.
 pub struct RankMetrics {
-    shared: Arc<Mutex<Store>>,
+    shared: Arc<Mutex<Shared>>,
     local: RefCell<Store>,
 }
 
@@ -246,9 +341,21 @@ impl Drop for RankMetrics {
     fn drop(&mut self) {
         let local = self.local.borrow();
         if let Ok(mut shared) = self.shared.lock() {
-            shared.merge(&local);
+            shared.store.merge(&local);
+            shared.maybe_stream();
         }
     }
+}
+
+/// Snapshots streamed by [`MetricsRegistry::snapshot_every`], in capture
+/// order. Export with
+/// [`metrics_stream_csv`](crate::export::metrics_stream_csv).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsStream {
+    /// The snapshot period, in registry events.
+    pub every: u64,
+    /// `(event_clock_at_capture, snapshot)` pairs, oldest first.
+    pub snapshots: Vec<(u64, MetricsSnapshot)>,
 }
 
 /// An immutable, sorted view of a registry's contents.
@@ -341,6 +448,56 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("bridge.counter"), 5);
         assert_eq!(snap.histogram("bridge.hist").unwrap().count, 1);
+    }
+
+    #[test]
+    fn streamed_snapshots_fire_on_event_multiples() {
+        let registry = MetricsRegistry::new();
+        registry.counter_add("warmup", 1); // event 1, before streaming
+        registry.snapshot_every(3);
+        assert!(registry.take_stream().unwrap().snapshots.is_empty());
+        registry.counter_add("c", 1); // 2
+        registry.gauge_set("g", 1.0); // 3 → capture
+        registry.observe("h", 2.0); // 4
+        registry.counter_add("c", 1); // 5
+        registry.counter_add("c", 1); // 6 → capture
+        assert_eq!(registry.events(), 6);
+        let stream = registry.take_stream().unwrap();
+        assert_eq!(stream.every, 3);
+        assert_eq!(stream.snapshots.len(), 2);
+        assert_eq!(stream.snapshots[0].0, 3);
+        assert_eq!(stream.snapshots[0].1.counter("c"), 1);
+        assert!(stream.snapshots[0].1.histogram("h").is_none());
+        assert_eq!(stream.snapshots[1].0, 6);
+        assert_eq!(stream.snapshots[1].1.counter("c"), 3);
+        assert_eq!(stream.snapshots[1].1.histogram("h").unwrap().count, 1);
+        // Drained, stream stays armed.
+        assert!(registry.take_stream().unwrap().snapshots.is_empty());
+        registry.counter_add("c", 1); // 7
+        registry.counter_add("c", 1); // 8
+        registry.counter_add("c", 1); // 9 → capture
+        assert_eq!(registry.take_stream().unwrap().snapshots.len(), 1);
+        // Never-enabled registries stream nothing.
+        assert!(MetricsRegistry::new().take_stream().is_none());
+    }
+
+    #[test]
+    fn rank_merge_advances_the_clock_by_its_batch_and_captures_once() {
+        let registry = MetricsRegistry::new();
+        registry.snapshot_every(4);
+        {
+            let rm = registry.rank();
+            for _ in 0..7 {
+                rm.counter_add("sends", 1); // 7 buffered events
+            }
+            rm.observe("bytes", 32.0); // 8th
+            rm.observe("bytes", 32.0); // 9th
+        } // merge: clock 0 → 9, crossing multiples 4 and 8 in one batch
+        assert_eq!(registry.events(), 9);
+        let stream = registry.take_stream().unwrap();
+        assert_eq!(stream.snapshots.len(), 1, "one capture per merge batch");
+        assert_eq!(stream.snapshots[0].0, 9);
+        assert_eq!(stream.snapshots[0].1.counter("sends"), 7);
     }
 
     #[test]

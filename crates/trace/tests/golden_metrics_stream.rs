@@ -1,0 +1,58 @@
+//! Golden-file test for the streamed-metrics CSV exporter
+//! ([`MetricsRegistry::snapshot_every`] + [`metrics_stream_csv`]).
+//!
+//! The registry is fed directly (no rank threads, no telemetry sink), so
+//! the event clock — and therefore which snapshots fire and what they
+//! contain — is fully deterministic and the CSV can be pinned byte for
+//! byte. Regenerate with `BLESS=1 cargo test -p mre-trace`.
+
+use mre_trace::{metrics_stream_csv, MetricsRegistry};
+
+const GOLDEN_STREAM: &str = include_str!("golden/metrics_stream.csv");
+
+fn check_golden(actual: &str, golden: &str, path: &str) {
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(
+            format!("{}/tests/golden/{path}", env!("CARGO_MANIFEST_DIR")),
+            actual,
+        )
+        .unwrap();
+        return;
+    }
+    assert_eq!(
+        actual, golden,
+        "{path} drifted from the golden file; if intentional, \
+         regenerate with BLESS=1 cargo test -p mre-trace"
+    );
+}
+
+/// A miniature "run": per phase, a send counter bump, a bytes histogram
+/// observation and a progress gauge. With a period of 4 the stream
+/// captures after phases 1 and 2 (events 4 and 8) but not the trailing
+/// partial phase.
+fn sample_stream() -> mre_trace::MetricsStream {
+    let registry = MetricsRegistry::new();
+    registry.snapshot_every(4);
+    for phase in 0..2u32 {
+        registry.counter_add("mpi.send.count", 3);
+        registry.counter_add("mpi.send.bytes", 192);
+        registry.observe("mpi.send.bytes.hist", 64.0);
+        registry.gauge_set("run.progress", f64::from(phase + 1) / 2.0);
+    }
+    registry.counter_add("mpi.send.count", 1); // event 9: below the next multiple
+    registry.take_stream().expect("streaming was enabled")
+}
+
+#[test]
+fn metrics_stream_csv_matches_golden() {
+    let stream = sample_stream();
+    assert_eq!(stream.every, 4);
+    assert_eq!(stream.snapshots.len(), 2);
+    assert_eq!(stream.snapshots[0].0, 4);
+    assert_eq!(stream.snapshots[1].0, 8);
+    check_golden(
+        &metrics_stream_csv(&stream),
+        GOLDEN_STREAM,
+        "metrics_stream.csv",
+    );
+}

@@ -18,8 +18,9 @@
 use mre_core::subcomm::{subcommunicators, ColorScheme};
 use mre_core::{Error, Hierarchy, Permutation};
 use mre_mpi::schedules;
+use mre_mpi::{AlgorithmChoice, AlgorithmSelector, CollectiveKind};
 use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
-use mre_simnet::{CostCache, NetworkModel, Schedule};
+use mre_simnet::{CostCache, NetworkModel, Schedule, SharedCostCache};
 
 /// The non-rooted collectives the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +166,64 @@ impl Microbench {
             single_duration: single,
             simultaneous_duration: simultaneous,
         })
+    }
+
+    /// The [`CollectiveKind`] of this configuration's collective
+    /// (dropping the pinned algorithm — the autotuner picks its own).
+    pub fn collective_kind(&self) -> CollectiveKind {
+        match self.collective {
+            Collective::Alltoall(_) => CollectiveKind::Alltoall,
+            Collective::Allreduce(_) => CollectiveKind::Allreduce,
+            Collective::Allgather(_) => CollectiveKind::Allgather,
+        }
+    }
+
+    /// Runs the protocol with **per-subcommunicator algorithm
+    /// autotuning**: instead of this configuration's pinned algorithm,
+    /// each subcommunicator runs the algorithm an [`AlgorithmSelector`]
+    /// found cheapest for its members and sizes. Returns the result plus
+    /// the per-subcommunicator choices (same indexing as the layout's
+    /// colors).
+    ///
+    /// `cache` memoizes both the tuning probes and the final costings,
+    /// so sweeping payloads or orders re-costs only what changed.
+    pub fn run_autotuned(
+        &self,
+        net: &NetworkModel,
+        cache: &SharedCostCache,
+    ) -> Result<(MicrobenchResult, Vec<AlgorithmChoice>), Error> {
+        assert_eq!(
+            net.hierarchy(),
+            &self.machine,
+            "network model and benchmark must describe the same machine"
+        );
+        let layout = subcommunicators(
+            &self.machine,
+            &self.order,
+            self.subcomm_size,
+            ColorScheme::Quotient,
+        )?;
+        let selector = AlgorithmSelector::new(net, cache);
+        let kind = self.collective_kind();
+        let choices: Vec<AlgorithmChoice> = (0..layout.count())
+            .map(|c| selector.select(kind, layout.members(c), self.total_bytes))
+            .collect();
+        let tuned: Vec<Schedule> = (0..layout.count())
+            .map(|c| {
+                selector.candidate_schedule(choices[c].alg, layout.members(c), self.total_bytes)
+            })
+            .collect();
+        // The winner's schedule time is exactly what the selector already
+        // costed (and cached) for the first subcommunicator.
+        let single = choices[0].cost;
+        let simultaneous = net.concurrent_time(&tuned);
+        Ok((
+            MicrobenchResult {
+                single_duration: single,
+                simultaneous_duration: simultaneous,
+            },
+            choices,
+        ))
     }
 
     /// Runs the protocol under the fluid (barrier-free) simulator — the
@@ -353,6 +412,46 @@ mod tests {
             hits >= 2 * misses,
             "size sweep should mostly hit: {hits} hits / {misses} misses"
         );
+    }
+
+    #[test]
+    fn autotuned_run_never_loseses_to_any_pinned_algorithm() {
+        // The selector picks per-subcomm minima of the same candidate
+        // set, so the tuned single-communicator duration can never exceed
+        // the best pinned algorithm's.
+        let net = hydra_network(16, 1);
+        let cache = mre_simnet::SharedCostCache::new();
+        for size in [1u64 << 12, 1 << 24] {
+            let tuned = Microbench {
+                collective: Collective::Allreduce(AllreduceAlg::Auto),
+                ..bench(&[3, 2, 1, 0], size)
+            };
+            let (result, choices) = tuned.run_autotuned(&net, &cache).unwrap();
+            for alg in [AllreduceAlg::RecursiveDoubling, AllreduceAlg::Ring] {
+                let pinned = Microbench {
+                    collective: Collective::Allreduce(alg),
+                    ..tuned.clone()
+                }
+                .run(&net)
+                .unwrap();
+                assert!(
+                    result.single_duration <= pinned.single_duration * (1.0 + 1e-12),
+                    "tuned {} vs pinned {:?} {}",
+                    result.single_duration,
+                    alg,
+                    pinned.single_duration
+                );
+            }
+            assert_eq!(choices.len(), 512 / 16);
+            // Re-tuning the same configuration re-costs nothing: every
+            // candidate evaluation hits the shared cache.
+            let (_, misses_before) = cache.stats();
+            let (again, _) = tuned.run_autotuned(&net, &cache).unwrap();
+            let (hits, misses_after) = cache.stats();
+            assert_eq!(again, result);
+            assert_eq!(misses_after, misses_before);
+            assert!(hits > 0);
+        }
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! exercise the paper's technique on.
 
 use mre_core::{Error, Hierarchy, Permutation, RankReordering};
-use mre_mpi::CartTopology;
+use mre_mpi::runtime::Tag;
+use mre_mpi::{run_instrumented, CartTopology};
 use mre_simnet::{Message, NetworkModel, Round, Schedule};
+use mre_trace::{MetricsRegistry, Recorder};
 
 /// A halo-exchange workload on a periodic Cartesian grid.
 #[derive(Debug, Clone)]
@@ -89,6 +91,50 @@ impl Stencil {
         Ok(net.schedule_time(&self.halo_schedule(&placement)?))
     }
 
+    /// The costed-schedule counterpart of
+    /// [`stencil_distributed_instrumented`]'s communication — the
+    /// per-iteration halo exchange split into one **forward** round (each
+    /// rank to its +1 neighbor) and one **backward** round (each rank to
+    /// its −1 neighbor) per active dimension, repeated `iterations`
+    /// times. `members[grid_rank]` is the global core of grid rank
+    /// `grid_rank`.
+    ///
+    /// This phased form (rather than [`halo_schedule`](Self::halo_schedule)'s
+    /// single all-faces round) mirrors the functional loop's sendrecv
+    /// order message-for-message, which is what `trace_diff` aligns on —
+    /// and it stays valid for size-2 dimensions, where the +1 and −1
+    /// neighbors coincide and a single round would contain duplicate
+    /// `(src, dst)` pairs.
+    pub fn comm_schedule(&self, members: &[usize], iterations: usize) -> Result<Schedule, Error> {
+        let cart = CartTopology::new(self.dims.clone(), vec![true; self.dims.len()])?;
+        if members.len() != cart.size() {
+            return Err(Error::RankOutOfRange {
+                rank: cart.size(),
+                size: members.len(),
+            });
+        }
+        let mut s = Schedule::new();
+        for _ in 0..iterations {
+            for dim in 0..self.dims.len() {
+                if self.dims[dim] < 2 {
+                    continue;
+                }
+                let mut forward = Round::new();
+                let mut backward = Round::new();
+                for rank in 0..cart.size() {
+                    let (back, fwd) = cart.shift(rank, dim, 1)?;
+                    let fwd = fwd.expect("periodic grid has both neighbors");
+                    let back = back.expect("periodic grid has both neighbors");
+                    forward.push(Message::new(members[rank], members[fwd], self.face_bytes));
+                    backward.push(Message::new(members[rank], members[back], self.face_bytes));
+                }
+                s.push(forward);
+                s.push(backward);
+            }
+        }
+        Ok(s)
+    }
+
     /// Evaluates every order and returns `(order, time)` pairs sorted
     /// fastest first.
     pub fn rank_orders(
@@ -106,6 +152,60 @@ impl Stencil {
         scored.sort_by(|a, b| a.1.total_cmp(&b.1));
         Ok(scored)
     }
+}
+
+/// Runs the halo-exchange stencil *functionally* on the thread-backed MPI
+/// runtime, optionally recording wall-clock events and metrics. Every rank
+/// performs, per iteration and per active dimension, a forward
+/// `sendrecv` (send to the +1 neighbor, receive from the −1 neighbor)
+/// followed by a backward one — the exact message sequence that
+/// [`Stencil::comm_schedule`] costs round-for-round, so `trace_diff` can
+/// align the recorded trace with the costed schedule.
+///
+/// Returns each rank's checksum over everything it received (grid ranks
+/// stamp their halo payloads with their own rank), so instrumented and
+/// plain runs can be compared for correctness.
+pub fn stencil_distributed_instrumented(
+    stencil: &Stencil,
+    iterations: usize,
+    recorder: Option<&Recorder>,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Vec<u64>, Error> {
+    let cart = CartTopology::new(stencil.dims.clone(), vec![true; stencil.dims.len()])?;
+    let nprocs = cart.size();
+    let ndims = stencil.dims.len();
+    let face = stencil.face_bytes as usize;
+    Ok(run_instrumented(nprocs, recorder, metrics, |p| {
+        let rank = p.world_rank();
+        let halo = vec![rank as u8; face];
+        let mut checksum = 0u64;
+        for iter in 0..iterations {
+            for dim in 0..ndims {
+                if stencil.dims[dim] < 2 {
+                    continue;
+                }
+                let (back, fwd) = cart.shift(rank, dim, 1).expect("rank and dim are in range");
+                let fwd = fwd.expect("periodic grid has both neighbors");
+                let back = back.expect("periodic grid has both neighbors");
+                let base = ((iter * ndims + dim) * 2) as u64;
+                let from_back: Vec<u8> =
+                    p.sendrecv(fwd, back, Tag { ctx: 17, tag: base }, halo.clone());
+                let from_fwd: Vec<u8> = p.sendrecv(
+                    back,
+                    fwd,
+                    Tag {
+                        ctx: 17,
+                        tag: base + 1,
+                    },
+                    halo.clone(),
+                );
+                for b in from_back.iter().chain(from_fwd.iter()) {
+                    checksum = checksum.wrapping_mul(31).wrapping_add(u64::from(*b));
+                }
+            }
+        }
+        checksum
+    }))
 }
 
 #[cfg(test)]
@@ -178,6 +278,98 @@ mod tests {
         let placement: Vec<usize> = (0..512).map(|r| reordering.old_rank(r)).collect();
         let u_cyclic = utilization(&machine, &stencil.halo_schedule(&placement).unwrap());
         assert!(u_packed.bytes_crossing[0] < u_cyclic.bytes_crossing[0]);
+    }
+
+    #[test]
+    fn comm_schedule_counts_rounds_and_bytes() {
+        let stencil = Stencil::new(vec![4, 4], 100).unwrap();
+        let members: Vec<usize> = (0..16).collect();
+        let s = stencil.comm_schedule(&members, 3).unwrap();
+        // Per iteration: 2 active dims × (forward + backward) rounds.
+        assert_eq!(s.num_rounds(), 3 * 2 * 2);
+        for round in &s.rounds {
+            assert_eq!(round.messages.len(), 16);
+        }
+        // One iteration moves the same bytes as the single-round halo form.
+        let halo = stencil.halo_schedule(&members).unwrap();
+        assert_eq!(s.total_bytes(), 3 * halo.total_bytes());
+
+        // Degenerate dimensions are skipped, size-2 dimensions are legal
+        // (the +1 and −1 neighbors coincide but live in separate rounds).
+        let line = Stencil::new(vec![1, 2], 8).unwrap();
+        let s = line.comm_schedule(&[0, 1], 1).unwrap();
+        assert_eq!(s.num_rounds(), 2);
+        assert_eq!(s.rounds[0].messages.len(), 2);
+
+        // Member-count mismatch is rejected.
+        assert!(stencil.comm_schedule(&[0, 1], 1).is_err());
+    }
+
+    #[test]
+    fn instrumented_stencil_matches_plain_and_collects_metrics() {
+        let stencil = Stencil::new(vec![2, 4], 256).unwrap();
+        let plain = stencil_distributed_instrumented(&stencil, 4, None, None).unwrap();
+        let metrics = MetricsRegistry::new();
+        let metered = stencil_distributed_instrumented(&stencil, 4, None, Some(&metrics)).unwrap();
+        assert_eq!(plain, metered, "metrics must not change results");
+        assert_eq!(plain.len(), 8);
+        let snap = metrics.snapshot();
+        // 8 ranks × 4 iters × 2 dims × 2 directions.
+        assert_eq!(snap.counter("mpi.send.count"), 8 * 4 * 2 * 2);
+        assert_eq!(
+            snap.counter("mpi.send.bytes"),
+            snap.counter("mpi.recv.bytes"),
+            "every sent byte is received"
+        );
+    }
+
+    #[test]
+    fn trace_diff_aligns_traced_stencil_with_its_costed_schedule() {
+        use mre_simnet::LinkParams;
+        use mre_trace::{critical_path, diff_traces, schedule_trace, DiffOptions};
+        let stencil = Stencil::new(vec![2, 2], 4096).unwrap();
+        let iters = 5;
+        let recorder = Recorder::new();
+        stencil_distributed_instrumented(&stencil, iters, Some(&recorder), None).unwrap();
+        let wall = recorder.take_trace();
+
+        let h = Hierarchy::new(vec![2, 2]).unwrap();
+        let net = NetworkModel::new(
+            h,
+            vec![
+                LinkParams {
+                    uplink_bandwidth: 1e9,
+                    crossing_latency: 1e-6,
+                },
+                LinkParams {
+                    uplink_bandwidth: 4e9,
+                    crossing_latency: 2e-7,
+                },
+            ],
+            1e10,
+        );
+        let cores = vec![0, 1, 2, 3];
+        let schedule = stencil.comm_schedule(&cores, iters).unwrap();
+        let tl = net.schedule_timeline(&schedule).unwrap();
+        let sim = schedule_trace(net.hierarchy(), &tl, "stencil");
+        let d = diff_traces(&wall, &sim, &DiffOptions { cores });
+
+        // comm_schedule mirrors the functional loop's sendrecv sequence
+        // one round per direction, so everything aligns.
+        assert!(
+            d.matched_fraction >= 0.95,
+            "matched fraction {} (wall unmatched {}, sim unmatched {})",
+            d.matched_fraction,
+            d.unmatched_wall,
+            d.unmatched_sim,
+        );
+        assert_eq!(d.unmatched_sim, 0, "every simulated span must align");
+        assert!(d.fidelity > 0.0 && d.fidelity <= 1.0);
+        let sim_total: f64 = d.spans.iter().map(|s| s.sim_duration).sum();
+        let tl_total: f64 = tl.messages().map(|m| m.finish - m.start).sum();
+        assert!((sim_total - tl_total).abs() <= 1e-12 * tl_total.max(1.0));
+        let cp = critical_path(net.hierarchy(), &tl);
+        assert!((cp.total_time - tl.total_time()).abs() <= 1e-12 * tl.total_time());
     }
 
     #[test]

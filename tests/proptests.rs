@@ -485,3 +485,171 @@ fn functional_allgather_orders_blocks() {
         }
     });
 }
+
+/// The physics lower bound is admissible for every schedule generator
+/// under both contention modes: `schedule_lower_bound ≤ schedule_time`
+/// (up to 1e-12 relative tolerance) for arbitrary member placements and
+/// payload sizes.
+#[test]
+fn lower_bound_is_admissible_for_every_generator() {
+    use mixed_radix_enum::simnet::{schedule_lower_bound, ContentionMode};
+    propcheck(48, 0xD0C0_0010, |rng| {
+        let base = small_test_network();
+        let p = rng.gen_range(2usize..13);
+        let mut cores: Vec<usize> = (0..16).collect();
+        rng.shuffle(&mut cores);
+        let members = &cores[..p];
+        let bytes = rng.gen_range(1u64..1_000_000);
+        let mut gens: Vec<(&str, Schedule)> = vec![
+            (
+                "alltoall_pairwise",
+                schedules::alltoall_pairwise(members, bytes),
+            ),
+            ("alltoall_bruck", schedules::alltoall_bruck(members, bytes)),
+            ("allgather_ring", schedules::allgather_ring(members, bytes)),
+            (
+                "allgather_bruck",
+                schedules::allgather_bruck(members, bytes),
+            ),
+            ("allreduce_ring", schedules::allreduce_ring(members, bytes)),
+            (
+                "allreduce_recursive_doubling",
+                schedules::allreduce_recursive_doubling(members, bytes),
+            ),
+            (
+                "reduce_scatter_ring",
+                schedules::reduce_scatter_ring(members, bytes),
+            ),
+            (
+                "scan_hillis_steele",
+                schedules::scan_hillis_steele(members, bytes),
+            ),
+        ];
+        if p.is_power_of_two() {
+            gens.push((
+                "allgather_recursive_doubling",
+                schedules::allgather_recursive_doubling(members, bytes),
+            ));
+        }
+        for mode in [ContentionMode::MaxMinFair, ContentionMode::EqualShare] {
+            let net = base.clone().with_contention_mode(mode);
+            for (name, s) in &gens {
+                let bound = schedule_lower_bound(&net, s);
+                let time = net.schedule_time(s);
+                assert!(
+                    bound <= time * (1.0 + 1e-12),
+                    "{name} (p={p}, bytes={bytes}, {mode:?}): \
+                     bound {bound} exceeds schedule time {time}"
+                );
+            }
+        }
+    });
+}
+
+/// The barrier-free fluid makespan of concurrent schedules is never
+/// below any constituent schedule's lower bound: relaxing barriers can
+/// beat the lockstep time, but not physics.
+#[test]
+fn fluid_never_beats_a_constituent_lower_bound() {
+    use mixed_radix_enum::simnet::schedule_lower_bound;
+    propcheck(48, 0xD0C0_0011, |rng| {
+        let net = small_test_network();
+        let njobs = rng.gen_range(1usize..4);
+        let schedules: Vec<Schedule> = (0..njobs)
+            .map(|_| {
+                let nrounds = rng.gen_range(1usize..4);
+                Schedule::with(
+                    (0..nrounds)
+                        .map(|_| {
+                            let nmsgs = rng.gen_range(1usize..5);
+                            Round::with(
+                                (0..nmsgs)
+                                    .map(|_| {
+                                        Message::new(
+                                            rng.gen_range(0usize..16),
+                                            rng.gen_range(0usize..16),
+                                            rng.gen_range(1u64..100_000),
+                                        )
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let makespan = fluid_time(&net, &schedules);
+        for (j, s) in schedules.iter().enumerate() {
+            let bound = schedule_lower_bound(&net, s);
+            assert!(
+                makespan >= bound * (1.0 - 1e-12),
+                "job {j}: fluid makespan {makespan} below its own bound {bound}"
+            );
+        }
+    });
+}
+
+/// The branch-and-bound sweep returns byte-identical per-cell best orders
+/// to the exhaustive sweep on a Hydra-preset grid with the real
+/// microbenchmark cost — and actually prunes.
+#[test]
+fn pruned_sweep_matches_exhaustive_on_hydra_microbench() {
+    use mixed_radix_enum::core::order_search::{sweep, sweep_pruned, SweepSpec};
+    use mixed_radix_enum::simnet::presets::hydra_network;
+    use mixed_radix_enum::simnet::schedule_lower_bound;
+    use mixed_radix_enum::workloads::microbench::{Collective, Microbench};
+
+    let net = hydra_network(4, 1);
+    let machine = net.hierarchy().clone();
+    let spec = SweepSpec {
+        subcomm_sizes: vec![16, 32],
+        payload_sizes: vec![64 << 10, 4 << 20],
+    };
+    let bench = |sigma: &Permutation, s: usize, bytes: u64| Microbench {
+        machine: machine.clone(),
+        order: sigma.clone(),
+        subcomm_size: s,
+        collective: Collective::Allgather(AllgatherAlg::Ring),
+        total_bytes: bytes,
+    };
+    let cost = |sigma: &Permutation, s: usize, bytes: u64| {
+        bench(sigma, s, bytes)
+            .run(&net)
+            .expect("valid configuration")
+            .simultaneous_duration
+    };
+    let bound = |sigma: &Permutation, s: usize, bytes: u64| {
+        let b = bench(sigma, s, bytes);
+        let layout = subcommunicators(&machine, sigma, s, ColorScheme::Quotient)
+            .expect("valid configuration");
+        let all: Vec<Schedule> = (0..layout.count())
+            .map(|c| b.schedule_for(layout.members(c)))
+            .collect();
+        schedule_lower_bound(&net, &Schedule::lockstep(&all))
+    };
+    let exhaustive = sweep(&machine, &spec, cost).expect("valid spec");
+    let pruned = sweep_pruned(&machine, &spec, bound, cost).expect("valid spec");
+    assert_eq!(exhaustive.len(), pruned.len());
+    let mut total_pruned = 0;
+    for (e, p) in exhaustive.iter().zip(&pruned) {
+        assert_eq!(e.subcomm_size, p.subcomm_size);
+        assert_eq!(e.payload, p.payload);
+        let (best_c, best_t) = &e.ranked[0];
+        assert_eq!(best_c.order, p.best.0.order, "best order must be identical");
+        assert_eq!(
+            best_t.to_bits(),
+            p.best.1.to_bits(),
+            "best cost must be byte-identical"
+        );
+        assert_eq!(
+            p.stats.candidates() as usize,
+            e.ranked.len(),
+            "every representative must be accounted for"
+        );
+        total_pruned += p.stats.pruned;
+    }
+    assert!(
+        total_pruned > 0,
+        "the bound must actually prune on the Hydra grid"
+    );
+}
