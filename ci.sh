@@ -51,4 +51,17 @@ echo "== autotune bench smoke (asserts pruned sweep is byte-identical)"
 cargo bench -q -p mre-bench --bench autotune -- --quick sweep \
   | grep "byte-identical check passed"
 
+echo "== fluid bench smoke (asserts engine agrees with the reference oracle)"
+cargo bench -q -p mre-bench --bench fluid -- --quick engine \
+  | grep "agreement check passed"
+
+echo "== order_sweep --fluid smoke (asserts pruned best == exhaustive best)"
+cargo run -q --release -p mre-bench --bin order_sweep -- \
+  16,2,2,8 16 alltoall 1048576 --fluid > target/fluid_sweep_exhaustive.out
+cargo run -q --release -p mre-bench --bin order_sweep -- \
+  16,2,2,8 16 alltoall 1048576 --fluid --pruned > target/fluid_sweep_pruned.out
+grep "recommended order:" target/fluid_sweep_exhaustive.out > target/fluid_best_a
+grep "recommended order:" target/fluid_sweep_pruned.out > target/fluid_best_b
+cmp target/fluid_best_a target/fluid_best_b
+
 echo "== CI OK"

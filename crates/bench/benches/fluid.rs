@@ -1,0 +1,161 @@
+//! Incremental fluid-engine benchmarks: the event-heap `FluidSim` vs the
+//! from-scratch `fluid_time_reference` oracle on a Splatt-like
+//! many-subcommunicator instance (the profile of the paper's 1024-process
+//! `nell-1` run: the `4 × 4 × 64` grid's 64 layer communicators of 16
+//! processes each), where the reference's O(events × flows × path)
+//! re-solve blowup is worst.
+//!
+//! Before timing anything, the harness re-checks the acceptance property:
+//! the engine must agree with the reference to 1e-9 relative on the full
+//! instance. Engine event / rate-solve / re-prediction counts are
+//! reported alongside wall-clock so regressions are attributable.
+//! Numbers are recorded in `BENCH_fluid.json` at the repo root.
+
+use mre_bench::tinybench::{black_box, Bench, Stats};
+use mre_core::subcomm::{subcommunicators, ColorScheme};
+use mre_core::{Hierarchy, Permutation};
+use mre_mpi::schedules::alltoallv_pairwise;
+use mre_simnet::presets::hydra_network;
+use mre_simnet::{
+    fluid_time_reference, fluid_time_with_stats, FluidSim, FluidStats, NetworkModel, Schedule,
+};
+
+/// 32 Hydra nodes of 32 cores = 1024 cores, the nell-1 process count.
+const NODES: usize = 32;
+/// 1024 / 16 = 64 concurrent subcommunicators, the mode-2 layer comms.
+const SUBCOMM: usize = 16;
+/// Mean total payload per collective call.
+const BYTES: u64 = 4 << 20;
+/// CP-ALS iterations: each repeats the factor-row exchange, so later
+/// local (diagonal) rounds overlap other communicators' network rounds.
+const ITERS: usize = 2;
+
+/// The 64 concurrent ragged-Alltoallv schedules of the Splatt-like
+/// instance, under the fully spread order (worst-case fabric sharing:
+/// every completion event perturbs many flows' rates). The exchange
+/// follows the CP-ALS factor-row pattern: per-pair volumes are ragged
+/// (tensor slices have uneven nonzero counts), per-comm totals are
+/// staggered, and the diagonal block — the rows a rank already owns,
+/// dominant after a locality-aware partition — moves as a local copy
+/// off the fabric. Ragged completions arrive one by one instead of in
+/// lockstep waves, the event storm where the reference's from-scratch
+/// re-solves blow up; the local copies are pure heap events for the
+/// engine but full re-solve steps for the reference.
+fn splatt_like_jobs(machine: &Hierarchy) -> Vec<Schedule> {
+    let order = Permutation::identity(machine.depth());
+    let layout = subcommunicators(machine, &order, SUBCOMM, ColorScheme::Quotient)
+        .expect("valid configuration");
+    (0..layout.count())
+        .map(|c| {
+            // Per-comm volume stagger (uneven layers), then per-pair
+            // raggedness of 0.5×–1.5× around the mean, deterministic in
+            // (comm, src, dst); the diagonal slab is ~4× a mean pair.
+            let base = (BYTES + (c as u64) * (BYTES / 96)) / (SUBCOMM * SUBCOMM) as u64;
+            let sizes: Vec<Vec<u64>> = (0..SUBCOMM)
+                .map(|i| {
+                    (0..SUBCOMM)
+                        .map(|j| {
+                            if i == j {
+                                4 * base + (i as u64) * (base / 8)
+                            } else {
+                                let f = ((i * 7 + j * 13 + c * 3) % 9) as u64;
+                                base / 2 + f * (base / 8)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let exchange = alltoallv_pairwise(layout.members(c), &sizes);
+            let mut schedule = Schedule::new();
+            for _ in 0..ITERS {
+                for round in &exchange.rounds {
+                    schedule.push(round.clone());
+                }
+            }
+            schedule
+        })
+        .collect()
+}
+
+/// Un-timed acceptance check: engine ≡ reference to 1e-9 relative on the
+/// full instance. Returns the makespan and the engine's event counters.
+fn check_agreement(net: &NetworkModel, jobs: &[Schedule]) -> (f64, FluidStats) {
+    let (engine, stats) = fluid_time_with_stats(net, jobs);
+    let reference = fluid_time_reference(net, jobs);
+    let rel = (engine - reference).abs() / reference.max(f64::MIN_POSITIVE);
+    assert!(
+        rel <= 1e-9,
+        "engine {engine} vs reference {reference} disagree: rel {rel:.3e}"
+    );
+    (engine, stats)
+}
+
+fn main() {
+    let mut b = Bench::from_env();
+    let net = hydra_network(NODES, 1);
+    let machine = net.hierarchy().clone();
+    let jobs = splatt_like_jobs(&machine);
+    let messages: usize = jobs
+        .iter()
+        .flat_map(|s| s.rounds.iter())
+        .map(|r| r.messages.len())
+        .sum();
+    let locals: usize = jobs
+        .iter()
+        .flat_map(|s| s.rounds.iter())
+        .flat_map(|r| r.messages.iter())
+        .filter(|m| m.src == m.dst)
+        .count();
+
+    let (makespan, stats) = check_agreement(&net, &jobs);
+    println!(
+        "agreement check passed: {} comms x {SUBCOMM} ranks, {messages} messages, \
+         makespan {makespan:.6e} s ({} events, {} solves, {} repredictions)\n",
+        jobs.len(),
+        stats.events,
+        stats.solves,
+        stats.repredictions
+    );
+
+    let engine = b.bench("fluid/engine/64x16-splatt", || {
+        let mut sim = FluidSim::new(black_box(&net));
+        sim.run(black_box(&jobs))
+    });
+    // A persistent engine reused across runs keeps its path and link
+    // caches warm — the pruned-sweep access pattern.
+    let mut sim = FluidSim::new(&net);
+    sim.run(&jobs);
+    let warm = b.bench("fluid/engine+warm-caches/64x16-splatt", || {
+        sim.run(black_box(&jobs))
+    });
+    let reference = b.bench("fluid/reference/64x16-splatt", || {
+        fluid_time_reference(black_box(&net), black_box(&jobs))
+    });
+
+    let med = |s: &Option<Stats>| s.as_ref().map_or(f64::NAN, |s| s.median_ns);
+    let ratio = |base: &Option<Stats>, other: &Option<Stats>| match (base, other) {
+        (Some(b), Some(o)) => b.median_ns / o.median_ns,
+        _ => f64::NAN,
+    };
+    println!(
+        "\njson: {{\"machine\": \"{machine}\", \"comms\": {}, \"subcomm\": {SUBCOMM}, \
+         \"mean_bytes\": {BYTES}, \"iters\": {ITERS}, \"messages\": {messages}, \
+         \"local_copies\": {locals}, \"makespan_s\": {makespan:.6e}, \
+         \"events\": {}, \"solves\": {}, \"repredictions\": {}, \
+         \"engine_ns\": {:.1}, \"engine_warm_ns\": {:.1}, \"reference_ns\": {:.1}, \
+         \"speedup\": {:.3}, \"warm_speedup\": {:.3}}}",
+        jobs.len(),
+        stats.events,
+        stats.solves,
+        stats.repredictions,
+        med(&engine),
+        med(&warm),
+        med(&reference),
+        ratio(&reference, &engine),
+        ratio(&reference, &warm),
+    );
+    b.finish();
+}
+
+#[allow(dead_code)]
+fn unused() {}

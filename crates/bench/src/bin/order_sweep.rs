@@ -5,7 +5,7 @@
 //! §5 sketches.
 //!
 //! ```text
-//! order_sweep [HIERARCHY] [SUBCOMM] [COLLECTIVE] [SIZE_BYTES] [--pruned]
+//! order_sweep [HIERARCHY] [SUBCOMM] [COLLECTIVE] [SIZE_BYTES] [--pruned] [--fluid]
 //! order_sweep 16,2,2,8 16 alltoall 4194304
 //! ```
 //!
@@ -16,6 +16,13 @@
 //! byte-identical to the exhaustive one (the bound is admissible); the
 //! table then lists only the candidates that were actually costed.
 //!
+//! With `--fluid` the contended duration comes from the barrier-free
+//! fluid simulator ([`mre_simnet::fluid_time`]) instead of the lockstep
+//! round model — subcommunicators progress independently, as real MPI
+//! lets them. Combined with `--pruned`, candidates are bounded with the
+//! admissible [`mre_simnet::fluid_lower_bound`]; the recommended order
+//! is again byte-identical to the exhaustive fluid sweep.
+//!
 //! `HIERARCHY` must be one of the calibrated machines (a Hydra-shaped
 //! `nodes,2,2,8` or a LUMI-shaped `nodes,2,4,2,8`); `COLLECTIVE` is
 //! `alltoall`, `allreduce` or `allgather`.
@@ -25,7 +32,7 @@ use mre_core::subcomm::{subcommunicators, ColorScheme};
 use mre_core::{Hierarchy, Permutation};
 use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
 use mre_simnet::presets::{hydra_network, lumi_network};
-use mre_simnet::{schedule_lower_bound, NetworkModel, Schedule};
+use mre_simnet::{fluid_lower_bound, fluid_time, schedule_lower_bound, NetworkModel, Schedule};
 use mre_slurm::Distribution;
 use mre_workloads::microbench::{Collective, Microbench};
 
@@ -41,6 +48,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let pruned_mode = args.iter().any(|a| a == "--pruned");
     args.retain(|a| a != "--pruned");
+    let fluid_mode = args.iter().any(|a| a == "--fluid");
+    args.retain(|a| a != "--fluid");
     let hierarchy_text = args.get(1).map(String::as_str).unwrap_or("16,2,2,8");
     let subcomm: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(16);
     let collective_name = args.get(3).map(String::as_str).unwrap_or("alltoall");
@@ -82,7 +91,14 @@ fn main() {
         machine.size() / subcomm,
         size
     );
-    println!("(one representative per mapping-equivalence class, ranked by contended duration)\n");
+    println!(
+        "(one representative per mapping-equivalence class, ranked by {} duration)\n",
+        if fluid_mode {
+            "fluid contended"
+        } else {
+            "contended"
+        }
+    );
     let bench_for = |sigma: &Permutation| Microbench {
         machine: machine.clone(),
         order: sigma.clone(),
@@ -90,27 +106,40 @@ fn main() {
         collective,
         total_bytes: size,
     };
+    let schedules_for = |sigma: &Permutation| -> Vec<Schedule> {
+        let bench = bench_for(sigma);
+        let layout = subcommunicators(&machine, sigma, subcomm, ColorScheme::Quotient)
+            .expect("valid configuration");
+        (0..layout.count())
+            .map(|c| bench.schedule_for(layout.members(c)))
+            .collect()
+    };
     let cost = |sigma: &Permutation| {
-        bench_for(sigma)
-            .run(&net)
-            .expect("valid configuration")
-            .simultaneous_duration
+        if fluid_mode {
+            fluid_time(&net, &schedules_for(sigma))
+        } else {
+            bench_for(sigma)
+                .run(&net)
+                .expect("valid configuration")
+                .simultaneous_duration
+        }
     };
     let ranked = if pruned_mode {
-        // Admissible lower bound on the contended duration: the physics
-        // bound of the lockstep-merged schedule all subcommunicators
-        // execute concurrently.
+        // Admissible lower bound on the contended duration: under the
+        // lockstep model, the physics bound of the merged schedule all
+        // subcommunicators execute concurrently; under the fluid model,
+        // the barrier-free bound (max of per-job bounds and the pooled
+        // per-level byte bound).
         let result = rank_orders_pruned(
             &machine,
             subcomm,
             |sigma| {
-                let bench = bench_for(sigma);
-                let layout = subcommunicators(&machine, sigma, subcomm, ColorScheme::Quotient)
-                    .expect("valid configuration");
-                let all: Vec<Schedule> = (0..layout.count())
-                    .map(|c| bench.schedule_for(layout.members(c)))
-                    .collect();
-                schedule_lower_bound(&net, &Schedule::lockstep(&all))
+                let all = schedules_for(sigma);
+                if fluid_mode {
+                    fluid_lower_bound(&net, &all)
+                } else {
+                    schedule_lower_bound(&net, &Schedule::lockstep(&all))
+                }
             },
             cost,
         )

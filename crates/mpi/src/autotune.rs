@@ -29,7 +29,7 @@
 
 use crate::algorithm::{AllgatherAlg, AllreduceAlg, AllreduceAlg::RecursiveDoubling, AlltoallAlg};
 use crate::schedules;
-use mre_simnet::{NetworkModel, Schedule, SharedCostCache};
+use mre_simnet::{fluid_lower_bound, NetworkModel, Schedule, SharedCostCache};
 use mre_trace::level_occupancy;
 
 /// Which collective to tune.
@@ -256,6 +256,69 @@ impl<'a> AlgorithmSelector<'a> {
         }
     }
 
+    /// Like [`select`](Self::select), but costing candidates under the
+    /// **fluid** (barrier-free) simulator instead of the lockstep round
+    /// model: each candidate's schedule is executed alone on the fluid
+    /// engine and the cheapest fluid makespan wins. Candidates are still
+    /// bound-pruned — with the admissible [`fluid_lower_bound`], so the
+    /// winner is exactly the fluid-cheapest candidate.
+    ///
+    /// Fluid costs are not memoized in the shared cache (its round
+    /// profiles describe the lockstep model); the fluid engine's own
+    /// path/link caches carry the reuse instead.
+    ///
+    /// Emits `mpi.autotune.fluid.{evaluated, skipped}` telemetry.
+    pub fn select_fluid(
+        &self,
+        kind: CollectiveKind,
+        members: &[usize],
+        total_bytes: u64,
+    ) -> AlgorithmChoice {
+        let probe = self.candidate_schedule(Self::probe_alg(kind), members, total_bytes);
+        let outer_busy = match self.net.schedule_timeline(&probe) {
+            Ok(tl) => level_occupancy(self.net.hierarchy(), &tl).busy_fraction(0),
+            Err(_) => 0.0,
+        };
+        let mut sim = mre_simnet::FluidSim::new(self.net);
+        let mut best: Option<(ChosenAlg, f64)> = None;
+        let mut evaluated = 0u32;
+        let mut skipped = 0u32;
+        let mut seen_patterns: Vec<u64> = Vec::new();
+        for alg in Self::candidates(kind, outer_busy) {
+            let schedule = self.candidate_schedule(alg, members, total_bytes);
+            let fp = schedule.pattern_fingerprint();
+            if seen_patterns.contains(&fp) {
+                continue;
+            }
+            seen_patterns.push(fp);
+            let jobs = [schedule];
+            if let Some((_, best_cost)) = best {
+                let bound = fluid_lower_bound(self.net, &jobs);
+                if bound > best_cost {
+                    skipped += 1;
+                    continue;
+                }
+            }
+            let cost = sim.run(&jobs);
+            evaluated += 1;
+            if best.is_none_or(|(_, bc)| cost < bc) {
+                best = Some((alg, cost));
+            }
+        }
+        let (alg, cost) = best.expect("every collective kind has at least one candidate");
+        if mre_core::telemetry::enabled() {
+            mre_core::telemetry::counter_add("mpi.autotune.fluid.evaluated", evaluated as u64);
+            mre_core::telemetry::counter_add("mpi.autotune.fluid.skipped", skipped as u64);
+        }
+        AlgorithmChoice {
+            alg,
+            cost,
+            outer_busy_fraction: outer_busy,
+            evaluated,
+            skipped,
+        }
+    }
+
     /// Tunes every subcommunicator of a layout independently — different
     /// subcommunicators of the same order can land on different
     /// algorithms when their members sit at different hierarchy depths.
@@ -367,6 +430,31 @@ mod tests {
         // The two packed subcommunicators are congruent (same shape, one
         // node apart) — same winner.
         assert_eq!(choices[0].alg, choices[1].alg);
+    }
+
+    #[test]
+    fn fluid_selection_picks_the_fluid_cheapest_candidate() {
+        let net = toy_net();
+        let cache = SharedCostCache::new();
+        let sel = AlgorithmSelector::new(&net, &cache);
+        let members: Vec<usize> = (0..8).collect();
+        for kind in [
+            CollectiveKind::Alltoall,
+            CollectiveKind::Allreduce,
+            CollectiveKind::Allgather,
+        ] {
+            for total in [1u64 << 10, 1 << 24] {
+                let choice = sel.select_fluid(kind, &members, total);
+                let min = AlgorithmSelector::candidates(kind, 1.0)
+                    .into_iter()
+                    .map(|a| {
+                        mre_simnet::fluid_time(&net, &[sel.candidate_schedule(a, &members, total)])
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                assert_eq!(choice.cost, min, "{kind:?} at {total}");
+                assert!(choice.evaluated >= 1);
+            }
+        }
     }
 
     #[test]

@@ -61,11 +61,17 @@ pub fn alltoall_bruck(members: &[usize], bytes_per_pair: u64) -> Schedule {
 
 /// Ragged pairwise Alltoallv: `sizes[i][j]` bytes go from rank `i` to rank
 /// `j`. Zero-byte entries generate no message.
+///
+/// Like `MPI_Alltoallv`, the diagonal block participates: a non-zero
+/// `sizes[i][i]` becomes a self-message in a leading round (simulated as
+/// a local copy, off the network fabric). Zero diagonals — the common
+/// case for callers modelling pure exchanges — leave the schedule
+/// identical to the previous self-free shape.
 pub fn alltoallv_pairwise(members: &[usize], sizes: &[Vec<u64>]) -> Schedule {
     let p = members.len();
     assert_eq!(sizes.len(), p, "one size row per rank");
     let mut schedule = Schedule::new();
-    for r in 1..p {
+    for r in 0..p {
         let mut round = Round::new();
         for i in 0..p {
             let dst = (i + r) % p;
@@ -425,6 +431,31 @@ mod tests {
                 assert!(m.bytes > 0);
             }
         }
+    }
+
+    #[test]
+    fn alltoallv_diagonal_becomes_self_messages() {
+        let p = 4;
+        let mut sizes = vec![vec![1u64; p]; p];
+        for (i, row) in sizes.iter_mut().enumerate() {
+            row[i] = 100 + i as u64;
+        }
+        let s = alltoallv_pairwise(&members(p), &sizes);
+        // Round 0 carries exactly the diagonal block as self-messages.
+        let diag = &s.rounds[0];
+        assert_eq!(diag.messages.len(), p);
+        for m in &diag.messages {
+            assert_eq!(m.src, m.dst);
+            assert_eq!(m.bytes, 100 + (m.src / 10) as u64);
+        }
+        // Off-diagonal rounds never self-send, and nothing is lost.
+        for r in &s.rounds[1..] {
+            for m in &r.messages {
+                assert_ne!(m.src, m.dst);
+            }
+        }
+        let total: u64 = sizes.iter().flatten().sum();
+        assert_eq!(s.total_bytes(), total);
     }
 
     #[test]

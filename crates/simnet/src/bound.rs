@@ -196,6 +196,47 @@ pub fn schedule_lower_bound(net: &NetworkModel, schedule: &Schedule) -> f64 {
     net.schedule_lower_bound(schedule)
 }
 
+/// Admissible lower bound on [`fluid_time`](crate::fluid::fluid_time) of
+/// `schedules` executing concurrently — the pruning oracle of fluid-costed
+/// order sweeps.
+///
+/// The fluid execution has no cross-job barriers, so per-round bounds of
+/// different jobs do **not** add; two terms survive:
+///
+/// * **Per-job term.** Contention never accelerates a job, so the fluid
+///   makespan is at least each job's isolated cost, and
+///   [`schedule_lower_bound`] bounds that from below — take the max over
+///   jobs.
+/// * **Aggregate term.** Pool *every* message of *every* job into one
+///   virtual round and evaluate the per-level capacity bound on it: all
+///   bytes that must traverse level `l` drain through the union of active
+///   level-`l` links at a joint rate of at most `active · bandwidth_l`,
+///   regardless of when their rounds start, and no byte crosses `l`
+///   before the smallest crossing latency of any message through `l`.
+///   The latency-max and local-copy terms of
+///   [`round_lower_bound_from`](NetworkModel::round_lower_bound_from)
+///   remain valid verbatim (some message must wait its full latency; some
+///   core must push its largest local copy).
+///
+/// This is necessarily looser than [`schedule_lower_bound`] on a single
+/// schedule (it forgets round barriers), but it is valid for the
+/// barrier-free execution, where the per-round sum is **not** — fluid
+/// overlap can beat it. Property-tested against every collective
+/// generator under both contention modes in `tests/proptests.rs`.
+pub fn fluid_lower_bound(net: &NetworkModel, schedules: &[Schedule]) -> f64 {
+    let per_job = schedules
+        .iter()
+        .map(|s| net.schedule_lower_bound(s))
+        .fold(0.0, f64::max);
+    let all: Vec<Message> = schedules
+        .iter()
+        .flat_map(|s| s.rounds.iter())
+        .flat_map(|r| r.messages.iter().copied())
+        .collect();
+    let aggregate = net.round_lower_bound_from(&net.round_load(&all));
+    per_job.max(aggregate)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,9 +39,12 @@ pub mod schedule;
 pub mod timeline;
 pub mod utilization;
 
-pub use bound::{schedule_lower_bound, RoundLoad};
+pub use bound::{fluid_lower_bound, schedule_lower_bound, RoundLoad};
 pub use contention::{max_min_rates, max_min_rates_reference};
-pub use fluid::fluid_time;
+pub use fluid::{
+    fluid_time, fluid_time_reference, fluid_time_with_stats, fluid_timeline, FluidMessageSpan,
+    FluidSim, FluidStats, FluidTimeline,
+};
 pub use memory::MemoryModel;
 pub use network::{ContentionMode, LinkParams, NetworkModel, RoundProfile};
 pub use schedule::{CostCache, Message, Round, Schedule, SharedCostCache};

@@ -53,6 +53,9 @@ pub struct NetworkModel {
     links: Vec<LinkParams>,
     /// Bandwidth of a local (same-core) copy, for self-messages.
     local_copy_bandwidth: f64,
+    /// The local copy rate as observed by a probe message, fixed at
+    /// construction (see [`Self::calibrated_local_rate`]).
+    calibrated_local_rate: f64,
     mode: ContentionMode,
 }
 
@@ -82,13 +85,23 @@ impl NetworkModel {
             );
         }
         let strides = hierarchy.strides();
-        Self {
+        let mut model = Self {
             hierarchy,
             strides,
             links,
             local_copy_bandwidth,
+            calibrated_local_rate: local_copy_bandwidth,
             mode: ContentionMode::MaxMinFair,
-        }
+        };
+        // Calibrate the local copy rate once, at construction, via the same
+        // probe the fluid simulator used to re-derive per call: the rate a
+        // 1 MB self-message actually achieves under this model. Self
+        // messages carry no latency, so this round-trips the configured
+        // bandwidth (up to one rounding), and every consumer — fluid or
+        // round-based — now reads the same cached value.
+        let probe = Message::new(0, 0, 1_000_000);
+        model.calibrated_local_rate = 1_000_000.0 / model.message_time(probe);
+        model
     }
 
     /// Switches the contention model (ablation).
@@ -115,6 +128,16 @@ impl NetworkModel {
     /// Bandwidth applied to self-messages (intra-core copies).
     pub fn local_copy_bandwidth(&self) -> f64 {
         self.local_copy_bandwidth
+    }
+
+    /// The local copy rate as a probe message observes it, cached at
+    /// construction. Identical to [`Self::local_copy_bandwidth`] up to one
+    /// floating-point rounding; both the fluid simulator and the
+    /// round-based profile path use this value, so local copies cost the
+    /// same under either model. (The fluid path previously re-derived it
+    /// with a fresh 1 MB probe on every call.)
+    pub fn calibrated_local_rate(&self) -> f64 {
+        self.calibrated_local_rate
     }
 
     /// Scales the outermost level's uplink bandwidth (e.g. enabling a
@@ -193,7 +216,7 @@ impl NetworkModel {
             .iter()
             .zip(&crossing)
             .map(|(&rate, j)| match j {
-                None => (0.0, self.local_copy_bandwidth),
+                None => (0.0, self.calibrated_local_rate),
                 Some(j) => (self.links[*j].crossing_latency, rate),
             })
             .collect();

@@ -20,7 +20,7 @@
 
 use crate::event::{EventKind, Trace};
 use mre_core::Hierarchy;
-use mre_simnet::ScheduleTimeline;
+use mre_simnet::{FluidTimeline, ScheduleTimeline};
 use std::collections::BTreeMap;
 
 /// One hop of the critical path: the slowest message of one round.
@@ -88,6 +88,78 @@ pub fn critical_path(hierarchy: &Hierarchy, timeline: &ScheduleTimeline) -> Crit
     CriticalPath {
         hops,
         total_time: timeline.total_time(),
+    }
+}
+
+/// The critical path of a **fluid** (barrier-free) multi-job execution.
+///
+/// Under fluid execution there is no global barrier, but rounds *within*
+/// one job are still sequential — so the makespan is set by the
+/// last-finishing job, and that job's per-round bottleneck messages form
+/// a dependency chain tiling `[first injection, makespan]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FluidCriticalPath {
+    /// Index of the last-finishing job (ties break toward the lowest
+    /// index), whose rounds the hops walk.
+    pub job: usize,
+    /// One hop per non-empty round of that job, in round order.
+    pub hops: Vec<CriticalHop>,
+    /// The fluid makespan — equals the last hop's finish.
+    pub makespan: f64,
+}
+
+/// Extracts the critical chain of a fluid execution on `hierarchy`.
+///
+/// The last-finishing job determines the makespan; within it, the
+/// slowest message of round `i` is what round `i + 1` waits for (the
+/// engine injects a job's round only once the previous round fully
+/// completes), so chaining those messages tiles the job's entire
+/// execution. Unlike the lockstep [`critical_path`], the hop durations
+/// reflect time-varying rates: other jobs' traffic slows a hop down
+/// mid-flight without appearing in the chain itself.
+pub fn fluid_critical_path(hierarchy: &Hierarchy, timeline: &FluidTimeline) -> FluidCriticalPath {
+    let job = (0..timeline.num_jobs())
+        .max_by(|&a, &b| {
+            let fin = |j: usize| timeline.job_spans(j).map(|s| s.finish).fold(0.0, f64::max);
+            fin(a).total_cmp(&fin(b)).then(b.cmp(&a))
+        })
+        .unwrap_or(0);
+    let spans: Vec<_> = timeline.job_spans(job).collect();
+    let mut hops: Vec<CriticalHop> = Vec::new();
+    let mut i = 0;
+    while i < spans.len() {
+        let round = spans[i].round;
+        let mut j = i;
+        while j < spans.len() && spans[j].round == round {
+            j += 1;
+        }
+        let round_spans = &spans[i..j];
+        let start = round_spans
+            .iter()
+            .map(|s| s.start)
+            .fold(f64::INFINITY, f64::min);
+        let slowest = round_spans
+            .iter()
+            .max_by(|a, b| a.finish.total_cmp(&b.finish))
+            .expect("non-empty round group");
+        hops.push(CriticalHop {
+            round,
+            src: slowest.src,
+            dst: slowest.dst,
+            bytes: slowest.bytes,
+            start,
+            finish: slowest.finish,
+            crossing: slowest.crossing,
+            level_name: slowest
+                .crossing
+                .map_or_else(|| "local".to_string(), |k| hierarchy.name(k).to_string()),
+        });
+        i = j;
+    }
+    FluidCriticalPath {
+        job,
+        hops,
+        makespan: timeline.makespan,
     }
 }
 
@@ -368,6 +440,42 @@ mod tests {
         // Hops tile the timeline: durations sum to the total.
         let hop_sum: f64 = cp.hops.iter().map(|h| h.finish - h.start).sum();
         assert!((hop_sum - cp.total_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fluid_critical_path_walks_the_last_finishing_job() {
+        let net = toy();
+        // Job 0 is long (two node-crossing rounds), job 1 is a quick
+        // intra-socket copy — the makespan belongs to job 0.
+        let jobs = [
+            Schedule::with(vec![
+                Round::with(vec![Message::new(0, 8, 100), Message::new(1, 2, 10)]),
+                Round::with(vec![Message::new(8, 0, 50)]),
+            ]),
+            Schedule::with(vec![Round::with(vec![Message::new(4, 5, 10)])]),
+        ];
+        let tl = mre_simnet::fluid_timeline(&net, &jobs);
+        let cp = fluid_critical_path(net.hierarchy(), &tl);
+        assert_eq!(cp.job, 0);
+        assert_eq!(cp.hops.len(), 2);
+        assert_eq!((cp.hops[0].src, cp.hops[0].dst), (0, 8));
+        assert_eq!(cp.hops[0].level_name, "node");
+        assert_eq!(cp.hops[0].start, 0.0);
+        // Rounds of one job are sequential: hops tile [0, makespan].
+        assert!((cp.hops[0].finish - cp.hops[1].start).abs() < 1e-12 * cp.makespan);
+        assert!((cp.hops[1].finish - cp.makespan).abs() < 1e-12 * cp.makespan);
+        assert_eq!(cp.makespan, tl.makespan);
+        let hop_sum: f64 = cp.hops.iter().map(|h| h.finish - h.start).sum();
+        assert!((hop_sum - cp.makespan).abs() < 1e-9 * cp.makespan);
+    }
+
+    #[test]
+    fn fluid_critical_path_of_empty_timeline_is_empty() {
+        let net = toy();
+        let tl = mre_simnet::fluid_timeline(&net, &[]);
+        let cp = fluid_critical_path(net.hierarchy(), &tl);
+        assert!(cp.hops.is_empty());
+        assert_eq!(cp.makespan, 0.0);
     }
 
     #[test]

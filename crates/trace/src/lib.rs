@@ -47,8 +47,8 @@ pub mod recorder;
 pub mod simtrace;
 
 pub use analysis::{
-    critical_path, level_occupancy, rank_activity, wall_level_bytes, CriticalHop, CriticalPath,
-    LevelOccupancy, OccupancySlice, RankBreakdown,
+    critical_path, fluid_critical_path, level_occupancy, rank_activity, wall_level_bytes,
+    CriticalHop, CriticalPath, FluidCriticalPath, LevelOccupancy, OccupancySlice, RankBreakdown,
 };
 pub use diff::{diff_traces, DiffOptions, LevelSkew, SpanDiff, TraceDiff};
 pub use event::{Clock, Event, EventKind, Trace};
@@ -59,4 +59,4 @@ pub use metrics::{
     Histogram, MetricsRegistry, MetricsSnapshot, MetricsStream, RankMetrics, TelemetryGuard,
 };
 pub use recorder::{RankRecorder, Recorder, SpanGuard};
-pub use simtrace::{concurrent_schedule_trace, schedule_trace};
+pub use simtrace::{concurrent_schedule_trace, fluid_trace, schedule_trace};

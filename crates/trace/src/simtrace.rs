@@ -6,7 +6,7 @@
 
 use crate::event::{Clock, Event, EventKind, Trace};
 use mre_core::Hierarchy;
-use mre_simnet::ScheduleTimeline;
+use mre_simnet::{FluidTimeline, ScheduleTimeline};
 
 /// Converts a simulated timeline into a renderable [`Trace`].
 ///
@@ -107,6 +107,78 @@ pub fn concurrent_schedule_trace(
     trace
 }
 
+/// Converts a **fluid** (barrier-free) execution into a renderable
+/// [`Trace`].
+///
+/// Message spans carry the same `dst`/`bytes`/`level` args as
+/// [`schedule_trace`] — on the source core's lane, with `dst` parseable —
+/// so [`crate::diff_traces`] occurrence matching consumes fluid
+/// executions exactly like lockstep ones. Each span additionally carries
+/// its `job` (the subcommunicator's schedule index) and per-job `round`,
+/// because under fluid execution rounds of different jobs interleave
+/// freely and there is no global round structure to put on a rounds lane.
+/// Instead the extra lane (id = number of cores) holds one span per job
+/// covering that job's first injection to its last completion, plus the
+/// enclosing collective span ending at the makespan.
+pub fn fluid_trace(hierarchy: &Hierarchy, timeline: &FluidTimeline, name: &str) -> Trace {
+    let jobs_lane = hierarchy.size();
+    let mut trace = Trace::new(Clock::Simulated);
+    for core in 0..hierarchy.size() {
+        trace.lane_names.insert(core, format!("core {core}"));
+    }
+    trace.lane_names.insert(jobs_lane, "jobs".to_string());
+    if !timeline.spans.is_empty() {
+        trace.events.push(Event {
+            lane: jobs_lane,
+            name: name.to_string(),
+            kind: EventKind::Collective,
+            start: 0.0,
+            finish: timeline.makespan,
+            args: vec![
+                ("jobs".to_string(), timeline.num_jobs().to_string()),
+                ("bytes".to_string(), timeline.total_bytes().to_string()),
+            ],
+        });
+    }
+    for job in 0..timeline.num_jobs() {
+        let spans: Vec<_> = timeline.job_spans(job).collect();
+        if spans.is_empty() {
+            continue;
+        }
+        let start = spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+        let finish = spans.iter().map(|s| s.finish).fold(0.0, f64::max);
+        trace.events.push(Event {
+            lane: jobs_lane,
+            name: format!("job {job}"),
+            kind: EventKind::Round,
+            start,
+            finish,
+            args: vec![("messages".to_string(), spans.len().to_string())],
+        });
+    }
+    for s in &timeline.spans {
+        let level = s
+            .crossing
+            .map_or_else(|| "local".to_string(), |j| hierarchy.name(j).to_string());
+        trace.events.push(Event {
+            lane: s.src,
+            name: format!("{} -> {}", s.src, s.dst),
+            kind: EventKind::Message,
+            start: s.start,
+            finish: s.finish,
+            args: vec![
+                ("job".to_string(), s.job.to_string()),
+                ("round".to_string(), s.round.to_string()),
+                ("dst".to_string(), s.dst.to_string()),
+                ("bytes".to_string(), s.bytes.to_string()),
+                ("level".to_string(), level),
+            ],
+        });
+    }
+    trace.sort();
+    trace
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +269,70 @@ mod tests {
             .args
             .iter()
             .any(|(k, v)| k == "comms" && v == "2"));
+    }
+
+    #[test]
+    fn fluid_trace_carries_jobs_and_diffable_message_spans() {
+        let net = toy();
+        let jobs = [
+            Schedule::with(vec![
+                Round::with(vec![Message::new(0, 8, 100)]),
+                Round::with(vec![Message::new(8, 0, 50)]),
+            ]),
+            Schedule::with(vec![Round::with(vec![Message::new(1, 2, 10)])]),
+        ];
+        let tl = mre_simnet::fluid_timeline(&net, &jobs);
+        let trace = fluid_trace(net.hierarchy(), &tl, "fluid:test");
+        // 1 collective + 2 job spans + 3 messages.
+        assert_eq!(trace.events.len(), 6);
+        let collective = trace
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Collective)
+            .unwrap();
+        assert_eq!(collective.finish, tl.makespan);
+        assert!(collective.args.iter().any(|(k, v)| k == "jobs" && v == "2"));
+        // Message spans look exactly like schedule_trace's to the differ:
+        // source lane, parsable dst, level name.
+        let msg = trace
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Message && e.lane == 0)
+            .unwrap();
+        assert!(msg.args.iter().any(|(k, v)| k == "dst" && v == "8"));
+        assert!(msg.args.iter().any(|(k, v)| k == "level" && v == "node"));
+        assert!(msg.args.iter().any(|(k, v)| k == "job" && v == "0"));
+        assert_eq!(trace.duration(), tl.makespan);
+        // Job spans cover each job's first start to last finish.
+        let job0 = trace
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Round && e.name == "job 0")
+            .unwrap();
+        assert_eq!(job0.start, 0.0);
+        assert_eq!(job0.finish, tl.job_spans(0).last().unwrap().finish);
+    }
+
+    #[test]
+    fn fluid_trace_diffs_against_itself_perfectly() {
+        // A fluid trace replayed as the "wall" side of diff_traces must
+        // match itself with zero skew: the differ's occurrence matching
+        // understands the fluid span layout.
+        let net = toy();
+        let jobs = [
+            Schedule::with(vec![Round::with(vec![
+                Message::new(0, 8, 100),
+                Message::new(1, 9, 100),
+            ])]),
+            Schedule::with(vec![Round::with(vec![Message::new(4, 12, 40)])]),
+        ];
+        let tl = mre_simnet::fluid_timeline(&net, &jobs);
+        let trace = fluid_trace(net.hierarchy(), &tl, "fluid:self");
+        let diff = crate::diff_traces(&trace, &trace, &crate::DiffOptions::default());
+        assert_eq!(diff.matched(), 3);
+        assert_eq!(diff.unmatched_wall, 0);
+        assert_eq!(diff.unmatched_sim, 0);
+        assert!(diff.fidelity > 0.999, "fidelity {}", diff.fidelity);
     }
 
     #[test]

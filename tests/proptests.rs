@@ -653,3 +653,222 @@ fn pruned_sweep_matches_exhaustive_on_hydra_microbench() {
         "the bound must actually prune on the Hydra grid"
     );
 }
+
+/// The barrier-free fluid bound is admissible for every schedule
+/// generator under both contention modes: `fluid_lower_bound ≤
+/// fluid_time` for arbitrary member placements, payload sizes, and
+/// multi-job splits.
+#[test]
+fn fluid_lower_bound_is_admissible_for_every_generator() {
+    use mixed_radix_enum::simnet::{fluid_lower_bound, ContentionMode};
+    propcheck(48, 0xD0C0_0012, |rng| {
+        let base = small_test_network();
+        let p = rng.gen_range(2usize..9);
+        let mut cores: Vec<usize> = (0..16).collect();
+        rng.shuffle(&mut cores);
+        // Two disjoint member sets of size p: each generator runs as two
+        // concurrent jobs (the single-job case is subsumed by taking the
+        // max over jobs in the bound).
+        let (a, b) = (&cores[..p], &cores[p..2 * p]);
+        let bytes = rng.gen_range(1u64..1_000_000);
+        let mut gens: Vec<(&str, Vec<Schedule>)> = vec![
+            (
+                "alltoall_pairwise",
+                vec![
+                    schedules::alltoall_pairwise(a, bytes),
+                    schedules::alltoall_pairwise(b, bytes),
+                ],
+            ),
+            (
+                "alltoall_bruck",
+                vec![
+                    schedules::alltoall_bruck(a, bytes),
+                    schedules::alltoall_bruck(b, bytes),
+                ],
+            ),
+            (
+                "allgather_ring",
+                vec![
+                    schedules::allgather_ring(a, bytes),
+                    schedules::allgather_ring(b, bytes),
+                ],
+            ),
+            (
+                "allgather_bruck",
+                vec![
+                    schedules::allgather_bruck(a, bytes),
+                    schedules::allgather_bruck(b, bytes),
+                ],
+            ),
+            (
+                "allreduce_ring",
+                vec![
+                    schedules::allreduce_ring(a, bytes),
+                    schedules::allreduce_ring(b, bytes),
+                ],
+            ),
+            (
+                "allreduce_recursive_doubling",
+                vec![
+                    schedules::allreduce_recursive_doubling(a, bytes),
+                    schedules::allreduce_recursive_doubling(b, bytes),
+                ],
+            ),
+            (
+                "reduce_scatter_ring",
+                vec![
+                    schedules::reduce_scatter_ring(a, bytes),
+                    schedules::reduce_scatter_ring(b, bytes),
+                ],
+            ),
+            (
+                "scan_hillis_steele",
+                vec![
+                    schedules::scan_hillis_steele(a, bytes),
+                    schedules::scan_hillis_steele(b, bytes),
+                ],
+            ),
+        ];
+        if p.is_power_of_two() {
+            gens.push((
+                "allgather_recursive_doubling",
+                vec![
+                    schedules::allgather_recursive_doubling(a, bytes),
+                    schedules::allgather_recursive_doubling(b, bytes),
+                ],
+            ));
+        }
+        for mode in [ContentionMode::MaxMinFair, ContentionMode::EqualShare] {
+            let net = base.clone().with_contention_mode(mode);
+            for (name, jobs) in &gens {
+                let bound = fluid_lower_bound(&net, jobs);
+                let time = fluid_time(&net, jobs);
+                assert!(
+                    bound <= time * (1.0 + 1e-12),
+                    "{name} (p={p}, bytes={bytes}, {mode:?}): \
+                     fluid bound {bound} exceeds fluid makespan {time}"
+                );
+            }
+        }
+    });
+}
+
+/// Fluid timeline consistency: the recorded spans reproduce the
+/// makespan (last finish == makespan at 1e-12 relative), account for
+/// every payload byte, never finish faster than the message could
+/// alone, and the engine never oversubscribes a traversed link in any
+/// event interval (peak utilization ≤ 1).
+#[test]
+fn fluid_timeline_is_consistent() {
+    use mixed_radix_enum::simnet::fluid_timeline;
+    propcheck(48, 0xD0C0_0013, |rng| {
+        let net = small_test_network();
+        let njobs = rng.gen_range(1usize..4);
+        let schedules: Vec<Schedule> = (0..njobs)
+            .map(|_| {
+                let nrounds = rng.gen_range(1usize..4);
+                Schedule::with(
+                    (0..nrounds)
+                        .map(|_| {
+                            let nmsgs = rng.gen_range(1usize..5);
+                            Round::with(
+                                (0..nmsgs)
+                                    .map(|_| {
+                                        Message::new(
+                                            rng.gen_range(0usize..16),
+                                            rng.gen_range(0usize..16),
+                                            rng.gen_range(1u64..100_000),
+                                        )
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let tl = fluid_timeline(&net, &schedules);
+        assert!(
+            (tl.last_finish() - tl.makespan).abs() <= 1e-12 * tl.makespan,
+            "last finish {} vs makespan {}",
+            tl.last_finish(),
+            tl.makespan
+        );
+        assert_eq!(tl.makespan, fluid_time(&net, &schedules));
+        let expected_bytes: u64 = schedules.iter().map(Schedule::total_bytes).sum();
+        assert_eq!(tl.total_bytes(), expected_bytes);
+        for s in &tl.spans {
+            let alone = net.message_time(Message::new(s.src, s.dst, s.bytes));
+            assert!(
+                s.duration() >= alone * (1.0 - 1e-9),
+                "span {}→{} ({} B) ran in {} < alone time {}",
+                s.src,
+                s.dst,
+                s.bytes,
+                s.duration(),
+                alone
+            );
+        }
+        assert!(
+            tl.stats.peak_link_utilization <= 1.0 + 1e-9,
+            "a link was oversubscribed: peak utilization {}",
+            tl.stats.peak_link_utilization
+        );
+    });
+}
+
+/// The branch-and-bound sweep with the fluid cost and the fluid bound
+/// returns byte-identical per-cell best orders to the exhaustive fluid
+/// sweep on a Hydra-preset grid — and actually prunes.
+#[test]
+fn pruned_fluid_sweep_matches_exhaustive_on_hydra_microbench() {
+    use mixed_radix_enum::core::order_search::{sweep, sweep_pruned, SweepSpec};
+    use mixed_radix_enum::simnet::fluid_lower_bound;
+    use mixed_radix_enum::simnet::presets::hydra_network;
+    use mixed_radix_enum::workloads::microbench::{Collective, Microbench};
+
+    let net = hydra_network(4, 1);
+    let machine = net.hierarchy().clone();
+    let spec = SweepSpec {
+        subcomm_sizes: vec![16, 32],
+        payload_sizes: vec![64 << 10, 4 << 20],
+    };
+    let schedules_for = |sigma: &Permutation, s: usize, bytes: u64| -> Vec<Schedule> {
+        let b = Microbench {
+            machine: machine.clone(),
+            order: sigma.clone(),
+            subcomm_size: s,
+            collective: Collective::Allgather(AllgatherAlg::Ring),
+            total_bytes: bytes,
+        };
+        let layout = subcommunicators(&machine, sigma, s, ColorScheme::Quotient)
+            .expect("valid configuration");
+        (0..layout.count())
+            .map(|c| b.schedule_for(layout.members(c)))
+            .collect()
+    };
+    let cost = |sigma: &Permutation, s: usize, bytes: u64| {
+        fluid_time(&net, &schedules_for(sigma, s, bytes))
+    };
+    let bound = |sigma: &Permutation, s: usize, bytes: u64| {
+        fluid_lower_bound(&net, &schedules_for(sigma, s, bytes))
+    };
+    let exhaustive = sweep(&machine, &spec, cost).expect("valid spec");
+    let pruned = sweep_pruned(&machine, &spec, bound, cost).expect("valid spec");
+    assert_eq!(exhaustive.len(), pruned.len());
+    let mut total_pruned = 0;
+    for (e, p) in exhaustive.iter().zip(&pruned) {
+        let (best_c, best_t) = &e.ranked[0];
+        assert_eq!(best_c.order, p.best.0.order, "best order must be identical");
+        assert_eq!(
+            best_t.to_bits(),
+            p.best.1.to_bits(),
+            "best fluid cost must be byte-identical"
+        );
+        total_pruned += p.stats.pruned;
+    }
+    assert!(
+        total_pruned > 0,
+        "the fluid bound must actually prune on the Hydra grid"
+    );
+}
