@@ -64,4 +64,17 @@ grep "recommended order:" target/fluid_sweep_exhaustive.out > target/fluid_best_
 grep "recommended order:" target/fluid_sweep_pruned.out > target/fluid_best_b
 cmp target/fluid_best_a target/fluid_best_b
 
+echo "== rail sweep smoke (asserts --nics 2 pruned fluid best == exhaustive best)"
+cargo run -q --release -p mre-bench --bin order_sweep -- \
+  16,2,2,8 16 alltoall 1048576 --nics 2 --fluid > target/rail_sweep_exhaustive.out
+cargo run -q --release -p mre-bench --bin order_sweep -- \
+  16,2,2,8 16 alltoall 1048576 --nics 2 --fluid --pruned > target/rail_sweep_pruned.out
+grep "recommended order:" target/rail_sweep_exhaustive.out > target/rail_best_a
+grep "recommended order:" target/rail_sweep_pruned.out > target/rail_best_b
+cmp target/rail_best_a target/rail_best_b
+
+echo "== rail bench smoke (asserts 1-rail identity, 2-rail oracle agreement, winner flip)"
+cargo bench -q -p mre-bench --bench rail -- --quick lockstep \
+  | grep "acceptance passed"
+
 echo "== CI OK"

@@ -1,0 +1,193 @@
+//! Multi-rail fabric benchmarks: what the discrete rail axis costs and
+//! what it buys — the paper's Fig. 8 second-NIC ablation in bench form.
+//!
+//! Three parts:
+//!
+//! * **acceptance** (un-timed, asserted before any timing): a 1-rail
+//!   railed network prices identically to the aggregate single-pipe
+//!   model under every rail policy, lockstep and fluid alike; and the
+//!   incremental fluid engine agrees with the from-scratch reference on
+//!   a 2-rail fabric to 1e-9 relative;
+//! * **before/after timings**: the contended lockstep costing and the
+//!   fluid engine on the 64 × 16 spread Alltoall instance, priced on the
+//!   pre-rail aggregate fabric ("before") and on 2 discrete rails with
+//!   rail-striped schedules ("after") — the overhead the rail axis adds
+//!   to both solvers;
+//! * **winner flip**: the CPD cost model across all 24 orders at 1, 2
+//!   and 4 rails — the recorded best order must change with the rail
+//!   count (the Fig. 8 effect).
+//!
+//! Numbers are recorded in `BENCH_rail.json` at the repo root.
+
+use mre_bench::tinybench::{black_box, Bench, Stats};
+use mre_core::subcomm::{subcommunicators, ColorScheme};
+use mre_core::{Hierarchy, Permutation};
+use mre_mpi::AlltoallAlg;
+use mre_simnet::presets::{hydra_network, hydra_network_rails};
+use mre_simnet::{fluid_time, fluid_time_reference, NetworkModel, RailPolicy, Schedule};
+use mre_workloads::microbench::{Collective, Microbench};
+use mre_workloads::splatt::{estimate_cpd_time, SplattConfig};
+
+/// 32 Hydra nodes of 32 cores = 1024 cores, the nell-1 process count.
+const NODES: usize = 32;
+/// 1024 / 16 = 64 concurrent subcommunicators, the mode-2 layer comms.
+const SUBCOMM: usize = 16;
+/// Total payload per collective call.
+const BYTES: u64 = 4 << 20;
+
+/// The 64 concurrent pairwise-Alltoall schedules of the spread order,
+/// rail-striped for a fabric with `nics` node rails (`nics = 1` is the
+/// plain schedule).
+fn spread_jobs(machine: &Hierarchy, nics: usize) -> Vec<Schedule> {
+    let order = Permutation::identity(machine.depth());
+    let bench = Microbench {
+        machine: machine.clone(),
+        order: order.clone(),
+        subcomm_size: SUBCOMM,
+        collective: Collective::Alltoall(AlltoallAlg::Pairwise),
+        total_bytes: BYTES,
+    };
+    let layout = subcommunicators(machine, &order, SUBCOMM, ColorScheme::Quotient)
+        .expect("valid configuration");
+    (0..layout.count())
+        .map(|c| bench.schedule_for_rails(layout.members(c), nics))
+        .collect()
+}
+
+/// Un-timed acceptance checks; returns the 2-rail fluid makespan.
+fn check_acceptance(
+    aggregate: &NetworkModel,
+    railed2: &NetworkModel,
+    jobs1: &[Schedule],
+    jobs2: &[Schedule],
+) -> f64 {
+    // 1 rail ≡ aggregate, bit for bit, under every policy and both
+    // solvers (the single-rail identity the property tests pin down).
+    let t_agg = aggregate.concurrent_time(jobs1);
+    let f_agg = fluid_time(aggregate, jobs1);
+    for policy in RailPolicy::ALL {
+        let one = hydra_network(NODES, 1).with_node_rails(1, policy);
+        assert_eq!(
+            aggregate.concurrent_time(jobs1).to_bits(),
+            one.concurrent_time(jobs1).to_bits(),
+            "1-rail lockstep must be byte-identical ({policy})"
+        );
+        assert_eq!(
+            f_agg.to_bits(),
+            fluid_time(&one, jobs1).to_bits(),
+            "1-rail fluid must be byte-identical ({policy})"
+        );
+    }
+    let _ = t_agg;
+    // 2-rail engine ≡ reference.
+    let engine = fluid_time(railed2, jobs2);
+    let reference = fluid_time_reference(railed2, jobs2);
+    let rel = (engine - reference).abs() / reference.max(f64::MIN_POSITIVE);
+    assert!(
+        rel <= 1e-9,
+        "2-rail engine {engine} vs reference {reference}: rel {rel:.3e}"
+    );
+    engine
+}
+
+/// Best CPD order over all 24 permutations at the given rail count
+/// (iterations = 1: every cost term is linear in the iteration count, so
+/// the winner matches the full 20-iteration run).
+fn cpd_winner(machine: &Hierarchy, net: &NetworkModel) -> (Permutation, f64) {
+    let cfg = SplattConfig {
+        iterations: 1,
+        ..SplattConfig::nell1_like()
+    };
+    let sigmas = Permutation::all(4);
+    let totals = mre_core::par::map(&sigmas, |_, sigma| {
+        estimate_cpd_time(&cfg, machine, sigma, net, 15.0e9)
+            .expect("valid configuration")
+            .total
+    });
+    sigmas
+        .into_iter()
+        .zip(totals)
+        .min_by(|(_, a), (_, b)| a.total_cmp(b))
+        .expect("24 orders evaluated")
+}
+
+fn main() {
+    let mut b = Bench::from_env();
+    let aggregate = hydra_network(NODES, 1);
+    let machine = aggregate.hierarchy().clone();
+    let railed2 = hydra_network_rails(NODES, 2, RailPolicy::RoundRobin);
+    let jobs1 = spread_jobs(&machine, 1);
+    let jobs2 = spread_jobs(&machine, 2);
+    let messages: usize = jobs2
+        .iter()
+        .flat_map(|s| s.rounds.iter())
+        .map(|r| r.messages.len())
+        .sum();
+
+    let makespan2 = check_acceptance(&aggregate, &railed2, &jobs1, &jobs2);
+    let makespan1 = fluid_time(&aggregate, &jobs1);
+    println!(
+        "acceptance passed: {} comms x {SUBCOMM} ranks, {messages} messages; \
+         fluid makespan {makespan1:.6e} s (aggregate) -> {makespan2:.6e} s (2 rails)\n",
+        jobs2.len()
+    );
+
+    // Winner flip across rail counts (the Fig. 8 effect).
+    let mut winners = Vec::new();
+    for nics in [1usize, 2, 4] {
+        let net = hydra_network_rails(NODES, nics, RailPolicy::RoundRobin);
+        let (order, total) = cpd_winner(&machine, &net);
+        println!("cpd winner at {nics} rail(s): [{order}] {total:.4} s");
+        winners.push((nics, order, total));
+    }
+    assert!(
+        winners.iter().any(|(_, o, _)| *o != winners[0].1),
+        "the best CPD order must change with the rail count"
+    );
+
+    // Before/after: the aggregate single-pipe fabric vs 2 discrete rails.
+    let lockstep_before = b.bench("rail/lockstep/aggregate", || {
+        black_box(&aggregate).concurrent_time(black_box(&jobs1))
+    });
+    let lockstep_after = b.bench("rail/lockstep/2-rails", || {
+        black_box(&railed2).concurrent_time(black_box(&jobs2))
+    });
+    let fluid_before = b.bench("rail/fluid/aggregate", || {
+        fluid_time(black_box(&aggregate), black_box(&jobs1))
+    });
+    let fluid_after = b.bench("rail/fluid/2-rails", || {
+        fluid_time(black_box(&railed2), black_box(&jobs2))
+    });
+
+    let med = |s: &Option<Stats>| s.as_ref().map_or(f64::NAN, |s| s.median_ns);
+    let ratio = |before: &Option<Stats>, after: &Option<Stats>| match (before, after) {
+        (Some(b), Some(a)) => a.median_ns / b.median_ns,
+        _ => f64::NAN,
+    };
+    println!(
+        "\njson: {{\"machine\": \"{machine}\", \"comms\": {}, \"subcomm\": {SUBCOMM}, \
+         \"bytes\": {BYTES}, \"messages\": {messages}, \
+         \"fluid_makespan_aggregate_s\": {makespan1:.6e}, \
+         \"fluid_makespan_2rails_s\": {makespan2:.6e}, \
+         \"cpd_winners\": [{}], \
+         \"lockstep_aggregate_ns\": {:.1}, \"lockstep_2rails_ns\": {:.1}, \
+         \"fluid_aggregate_ns\": {:.1}, \"fluid_2rails_ns\": {:.1}, \
+         \"lockstep_overhead\": {:.3}, \"fluid_overhead\": {:.3}}}",
+        jobs2.len(),
+        winners
+            .iter()
+            .map(|(n, o, t)| format!("{{\"rails\": {n}, \"order\": \"{o}\", \"total_s\": {t:.4}}}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        med(&lockstep_before),
+        med(&lockstep_after),
+        med(&fluid_before),
+        med(&fluid_after),
+        ratio(&lockstep_before, &lockstep_after),
+        ratio(&fluid_before, &fluid_after),
+    );
+    b.finish();
+}
+
+#[allow(dead_code)]
+fn unused() {}

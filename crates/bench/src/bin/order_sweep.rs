@@ -6,7 +6,9 @@
 //!
 //! ```text
 //! order_sweep [HIERARCHY] [SUBCOMM] [COLLECTIVE] [SIZE_BYTES] [--pruned] [--fluid]
+//!             [--nics N] [--rail-policy round-robin|src-hash|affinity]
 //! order_sweep 16,2,2,8 16 alltoall 4194304
+//! order_sweep 16,2,2,8 16 alltoall 4194304 --nics 2 --fluid
 //! ```
 //!
 //! With `--pruned` the exhaustive evaluation is replaced by the
@@ -23,6 +25,12 @@
 //! admissible [`mre_simnet::fluid_lower_bound`]; the recommended order
 //! is again byte-identical to the exhaustive fluid sweep.
 //!
+//! With `--nics N` (N > 1) the machine gets N *discrete* node rails at
+//! the per-NIC bandwidth instead of one aggregate pipe — the paper's
+//! Fig. 8 second-NIC ablation — and `--rail-policy` picks how crossing
+//! messages are assigned to rails (default round-robin). Works in all
+//! three modes; `--nics 1` is byte-identical to omitting the flag.
+//!
 //! `HIERARCHY` must be one of the calibrated machines (a Hydra-shaped
 //! `nodes,2,2,8` or a LUMI-shaped `nodes,2,4,2,8`); `COLLECTIVE` is
 //! `alltoall`, `allreduce` or `allgather`.
@@ -32,16 +40,42 @@ use mre_core::subcomm::{subcommunicators, ColorScheme};
 use mre_core::{Hierarchy, Permutation};
 use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
 use mre_simnet::presets::{hydra_network, lumi_network};
-use mre_simnet::{fluid_lower_bound, fluid_time, schedule_lower_bound, NetworkModel, Schedule};
+use mre_simnet::{
+    fluid_lower_bound, fluid_time, schedule_lower_bound, NetworkModel, RailPolicy, Schedule,
+};
 use mre_slurm::Distribution;
 use mre_workloads::microbench::{Collective, Microbench};
 
-fn network_for(machine: &Hierarchy) -> Option<NetworkModel> {
-    match machine.levels() {
-        [nodes, 2, 2, 8] => Some(hydra_network(*nodes, 1)),
-        [nodes, 2, 4, 2, 8] => Some(lumi_network(*nodes)),
-        _ => None,
+fn network_for(machine: &Hierarchy, nics: usize, policy: RailPolicy) -> Option<NetworkModel> {
+    let base = match machine.levels() {
+        [nodes, 2, 2, 8] => hydra_network(*nodes, 1),
+        [nodes, 2, 4, 2, 8] => lumi_network(*nodes),
+        _ => return None,
+    };
+    Some(if nics > 1 {
+        base.with_node_rails(nics, policy)
+    } else {
+        base
+    })
+}
+
+/// Extracts `--flag VALUE` from `args`, parsing with `parse`.
+fn take_value_flag<T>(
+    args: &mut Vec<String>,
+    flag: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Option<T> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(1);
     }
+    let Some(v) = parse(&args[i + 1]) else {
+        eprintln!("bad {flag} value {:?}", args[i + 1]);
+        std::process::exit(1);
+    };
+    args.drain(i..=i + 1);
+    Some(v)
 }
 
 fn main() {
@@ -50,6 +84,11 @@ fn main() {
     args.retain(|a| a != "--pruned");
     let fluid_mode = args.iter().any(|a| a == "--fluid");
     args.retain(|a| a != "--fluid");
+    let nics = take_value_flag(&mut args, "--nics", |v| {
+        v.parse::<usize>().ok().filter(|&n| n >= 1)
+    })
+    .unwrap_or(1);
+    let policy = take_value_flag(&mut args, "--rail-policy", RailPolicy::parse).unwrap_or_default();
     let hierarchy_text = args.get(1).map(String::as_str).unwrap_or("16,2,2,8");
     let subcomm: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(16);
     let collective_name = args.get(3).map(String::as_str).unwrap_or("alltoall");
@@ -62,7 +101,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let Some(net) = network_for(&machine) else {
+    let Some(net) = network_for(&machine, nics, policy) else {
         eprintln!(
             "no calibrated network for {machine}; use nodes,2,2,8 (Hydra) or nodes,2,4,2,8 (LUMI)"
         );
@@ -91,6 +130,9 @@ fn main() {
         machine.size() / subcomm,
         size
     );
+    if nics > 1 {
+        println!("multi-rail fabric: {nics} node rails, {policy} assignment");
+    }
     println!(
         "(one representative per mapping-equivalence class, ranked by {} duration)\n",
         if fluid_mode {
@@ -111,7 +153,7 @@ fn main() {
         let layout = subcommunicators(&machine, sigma, subcomm, ColorScheme::Quotient)
             .expect("valid configuration");
         (0..layout.count())
-            .map(|c| bench.schedule_for(layout.members(c)))
+            .map(|c| bench.schedule_for_rails(layout.members(c), nics))
             .collect()
     };
     let cost = |sigma: &Permutation| {

@@ -9,18 +9,27 @@
 //! reported, and a single model-fidelity score summarises how well the
 //! max-min contention model explains the observed run.
 //!
-//! Two workloads validate the model from different angles:
+//! Four workloads validate the model from different angles:
 //!
 //! * `--workload cg` (default) — the CG solver's collective sequence
 //!   ([`mre_workloads::cg::cg_comm_schedule`]);
 //! * `--workload stencil` — the halo exchange of a periodic Cartesian
 //!   grid ([`mre_workloads::stencil::Stencil::comm_schedule`]), a pure
-//!   point-to-point neighbor pattern with no collectives at all.
+//!   point-to-point neighbor pattern with no collectives at all;
+//! * `--workload cpd` — the Splatt-shaped CP-ALS with its layer
+//!   communicators ([`mre_workloads::splatt::cpd_comm_schedule`]):
+//!   `--dims` names the process grid, `--n` the (cubic) tensor mode
+//!   size, `--cp-rank` the CP rank;
+//! * `--workload micro` — `--iters` back-to-back calls of one §4.1
+//!   collective (`--collective`, `--bytes`) on the full world
+//!   ([`mre_workloads::microbench::Microbench::comm_schedule`]).
 //!
 //! ```text
 //! trace_diff --machine hydra --nodes 2 --procs 8 --n 1024 --iters 10 \
 //!            --csv spans.csv --metrics-csv metrics.csv --out wall.json
 //! trace_diff --workload stencil --dims 2x4 --face-bytes 4096 --iters 10
+//! trace_diff --workload cpd --dims 2x2x2 --n 64 --cp-rank 4 --iters 3
+//! trace_diff --workload micro --collective alltoall --bytes 1048576 --procs 8
 //! ```
 //!
 //! The wall clock measures host threads, not the modeled machine, so the
@@ -29,7 +38,8 @@
 //! normalised per-level skews (does contention bite where the model says
 //! it does?).
 
-use mre_core::Hierarchy;
+use mre_core::{Hierarchy, Permutation};
+use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
 use mre_simnet::presets::{hydra_network, lumi_network};
 use mre_simnet::{NetworkModel, Schedule};
 use mre_trace::{
@@ -37,6 +47,8 @@ use mre_trace::{
     DiffOptions, MetricsRegistry, Recorder,
 };
 use mre_workloads::cg::{cg_comm_schedule, cg_distributed_instrumented, generate_matrix};
+use mre_workloads::microbench::{microbench_collective_instrumented, Collective, Microbench};
+use mre_workloads::splatt::{cpd_comm_schedule, cpd_distributed_instrumented, generate_tensor};
 use mre_workloads::stencil::{stencil_distributed_instrumented, Stencil};
 
 struct Options {
@@ -48,6 +60,9 @@ struct Options {
     iters: usize,
     dims: Vec<usize>,
     face_bytes: u64,
+    cp_rank: usize,
+    collective: String,
+    bytes: u64,
     snapshot_every: Option<u64>,
     csv_out: Option<String>,
     metrics_out: Option<String>,
@@ -65,6 +80,9 @@ fn parse_args() -> Options {
         iters: 10,
         dims: vec![2, 4],
         face_bytes: 4096,
+        cp_rank: 4,
+        collective: "alltoall".into(),
+        bytes: 1 << 20,
         snapshot_every: None,
         csv_out: None,
         metrics_out: None,
@@ -107,6 +125,9 @@ fn parse_args() -> Options {
             "--face-bytes" => {
                 opts.face_bytes = parse_usize("--face-bytes", value("--face-bytes")) as u64
             }
+            "--cp-rank" => opts.cp_rank = parse_usize("--cp-rank", value("--cp-rank")),
+            "--collective" => opts.collective = value("--collective"),
+            "--bytes" => opts.bytes = parse_usize("--bytes", value("--bytes")) as u64,
             "--snapshot-every" => {
                 opts.snapshot_every =
                     Some(parse_usize("--snapshot-every", value("--snapshot-every")) as u64)
@@ -117,8 +138,10 @@ fn parse_args() -> Options {
             "--out" => opts.out = Some(value("--out")),
             "--help" | "-h" => {
                 println!(
-                    "trace_diff [--machine hydra|lumi] [--workload cg|stencil] [--nodes N] \
-                     [--procs P] [--n N] [--iters K] [--dims AxBxC] [--face-bytes B] \
+                    "trace_diff [--machine hydra|lumi] [--workload cg|stencil|cpd|micro] \
+                     [--nodes N] [--procs P] [--n N] [--iters K] [--dims AxBxC] \
+                     [--face-bytes B] [--cp-rank R] \
+                     [--collective alltoall|allreduce|allgather] [--bytes B] \
                      [--snapshot-every E] [--csv FILE.csv] [--metrics-csv FILE.csv] \
                      [--stream-csv FILE.csv] [--out FILE.json]"
                 );
@@ -146,6 +169,7 @@ fn network_for(machine: &str, nodes: usize) -> Option<NetworkModel> {
 /// costed-schedule counterpart plus a result line for the final summary.
 fn run_workload(
     opts: &Options,
+    machine: &Hierarchy,
     procs: usize,
     cores: &[usize],
     recorder: &Recorder,
@@ -195,8 +219,67 @@ fn run_workload(
                 ),
             )
         }
+        "cpd" => {
+            let grid = [opts.dims[0], opts.dims[1], opts.dims[2]];
+            let tensor = generate_tensor([opts.n, opts.n, opts.n], 8 * opts.n, 42);
+            let fits = cpd_distributed_instrumented(
+                &tensor,
+                opts.cp_rank,
+                opts.iters,
+                grid,
+                13,
+                Some(recorder),
+                Some(metrics),
+            );
+            let schedule = cpd_comm_schedule(cores, tensor.dims, opts.cp_rank, grid, opts.iters);
+            (
+                schedule,
+                format!(
+                    "CPD fit after {} iterations: {:.6}",
+                    opts.iters,
+                    fits.first().copied().unwrap_or(f64::NAN)
+                ),
+            )
+        }
+        "micro" => {
+            let collective = match opts.collective.as_str() {
+                "alltoall" => Collective::Alltoall(AlltoallAlg::Auto),
+                "allreduce" => Collective::Allreduce(AllreduceAlg::Auto),
+                "allgather" => Collective::Allgather(AllgatherAlg::Auto),
+                other => {
+                    eprintln!("unknown collective {other:?} (alltoall|allreduce|allgather)");
+                    std::process::exit(2);
+                }
+            };
+            let checksums = microbench_collective_instrumented(
+                collective,
+                opts.bytes,
+                opts.iters,
+                procs,
+                Some(recorder),
+                Some(metrics),
+            );
+            let depth = machine.levels().len();
+            let bench = Microbench {
+                machine: machine.clone(),
+                order: Permutation::new((0..depth).collect()).expect("identity is a permutation"),
+                subcomm_size: machine.size(),
+                collective,
+                total_bytes: opts.bytes,
+            };
+            let schedule = bench.comm_schedule(cores, opts.iters);
+            (
+                schedule,
+                format!(
+                    "{} rank-0 checksum after {} calls: {:.6e}",
+                    opts.collective,
+                    opts.iters,
+                    checksums.first().copied().unwrap_or(f64::NAN)
+                ),
+            )
+        }
         other => {
-            eprintln!("unknown workload {other:?} (cg|stencil)");
+            eprintln!("unknown workload {other:?} (cg|stencil|cpd|micro)");
             std::process::exit(2);
         }
     }
@@ -210,11 +293,19 @@ fn main() {
     };
     let machine: Hierarchy = net.hierarchy().clone();
 
-    // The stencil grid fixes its own rank count; CG takes --procs.
+    // The stencil and CPD grids fix their own rank counts; CG and the
+    // microbenches take --procs.
     let procs = match opts.workload.as_str() {
         "stencil" => {
             if opts.dims.is_empty() || opts.dims.contains(&0) {
                 eprintln!("--dims must name a non-empty grid of positive extents");
+                std::process::exit(2);
+            }
+            opts.dims.iter().product()
+        }
+        "cpd" => {
+            if opts.dims.len() != 3 || opts.dims.contains(&0) {
+                eprintln!("--dims must name a 3D process grid of positive extents for cpd");
                 std::process::exit(2);
             }
             opts.dims.iter().product()
@@ -260,7 +351,8 @@ fn main() {
         // While the guard lives, the contention solver and timeline byte
         // accounting below also feed the registry.
         let _telemetry = metrics.install_telemetry();
-        let (schedule, result_line) = run_workload(&opts, procs, &cores, &recorder, &metrics);
+        let (schedule, result_line) =
+            run_workload(&opts, &machine, procs, &cores, &recorder, &metrics);
 
         // Costed counterpart: the same message sequence, scheduled and
         // priced on the machine model.

@@ -12,9 +12,16 @@
 //! message labeled with its subcommunicator; `--csv` writes the same
 //! events as CSV.
 //!
+//! With `--autotune` each subcommunicator runs the algorithm an
+//! [`AlgorithmSelector`] found cheapest under the lockstep round model;
+//! `--fluid` (implies `--autotune`) costs the candidates with the
+//! barrier-free fluid engine instead and reports every
+//! per-subcommunicator choice that flips between the two engines.
+//!
 //! ```text
 //! trace_report --machine hydra --collective alltoall --order 3-2-1-0 \
 //!              --subcomm 16 --bytes 4194304 --out trace.json
+//! trace_report --nodes 32 --order 0-1-2-3 --subcomm 16 --fluid
 //! ```
 
 use mre_core::subcomm::{subcommunicators, ColorScheme};
@@ -36,6 +43,7 @@ struct Options {
     subcomm: usize,
     bytes: u64,
     autotune: bool,
+    fluid: bool,
     out: Option<String>,
     csv_out: Option<String>,
 }
@@ -49,6 +57,7 @@ fn parse_args() -> Options {
         subcomm: 16,
         bytes: 4 << 20,
         autotune: false,
+        fluid: false,
         out: None,
         csv_out: None,
     };
@@ -88,13 +97,18 @@ fn parse_args() -> Options {
                 })
             }
             "--autotune" => opts.autotune = true,
+            "--fluid" => {
+                // Fluid autotuning is a refinement of --autotune.
+                opts.autotune = true;
+                opts.fluid = true;
+            }
             "--out" => opts.out = Some(value("--out")),
             "--csv" => opts.csv_out = Some(value("--csv")),
             "--help" | "-h" => {
                 println!(
                     "trace_report [--machine hydra|lumi] [--nodes N] \
                      [--collective alltoall|allreduce|allgather] [--order SPEC] \
-                     [--subcomm N] [--bytes N] [--autotune] [--out FILE.json] \
+                     [--subcomm N] [--bytes N] [--autotune] [--fluid] [--out FILE.json] \
                      [--csv FILE.csv]"
                 );
                 std::process::exit(0);
@@ -189,8 +203,26 @@ fn main() {
         let comms: Vec<Vec<usize>> = (0..layout.count())
             .map(|c| layout.members(c).to_vec())
             .collect();
-        let choices = selector.select_layout(kind, &comms, opts.bytes);
-        println!("autotune: per-subcommunicator algorithm selection");
+        let barrier_choices = selector.select_layout(kind, &comms, opts.bytes);
+        let choices: Vec<_> = if opts.fluid {
+            // Re-select under the barrier-free fluid engine: candidate
+            // schedules are costed with FluidSim instead of the lockstep
+            // round model, so intra-communicator pipelining counts.
+            comms
+                .iter()
+                .map(|members| selector.select_fluid(kind, members, opts.bytes))
+                .collect()
+        } else {
+            barrier_choices.clone()
+        };
+        println!(
+            "autotune: per-subcommunicator algorithm selection ({})",
+            if opts.fluid {
+                "fluid engine"
+            } else {
+                "lockstep rounds"
+            }
+        );
         for (c, choice) in choices.iter().enumerate() {
             println!(
                 "  comm {c}: {} ({:.3} us, outer busy {:.1}%, {} evaluated, {} pruned)",
@@ -206,6 +238,30 @@ fn main() {
                     .canonicalized(),
             );
             groups.push((format!("comm {c}"), comms[c].clone()));
+        }
+        if opts.fluid {
+            let flips: Vec<usize> = (0..comms.len())
+                .filter(|&c| choices[c].alg != barrier_choices[c].alg)
+                .collect();
+            if flips.is_empty() {
+                println!(
+                    "  fluid vs lockstep: no per-subcommunicator choice flips \
+                     (both engines rank the candidates identically here)"
+                );
+            } else {
+                for &c in &flips {
+                    println!(
+                        "  fluid flips comm {c}: {} (lockstep) -> {} (fluid)",
+                        barrier_choices[c].alg.label(),
+                        choices[c].alg.label()
+                    );
+                }
+                println!(
+                    "  fluid vs lockstep: {} of {} choices flipped",
+                    flips.len(),
+                    comms.len()
+                );
+            }
         }
         let (hits, misses) = cache.stats();
         println!("  cost cache: {hits} hits, {misses} misses\n");

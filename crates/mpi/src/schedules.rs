@@ -36,6 +36,59 @@ pub fn alltoall_pairwise(members: &[usize], bytes_per_pair: u64) -> Schedule {
     schedule
 }
 
+/// Rail-striped pairwise Alltoall: the `p−1` pairwise rounds merged in
+/// chunks of `nics` consecutive rounds.
+///
+/// Pairwise rounds are mutually independent (round `r` pairs rank `i`
+/// with `(i±r) mod p`, distinct peers for distinct `r`), so on a
+/// `nics`-rail fabric `nics` of them can run concurrently: under the
+/// round-robin rail policy the messages of plain round `r` all share rail
+/// parity `r mod nics`, leaving `nics−1` rails idle per round — the
+/// merged rounds instead load every rail. At `nics = 1` this is exactly
+/// [`alltoall_pairwise`].
+pub fn alltoall_pairwise_railed(members: &[usize], bytes_per_pair: u64, nics: usize) -> Schedule {
+    assert!(nics >= 1, "need at least one rail");
+    let p = members.len();
+    let mut schedule = Schedule::new();
+    let mut r = 1;
+    while r < p {
+        let mut round = Round::new();
+        for sub in r..(r + nics).min(p) {
+            for i in 0..p {
+                round.push(Message::new(
+                    members[i],
+                    members[(i + sub) % p],
+                    bytes_per_pair,
+                ));
+            }
+        }
+        schedule.push(round);
+        r += nics;
+    }
+    schedule
+}
+
+/// Advisory rail hints for a schedule on a `nics`-rail fabric: for every
+/// round, the rail each message's *node-crossing* hop would take under the
+/// round-robin policy (`(src + dst) mod nics` on global core ids — the
+/// sender-side assignment [`mre_simnet::assign_rail`] makes).
+///
+/// Generators can use this to check a round's rail balance; the fabric
+/// model recomputes the same assignment internally, so hints never need
+/// to be threaded through [`Message`].
+pub fn rail_hints(schedule: &Schedule, nics: usize) -> Vec<Vec<usize>> {
+    schedule
+        .rounds
+        .iter()
+        .map(|r| {
+            r.messages
+                .iter()
+                .map(|m| if nics <= 1 { 0 } else { (m.src + m.dst) % nics })
+                .collect()
+        })
+        .collect()
+}
+
 /// Bruck Alltoall: `⌈log₂ p⌉` rounds; in round `k` every rank forwards the
 /// blocks whose destination offset has bit `k` set to `(i + 2ᵏ) mod p`.
 pub fn alltoall_bruck(members: &[usize], bytes_per_pair: u64) -> Schedule {
@@ -396,6 +449,61 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), p * (p - 1));
+    }
+
+    #[test]
+    fn railed_pairwise_merges_independent_rounds() {
+        let p = 8;
+        // nics = 1 is exactly the plain generator.
+        assert_eq!(
+            alltoall_pairwise_railed(&members(p), 100, 1),
+            alltoall_pairwise(&members(p), 100)
+        );
+        // nics = 2 halves the round count (⌈7/2⌉ = 4), same ordered pairs.
+        let s = alltoall_pairwise_railed(&members(p), 1, 2);
+        assert_eq!(s.num_rounds(), 4);
+        assert_eq!(s.total_bytes(), (p * (p - 1)) as u64);
+        let mut seen = std::collections::HashSet::new();
+        for r in &s.rounds {
+            let mut peers = std::collections::HashSet::new();
+            for m in &r.messages {
+                assert!(seen.insert((m.src, m.dst)), "pair repeated");
+                assert!(peers.insert((m.src, m.dst)), "round reuses a pair");
+            }
+        }
+        assert_eq!(seen.len(), p * (p - 1));
+        // Within a merged round no rank sends to the same peer twice, so
+        // the merge preserves pairwise-exchange validity.
+        for r in &s.rounds {
+            let mut sends = std::collections::HashMap::new();
+            for m in &r.messages {
+                *sends.entry(m.src).or_insert(0usize) += 1;
+            }
+            assert!(sends.values().all(|&n| n <= 2));
+        }
+    }
+
+    #[test]
+    fn rail_hints_balance_merged_rounds() {
+        let p = 8;
+        // Plain pairwise with contiguous members: round r has constant
+        // hint parity (2i + r) mod 2 — one rail idle every round.
+        let contiguous: Vec<usize> = (0..p).collect();
+        let plain = alltoall_pairwise(&contiguous, 1);
+        for (r, hints) in rail_hints(&plain, 2).iter().enumerate() {
+            assert!(
+                hints.iter().all(|&h| h == (r + 1) % 2),
+                "round {r} should sit on one rail"
+            );
+        }
+        // The railed generator's merged rounds touch both rails.
+        let railed = alltoall_pairwise_railed(&contiguous, 1, 2);
+        for hints in rail_hints(&railed, 2).iter().take(3) {
+            let rails: std::collections::HashSet<_> = hints.iter().copied().collect();
+            assert_eq!(rails.len(), 2, "merged round loads both rails");
+        }
+        // Single-rail hints are all zero.
+        assert!(rail_hints(&plain, 1).iter().flatten().all(|&h| h == 0));
     }
 
     #[test]

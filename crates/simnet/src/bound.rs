@@ -46,9 +46,11 @@ pub struct RoundLoad {
     /// Total payload bytes traversing level-`l` uplinks (per direction).
     pub bytes_through: Vec<u64>,
     /// Distinct up-direction (sender-side) level-`l` links carrying traffic.
+    /// On multi-rail fabrics each active *(instance, rail)* pair counts —
+    /// every rail is an independent drain at the per-rail bandwidth.
     pub active_up: Vec<usize>,
     /// Distinct down-direction (receiver-side) level-`l` links carrying
-    /// traffic.
+    /// traffic (per *(instance, rail)*, like `active_up`).
     pub active_down: Vec<usize>,
     /// Smallest crossing latency among the messages contributing to level
     /// `l` (`0` when none do).
@@ -97,10 +99,17 @@ impl NetworkModel {
             load.max_latency = load.max_latency.max(latency);
             for (level, &stride) in strides.iter().enumerate().take(k).skip(j) {
                 load.bytes_through[level] += m.bytes;
-                if seen.insert((level, m.src / stride, true)) {
+                // Distinct (instance, rail) pairs: on a multi-rail fabric
+                // each rail of a NIC drains independently at the per-rail
+                // bandwidth, so activity is counted per rail. Single-rail
+                // models always yield rail 0, keeping the counts (and the
+                // bound) byte-identical to the pre-rail engine.
+                let up_rail = self.message_rail(level, m.src, m.dst, true);
+                if seen.insert((level, m.src / stride, true, up_rail)) {
                     load.active_up[level] += 1;
                 }
-                if seen.insert((level, m.dst / stride, false)) {
+                let down_rail = self.message_rail(level, m.src, m.dst, false);
+                if seen.insert((level, m.dst / stride, false, down_rail)) {
                     load.active_down[level] += 1;
                 }
                 let entry = &mut load.min_latency_through[level];
@@ -355,6 +364,53 @@ mod tests {
         let loads = net.schedule_loads(&s);
         let from_loads: f64 = loads.iter().map(|l| net.round_lower_bound_from(l)).sum();
         assert_eq!(from_loads, lb);
+    }
+
+    #[test]
+    fn railed_load_counts_per_rail_activity() {
+        use crate::rail::RailPolicy;
+        let net = toy().with_node_rails(2, RailPolicy::RoundRobin);
+        // 0→8 rides node rail (0+8)%2 = 0, 1→9 rides (1+9)%2 = 0 too — but
+        // they leave from the *same* node instance, so with round-robin on
+        // distinct (src+dst) parities 0→8 and 1→8 split onto rails 0 and 1.
+        let load = net.round_load(&[Message::new(0, 8, 100), Message::new(1, 8, 100)]);
+        assert_eq!(load.active_up[0], 2, "two rails of one NIC active");
+        assert_eq!(load.active_down[0], 2);
+        // Same-rail flows still collapse to one active drain.
+        let load = net.round_load(&[Message::new(0, 8, 100), Message::new(2, 10, 100)]);
+        assert_eq!(load.active_up[0], 1, "both on rail 0 of the same NIC");
+    }
+
+    #[test]
+    fn railed_bound_stays_admissible_and_single_rail_is_identical() {
+        use crate::rail::RailPolicy;
+        let plain = toy();
+        let msgs = vec![
+            Message::new(0, 8, 100),
+            Message::new(1, 8, 100),
+            Message::new(2, 10, 50),
+            Message::new(4, 12, 70),
+            Message::new(3, 3, 900),
+        ];
+        for policy in RailPolicy::ALL {
+            let one = toy().with_node_rails(1, policy);
+            assert_eq!(
+                plain.round_lower_bound(&msgs).to_bits(),
+                one.round_lower_bound(&msgs).to_bits(),
+                "single-rail bound must be byte-identical"
+            );
+            for nics in [2, 3] {
+                let railed = toy().with_node_rails(nics, policy);
+                for net in [
+                    railed.clone(),
+                    railed.with_contention_mode(ContentionMode::EqualShare),
+                ] {
+                    let lb = net.round_lower_bound(&msgs);
+                    let t = net.round_time(&msgs);
+                    assert!(lb <= t * (1.0 + 1e-12), "{policy} x{nics}: {lb} vs {t}");
+                }
+            }
+        }
     }
 
     #[test]

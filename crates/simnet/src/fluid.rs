@@ -69,6 +69,7 @@
 
 use crate::contention::max_min_rates;
 use crate::network::NetworkModel;
+use crate::rail::RailLinkTable;
 use crate::schedule::Schedule;
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashMap};
@@ -125,6 +126,9 @@ pub struct FluidMessageSpan {
     /// Hierarchy level of the outermost coordinate difference between the
     /// endpoints (`None` for self-messages, which use the local copy rate).
     pub crossing: Option<usize>,
+    /// Rail the message occupied on its crossing-level sender-side uplink
+    /// (`None` for self-messages; always `Some(0)` on single-rail models).
+    pub rail: Option<usize>,
 }
 
 impl FluidMessageSpan {
@@ -328,13 +332,15 @@ pub struct FluidSim<'a> {
     net: &'a NetworkModel,
     strides: Vec<usize>,
     local_rate: f64,
-    /// First directed-link id of each level in the level-major link
-    /// table built by [`new`](Self::new): the id of `(level, instance,
-    /// up)` is `level_offset[level] + 2 * instance + up`. Outer levels
-    /// get the low ids, so the shared links every solve touches sit in
-    /// one dense cache-hot prefix of [`lstate`](Self::lstate) while the
-    /// per-core leaf links (numerous, almost always solo) fill the tail.
-    level_offset: Vec<u32>,
+    /// The level-major directed rail-link table built by
+    /// [`new`](Self::new): the id of `(level, instance, up, rail)` is
+    /// `level_offset[level] + (2·instance + up)·rails[level] + rail`.
+    /// Outer levels get the low ids, so the shared links every solve
+    /// touches sit in one dense cache-hot prefix of
+    /// [`lstate`](Self::lstate) while the per-core leaf links (numerous,
+    /// almost always solo) fill the tail. At one rail per level the ids
+    /// are bit-identical to the pre-rail layout.
+    table: RailLinkTable,
     /// Per-link capacity, flow count, and water-fill scratch.
     lstate: Vec<LinkState>,
     path_cache: HashMap<(u32, u32), (i32, u32, u32)>,
@@ -385,18 +391,18 @@ pub struct FluidSim<'a> {
 impl<'a> FluidSim<'a> {
     /// Builds an engine over `net` with empty caches.
     pub fn new(net: &'a NetworkModel) -> Self {
-        // Pre-intern every directed link level-major (outermost first):
-        // ids become pure arithmetic and the busy shared links cluster
-        // at the front of `lstate` instead of interleaving with the
-        // per-core links in path-discovery order.
+        // Pre-intern every directed rail-link level-major (outermost
+        // first): ids become pure arithmetic and the busy shared links
+        // cluster at the front of `lstate` instead of interleaving with
+        // the per-core links in path-discovery order.
         let size = net.hierarchy().size();
         let strides = net.hierarchy().strides();
-        let mut level_offset = Vec::with_capacity(strides.len());
-        let mut lstate = Vec::new();
+        let table = RailLinkTable::new(size, &strides, net.rail_counts(), net.rail_policy());
+        let mut lstate = Vec::with_capacity(table.num_links());
         for (level, &stride) in strides.iter().enumerate() {
-            level_offset.push(lstate.len() as u32);
             let capacity = net.links()[level].uplink_bandwidth;
-            lstate.extend((0..2 * (size / stride)).map(|_| LinkState {
+            let count = 2 * (size / stride) * net.rail_counts()[level];
+            lstate.extend((0..count).map(|_| LinkState {
                 remaining: 0.0,
                 capacity,
                 wcount: 0,
@@ -404,12 +410,13 @@ impl<'a> FluidSim<'a> {
                 epoch: 0,
             }));
         }
+        debug_assert_eq!(lstate.len(), table.num_links());
         let links = lstate.len();
         Self {
             net,
             strides,
             local_rate: net.calibrated_local_rate(),
-            level_offset,
+            table,
             lstate,
             path_cache: HashMap::new(),
             path_arena: Vec::new(),
@@ -597,20 +604,23 @@ impl<'a> FluidSim<'a> {
     ) -> bool {
         let fi = flight as usize;
         let used_links = self.flights_hot[fi].path_len > 0;
+        let net = self.net;
         let f = &mut self.flights[fi];
         f.alive = false;
         let job = f.job as usize;
         if let Some(rec) = record.as_deref_mut() {
+            let (src, dst, crossing) = (f.src as usize, f.dst as usize, f.crossing);
             rec.push(FluidMessageSpan {
                 job,
                 round: f.round as usize,
                 seq: f.seq as usize,
-                src: f.src as usize,
-                dst: f.dst as usize,
+                src,
+                dst,
                 bytes: f.bytes,
                 start: f.injected,
                 finish: now,
-                crossing: (f.crossing >= 0).then_some(f.crossing as usize),
+                crossing: (crossing >= 0).then_some(crossing as usize),
+                rail: (crossing >= 0).then(|| net.message_rail(crossing as usize, src, dst, true)),
             });
         }
         if used_links {
@@ -723,11 +733,9 @@ impl<'a> FluidSim<'a> {
                 .expect("distinct cores differ at some level");
             let start = self.path_arena.len() as u32;
             for level in j..k {
-                let stride = self.strides[level];
-                for (core, up) in [(src, true), (dst, false)] {
-                    let instance = core / stride;
-                    let idx = self.level_offset[level] + 2 * instance as u32 + up as u32;
-                    self.path_arena.push(idx);
+                for up in [true, false] {
+                    self.path_arena
+                        .push(self.table.message_link(level, src, dst, up));
                 }
             }
             (j as i32, start, (2 * (k - j)) as u32)
@@ -1050,11 +1058,14 @@ struct RefFlight {
     local_rate: f64,
 }
 
-/// Dense directed-link table of the reference solver.
+/// Dense directed-link table of the reference solver. Keys carry the rail
+/// axis ([`NetworkModel::message_rail`]); on single-rail models the rail
+/// is constantly 0 and the interning — hence every solved rate — is
+/// identical to the pre-rail table.
 struct RefLinkTable<'a> {
     net: &'a NetworkModel,
     strides: Vec<usize>,
-    index: HashMap<(usize, usize, bool), usize>,
+    index: HashMap<(usize, usize, bool, usize), usize>,
     capacities: Vec<f64>,
 }
 
@@ -1084,8 +1095,12 @@ impl<'a> RefLinkTable<'a> {
             let stride = self.strides[level];
             for (core, up) in [(src, true), (dst, false)] {
                 let instance = core / stride;
+                let rail = self.net.message_rail(level, src, dst, up);
                 let next = self.index.len();
-                let idx = *self.index.entry((level, instance, up)).or_insert(next);
+                let idx = *self
+                    .index
+                    .entry((level, instance, up, rail))
+                    .or_insert(next);
                 if idx == self.capacities.len() {
                     self.capacities
                         .push(self.net.links()[level].uplink_bandwidth);
@@ -1524,6 +1539,107 @@ mod tests {
         // The local copy has no crossing level; cross-node spans do.
         assert_eq!(tl.job_spans(1).next().unwrap().crossing, None);
         assert_eq!(spans[0].crossing, Some(0));
+    }
+
+    #[test]
+    fn single_rail_fluid_is_byte_identical() {
+        use crate::rail::RailPolicy;
+        let plain = toy();
+        let schedules = vec![
+            Schedule::with(vec![
+                Round::with(vec![Message::new(0, 8, 500), Message::new(1, 9, 250)]),
+                Round::with(vec![Message::new(8, 0, 100)]),
+            ]),
+            Schedule::with(vec![Round::with(vec![Message::new(2, 2, 800)])]),
+        ];
+        let baseline = fluid_time(&plain, &schedules);
+        for policy in RailPolicy::ALL {
+            let one = toy().with_node_rails(1, policy);
+            assert_eq!(
+                baseline.to_bits(),
+                fluid_time(&one, &schedules).to_bits(),
+                "{policy}: nic_count = 1 must not perturb the engine"
+            );
+        }
+    }
+
+    #[test]
+    fn two_rails_unserialize_a_shared_nic() {
+        use crate::rail::RailPolicy;
+        // 0→8 and 1→8 leave the same node; one NIC serializes them
+        // (2 + 200/10 = 22 s), two round-robin rails carry one each at the
+        // full per-rail bandwidth (2 + 100/10 = 12 s).
+        let s = Schedule::with(vec![Round::with(vec![
+            Message::new(0, 8, 100),
+            Message::new(1, 8, 100),
+        ])]);
+        let serial = fluid_time(&toy(), std::slice::from_ref(&s));
+        assert_close(serial, 22.0, 1e-9, "single NIC serializes");
+        let railed = toy().with_node_rails(2, RailPolicy::RoundRobin);
+        let striped = fluid_time(&railed, std::slice::from_ref(&s));
+        assert_close(striped, 12.0, 1e-9, "two rails stripe");
+    }
+
+    #[test]
+    fn railed_engine_matches_reference_randomized() {
+        use crate::rail::RailPolicy;
+        use mre_rng::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(0xBA11);
+        for policy in RailPolicy::ALL {
+            for nics in [2usize, 3] {
+                let net = toy().with_node_rails(nics, policy);
+                let p = net.hierarchy().size();
+                for _ in 0..20 {
+                    let jobs = rng.gen_range(1usize..4);
+                    let schedules: Vec<Schedule> = (0..jobs)
+                        .map(|_| {
+                            let rounds = rng.gen_range(1usize..4);
+                            Schedule::with(
+                                (0..rounds)
+                                    .map(|_| {
+                                        let msgs = rng.gen_range(0usize..6);
+                                        Round::with(
+                                            (0..msgs)
+                                                .map(|_| {
+                                                    Message::new(
+                                                        rng.gen_range(0..p),
+                                                        rng.gen_range(0..p),
+                                                        rng.gen_range(1..5000),
+                                                    )
+                                                })
+                                                .collect(),
+                                        )
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                    let engine = fluid_time(&net, &schedules);
+                    let reference = fluid_time_reference(&net, &schedules);
+                    assert_close(engine, reference, 1e-9, "railed engine vs reference");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_spans_carry_rail_labels() {
+        use crate::rail::RailPolicy;
+        let net = toy().with_node_rails(2, RailPolicy::RoundRobin);
+        let s = Schedule::with(vec![Round::with(vec![
+            Message::new(0, 8, 100),
+            Message::new(1, 8, 100),
+            Message::new(2, 2, 50),
+        ])]);
+        let tl = fluid_timeline(&net, std::slice::from_ref(&s));
+        let by_seq: Vec<_> = tl.job_spans(0).collect();
+        // Sender-side rail at the crossing level: (0+8)%2 = 0, (1+8)%2 = 1.
+        assert_eq!(by_seq[0].rail, Some(0));
+        assert_eq!(by_seq[1].rail, Some(1));
+        assert_eq!(by_seq[2].rail, None, "local copies ride no rail");
+        // Single-rail models still label crossings (rail 0).
+        let tl = fluid_timeline(&toy(), std::slice::from_ref(&s));
+        assert_eq!(tl.job_spans(0).next().unwrap().rail, Some(0));
     }
 
     #[test]

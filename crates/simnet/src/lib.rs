@@ -5,9 +5,10 @@
 //!
 //! The machine is modeled as the tree its [`mre_core::Hierarchy`] spans:
 //! every instance of a hierarchy level owns one full-duplex *uplink* to its
-//! parent instance with a calibrated bandwidth, and every pair of cores
-//! communicates along the unique tree path through their lowest common
-//! ancestor. Concurrent messages share traversed links **max-min fairly**
+//! parent instance with a calibrated bandwidth (or, on multi-rail fabrics,
+//! several parallel *rails* at that bandwidth each — see [`rail`]), and
+//! every pair of cores communicates along the unique tree path through
+//! their lowest common ancestor. Concurrent messages share traversed links **max-min fairly**
 //! (progressive water-filling), which is what produces the paper's central
 //! effects: spread mappings win when a single communicator has the fabric
 //! to itself, packed mappings win (and stay constant) when many
@@ -35,6 +36,7 @@ pub mod fluid;
 pub mod memory;
 pub mod network;
 pub mod presets;
+pub mod rail;
 pub mod schedule;
 pub mod timeline;
 pub mod utilization;
@@ -47,6 +49,7 @@ pub use fluid::{
 };
 pub use memory::MemoryModel;
 pub use network::{ContentionMode, LinkParams, NetworkModel, RoundProfile};
+pub use rail::{assign_rail, RailLinkTable, RailPolicy};
 pub use schedule::{CostCache, Message, Round, Schedule, SharedCostCache};
 pub use timeline::{MessageTiming, RoundTimeline, ScheduleTimeline};
 pub use utilization::{utilization, Utilization};

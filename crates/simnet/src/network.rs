@@ -16,6 +16,7 @@
 //! machines.
 
 use crate::contention::max_min_rates;
+use crate::rail::{assign_rail, RailPolicy};
 use crate::schedule::{Message, Schedule};
 use mre_core::Hierarchy;
 use std::collections::HashMap;
@@ -57,6 +58,11 @@ pub struct NetworkModel {
     /// construction (see [`Self::calibrated_local_rate`]).
     calibrated_local_rate: f64,
     mode: ContentionMode,
+    /// Parallel uplinks ("rails") per instance of each level; all-1 is the
+    /// classic single-rail model, and `uplink_bandwidth` is **per rail**.
+    rails: Vec<usize>,
+    /// How crossing messages are bound to rails (see [`crate::rail`]).
+    rail_policy: RailPolicy,
 }
 
 impl NetworkModel {
@@ -85,6 +91,7 @@ impl NetworkModel {
             );
         }
         let strides = hierarchy.strides();
+        let rails = vec![1; hierarchy.depth()];
         let mut model = Self {
             hierarchy,
             strides,
@@ -92,6 +99,8 @@ impl NetworkModel {
             local_copy_bandwidth,
             calibrated_local_rate: local_copy_bandwidth,
             mode: ContentionMode::MaxMinFair,
+            rails,
+            rail_policy: RailPolicy::default(),
         };
         // Calibrate the local copy rate once, at construction, via the same
         // probe the fluid simulator used to re-derive per call: the rate a
@@ -142,10 +151,77 @@ impl NetworkModel {
 
     /// Scales the outermost level's uplink bandwidth (e.g. enabling a
     /// second NIC doubles it — the paper's Fig. 8b variant).
+    ///
+    /// This is the *aggregate* NIC approximation: one link, `factor`× the
+    /// bandwidth, so a single flow enjoys the full aggregate. For discrete
+    /// rails — one flow per adapter at per-rail bandwidth, the physical
+    /// multi-NIC behavior — use [`Self::with_rails`].
     pub fn with_node_uplink_scale(mut self, factor: f64) -> Self {
         assert!(factor > 0.0);
         self.links[0].uplink_bandwidth *= factor;
         self
+    }
+
+    /// Gives each instance of level `l` `rails[l]` parallel uplinks of the
+    /// configured (per-rail) `uplink_bandwidth`, bound by `policy`. All-1
+    /// rails reproduce the single-rail model byte for byte.
+    ///
+    /// # Panics
+    /// If `rails.len() != depth` or any count is zero.
+    pub fn with_rails(mut self, rails: Vec<usize>, policy: RailPolicy) -> Self {
+        assert_eq!(
+            rails.len(),
+            self.hierarchy.depth(),
+            "one rail count per hierarchy level"
+        );
+        assert!(rails.iter().all(|&r| r >= 1), "rail counts must be >= 1");
+        self.rails = rails;
+        self.rail_policy = policy;
+        // Multi-rail local copies are unaffected, but the calibrated rate
+        // could in principle shift if level 0 were degenerate; re-probe so
+        // the invariant "construction calibrates" holds for railed models
+        // too (self-messages touch no links, so this is a no-op today).
+        let probe = Message::new(0, 0, 1_000_000);
+        self.calibrated_local_rate = 1_000_000.0 / self.message_time(probe);
+        self
+    }
+
+    /// [`Self::with_rails`] for the common case: `nics` rails on the
+    /// outermost (node) level, one everywhere else.
+    pub fn with_node_rails(self, nics: usize, policy: RailPolicy) -> Self {
+        let mut rails = vec![1; self.hierarchy.depth()];
+        rails[0] = nics;
+        self.with_rails(rails, policy)
+    }
+
+    /// Per-level rail counts (all 1 unless [`Self::with_rails`] was used).
+    pub fn rail_counts(&self) -> &[usize] {
+        &self.rails
+    }
+
+    /// The rail assignment policy.
+    pub fn rail_policy(&self) -> RailPolicy {
+        self.rail_policy
+    }
+
+    /// True when any level has more than one rail.
+    pub fn is_multi_rail(&self) -> bool {
+        self.rails.iter().any(|&r| r > 1)
+    }
+
+    /// The rail a `src → dst` message occupies on the directed level-`level`
+    /// uplink: the sender-side rail going up (`up = true`), the
+    /// receiver-side rail coming down. Pure in the endpoints — the same
+    /// message always rides the same rails.
+    pub fn message_rail(&self, level: usize, src: usize, dst: usize, up: bool) -> usize {
+        let (side, peer) = if up { (src, dst) } else { (dst, src) };
+        assign_rail(
+            self.rail_policy,
+            self.rails[level],
+            self.strides[level],
+            side,
+            peer,
+        )
     }
 
     /// Time for a single isolated message (ping cost).
@@ -175,8 +251,11 @@ impl NetworkModel {
             };
         }
         let k = self.hierarchy.depth();
-        // Directed link table: (level, instance, is_up) → dense index.
-        let mut link_index: HashMap<(usize, usize, bool), usize> = HashMap::new();
+        // Directed rail-link table: (level, instance, is_up, rail) → dense
+        // index. At one rail per level the rail is constantly 0, so the
+        // interning order — and with it every dense index, capacity and
+        // solved rate — is identical to the single-rail model.
+        let mut link_index: HashMap<(usize, usize, bool, usize), usize> = HashMap::new();
         let mut capacities: Vec<f64> = Vec::new();
         let mut flows: Vec<Vec<usize>> = Vec::with_capacity(messages.len());
         let mut crossing: Vec<Option<usize>> = Vec::with_capacity(messages.len());
@@ -197,8 +276,11 @@ impl NetworkModel {
                 let stride = self.strides[level];
                 for (core, up) in [(m.src, true), (m.dst, false)] {
                     let instance = core / stride;
+                    let rail = self.message_rail(level, m.src, m.dst, up);
                     let next = link_index.len();
-                    let idx = *link_index.entry((level, instance, up)).or_insert(next);
+                    let idx = *link_index
+                        .entry((level, instance, up, rail))
+                        .or_insert(next);
                     if idx == capacities.len() {
                         capacities.push(self.links[level].uplink_bandwidth);
                     }
@@ -259,6 +341,8 @@ impl NetworkModel {
         }
         self.local_copy_bandwidth.to_bits().hash(&mut h);
         (self.mode == ContentionMode::MaxMinFair).hash(&mut h);
+        self.rails.hash(&mut h);
+        self.rail_policy.hash(&mut h);
         h.finish()
     }
 }
@@ -462,6 +546,73 @@ mod tests {
     #[test]
     fn empty_round_costs_nothing() {
         assert_eq!(toy().round_time(&[]), 0.0);
+    }
+
+    #[test]
+    fn single_rail_config_is_byte_identical() {
+        use crate::rail::RailPolicy;
+        let plain = toy();
+        for policy in RailPolicy::ALL {
+            let railed = toy().with_rails(vec![1, 1, 1], policy);
+            let msgs = [
+                Message::new(0, 8, 100),
+                Message::new(1, 9, 250),
+                Message::new(0, 1, 40),
+                Message::new(3, 3, 70),
+            ];
+            assert_eq!(
+                plain.round_time(&msgs).to_bits(),
+                railed.round_time(&msgs).to_bits(),
+                "{policy}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_rails_split_flows_that_would_share_one_nic() {
+        use crate::rail::RailPolicy;
+        let one = toy();
+        let two = toy().with_node_rails(2, RailPolicy::RoundRobin);
+        assert!(two.is_multi_rail() && !one.is_multi_rail());
+        assert_eq!(two.rail_counts(), &[2, 1, 1]);
+        // 0→8 rides rail (0+8)%2 = 0, 1→9 rides rail (1+9)%2 = 0: same
+        // rail, still serialized at 5 B/s each.
+        let same = [Message::new(0, 8, 100), Message::new(1, 9, 100)];
+        assert!((two.round_time(&same) - one.round_time(&same)).abs() < 1e-12);
+        // 0→8 (rail 0) and 1→8 (rail 1): disjoint rails, each gets the
+        // full per-rail 10 B/s — as fast as running alone.
+        let split = [Message::new(0, 8, 100), Message::new(1, 8, 100)];
+        let solo = two.message_time(Message::new(0, 8, 100));
+        assert!((two.round_time(&split) - solo).abs() < 1e-12);
+        assert!(one.round_time(&split) > two.round_time(&split) + 1.0);
+    }
+
+    #[test]
+    fn one_flow_never_exceeds_a_single_rail() {
+        use crate::rail::RailPolicy;
+        // The discrete-rail model keeps an isolated flow at per-rail
+        // bandwidth; the aggregate approximation doubles it.
+        let rails = toy().with_node_rails(2, RailPolicy::RoundRobin);
+        let aggregate = toy().with_node_uplink_scale(2.0);
+        let m = Message::new(0, 8, 1000);
+        assert!((rails.message_time(m) - toy().message_time(m)).abs() < 1e-12);
+        assert!(aggregate.message_time(m) < rails.message_time(m));
+    }
+
+    #[test]
+    fn rails_and_policy_enter_the_fingerprint() {
+        use crate::rail::RailPolicy;
+        let plain = toy();
+        let railed = toy().with_node_rails(2, RailPolicy::RoundRobin);
+        let hashed = toy().with_node_rails(2, RailPolicy::SrcHash);
+        assert_ne!(plain.fingerprint(), railed.fingerprint());
+        assert_ne!(railed.fingerprint(), hashed.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "one rail count per hierarchy level")]
+    fn rail_count_mismatch_panics() {
+        let _ = toy().with_rails(vec![2, 1], crate::rail::RailPolicy::RoundRobin);
     }
 
     #[test]

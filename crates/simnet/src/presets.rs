@@ -9,6 +9,7 @@
 
 use crate::memory::MemoryModel;
 use crate::network::{LinkParams, NetworkModel};
+use crate::rail::RailPolicy;
 use mre_core::Hierarchy;
 
 /// Hydra network: `⟦nodes, 2, 2, 8⟧` — dual Xeon 6130F, Omni-Path.
@@ -46,10 +47,30 @@ pub fn hydra_network(nodes: usize, nics: usize) -> NetworkModel {
     )
 }
 
+/// Hydra with *discrete* node rails instead of the aggregate NIC
+/// approximation of [`hydra_network`]: `nics` parallel node uplinks at
+/// 12.5 GB/s **each**, messages assigned to rails by `policy`.
+///
+/// Unlike the aggregate model (one fat `nics × 12.5e9` pipe), a single
+/// flow here never exceeds one rail's bandwidth, and two flows hashed to
+/// the same rail still serialize — the physics behind the paper's Fig. 8
+/// second-NIC ablation. At `nics = 1` this is byte-identical to
+/// `hydra_network(nodes, 1)`.
+pub fn hydra_network_rails(nodes: usize, nics: usize, policy: RailPolicy) -> NetworkModel {
+    hydra_network(nodes, 1).with_node_rails(nics, policy)
+}
+
 /// LUMI network: `⟦nodes, 2, 4, 2, 8⟧` — dual EPYC 7763, Slingshot-11.
 pub fn lumi_network(nodes: usize) -> NetworkModel {
     let h = Hierarchy::new(vec![nodes, 2, 4, 2, 8]).expect("static LUMI hierarchy");
     NetworkModel::new(h, lumi_links(), 25.0e9)
+}
+
+/// LUMI with `nics` discrete Slingshot rails per node (25 GB/s each),
+/// messages assigned by `policy`. At `nics = 1` this is byte-identical to
+/// [`lumi_network`].
+pub fn lumi_network_rails(nodes: usize, nics: usize, policy: RailPolicy) -> NetworkModel {
+    lumi_network(nodes).with_node_rails(nics, policy)
 }
 
 /// One LUMI node's intra-node network: `⟦2, 4, 2, 8⟧` (Fig. 9).
@@ -142,6 +163,35 @@ mod tests {
             two.links()[0].uplink_bandwidth,
             2.0 * one.links()[0].uplink_bandwidth
         );
+    }
+
+    #[test]
+    fn railed_presets_match_aggregate_at_one_nic() {
+        let agg = hydra_network(4, 1);
+        let railed = hydra_network_rails(4, 1, RailPolicy::RoundRobin);
+        let m = Message::new(0, 32, 4096);
+        assert_eq!(
+            agg.message_time(m).to_bits(),
+            railed.message_time(m).to_bits()
+        );
+        let l = lumi_network(4);
+        let lr = lumi_network_rails(4, 1, RailPolicy::SrcHash);
+        assert_eq!(l.message_time(m).to_bits(), lr.message_time(m).to_bits());
+    }
+
+    #[test]
+    fn discrete_rails_serialize_same_rail_flows_unlike_the_aggregate() {
+        // Two node-crossing flows from different sockets, both round-robin
+        // parity 0: the discrete model packs them onto one 12.5 GB/s rail
+        // (6.25 GB/s each), while the 2-NIC aggregate model's fat 25 GB/s
+        // pipe leaves each flow bound by its 9 GB/s core uplink.
+        let agg = hydra_network(4, 2);
+        let railed = hydra_network_rails(4, 2, RailPolicy::RoundRobin);
+        assert_eq!(railed.rail_counts()[0], 2);
+        let msgs = [Message::new(0, 32, 1 << 30), Message::new(16, 48, 1 << 30)];
+        let t_agg = agg.round_time(&msgs);
+        let t_railed = railed.round_time(&msgs);
+        assert!(t_railed > 1.3 * t_agg, "{t_railed} vs {t_agg}");
     }
 
     #[test]

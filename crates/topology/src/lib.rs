@@ -25,6 +25,6 @@ pub mod spec;
 pub mod tree;
 pub mod xml;
 
-pub use machines::{hydra, hydra_unfaked, lumi, lumi_node, MachineDesc};
+pub use machines::{hydra, hydra_rails, hydra_unfaked, lumi, lumi_node, lumi_rails, MachineDesc};
 pub use spec::{LevelKind, LevelSpec, TopologySpec};
 pub use tree::{ObjectId, Topology, TopologyObject};

@@ -74,6 +74,38 @@ pub fn hydra_two_nics(nodes: usize) -> MachineDesc {
     }
 }
 
+/// Hydra with `nics` *discrete rails* declared on the node level of the
+/// spec itself (rather than the aggregate `nics_per_node` knob of
+/// [`hydra_two_nics`]): each node owns `nics` Omni-Path uplinks at the
+/// per-NIC bandwidth, and rail-aware models stripe crossing messages
+/// across them.
+pub fn hydra_rails(nodes: usize, nics: usize) -> MachineDesc {
+    let base = hydra(nodes);
+    MachineDesc {
+        name: "Hydra (multi-rail)",
+        spec: base
+            .spec
+            .with_node_nics(nics)
+            .expect("Hydra spec has a node level"),
+        nics_per_node: nics,
+        ..base
+    }
+}
+
+/// LUMI with `nics` discrete Slingshot rails per node.
+pub fn lumi_rails(nodes: usize, nics: usize) -> MachineDesc {
+    let base = lumi(nodes);
+    MachineDesc {
+        name: "LUMI (multi-rail)",
+        spec: base
+            .spec
+            .with_node_nics(nics)
+            .expect("LUMI spec has a node level"),
+        nics_per_node: nics,
+        ..base
+    }
+}
+
 /// LUMI: `⟦nodes, 2, 4, 2, 8⟧` (socket, NUMA, L3, core).
 pub fn lumi(nodes: usize) -> MachineDesc {
     let spec = TopologySpec::new(vec![
@@ -165,5 +197,18 @@ mod tests {
     fn nic_bandwidths_match_fabric_specs() {
         assert_eq!(hydra(1).nic_bandwidth, 12.5e9);
         assert_eq!(lumi(1).nic_bandwidth, 25.0e9);
+    }
+
+    #[test]
+    fn railed_presets_declare_node_rails_on_the_spec() {
+        let m = hydra_rails(8, 2);
+        assert_eq!(m.spec.nic_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(m.nics_per_node, 2);
+        assert_eq!(m.nic_bandwidth, 12.5e9, "per-rail bandwidth, not summed");
+        assert_eq!(m.hierarchy().unwrap().levels(), &[8, 2, 2, 8]);
+        let l = lumi_rails(4, 4);
+        assert_eq!(l.spec.nic_counts(), vec![4, 1, 1, 1, 1]);
+        // One rail degenerates to the plain spec.
+        assert_eq!(hydra_rails(8, 1).spec, hydra(8).spec);
     }
 }

@@ -51,12 +51,27 @@ pub struct LevelSpec {
     pub kind: LevelKind,
     /// Number of objects of this kind per parent.
     pub arity: usize,
+    /// Parallel uplinks (rails) each object of this level owns toward its
+    /// parent — `1` everywhere except multi-NIC node levels (the paper's
+    /// Fig. 8 second-NIC ablation declares 2 here; Aurora-class nodes up
+    /// to 4+).
+    pub nic_count: usize,
 }
 
 impl LevelSpec {
-    /// Convenience constructor.
+    /// Convenience constructor (single uplink per object).
     pub fn new(kind: LevelKind, arity: usize) -> Self {
-        Self { kind, arity }
+        Self {
+            kind,
+            arity,
+            nic_count: 1,
+        }
+    }
+
+    /// Declares `nics` parallel uplinks (rails) per object of this level.
+    pub fn with_nics(mut self, nics: usize) -> Self {
+        self.nic_count = nics;
+        self
     }
 }
 
@@ -88,6 +103,11 @@ impl TopologySpec {
         }
         if let Some(level) = levels.iter().position(|l| l.arity == 0) {
             return Err(Error::ZeroLevel { level });
+        }
+        if levels.iter().any(|l| l.nic_count == 0) {
+            return Err(Error::Parse {
+                message: "every level needs at least one uplink (nic_count ≥ 1)".into(),
+            });
         }
         Ok(Self { levels })
     }
@@ -142,7 +162,9 @@ impl TopologySpec {
             levels[i] = LevelSpec::new(LevelKind::Group, factor);
             levels.insert(i + 1, LevelSpec::new(LevelKind::Core, level.arity / factor));
         } else {
-            levels[i] = LevelSpec::new(level.kind, factor);
+            // The outer part keeps the kind *and* its rails: splitting a
+            // 2-NIC node level must not silently drop a NIC.
+            levels[i] = LevelSpec::new(level.kind, factor).with_nics(level.nic_count);
             levels.insert(
                 i + 1,
                 LevelSpec::new(LevelKind::Group, level.arity / factor),
@@ -182,6 +204,38 @@ impl TopologySpec {
     pub fn cores_per_node(&self) -> usize {
         self.num_cores() / self.num_nodes()
     }
+
+    /// Per-level rail counts, outermost first — the vector
+    /// `NetworkModel::with_rails` in `mre-simnet` consumes.
+    pub fn nic_counts(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.nic_count).collect()
+    }
+
+    /// Whether any level declares more than one uplink.
+    pub fn is_multi_rail(&self) -> bool {
+        self.levels.iter().any(|l| l.nic_count > 1)
+    }
+
+    /// Declares `nics` rails on the node level (no-op `Err` if the spec
+    /// has no node level).
+    pub fn with_node_nics(&self, nics: usize) -> Result<Self, Error> {
+        let node = self.node_level().ok_or(Error::Parse {
+            message: "spec has no node level to attach NICs to".into(),
+        })?;
+        let mut levels = self.levels.clone();
+        levels[node] = levels[node].with_nics(nics);
+        Self::new(levels)
+    }
+
+    /// The rail a core binds to under affinity-bound assignment: cores are
+    /// partitioned into `nic_count` contiguous blocks under each level-`i`
+    /// object (block `b` of the per-object core range owns rail `b`) —
+    /// matching `RailPolicy::Affinity` in `mre-simnet`.
+    pub fn rail_affinity(&self, level: usize, core: usize) -> usize {
+        let stride: usize = self.levels[level + 1..].iter().map(|l| l.arity).product();
+        let nics = self.levels[level].nic_count;
+        (core % stride) * nics / stride
+    }
 }
 
 impl fmt::Display for TopologySpec {
@@ -191,6 +245,9 @@ impl fmt::Display for TopologySpec {
                 write!(f, " × ")?;
             }
             write!(f, "{} {}", l.arity, l.kind)?;
+            if l.nic_count > 1 {
+                write!(f, " [{} rails]", l.nic_count)?;
+            }
         }
         Ok(())
     }
@@ -312,5 +369,46 @@ mod tests {
     fn display_is_readable() {
         let s = spec(&[(LevelKind::Node, 2), (LevelKind::Core, 4)]);
         assert_eq!(s.to_string(), "2 node × 4 core");
+        let railed = s.with_node_nics(2).unwrap();
+        assert_eq!(railed.to_string(), "2 node [2 rails] × 4 core");
+    }
+
+    #[test]
+    fn nic_counts_default_to_one_and_propagate() {
+        let s = spec(&[
+            (LevelKind::Node, 4),
+            (LevelKind::Socket, 2),
+            (LevelKind::Core, 8),
+        ]);
+        assert_eq!(s.nic_counts(), vec![1, 1, 1]);
+        assert!(!s.is_multi_rail());
+        let railed = s.with_node_nics(2).unwrap();
+        assert_eq!(railed.nic_counts(), vec![2, 1, 1]);
+        assert!(railed.is_multi_rail());
+        // Rails survive a fake-level split of the node level.
+        let split = railed.split_level(0, 2).unwrap();
+        assert_eq!(split.levels()[0].nic_count, 2);
+        assert_eq!(split.levels()[1].kind, LevelKind::Group);
+        // Equality still distinguishes rail counts.
+        assert_ne!(s, railed);
+    }
+
+    #[test]
+    fn zero_nics_rejected_and_affinity_partitions_cores() {
+        assert!(TopologySpec::new(vec![
+            LevelSpec::new(LevelKind::Node, 2).with_nics(0),
+            LevelSpec::new(LevelKind::Core, 4),
+        ])
+        .is_err());
+        let s = spec(&[(LevelKind::Node, 2), (LevelKind::Core, 8)])
+            .with_node_nics(2)
+            .unwrap();
+        // 8 cores per node, 2 rails: cores 0..4 → rail 0, 4..8 → rail 1,
+        // identically on every node.
+        let rails: Vec<usize> = (0..8).map(|c| s.rail_affinity(0, c)).collect();
+        assert_eq!(rails, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(s.rail_affinity(0, 12), 1);
+        // No node level → with_node_nics errors.
+        assert!(spec(&[(LevelKind::Core, 4)]).with_node_nics(2).is_err());
     }
 }

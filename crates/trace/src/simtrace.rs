@@ -119,7 +119,10 @@ pub fn concurrent_schedule_trace(
 /// freely and there is no global round structure to put on a rounds lane.
 /// Instead the extra lane (id = number of cores) holds one span per job
 /// covering that job's first injection to its last completion, plus the
-/// enclosing collective span ending at the makespan.
+/// enclosing collective span ending at the makespan. Crossing spans whose
+/// timeline recorded a rail (always, except for local copies) gain a
+/// `rail` arg — the sender-side rail at the crossing level — so per-rail
+/// filtering works on multi-NIC fabrics.
 pub fn fluid_trace(hierarchy: &Hierarchy, timeline: &FluidTimeline, name: &str) -> Trace {
     let jobs_lane = hierarchy.size();
     let mut trace = Trace::new(Clock::Simulated);
@@ -160,19 +163,23 @@ pub fn fluid_trace(hierarchy: &Hierarchy, timeline: &FluidTimeline, name: &str) 
         let level = s
             .crossing
             .map_or_else(|| "local".to_string(), |j| hierarchy.name(j).to_string());
+        let mut args = vec![
+            ("job".to_string(), s.job.to_string()),
+            ("round".to_string(), s.round.to_string()),
+            ("dst".to_string(), s.dst.to_string()),
+            ("bytes".to_string(), s.bytes.to_string()),
+            ("level".to_string(), level),
+        ];
+        if let Some(rail) = s.rail {
+            args.push(("rail".to_string(), rail.to_string()));
+        }
         trace.events.push(Event {
             lane: s.src,
             name: format!("{} -> {}", s.src, s.dst),
             kind: EventKind::Message,
             start: s.start,
             finish: s.finish,
-            args: vec![
-                ("job".to_string(), s.job.to_string()),
-                ("round".to_string(), s.round.to_string()),
-                ("dst".to_string(), s.dst.to_string()),
-                ("bytes".to_string(), s.bytes.to_string()),
-                ("level".to_string(), level),
-            ],
+            args,
         });
     }
     trace.sort();
@@ -311,6 +318,29 @@ mod tests {
             .unwrap();
         assert_eq!(job0.start, 0.0);
         assert_eq!(job0.finish, tl.job_spans(0).last().unwrap().finish);
+    }
+
+    #[test]
+    fn fluid_trace_labels_rails_on_multi_nic_fabrics() {
+        let net = toy().with_node_rails(2, mre_simnet::RailPolicy::RoundRobin);
+        let jobs = [Schedule::with(vec![Round::with(vec![
+            Message::new(0, 8, 100),
+            Message::new(1, 8, 100),
+            Message::new(2, 2, 10),
+        ])])];
+        let tl = mre_simnet::fluid_timeline(&net, &jobs);
+        let trace = fluid_trace(net.hierarchy(), &tl, "fluid:rails");
+        let rail_of = |lane: usize| {
+            trace
+                .events
+                .iter()
+                .find(|e| e.kind == EventKind::Message && e.lane == lane)
+                .and_then(|e| e.args.iter().find(|(k, _)| k == "rail"))
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(rail_of(0).as_deref(), Some("0"), "(0+8) % 2");
+        assert_eq!(rail_of(1).as_deref(), Some("1"), "(1+8) % 2");
+        assert_eq!(rail_of(2), None, "local copies carry no rail arg");
     }
 
     #[test]

@@ -18,9 +18,11 @@
 use mre_core::subcomm::{subcommunicators, ColorScheme};
 use mre_core::{Error, Hierarchy, Permutation};
 use mre_mpi::schedules;
+use mre_mpi::{run_instrumented, Comm};
 use mre_mpi::{AlgorithmChoice, AlgorithmSelector, CollectiveKind};
 use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
 use mre_simnet::{CostCache, NetworkModel, Schedule, SharedCostCache};
+use mre_trace::{MetricsRegistry, Recorder};
 
 /// The non-rooted collectives the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,8 +114,57 @@ impl Microbench {
         }
     }
 
+    /// Builds the schedule one subcommunicator executes on a fabric with
+    /// `nics` node rails.
+    ///
+    /// Pairwise Alltoall rounds are merged in chunks of `nics`: the plain
+    /// rounds are mutually independent, and under round-robin rail
+    /// assignment each of them puts every crossing message on the same
+    /// rail parity — one busy rail, `nics − 1` idle. The merged rounds
+    /// load all rails (see
+    /// [`schedules::alltoall_pairwise_railed`]). Ring-based collectives
+    /// keep their shape: round `k+1` forwards data received in round `k`,
+    /// so their rounds cannot merge. At `nics = 1` this is exactly
+    /// [`schedule_for`](Self::schedule_for).
+    pub fn schedule_for_rails(&self, members: &[usize], nics: usize) -> Schedule {
+        if nics > 1 {
+            if let Collective::Alltoall(alg) = self.collective {
+                let p = members.len() as u64;
+                let bytes_per_pair = (self.total_bytes / p / p).max(1);
+                if alg.resolve(bytes_per_pair, members.len()) == AlltoallAlg::Pairwise {
+                    return schedules::alltoall_pairwise_railed(members, bytes_per_pair, nics);
+                }
+            }
+        }
+        self.schedule_for(members)
+    }
+
+    /// The costed-schedule counterpart of `iterations` back-to-back calls
+    /// of this collective on one communicator — what
+    /// [`microbench_collective_instrumented`] issues on the thread
+    /// runtime. `members[r]` is the global core of MPI rank `r`.
+    /// Generated from the same schedule builders the functional
+    /// collectives mirror, so [`mre_trace::diff_traces`] aligns the two
+    /// span-by-span (`trace_diff --workload micro`).
+    pub fn comm_schedule(&self, members: &[usize], iterations: usize) -> Schedule {
+        let mut s = Schedule::new();
+        for _ in 0..iterations {
+            s.then(self.schedule_for(members));
+        }
+        s
+    }
+
+    /// The node-level rail count of `net` (1 on single-rail fabrics):
+    /// what [`run`](Self::run) and [`run_fluid`](Self::run_fluid) pass to
+    /// [`schedule_for_rails`](Self::schedule_for_rails).
+    fn node_rails(net: &NetworkModel) -> usize {
+        net.rail_counts().first().copied().unwrap_or(1)
+    }
+
     /// Runs the protocol on `net` (whose hierarchy must match
-    /// `self.machine`) with the paper's quotient coloring.
+    /// `self.machine`) with the paper's quotient coloring. On a
+    /// multi-rail `net` the schedules are rail-striped
+    /// ([`schedule_for_rails`](Self::schedule_for_rails)).
     pub fn run(&self, net: &NetworkModel) -> Result<MicrobenchResult, Error> {
         self.run_with_scheme(net, ColorScheme::Quotient)
     }
@@ -157,9 +208,10 @@ impl Microbench {
             "network model and benchmark must describe the same machine"
         );
         let layout = subcommunicators(&self.machine, &self.order, self.subcomm_size, scheme)?;
-        let single = cache.schedule_time(net, &self.schedule_for(layout.members(0)));
+        let nics = Self::node_rails(net);
+        let single = cache.schedule_time(net, &self.schedule_for_rails(layout.members(0), nics));
         let all: Vec<Schedule> = (0..layout.count())
-            .map(|c| self.schedule_for(layout.members(c)))
+            .map(|c| self.schedule_for_rails(layout.members(c), nics))
             .collect();
         let simultaneous = cache.concurrent_time(net, &all);
         Ok(MicrobenchResult {
@@ -241,9 +293,11 @@ impl Microbench {
             self.subcomm_size,
             ColorScheme::Quotient,
         )?;
-        let single = mre_simnet::fluid_time(net, &[self.schedule_for(layout.members(0))]);
+        let nics = Self::node_rails(net);
+        let single =
+            mre_simnet::fluid_time(net, &[self.schedule_for_rails(layout.members(0), nics)]);
         let all: Vec<Schedule> = (0..layout.count())
-            .map(|c| self.schedule_for(layout.members(c)))
+            .map(|c| self.schedule_for_rails(layout.members(c), nics))
             .collect();
         let simultaneous = mre_simnet::fluid_time(net, &all);
         Ok(MicrobenchResult {
@@ -251,6 +305,58 @@ impl Microbench {
             simultaneous_duration: simultaneous,
         })
     }
+}
+
+/// Runs `iterations` calls of `collective` on the full thread-runtime
+/// world, with both instrumentation channels optional — the functional
+/// twin of [`Microbench::comm_schedule`]. Payload sizes follow the
+/// micro-benchmark semantics (`total_bytes / comm_size` per process,
+/// rounded down to whole doubles) and `Auto` algorithms are resolved
+/// with the same byte thresholds the costed schedule uses, so a recorded
+/// run aligns span-by-span with the schedule. Returns each rank's
+/// payload checksum (a pure function of the inputs — instrumentation
+/// must not change it).
+pub fn microbench_collective_instrumented(
+    collective: Collective,
+    total_bytes: u64,
+    iterations: usize,
+    nprocs: usize,
+    recorder: Option<&Recorder>,
+    metrics: Option<&MetricsRegistry>,
+) -> Vec<f64> {
+    run_instrumented(nprocs, recorder, metrics, move |proc_| {
+        let world = Comm::world(proc_);
+        let p = world.size();
+        let me = world.rank();
+        let per_process = total_bytes / p as u64;
+        let mut acc = 0.0;
+        for _ in 0..iterations {
+            match collective {
+                Collective::Alltoall(alg) => {
+                    let bytes_per_pair = (per_process / p as u64).max(1);
+                    let alg = alg.resolve(bytes_per_pair, p);
+                    let elems = ((bytes_per_pair / 8).max(1)) as usize;
+                    let send: Vec<f64> = (0..p * elems).map(|i| (me * 31 + i) as f64).collect();
+                    acc += world.alltoall(&send, alg).iter().sum::<f64>();
+                }
+                Collective::Allreduce(alg) => {
+                    let vector_bytes = per_process.max(1);
+                    let alg = alg.resolve(vector_bytes, p);
+                    let elems = ((vector_bytes / 8).max(1)) as usize;
+                    let data: Vec<f64> = (0..elems).map(|i| (me + i) as f64).collect();
+                    acc += world.allreduce(data, |a, b| a + b, alg).iter().sum::<f64>();
+                }
+                Collective::Allgather(alg) => {
+                    let block_bytes = per_process.max(1);
+                    let alg = alg.resolve(block_bytes, p);
+                    let elems = ((block_bytes / 8).max(1)) as usize;
+                    let mine: Vec<f64> = (0..elems).map(|i| (me * 7 + i) as f64).collect();
+                    acc += world.allgather(mine, alg).iter().flatten().sum::<f64>();
+                }
+            }
+        }
+        acc
+    })
 }
 
 /// The paper's x-axis sweep: 16 KB to 512 MB in powers of two.
@@ -451,6 +557,58 @@ mod tests {
             assert_eq!(again, result);
             assert_eq!(misses_after, misses_before);
             assert!(hits > 0);
+        }
+    }
+
+    #[test]
+    fn trace_diff_aligns_collective_runs_with_their_costed_schedules() {
+        use mre_trace::{diff_traces, schedule_trace, DiffOptions};
+        let net = hydra_network(1, 1);
+        let p = 8;
+        let cores: Vec<usize> = (0..p).collect();
+        for collective in [
+            Collective::Alltoall(AlltoallAlg::Auto),
+            Collective::Allreduce(AllreduceAlg::Auto),
+            Collective::Allgather(AllgatherAlg::Auto),
+        ] {
+            let bench = Microbench {
+                machine: net.hierarchy().clone(),
+                order: Permutation::new(vec![0, 1, 2, 3]).unwrap(),
+                subcomm_size: net.hierarchy().size(),
+                collective,
+                total_bytes: 1 << 16,
+            };
+            let recorder = Recorder::new();
+            microbench_collective_instrumented(
+                collective,
+                bench.total_bytes,
+                3,
+                p,
+                Some(&recorder),
+                None,
+            );
+            let wall = recorder.take_trace();
+            let schedule = bench.comm_schedule(&cores, 3);
+            let tl = net.schedule_timeline(&schedule).unwrap();
+            let sim = schedule_trace(net.hierarchy(), &tl, "micro");
+            let d = diff_traces(
+                &wall,
+                &sim,
+                &DiffOptions {
+                    cores: cores.clone(),
+                },
+            );
+            assert!(
+                d.matched_fraction >= 0.95,
+                "{collective:?}: matched fraction {} (wall unmatched {}, sim unmatched {})",
+                d.matched_fraction,
+                d.unmatched_wall,
+                d.unmatched_sim,
+            );
+            assert_eq!(
+                d.unmatched_sim, 0,
+                "{collective:?}: every simulated span must align"
+            );
         }
     }
 

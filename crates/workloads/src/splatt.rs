@@ -24,9 +24,9 @@
 
 use mre_core::{Error, Hierarchy, Permutation};
 use mre_mpi::schedules;
-use mre_mpi::{run, run_traced, AllreduceAlg, Comm, Proc};
+use mre_mpi::{run, run_instrumented, run_traced, AllreduceAlg, Comm, Proc};
 use mre_simnet::{NetworkModel, Schedule};
-use mre_trace::{EventKind, Recorder};
+use mre_trace::{EventKind, MetricsRegistry, Recorder};
 
 // ---------------------------------------------------------------------------
 // Sparse tensors and the sequential reference
@@ -279,6 +279,79 @@ pub fn cpd_distributed_traced(
     run_traced(nprocs, recorder, move |proc_| {
         cpd_rank(tensor, rank, iterations, grid, seed, proc_)
     })
+}
+
+/// [`cpd_distributed`] with both instrumentation channels optional: a
+/// wall-clock recorder and/or a metrics registry (message counts, bytes,
+/// receive-wait time and per-algorithm collective counts) — the entry
+/// point `trace_diff --workload cpd` runs.
+pub fn cpd_distributed_instrumented(
+    tensor: &SparseTensor,
+    rank: usize,
+    iterations: usize,
+    grid: [usize; 3],
+    seed: u64,
+    recorder: Option<&Recorder>,
+    metrics: Option<&MetricsRegistry>,
+) -> Vec<f64> {
+    let nprocs = grid[0] * grid[1] * grid[2];
+    run_instrumented(nprocs, recorder, metrics, move |proc_| {
+        cpd_rank(tensor, rank, iterations, grid, seed, proc_)
+    })
+}
+
+/// The costed-schedule counterpart of the distributed CP-ALS
+/// communication: three ring Allgathers up front (the `MPI_Comm_split`
+/// of each mode's layer communicator gathers every rank's `(color, key)`
+/// pair over a ring), then per iteration and mode `m`, every layer
+/// communicator runs a ring Allreduce of the partial MTTKRP
+/// (`dims[m] · rank` doubles) — all layers of the mode in lockstep, they
+/// are disjoint — followed by the world-wide ring Allreduce combining
+/// the layers. Generated from the same schedule builders the functional
+/// collectives mirror, so [`mre_trace::diff_traces`] aligns it
+/// span-by-span with a recorded [`cpd_distributed_traced`] run.
+/// `members[r]` is the global core of MPI rank `r` (grid coordinates are
+/// row-major, mode 2 fastest, exactly as [`cpd_distributed`] splits its
+/// world).
+pub fn cpd_comm_schedule(
+    members: &[usize],
+    dims: [usize; 3],
+    rank: usize,
+    grid: [usize; 3],
+    iterations: usize,
+) -> Schedule {
+    use mre_mpi::schedules as sched;
+    let p: usize = grid.iter().product();
+    assert_eq!(members.len(), p, "members must cover the full grid");
+    let coords = |r: usize| {
+        [
+            r / (grid[1] * grid[2]),
+            (r / grid[2]) % grid[1],
+            r % grid[2],
+        ]
+    };
+    let mut s = Schedule::new();
+    // Layer-communicator construction: one world ring Allgather of the
+    // 16-byte (color, key) pair per mode.
+    for _ in 0..3 {
+        s.then(sched::allgather_ring(members, 16));
+    }
+    for _ in 0..iterations {
+        for m in 0..3 {
+            let bytes = (dims[m] * rank * 8) as u64;
+            let mut layers: Vec<Vec<usize>> = vec![Vec::new(); grid[m]];
+            for (r, &core) in members.iter().enumerate() {
+                layers[coords(r)[m]].push(core);
+            }
+            let layer_schedules: Vec<Schedule> = layers
+                .iter()
+                .map(|mem| sched::allreduce_ring(mem, bytes))
+                .collect();
+            s.then(Schedule::lockstep(&layer_schedules));
+            s.then(sched::allreduce_ring(members, bytes));
+        }
+    }
+    s
 }
 
 /// One rank's CP-ALS; shared body of the traced and untraced entry points.
@@ -589,6 +662,56 @@ mod tests {
                 && e.kind == EventKind::Collective
                 && e.name == "allreduce:ring"));
         }
+    }
+
+    #[test]
+    fn trace_diff_aligns_traced_cpd_with_its_costed_schedule() {
+        use mre_trace::{diff_traces, schedule_trace, DiffOptions};
+        let tensor = generate_tensor([8, 8, 12], 120, 21);
+        let (rank, iters, grid) = (3, 2, [2, 2, 2]);
+        let recorder = Recorder::new();
+        cpd_distributed_traced(&tensor, rank, iters, grid, 13, &recorder);
+        let wall = recorder.take_trace();
+
+        // ⟦2,2,2⟧: 8 cores, three hierarchy levels.
+        let h = Hierarchy::new(vec![2, 2, 2]).unwrap();
+        let link = |bw: f64, lat: f64| mre_simnet::LinkParams {
+            uplink_bandwidth: bw,
+            crossing_latency: lat,
+        };
+        let net = NetworkModel::new(
+            h,
+            vec![link(1e9, 1e-6), link(2e9, 5e-7), link(4e9, 2e-7)],
+            1e10,
+        );
+        let cores: Vec<usize> = (0..8).collect();
+        let schedule = cpd_comm_schedule(&cores, tensor.dims, rank, grid, iters);
+        let tl = net.schedule_timeline(&schedule).unwrap();
+        let sim = schedule_trace(net.hierarchy(), &tl, "cpd");
+        let d = diff_traces(&wall, &sim, &DiffOptions { cores });
+        assert!(
+            d.matched_fraction >= 0.95,
+            "matched fraction {} (wall unmatched {}, sim unmatched {})",
+            d.matched_fraction,
+            d.unmatched_wall,
+            d.unmatched_sim,
+        );
+        assert_eq!(d.unmatched_sim, 0, "every simulated span must align");
+    }
+
+    #[test]
+    fn instrumented_cpd_collects_runtime_metrics() {
+        let tensor = generate_tensor([8, 8, 12], 120, 21);
+        let metrics = MetricsRegistry::new();
+        let plain = cpd_distributed(&tensor, 3, 2, [2, 2, 2], 13);
+        let metered =
+            cpd_distributed_instrumented(&tensor, 3, 2, [2, 2, 2], 13, None, Some(&metrics));
+        assert_eq!(metered, plain, "metrics must not change results");
+        let snap = metrics.snapshot();
+        assert!(snap.counter("mpi.send.count") > 0);
+        // Per iteration and mode: one layer + one world ring allreduce on
+        // each of the 8 ranks.
+        assert_eq!(snap.counter("mpi.collective.allreduce:ring"), 2 * 3 * 2 * 8);
     }
 
     #[test]

@@ -872,3 +872,139 @@ fn pruned_fluid_sweep_matches_exhaustive_on_hydra_microbench() {
         "the fluid bound must actually prune on the Hydra grid"
     );
 }
+
+/// A multi-rail network declared with one rail per level is the
+/// single-pipe network, bit for bit: `fluid_time` and `schedule_time`
+/// agree exactly under every rail policy for arbitrary concurrent
+/// schedules (far stronger than the 1e-12 relative acceptance bar).
+#[test]
+fn one_rail_fabric_is_byte_identical_to_the_aggregate() {
+    use mixed_radix_enum::simnet::RailPolicy;
+    propcheck(48, 0xD0C0_0020, |rng| {
+        let net = small_test_network();
+        let njobs = rng.gen_range(1usize..4);
+        let schedules: Vec<Schedule> = (0..njobs)
+            .map(|_| {
+                let nrounds = rng.gen_range(1usize..4);
+                Schedule::with(
+                    (0..nrounds)
+                        .map(|_| {
+                            let nmsgs = rng.gen_range(1usize..5);
+                            Round::with(
+                                (0..nmsgs)
+                                    .map(|_| {
+                                        Message::new(
+                                            rng.gen_range(0usize..16),
+                                            rng.gen_range(0usize..16),
+                                            rng.gen_range(1u64..100_000),
+                                        )
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let fluid = fluid_time(&net, &schedules);
+        let lockstep = net.concurrent_time(&schedules);
+        for policy in RailPolicy::ALL {
+            let railed = net.clone().with_rails(vec![1; 3], policy);
+            assert_eq!(
+                fluid.to_bits(),
+                fluid_time(&railed, &schedules).to_bits(),
+                "1-rail fluid must be byte-identical ({policy})"
+            );
+            assert_eq!(
+                lockstep.to_bits(),
+                railed.concurrent_time(&schedules).to_bits(),
+                "1-rail lockstep must be byte-identical ({policy})"
+            );
+        }
+    });
+}
+
+/// The physics lower bound stays admissible on multi-rail fabrics under
+/// both contention modes: for every generator — including the
+/// rail-striped pairwise Alltoall — and every rail policy,
+/// `schedule_lower_bound ≤ schedule_time`.
+#[test]
+fn railed_lower_bound_is_admissible_under_both_contention_modes() {
+    use mixed_radix_enum::simnet::{schedule_lower_bound, ContentionMode, RailPolicy};
+    propcheck(48, 0xD0C0_0021, |rng| {
+        let base = small_test_network();
+        let nics = rng.gen_range(2usize..5);
+        let policy = *rng.choose(&RailPolicy::ALL).expect("three policies");
+        let p = rng.gen_range(2usize..13);
+        let mut cores: Vec<usize> = (0..16).collect();
+        rng.shuffle(&mut cores);
+        let members = &cores[..p];
+        let bytes = rng.gen_range(1u64..1_000_000);
+        let gens: Vec<(&str, Schedule)> = vec![
+            (
+                "alltoall_pairwise_railed",
+                schedules::alltoall_pairwise_railed(members, bytes, nics),
+            ),
+            (
+                "alltoall_pairwise",
+                schedules::alltoall_pairwise(members, bytes),
+            ),
+            ("alltoall_bruck", schedules::alltoall_bruck(members, bytes)),
+            ("allgather_ring", schedules::allgather_ring(members, bytes)),
+            ("allreduce_ring", schedules::allreduce_ring(members, bytes)),
+            (
+                "allreduce_recursive_doubling",
+                schedules::allreduce_recursive_doubling(members, bytes),
+            ),
+        ];
+        for mode in [ContentionMode::MaxMinFair, ContentionMode::EqualShare] {
+            let net = base
+                .clone()
+                .with_rails(vec![nics, 1, nics], policy)
+                .with_contention_mode(mode);
+            for (name, s) in &gens {
+                let bound = schedule_lower_bound(&net, s);
+                let time = net.schedule_time(s);
+                assert!(
+                    bound <= time * (1.0 + 1e-12),
+                    "{name} (p={p}, bytes={bytes}, nics={nics}, {policy}, {mode:?}): \
+                     bound {bound} exceeds schedule time {time}"
+                );
+            }
+        }
+    });
+}
+
+/// Rail assignment is a pure function of (level, src, dst, direction):
+/// computing it concurrently from the worker pool matches the serial
+/// answer exactly, for every policy — no hidden state, no thread
+/// dependence.
+#[test]
+fn rail_assignment_is_deterministic_across_threads() {
+    use mixed_radix_enum::simnet::RailPolicy;
+    propcheck(16, 0xD0C0_0022, |rng| {
+        let nics = rng.gen_range(2usize..5);
+        let policy = *rng.choose(&RailPolicy::ALL).expect("three policies");
+        let net = small_test_network().with_rails(vec![nics, nics, nics], policy);
+        let cases: Vec<(usize, usize, usize, bool)> = (0..256)
+            .map(|_| {
+                (
+                    rng.gen_range(0usize..3),
+                    rng.gen_range(0usize..16),
+                    rng.gen_range(0usize..16),
+                    rng.gen_range(0usize..2) == 0,
+                )
+            })
+            .collect();
+        let serial: Vec<usize> = cases
+            .iter()
+            .map(|&(level, src, dst, up)| net.message_rail(level, src, dst, up))
+            .collect();
+        for _ in 0..4 {
+            let parallel = mixed_radix_enum::core::par::map(&cases, |_, &(level, src, dst, up)| {
+                net.message_rail(level, src, dst, up)
+            });
+            assert_eq!(serial, parallel, "{policy} must be thread-deterministic");
+        }
+    });
+}
