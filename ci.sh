@@ -77,4 +77,23 @@ echo "== rail bench smoke (asserts 1-rail identity, 2-rail oracle agreement, win
 cargo bench -q -p mre-bench --bench rail -- --quick lockstep \
   | grep "acceptance passed"
 
+echo "== congestion_report smoke (hot link is the node uplink; 2 NICs halve its byte load)"
+cargo run -q --release -p mre-bench --bin congestion_report -- \
+  --machine hydra --nodes 16 --bytes 4194304 --top-k 3 \
+  > target/congestion_1nic.out
+# The concurrent spread alltoall saturates the NIC: the hottest link of the
+# run is a node-level link carrying 7.9 MB.
+grep -q "^   1\. node\[0\]\..*7\.9 MB" target/congestion_1nic.out
+cargo run -q --release -p mre-bench --bin congestion_report -- \
+  --machine hydra --nodes 16 --bytes 4194304 --top-k 3 \
+  --nics 2 --rail-policy affinity > target/congestion_2nic.out
+# A second NIC under the affinity policy splits each node's crossing
+# traffic exactly in half: the hot link drops to 3.9 MB and both node
+# rails stay active and balanced.
+grep -q "^   1\. node\[0\]\..*3\.9 MB" target/congestion_2nic.out
+grep -q "rail1" target/congestion_2nic.out
+grep -Eq "^  node +0 .*1\.000$" target/congestion_2nic.out
+# Bound-gap telemetry: the node level is NIC-bound, so its gap is ~0.
+grep -Eq "^  node .* 0\.000 +0\.0%$" target/congestion_1nic.out
+
 echo "== CI OK"

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! order_sweep [HIERARCHY] [SUBCOMM] [COLLECTIVE] [SIZE_BYTES] [--pruned] [--fluid]
-//!             [--nics N] [--rail-policy round-robin|src-hash|affinity]
+//!             [--nics N] [--rail-policy round-robin|src-hash|affinity] [--congestion]
 //! order_sweep 16,2,2,8 16 alltoall 4194304
 //! order_sweep 16,2,2,8 16 alltoall 4194304 --nics 2 --fluid
 //! ```
@@ -31,6 +31,12 @@
 //! messages are assigned to rails (default round-robin). Works in all
 //! three modes; `--nics 1` is byte-identical to omitting the flag.
 //!
+//! With `--congestion` the sweep ends with a congestion-observatory
+//! comparison of the winner against the runner-up: both orders are
+//! re-run with a [`mre_simnet::CongestionProbe`] attached and their
+//! per-level bound gaps and rail-imbalance indices printed side by side
+//! — *why* the winner wins, in link-capacity terms.
+//!
 //! `HIERARCHY` must be one of the calibrated machines (a Hydra-shaped
 //! `nodes,2,2,8` or a LUMI-shaped `nodes,2,4,2,8`); `COLLECTIVE` is
 //! `alltoall`, `allreduce` or `allgather`.
@@ -41,9 +47,11 @@ use mre_core::{Hierarchy, Permutation};
 use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
 use mre_simnet::presets::{hydra_network, lumi_network};
 use mre_simnet::{
-    fluid_lower_bound, fluid_time, schedule_lower_bound, NetworkModel, RailPolicy, Schedule,
+    bound_gap_fluid, bound_gap_lockstep, fluid_lower_bound, fluid_time, schedule_lower_bound,
+    BoundGap, CongestionProbe, FluidSim, NetworkModel, RailPolicy, Schedule,
 };
 use mre_slurm::Distribution;
+use mre_trace::MetricsRegistry;
 use mre_workloads::microbench::{Collective, Microbench};
 
 fn network_for(machine: &Hierarchy, nics: usize, policy: RailPolicy) -> Option<NetworkModel> {
@@ -84,6 +92,8 @@ fn main() {
     args.retain(|a| a != "--pruned");
     let fluid_mode = args.iter().any(|a| a == "--fluid");
     args.retain(|a| a != "--fluid");
+    let congestion_mode = args.iter().any(|a| a == "--congestion");
+    args.retain(|a| a != "--congestion");
     let nics = take_value_flag(&mut args, "--nics", |v| {
         v.parse::<usize>().ok().filter(|&n| n >= 1)
     })
@@ -166,6 +176,11 @@ fn main() {
                 .simultaneous_duration
         }
     };
+    // With --pruned the search core emits its pruning counters through
+    // the telemetry bridge; collect them so the end-of-run summary can
+    // report them alongside the in-band stats.
+    let registry = MetricsRegistry::new();
+    let telemetry_guard = pruned_mode.then(|| registry.install_telemetry());
     let ranked = if pruned_mode {
         // Admissible lower bound on the contended duration: under the
         // lockstep model, the physics bound of the merged schedule all
@@ -219,4 +234,91 @@ fn main() {
         "\nrecommended order: [{}] — apply with world.split(0, reordered_rank) or a rankfile",
         best.order
     );
+    if let Some(guard) = telemetry_guard {
+        drop(guard);
+        let snap = registry.snapshot();
+        println!(
+            "telemetry: core.order_search.bound.evaluated={} core.order_search.bound.pruned={}",
+            snap.counter("core.order_search.bound.evaluated"),
+            snap.counter("core.order_search.bound.pruned"),
+        );
+    }
+    if congestion_mode {
+        if let Some((runner, _)) = ranked.get(1) {
+            print_congestion_comparison(
+                &net,
+                &best.order,
+                &runner.order,
+                &schedules_for,
+                fluid_mode,
+            );
+        } else {
+            println!("\ncongestion: only one equivalence class — nothing to compare");
+        }
+    }
+}
+
+/// Probes one order's concurrent run and returns its per-level bound gaps
+/// plus rail-imbalance indices.
+fn probe_order(
+    net: &NetworkModel,
+    schedules: &[Schedule],
+    fluid_mode: bool,
+) -> (Vec<BoundGap>, Vec<f64>) {
+    let mut probe = CongestionProbe::new(net);
+    let gaps = if fluid_mode {
+        FluidSim::new(net).run_probed(schedules, &mut probe);
+        bound_gap_fluid(net, schedules, &probe)
+    } else {
+        let merged = Schedule::lockstep(schedules);
+        net.schedule_time_probed(&merged, &mut probe);
+        bound_gap_lockstep(net, &merged, &probe)
+    };
+    let imbalance = (0..net.hierarchy().depth())
+        .map(|level| probe.rail_imbalance(level))
+        .collect();
+    (gaps, imbalance)
+}
+
+/// Re-runs winner and runner-up with a congestion probe attached and
+/// prints their per-level bound gaps and rail imbalance side by side —
+/// the link-capacity explanation of the ranking.
+fn print_congestion_comparison(
+    net: &NetworkModel,
+    winner: &Permutation,
+    runner_up: &Permutation,
+    schedules_for: &impl Fn(&Permutation) -> Vec<Schedule>,
+    fluid_mode: bool,
+) {
+    let (w_gaps, w_imb) = probe_order(net, &schedules_for(winner), fluid_mode);
+    let (r_gaps, r_imb) = probe_order(net, &schedules_for(runner_up), fluid_mode);
+    println!(
+        "\ncongestion: winner [{winner}] vs runner-up [{runner_up}] \
+         (per-level bound gap, rail imbalance)"
+    );
+    println!(
+        "  {:<10} {:>13} {:>13} {:>12} {:>12}",
+        "level", "winner gap%", "r-up gap%", "winner imb", "r-up imb"
+    );
+    let names = net.hierarchy().names();
+    for level in 0..net.hierarchy().depth() {
+        let pct = |g: &BoundGap| {
+            if g.actual > 0.0 {
+                100.0 * (g.gap() / g.actual).max(0.0)
+            } else {
+                0.0
+            }
+        };
+        println!(
+            "  {:<10} {:>12.1}% {:>12.1}% {:>12.3} {:>12.3}",
+            names
+                .get(level)
+                .cloned()
+                .unwrap_or_else(|| format!("level-{level}")),
+            pct(&w_gaps[level]),
+            pct(&r_gaps[level]),
+            w_imb[level],
+            r_imb[level],
+        );
+    }
 }

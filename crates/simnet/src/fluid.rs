@@ -67,6 +67,7 @@
 //!   ([`FluidStats::peak_link_utilization`]);
 //! * the engine agrees with [`fluid_time_reference`] to 1e-9 relative.
 
+use crate::congestion::CongestionProbe;
 use crate::contention::max_min_rates;
 use crate::network::NetworkModel;
 use crate::rail::RailLinkTable;
@@ -449,14 +450,29 @@ impl<'a> FluidSim<'a> {
     /// returns the makespan. Semantics are identical to
     /// [`fluid_time_reference`] up to floating-point reassociation.
     pub fn run(&mut self, schedules: &[Schedule]) -> f64 {
-        self.execute(schedules, None)
+        self.execute(schedules, None, None)
+    }
+
+    /// Like [`run`](Self::run), but feeds `probe` a piecewise-constant
+    /// per-link allocated-rate timeline: rates only change at water-fill
+    /// solves, so snapshotting the allocation at every solve (and a final
+    /// zero-allocation snapshot when the last flow drains) reproduces the
+    /// engine's exact byte flow per link. The returned makespan is
+    /// bit-identical to the unprobed [`run`](Self::run).
+    pub fn run_probed(&mut self, schedules: &[Schedule], probe: &mut CongestionProbe) -> f64 {
+        debug_assert_eq!(
+            probe.num_links(),
+            self.table.num_links(),
+            "probe built for a different network model"
+        );
+        self.execute(schedules, None, Some(probe))
     }
 
     /// Like [`run`](Self::run), but records every message's span.
     pub fn run_timeline(&mut self, schedules: &[Schedule]) -> FluidTimeline {
         let before = self.stats;
         let mut spans = Vec::new();
-        let makespan = self.execute(schedules, Some(&mut spans));
+        let makespan = self.execute(schedules, Some(&mut spans), None);
         spans.sort_by_key(|a| (a.job, a.round, a.seq));
         let after = self.stats;
         FluidTimeline {
@@ -476,6 +492,7 @@ impl<'a> FluidSim<'a> {
         &mut self,
         schedules: &[Schedule],
         mut record: Option<&mut Vec<FluidMessageSpan>>,
+        mut probe: Option<&mut CongestionProbe>,
     ) -> f64 {
         let before = self.stats;
         // Reset per-run state; caches persist.
@@ -505,6 +522,11 @@ impl<'a> FluidSim<'a> {
         }
         if needs && !self.transferring.is_empty() {
             self.resolve(0.0);
+        }
+        if needs {
+            if let Some(p) = probe.as_deref_mut() {
+                self.feed_probe(p, 0.0);
+            }
         }
         let mut now = 0.0f64;
         loop {
@@ -551,6 +573,14 @@ impl<'a> FluidSim<'a> {
             if needs && !self.transferring.is_empty() {
                 self.resolve(now);
             }
+            if needs {
+                if let Some(p) = probe.as_deref_mut() {
+                    self.feed_probe(p, now);
+                }
+            }
+        }
+        if let Some(p) = probe {
+            p.fluid_finish(now);
         }
         debug_assert!(self.flights.iter().all(|f| !f.alive));
         if mre_core::telemetry::enabled() {
@@ -569,6 +599,25 @@ impl<'a> FluidSim<'a> {
             );
         }
         now
+    }
+
+    /// Snapshots the current per-link allocation into `probe` at `now`:
+    /// closes the epoch opened at the previous solve and declares every
+    /// transferring flight's frozen rate on every link of its path. Called
+    /// only when a probe is attached and the flow set changed — the
+    /// unprobed path pays a single `Option` check per event batch.
+    fn feed_probe(&self, probe: &mut CongestionProbe, now: f64) {
+        probe.fluid_solve_begin(now);
+        for &fid in &self.transferring {
+            let f = &self.flights_hot[fid as usize];
+            if f.rate <= 0.0 {
+                continue;
+            }
+            let path = &self.path_arena[f.path_start as usize..][..f.path_len as usize];
+            for &l in path {
+                probe.fluid_add(l, f.rate);
+            }
+        }
     }
 
     /// Handles one heap event — a latency expiry or a local-copy

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bound;
+pub mod congestion;
 pub mod contention;
 pub mod fluid;
 pub mod memory;
@@ -42,6 +43,10 @@ pub mod timeline;
 pub mod utilization;
 
 pub use bound::{fluid_lower_bound, schedule_lower_bound, RoundLoad};
+pub use congestion::{
+    bound_gap_fluid, bound_gap_lockstep, BoundGap, CongestionProbe, LinkUsage, RailOccupancy,
+    RateSegment, RoundMark,
+};
 pub use contention::{max_min_rates, max_min_rates_reference};
 pub use fluid::{
     fluid_time, fluid_time_reference, fluid_time_with_stats, fluid_timeline, FluidMessageSpan,
@@ -52,4 +57,4 @@ pub use network::{ContentionMode, LinkParams, NetworkModel, RoundProfile};
 pub use rail::{assign_rail, RailLinkTable, RailPolicy};
 pub use schedule::{CostCache, Message, Round, Schedule, SharedCostCache};
 pub use timeline::{MessageTiming, RoundTimeline, ScheduleTimeline};
-pub use utilization::{utilization, Utilization};
+pub use utilization::{utilization, utilization_railed, Utilization};

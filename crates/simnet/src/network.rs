@@ -308,11 +308,29 @@ impl NetworkModel {
     /// Time for a schedule: the sum of its round times (rounds are
     /// synchronized).
     pub fn schedule_time(&self, schedule: &Schedule) -> f64 {
-        schedule
+        let t = schedule
             .rounds
             .iter()
             .map(|r| self.round_time(&r.messages))
-            .sum()
+            .sum();
+        // Work counters mirroring the fluid engine's `simnet.fluid.*`
+        // family; a relaxed-atomic check when telemetry is off.
+        if mre_core::telemetry::enabled() {
+            mre_core::telemetry::counter_add("simnet.lockstep.runs", 1);
+            mre_core::telemetry::counter_add(
+                "simnet.lockstep.rounds",
+                schedule.rounds.len() as u64,
+            );
+            mre_core::telemetry::counter_add(
+                "simnet.lockstep.messages",
+                schedule
+                    .rounds
+                    .iter()
+                    .map(|r| r.messages.len() as u64)
+                    .sum(),
+            );
+        }
+        t
     }
 
     /// Time for several schedules executing concurrently in lockstep —

@@ -31,7 +31,7 @@ fn json_escape(s: &str) -> String {
 
 /// Seconds → microseconds with fixed 3-decimal formatting (Chrome's `ts`
 /// unit is µs).
-fn micros(seconds: f64) -> String {
+pub(crate) fn micros(seconds: f64) -> String {
     format!("{:.3}", seconds * 1e6)
 }
 
@@ -81,7 +81,7 @@ fn event_json(e: &Event) -> String {
 /// then one complete (`ph: "X"`) or instant (`ph: "i"`) record per event
 /// in canonical order. Times are microseconds.
 pub fn chrome_trace_json(trace: &Trace) -> String {
-    chrome_impl(trace, None)
+    chrome_impl(trace, None, &[])
 }
 
 /// Like [`chrome_trace_json`], with the metrics snapshot appended as
@@ -90,10 +90,10 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
 /// `<name>.sum` per histogram. Perfetto renders them as counter tracks
 /// next to the timeline.
 pub fn chrome_trace_json_with_metrics(trace: &Trace, metrics: &MetricsSnapshot) -> String {
-    chrome_impl(trace, Some(metrics))
+    chrome_impl(trace, Some(metrics), &[])
 }
 
-fn counter_json(name: &str, ts: &str, value: String) -> String {
+pub(crate) fn counter_json(name: &str, ts: &str, value: String) -> String {
     format!(
         "{{\"name\":\"{}\",\"cat\":\"metric\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{\"value\":{}}}}}",
         json_escape(name),
@@ -102,7 +102,14 @@ fn counter_json(name: &str, ts: &str, value: String) -> String {
     )
 }
 
-fn chrome_impl(trace: &Trace, metrics: Option<&MetricsSnapshot>) -> String {
+/// The shared Chrome `trace_event` body: lane metadata, events, then the
+/// optional metrics counters and any pre-rendered `extra` records (the
+/// congestion counter tracks use the latter).
+pub(crate) fn chrome_impl(
+    trace: &Trace,
+    metrics: Option<&MetricsSnapshot>,
+    extra: &[String],
+) -> String {
     let mut lanes = trace.lanes();
     for &lane in trace.lane_names.keys() {
         if !lanes.contains(&lane) {
@@ -159,6 +166,13 @@ fn chrome_impl(trace: &Trace, metrics: Option<&MetricsSnapshot>) -> String {
                 format!("{:.9}", h.sum),
             ));
         }
+    }
+    for row in extra {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(row);
     }
     out.push_str("\n]}\n");
     out

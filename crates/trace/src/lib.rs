@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod congestion;
 pub mod diff;
 pub mod event;
 pub mod export;
@@ -49,6 +50,9 @@ pub mod simtrace;
 pub use analysis::{
     critical_path, fluid_critical_path, level_occupancy, rank_activity, wall_level_bytes,
     CriticalHop, CriticalPath, FluidCriticalPath, LevelOccupancy, OccupancySlice, RankBreakdown,
+};
+pub use congestion::{
+    chrome_trace_json_with_congestion, congestion_counters, congestion_csv, CongestionCounterSeries,
 };
 pub use diff::{diff_traces, DiffOptions, LevelSkew, SpanDiff, TraceDiff};
 pub use event::{Clock, Event, EventKind, Trace};

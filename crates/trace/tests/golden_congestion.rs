@@ -1,0 +1,126 @@
+//! Golden-file tests for the congestion-observatory exporters.
+//!
+//! [`congestion_csv`] and [`chrome_trace_json_with_congestion`] promise
+//! byte-deterministic output; this pins the exact bytes for a probed
+//! two-round schedule on a two-rail toy ⟦2,2,4⟧ fabric (lockstep feed)
+//! and for the same jobs run concurrently under the fluid engine.
+//! Regenerate with `BLESS=1 cargo test -p mre-trace`.
+
+use mre_core::Hierarchy;
+use mre_simnet::{
+    CongestionProbe, FluidSim, LinkParams, Message, NetworkModel, RailPolicy, Round, Schedule,
+};
+use mre_trace::{
+    chrome_trace_json_with_congestion, congestion_counters, congestion_csv, Clock, Trace,
+};
+
+const GOLDEN_LOCKSTEP_CSV: &str = include_str!("golden/congestion_lockstep.csv");
+const GOLDEN_FLUID_CSV: &str = include_str!("golden/congestion_fluid.csv");
+const GOLDEN_CHROME: &str = include_str!("golden/congestion_counters.json");
+
+fn railed_toy() -> NetworkModel {
+    let h = Hierarchy::new(vec![2, 2, 4]).unwrap();
+    NetworkModel::new(
+        h,
+        vec![
+            LinkParams {
+                uplink_bandwidth: 10.0,
+                crossing_latency: 2.0,
+            },
+            LinkParams {
+                uplink_bandwidth: 40.0,
+                crossing_latency: 1.0,
+            },
+            LinkParams {
+                uplink_bandwidth: 100.0,
+                crossing_latency: 0.5,
+            },
+        ],
+        1000.0,
+    )
+    .with_node_rails(2, RailPolicy::RoundRobin)
+}
+
+fn sample_schedule() -> Schedule {
+    Schedule::with(vec![
+        Round::with(vec![
+            Message::new(0, 8, 100), // node crossing, rail 0
+            Message::new(1, 8, 100), // node crossing, rail 1
+            Message::new(2, 3, 40),  // same socket
+        ]),
+        Round::with(vec![Message::new(8, 0, 50)]),
+    ])
+}
+
+fn lockstep_probe() -> (NetworkModel, CongestionProbe) {
+    let net = railed_toy();
+    let mut probe = CongestionProbe::new(&net);
+    net.schedule_time_probed(&sample_schedule(), &mut probe);
+    (net, probe)
+}
+
+fn fluid_probe() -> (NetworkModel, CongestionProbe) {
+    let net = railed_toy();
+    let jobs = vec![
+        sample_schedule(),
+        Schedule::with(vec![Round::with(vec![Message::new(4, 12, 80)])]),
+    ];
+    let mut probe = CongestionProbe::new(&net);
+    FluidSim::new(&net).run_probed(&jobs, &mut probe);
+    (net, probe)
+}
+
+fn bless_or_assert(got: &str, golden: &str, file: &str) {
+    if std::env::var_os("BLESS").is_some() {
+        let path = format!("{}/tests/golden/{file}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(path, got).unwrap();
+        return;
+    }
+    assert_eq!(
+        got, golden,
+        "congestion export drifted from the golden file; if intentional, \
+         regenerate with BLESS=1 cargo test -p mre-trace"
+    );
+}
+
+#[test]
+fn lockstep_csv_matches_golden_bytes() {
+    let (net, probe) = lockstep_probe();
+    bless_or_assert(
+        &congestion_csv(&net, &probe),
+        GOLDEN_LOCKSTEP_CSV,
+        "congestion_lockstep.csv",
+    );
+}
+
+#[test]
+fn fluid_csv_matches_golden_bytes() {
+    let (net, probe) = fluid_probe();
+    bless_or_assert(
+        &congestion_csv(&net, &probe),
+        GOLDEN_FLUID_CSV,
+        "congestion_fluid.csv",
+    );
+}
+
+#[test]
+fn chrome_counter_export_matches_golden_bytes() {
+    let (net, probe) = lockstep_probe();
+    let counters = congestion_counters(&net, &probe, 2);
+    let json = chrome_trace_json_with_congestion(&Trace::new(Clock::Simulated), &counters);
+    bless_or_assert(&json, GOLDEN_CHROME, "congestion_counters.json");
+}
+
+#[test]
+fn congestion_exports_are_stable_across_repeated_runs() {
+    let (net_a, probe_a) = fluid_probe();
+    let (net_b, probe_b) = fluid_probe();
+    assert_eq!(
+        congestion_csv(&net_a, &probe_a),
+        congestion_csv(&net_b, &probe_b)
+    );
+    assert_eq!(
+        congestion_counters(&net_a, &probe_a, 4),
+        congestion_counters(&net_b, &probe_b, 4)
+    );
+}

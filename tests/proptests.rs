@@ -1008,3 +1008,209 @@ fn rail_assignment_is_deterministic_across_threads() {
         }
     });
 }
+
+/// Random concurrent schedules on the 16-core test machine: 1–3 jobs of
+/// 1–3 rounds of 1–4 messages each.
+fn arb_concurrent_schedules(rng: &mut SmallRng) -> Vec<Schedule> {
+    let njobs = rng.gen_range(1usize..4);
+    (0..njobs)
+        .map(|_| {
+            let nrounds = rng.gen_range(1usize..4);
+            Schedule::with(
+                (0..nrounds)
+                    .map(|_| {
+                        let nmsgs = rng.gen_range(1usize..5);
+                        Round::with(
+                            (0..nmsgs)
+                                .map(|_| {
+                                    Message::new(
+                                        rng.gen_range(0usize..16),
+                                        rng.gen_range(0usize..16),
+                                        rng.gen_range(1u64..100_000),
+                                    )
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Reference byte ledger for a probed run: every crossing message routes
+/// its full payload over both directed links of every level from its
+/// crossing level down, independent of engine, timing or contention.
+fn routed_link_bytes(
+    net: &NetworkModel,
+    probe: &mixed_radix_enum::simnet::CongestionProbe,
+    schedules: &[Schedule],
+) -> Vec<f64> {
+    let h = net.hierarchy();
+    let mut expected = vec![0.0f64; probe.num_links()];
+    for m in schedules
+        .iter()
+        .flat_map(|s| s.rounds.iter())
+        .flat_map(|r| r.messages.iter())
+    {
+        if m.src == m.dst {
+            continue;
+        }
+        let cs = coordinates(h, m.src).unwrap();
+        let cd = coordinates(h, m.dst).unwrap();
+        let j = (0..h.depth()).find(|&l| cs[l] != cd[l]).unwrap();
+        for level in j..h.depth() {
+            for up in [true, false] {
+                let link = probe.table().message_link(level, m.src, m.dst, up);
+                expected[link as usize] += m.bytes as f64;
+            }
+        }
+    }
+    expected
+}
+
+/// Byte conservation of the congestion observatory: the integral of a
+/// link's recorded rate segments equals the bytes routed over that link —
+/// for both engines, both contention modes, and 1/2/4 node rails under
+/// every rail policy. This pins the probe to the ground truth of the
+/// schedule itself, not to the engine that fed it.
+#[test]
+fn congestion_probe_conserves_routed_bytes() {
+    use mixed_radix_enum::simnet::{CongestionProbe, ContentionMode, FluidSim, RailPolicy};
+    propcheck(16, 0xD0C0_0023, |rng| {
+        let policy = *rng.choose(&RailPolicy::ALL).expect("three policies");
+        let schedules = arb_concurrent_schedules(rng);
+        for nics in [1usize, 2, 4] {
+            for mode in [ContentionMode::MaxMinFair, ContentionMode::EqualShare] {
+                let net = small_test_network()
+                    .with_rails(vec![nics, 1, nics], policy)
+                    .with_contention_mode(mode);
+                // Fluid feed over the concurrent job set.
+                let mut probe = CongestionProbe::new(&net);
+                FluidSim::new(&net).run_probed(&schedules, &mut probe);
+                let expected = routed_link_bytes(&net, &probe, &schedules);
+                for l in 0..probe.num_links() as u32 {
+                    let got = probe.link_bytes(l);
+                    let want = expected[l as usize];
+                    assert!(
+                        (got - want).abs() <= 1e-9 * want.max(1.0),
+                        "fluid link {l} carried {got} B, routed {want} B \
+                         (nics={nics}, {policy}, {mode:?})"
+                    );
+                }
+                // Lockstep feed over the first job.
+                let mut probe = CongestionProbe::new(&net);
+                net.schedule_time_probed(&schedules[0], &mut probe);
+                let expected = routed_link_bytes(&net, &probe, std::slice::from_ref(&schedules[0]));
+                for l in 0..probe.num_links() as u32 {
+                    let got = probe.link_bytes(l);
+                    let want = expected[l as usize];
+                    assert!(
+                        (got - want).abs() <= 1e-9 * want.max(1.0),
+                        "lockstep link {l} carried {got} B, routed {want} B \
+                         (nics={nics}, {policy}, {mode:?})"
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Zero-cost contract of the probe: attaching one never changes the
+/// simulated cost — the probed entry points are bit-identical to the
+/// unprobed ones, under both engines, both contention modes and random
+/// rail fabrics.
+#[test]
+fn attaching_a_congestion_probe_never_changes_costs() {
+    use mixed_radix_enum::simnet::{CongestionProbe, ContentionMode, FluidSim, RailPolicy};
+    propcheck(24, 0xD0C0_0024, |rng| {
+        let policy = *rng.choose(&RailPolicy::ALL).expect("three policies");
+        let nics = rng.gen_range(1usize..5);
+        let schedules = arb_concurrent_schedules(rng);
+        for mode in [ContentionMode::MaxMinFair, ContentionMode::EqualShare] {
+            let net = small_test_network()
+                .with_rails(vec![nics, 1, nics], policy)
+                .with_contention_mode(mode);
+            let mut probe = CongestionProbe::new(&net);
+            assert_eq!(
+                net.schedule_time(&schedules[0]).to_bits(),
+                net.schedule_time_probed(&schedules[0], &mut probe)
+                    .to_bits(),
+                "lockstep probed run must be bit-identical ({policy}, {mode:?})"
+            );
+            let mut probe = CongestionProbe::new(&net);
+            assert_eq!(
+                FluidSim::new(&net).run(&schedules).to_bits(),
+                FluidSim::new(&net)
+                    .run_probed(&schedules, &mut probe)
+                    .to_bits(),
+                "fluid probed run must be bit-identical ({policy}, {mode:?})"
+            );
+        }
+    });
+}
+
+/// The per-level bound-gap telemetry is sound: for every collective
+/// generator, the observed busy span of a level is at least that level's
+/// admissible bound contribution (gap ≥ 0 everywhere), under both engines
+/// and contention modes on single- and multi-rail fabrics.
+#[test]
+fn congestion_bound_gaps_are_non_negative() {
+    use mixed_radix_enum::simnet::{
+        bound_gap_fluid, bound_gap_lockstep, CongestionProbe, ContentionMode, FluidSim, RailPolicy,
+    };
+    propcheck(24, 0xD0C0_0025, |rng| {
+        let policy = *rng.choose(&RailPolicy::ALL).expect("three policies");
+        let nics = rng.gen_range(1usize..4);
+        let p = rng.gen_range(2usize..13);
+        let mut cores: Vec<usize> = (0..16).collect();
+        rng.shuffle(&mut cores);
+        let members = &cores[..p];
+        let bytes = rng.gen_range(1u64..1_000_000);
+        let gens: Vec<(&str, Schedule)> = vec![
+            (
+                "alltoall_pairwise_railed",
+                schedules::alltoall_pairwise_railed(members, bytes, nics),
+            ),
+            (
+                "alltoall_pairwise",
+                schedules::alltoall_pairwise(members, bytes),
+            ),
+            ("allgather_ring", schedules::allgather_ring(members, bytes)),
+            ("allreduce_ring", schedules::allreduce_ring(members, bytes)),
+        ];
+        for mode in [ContentionMode::MaxMinFair, ContentionMode::EqualShare] {
+            let net = small_test_network()
+                .with_rails(vec![nics, 1, nics], policy)
+                .with_contention_mode(mode);
+            for (name, s) in &gens {
+                let mut probe = CongestionProbe::new(&net);
+                net.schedule_time_probed(s, &mut probe);
+                for g in bound_gap_lockstep(&net, s, &probe) {
+                    assert!(
+                        g.gap() >= -1e-9 * g.actual.max(1e-12),
+                        "{name} lockstep level {} gap {} < 0 \
+                         (bound {}, actual {}, nics={nics}, {policy}, {mode:?})",
+                        g.level,
+                        g.gap(),
+                        g.bound,
+                        g.actual
+                    );
+                }
+                let mut probe = CongestionProbe::new(&net);
+                FluidSim::new(&net).run_probed(std::slice::from_ref(s), &mut probe);
+                for g in bound_gap_fluid(&net, std::slice::from_ref(s), &probe) {
+                    assert!(
+                        g.gap() >= -1e-9 * g.actual.max(1e-12),
+                        "{name} fluid level {} gap {} < 0 \
+                         (bound {}, actual {}, nics={nics}, {policy}, {mode:?})",
+                        g.level,
+                        g.gap(),
+                        g.bound,
+                        g.actual
+                    );
+                }
+            }
+        }
+    });
+}
