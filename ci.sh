@@ -77,6 +77,30 @@ echo "== rail bench smoke (asserts 1-rail identity, 2-rail oracle agreement, win
 cargo bench -q -p mre-bench --bench rail -- --quick lockstep \
   | grep "acceptance passed"
 
+echo "== bound-ladder smoke (per-rail rung prunes strictly more than aggregate, same winner)"
+# Ring allreduce under round-robin railing is parity-degenerate (whole
+# rounds land on one of the 4 rails), so the per-rail histogram rung
+# must cost strictly fewer candidates than the pooled aggregate bound —
+# with a byte-identical recommendation, since both bounds are
+# admissible. MRE_PAR_THREADS=1 pins the evaluated/pruned split (the
+# winner is interleaving-invariant, the split is not).
+MRE_PAR_THREADS=1 cargo run -q --release -p mre-bench --bin order_sweep -- \
+  8,2,2,8 64 allreduce 4194304 --pruned --fluid --nics 4 \
+  > target/ladder_per_rail.out
+MRE_PAR_THREADS=1 cargo run -q --release -p mre-bench --bin order_sweep -- \
+  8,2,2,8 64 allreduce 4194304 --pruned --fluid --nics 4 --bound aggregate \
+  > target/ladder_aggregate.out
+grep "recommended order:" target/ladder_per_rail.out > target/ladder_best_a
+grep "recommended order:" target/ladder_aggregate.out > target/ladder_best_b
+cmp target/ladder_best_a target/ladder_best_b
+costed_per_rail=$(sed -n 's/^branch-and-bound: \([0-9]*\) costed.*/\1/p' target/ladder_per_rail.out)
+costed_aggregate=$(sed -n 's/^branch-and-bound: \([0-9]*\) costed.*/\1/p' target/ladder_aggregate.out)
+test "$costed_per_rail" -lt "$costed_aggregate"
+
+echo "== prune bench smoke (asserts ladder winners byte-identical per rail count)"
+cargo bench -q -p mre-bench --bench prune -- --quick prune \
+  | grep "acceptance passed (4 rails)"
+
 echo "== congestion_report smoke (hot link is the node uplink; 2 NICs halve its byte load)"
 cargo run -q --release -p mre-bench --bin congestion_report -- \
   --machine hydra --nodes 16 --bytes 4194304 --top-k 3 \

@@ -10,12 +10,14 @@
 //! `BENCH_autotune.json` at the repo root.
 
 use mre_bench::tinybench::{black_box, Bench, Stats};
-use mre_core::order_search::{sweep, sweep_pruned, SweepSpec};
+use mre_core::order_search::{sweep, sweep_pruned, sweep_pruned_ladder, SweepSpec};
 use mre_core::subcomm::{subcommunicators, ColorScheme};
 use mre_core::{Hierarchy, Permutation};
 use mre_mpi::{AlgorithmSelector, AllgatherAlg, CollectiveKind};
 use mre_simnet::presets::hydra_network;
-use mre_simnet::{schedule_lower_bound, NetworkModel, Schedule, SharedCostCache};
+use mre_simnet::{
+    schedule_lower_bound, schedule_lower_bound_aggregate, NetworkModel, Schedule, SharedCostCache,
+};
 use mre_workloads::microbench::{Collective, Microbench};
 
 const NODES: usize = 4;
@@ -95,6 +97,7 @@ fn check_byte_identical(machine: &Hierarchy, net: &NetworkModel, spec: &SweepSpe
 struct SweepStats {
     exhaustive: Option<Stats>,
     pruned: Option<Stats>,
+    ladder: Option<Stats>,
     warm: Option<Stats>,
     cache_hits: u64,
     cache_misses: u64,
@@ -119,6 +122,21 @@ fn bench_sweeps(
         sweep_pruned(black_box(machine), spec, bound, cost).unwrap()
     });
 
+    // The two-stage ladder: the merged schedule is prepared once per
+    // candidate and shared by the aggregate rung, the per-rail rung and
+    // the costing — no per-stage rebuild (DESIGN.md §7g).
+    let ladder = b.bench("sweep/pruned-ladder/2x2-grid", || {
+        sweep_pruned_ladder(
+            black_box(machine),
+            spec,
+            |sigma, s, bytes| merged_schedule(machine, sigma, s, bytes),
+            |_, _, _, merged| schedule_lower_bound_aggregate(net, merged),
+            |_, _, _, merged| schedule_lower_bound(net, merged),
+            |sigma, s, bytes, _| contended_duration(machine, net, sigma, s, bytes),
+        )
+        .unwrap()
+    });
+
     // Cross-sweep caching: the same cost closure, memoized on the merged
     // schedule's `(pattern fingerprint, payload)`. After one warming
     // sweep every repeat is pure lookups — the "re-run the figure grid"
@@ -138,6 +156,7 @@ fn bench_sweeps(
     SweepStats {
         exhaustive,
         pruned,
+        ladder,
         warm,
         cache_hits,
         cache_misses,
@@ -197,15 +216,18 @@ fn main() {
     println!(
         "\njson: {{\"sweep\": {{\"machine\": \"{machine}\", \"subcomm_sizes\": [16, 32], \
          \"payload_sizes\": [65536, 4194304], \"exhaustive_ns\": {:.1}, \"pruned_ns\": {:.1}, \
-         \"pruned_warm_cache_ns\": {:.1}, \"pruned_speedup\": {:.3}, \
+         \"ladder_ns\": {:.1}, \"pruned_warm_cache_ns\": {:.1}, \"pruned_speedup\": {:.3}, \
+         \"ladder_speedup\": {:.3}, \
          \"warm_cache_speedup\": {:.3}, \"evaluated\": {evaluated}, \"pruned\": {skipped}, \
          \"cache_hits\": {}, \"cache_misses\": {}}}, \
          \"selector\": {{\"total_bytes\": {SELECTOR_BYTES}, \"cold_ns\": {:.1}, \
          \"warm_ns\": {:.1}, \"warm_speedup\": {:.3}}}}}",
         med(&sweeps.exhaustive),
         med(&sweeps.pruned),
+        med(&sweeps.ladder),
         med(&sweeps.warm),
         ratio(&sweeps.exhaustive, &sweeps.pruned),
+        ratio(&sweeps.exhaustive, &sweeps.ladder),
         ratio(&sweeps.exhaustive, &sweeps.warm),
         sweeps.cache_hits,
         sweeps.cache_misses,

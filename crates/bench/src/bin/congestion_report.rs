@@ -10,7 +10,10 @@
 //! per-level bound gap — how far the admissible
 //! [`mre_simnet::schedule_lower_bound`] / [`mre_simnet::fluid_lower_bound`]
 //! contribution sits below the observed busy span, i.e. the pruning
-//! headroom each level leaves the branch-and-bound search.
+//! headroom each level leaves the branch-and-bound search. When
+//! round-robin railing turns out parity-degenerate (the imbalance index
+//! of a railed level equals its rail count), the report says so and
+//! suggests `--rail-policy affinity`.
 //!
 //! `--csv` writes every recorded rate segment
 //! ([`mre_trace::congestion_csv`]); `--chrome` writes the message
@@ -328,6 +331,37 @@ fn main() {
         );
     }
     println!();
+
+    // Parity degeneracy (DESIGN.md §9): round-robin picks the rail as
+    // `(src + dst) mod rails`, so a collective whose communicating pairs
+    // all share one pair parity — ring neighbours a constant stride
+    // apart, say — lands *every* crossing byte on a single rail and the
+    // imbalance index equals the rail count.
+    if opts.policy == RailPolicy::RoundRobin {
+        let mut warned = false;
+        for (level, &rails) in net.rail_counts().iter().enumerate() {
+            if rails <= 1 {
+                continue;
+            }
+            let imbalance = probe.rail_imbalance(level);
+            if imbalance >= rails as f64 * (1.0 - 1e-9) {
+                println!(
+                    "warning: {} traffic is parity-degenerate — the rail-imbalance index \
+                     {imbalance:.3} equals the rail count {rails}, so round-robin's \
+                     `(src + dst) mod {rails}` steers every crossing byte onto one rail \
+                     and the other {} rail(s) sit idle (DESIGN.md \u{a7}9); try \
+                     `--rail-policy affinity`, which binds rails to sender positions \
+                     instead of pair parity",
+                    level_label(&net, level),
+                    rails - 1
+                );
+                warned = true;
+            }
+        }
+        if warned {
+            println!();
+        }
+    }
 
     println!("top {} hot links (by busy time):", opts.top_k);
     for (rank, usage) in probe.hot_links(opts.top_k).iter().enumerate() {

@@ -16,8 +16,8 @@
 
 use mre_core::{Hierarchy, Permutation};
 use mre_simnet::presets::hydra_network_rails;
-use mre_simnet::RailPolicy;
-use mre_workloads::splatt::{estimate_cpd_time, pearson, SplattConfig};
+use mre_simnet::{RailPolicy, SharedCostCache};
+use mre_workloads::splatt::{estimate_cpd_time_cached, pearson, SplattConfig};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
@@ -48,6 +48,11 @@ fn main() {
 
     let sigmas = Permutation::all(4);
     let mut winners: Vec<(usize, Permutation, f64)> = Vec::new();
+    // One cost cache for the whole 1/2/4-rail grid: the model fingerprint
+    // in every key separates the fabrics, while repeated schedule patterns
+    // (the per-mode world Allreduces, orders that induce the same layer
+    // memberships) are solved once per fabric.
+    let cache = SharedCostCache::new();
     for nics in [1usize, 2, 4] {
         let net = hydra_network_rails(nodes, nics, policy);
         println!("\n## {nics} rail(s) per node — CPD duration (s)");
@@ -56,7 +61,8 @@ fn main() {
             "order", "total", "a2av(16p)", "a2av(256p)", "allreduce", "compute"
         );
         let breakdowns = mre_core::par::map(&sigmas, |_, sigma| {
-            estimate_cpd_time(&cfg, &machine, sigma, &net, flop_rate).expect("valid configuration")
+            estimate_cpd_time_cached(&cfg, &machine, sigma, &net, flop_rate, &cache)
+                .expect("valid configuration")
         });
         let mut totals = Vec::new();
         let mut smalls = Vec::new();
@@ -100,4 +106,10 @@ fn main() {
     } else {
         println!("winner stable across rail counts for this configuration");
     }
+    let (hits, misses) = cache.stats();
+    println!(
+        "cost cache over the rail grid: {hits} hits / {misses} contention solves \
+         ({} distinct keys)",
+        cache.len()
+    );
 }

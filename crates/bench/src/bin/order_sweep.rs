@@ -6,17 +6,25 @@
 //!
 //! ```text
 //! order_sweep [HIERARCHY] [SUBCOMM] [COLLECTIVE] [SIZE_BYTES] [--pruned] [--fluid]
-//!             [--nics N] [--rail-policy round-robin|src-hash|affinity] [--congestion]
+//!             [--nics N] [--rail-policy round-robin|src-hash|affinity]
+//!             [--bound aggregate|per-rail] [--congestion]
 //! order_sweep 16,2,2,8 16 alltoall 4194304
 //! order_sweep 16,2,2,8 16 alltoall 4194304 --nics 2 --fluid
 //! ```
 //!
 //! With `--pruned` the exhaustive evaluation is replaced by the
-//! branch-and-bound search: candidates are visited in ascending
-//! [`mre_simnet::schedule_lower_bound`] order and skipped once their
-//! bound exceeds the incumbent best cost. The recommended order is
-//! byte-identical to the exhaustive one (the bound is admissible); the
-//! table then lists only the candidates that were actually costed.
+//! parallel best-first branch-and-bound search
+//! ([`mre_core::order_search::rank_orders_pruned_ladder`]): each
+//! candidate's schedules are built exactly once, the cheap *aggregate*
+//! capacity bound orders the frontier, the per-rail *histogram* bound
+//! ([`mre_simnet::schedule_lower_bound`]) lazily re-checks the
+//! survivors, and only candidates both rungs admit pay the full
+//! contention solve (memoized in a [`mre_simnet::SharedCostCache`]).
+//! The recommended order is byte-identical to the exhaustive one (both
+//! bounds are admissible); the table then lists only the candidates
+//! that were actually costed. `--bound aggregate` disables the per-rail
+//! rung — on a multi-rail fabric it prunes strictly less (the per-rail
+//! bound dominates; DESIGN.md §7g), which `ci.sh` asserts.
 //!
 //! With `--fluid` the contended duration comes from the barrier-free
 //! fluid simulator ([`mre_simnet::fluid_time`]) instead of the lockstep
@@ -41,14 +49,15 @@
 //! `nodes,2,2,8` or a LUMI-shaped `nodes,2,4,2,8`); `COLLECTIVE` is
 //! `alltoall`, `allreduce` or `allgather`.
 
-use mre_core::order_search::{rank_orders_by_par, rank_orders_pruned, spreadness};
+use mre_core::order_search::{rank_orders_by_par, rank_orders_pruned_ladder, spreadness};
 use mre_core::subcomm::{subcommunicators, ColorScheme};
 use mre_core::{Hierarchy, Permutation};
 use mre_mpi::{AllgatherAlg, AllreduceAlg, AlltoallAlg};
 use mre_simnet::presets::{hydra_network, lumi_network};
 use mre_simnet::{
-    bound_gap_fluid, bound_gap_lockstep, fluid_lower_bound, fluid_time, schedule_lower_bound,
-    BoundGap, CongestionProbe, FluidSim, NetworkModel, RailPolicy, Schedule,
+    bound_gap_fluid, bound_gap_lockstep, fluid_lower_bound, fluid_lower_bound_aggregate,
+    fluid_time, schedule_lower_bound, schedule_lower_bound_aggregate, BoundGap, CongestionProbe,
+    FluidSim, NetworkModel, RailPolicy, Schedule, SharedCostCache,
 };
 use mre_slurm::Distribution;
 use mre_trace::MetricsRegistry;
@@ -99,6 +108,15 @@ fn main() {
     })
     .unwrap_or(1);
     let policy = take_value_flag(&mut args, "--rail-policy", RailPolicy::parse).unwrap_or_default();
+    // Which tight rung the pruned search runs: the per-rail histogram
+    // bound (default; dominates on railed fabrics) or none — leaving the
+    // cheap aggregate rung alone, for before/after pruning comparisons.
+    let per_rail_bound = take_value_flag(&mut args, "--bound", |v| match v {
+        "aggregate" => Some(false),
+        "per-rail" => Some(true),
+        _ => None,
+    })
+    .unwrap_or(true);
     let hierarchy_text = args.get(1).map(String::as_str).unwrap_or("16,2,2,8");
     let subcomm: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(16);
     let collective_name = args.get(3).map(String::as_str).unwrap_or("alltoall");
@@ -182,29 +200,75 @@ fn main() {
     let registry = MetricsRegistry::new();
     let telemetry_guard = pruned_mode.then(|| registry.install_telemetry());
     let ranked = if pruned_mode {
-        // Admissible lower bound on the contended duration: under the
-        // lockstep model, the physics bound of the merged schedule all
-        // subcommunicators execute concurrently; under the fluid model,
-        // the barrier-free bound (max of per-job bounds and the pooled
-        // per-level byte bound).
-        let result = rank_orders_pruned(
+        // Per candidate: build the schedules once, bound them with the
+        // cheap aggregate rung (which orders the frontier), re-check the
+        // survivors with the per-rail histogram rung, and pay the full
+        // contention solve only for candidates both rungs admit. Both
+        // bounds are admissible lower bounds on the contended duration —
+        // under the lockstep model, physics bounds of the merged schedule
+        // all subcommunicators execute concurrently; under the fluid
+        // model, the barrier-free bounds (max of per-job bounds and the
+        // pooled per-level byte bound).
+        struct Prepared {
+            all: Vec<Schedule>,
+            merged: Schedule,
+        }
+        // Full costs are memoized under (model fingerprint, pattern,
+        // payload) so the --congestion re-probes and repeated patterns
+        // never re-solve contention.
+        let cache = SharedCostCache::new();
+        let fluid_key = |all: &[Schedule]| -> u64 {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            for s in all {
+                s.pattern_fingerprint().hash(&mut h);
+            }
+            h.finish()
+        };
+        let result = rank_orders_pruned_ladder(
             &machine,
             subcomm,
             |sigma| {
                 let all = schedules_for(sigma);
-                if fluid_mode {
-                    fluid_lower_bound(&net, &all)
+                let merged = if fluid_mode {
+                    Schedule::new() // the fluid rungs work on the job set
                 } else {
-                    schedule_lower_bound(&net, &Schedule::lockstep(&all))
+                    Schedule::lockstep(&all)
+                };
+                Prepared { all, merged }
+            },
+            |_, p| {
+                if fluid_mode {
+                    fluid_lower_bound_aggregate(&net, &p.all)
+                } else {
+                    schedule_lower_bound_aggregate(&net, &p.merged)
                 }
             },
-            cost,
+            |_, p| {
+                if !per_rail_bound {
+                    // No second rung: an always-true lower bound that can
+                    // never prune, leaving the aggregate rung alone.
+                    f64::NEG_INFINITY
+                } else if fluid_mode {
+                    fluid_lower_bound(&net, &p.all)
+                } else {
+                    schedule_lower_bound(&net, &p.merged)
+                }
+            },
+            |_, p| {
+                if fluid_mode {
+                    cache.time_keyed(&net, fluid_key(&p.all), size, || fluid_time(&net, &p.all))
+                } else {
+                    cache.time_with(&net, &p.merged, size, || net.schedule_time(&p.merged))
+                }
+            },
         )
         .expect("valid configuration");
         println!(
-            "branch-and-bound: {} costed, {} pruned of {} candidates\n",
+            "branch-and-bound: {} costed, {} pruned ({} by the per-rail rung) of {} candidates\n",
             result.stats.evaluated,
             result.stats.pruned,
+            result.stats.tight_pruned,
             result.stats.candidates()
         );
         result.ranked
@@ -238,9 +302,21 @@ fn main() {
         drop(guard);
         let snap = registry.snapshot();
         println!(
-            "telemetry: core.order_search.bound.evaluated={} core.order_search.bound.pruned={}",
+            "telemetry: core.order_search.bound.evaluated={} core.order_search.bound.pruned={} \
+             core.order_search.bound.tight_pruned={}",
             snap.counter("core.order_search.bound.evaluated"),
             snap.counter("core.order_search.bound.pruned"),
+            snap.counter("core.order_search.bound.tight_pruned"),
+        );
+        // The ladder-vs-cost time split: how long the search spent in
+        // bound rungs (schedule construction + both bounds) vs in full
+        // contention solves, summed across workers.
+        let bound_ns = snap.counter("core.order_search.bound.bound_ns");
+        let cost_ns = snap.counter("core.order_search.bound.cost_ns");
+        println!(
+            "telemetry: core.order_search.bound.bound_ns={bound_ns} \
+             core.order_search.bound.cost_ns={cost_ns} (bound share {:.1}%)",
+            100.0 * bound_ns as f64 / (bound_ns + cost_ns).max(1) as f64,
         );
     }
     if congestion_mode {

@@ -98,6 +98,12 @@ impl Bench {
         }
     }
 
+    /// True when `--quick` cut the sample counts — benches that persist
+    /// committed `BENCH_*.json` artifacts skip the write in quick mode.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
     /// Runs `f` repeatedly and records its timing under `name`. Returns
     /// the stats, or `None` if the name is filtered out.
     pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> Option<Stats> {

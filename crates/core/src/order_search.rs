@@ -23,6 +23,19 @@
 //!   `schedule_lower_bound`), and any candidate whose bound exceeds the
 //!   incumbent best cost is skipped without paying the full evaluation —
 //!   provably returning the same best order per cell (DESIGN.md §7e).
+//!   The frontier is evaluated **best-first in parallel** on the
+//!   [`crate::par`] worker pool against a shared atomic incumbent; the
+//!   winner stays byte-identical to the exhaustive sweep in every
+//!   interleaving (see [`rank_orders_pruned`] for the argument), while
+//!   [`rank_orders_pruned_serial`] / [`sweep_pruned_serial`] keep the
+//!   fully deterministic single-thread loop as the differential oracle;
+//! * [`rank_orders_pruned_ladder`] / [`sweep_pruned_ladder`] add the
+//!   two-stage **bound ladder** (DESIGN.md §7g): a per-candidate
+//!   `prepare` artifact built exactly once (typically the collective
+//!   schedules — the dominant per-candidate cost), a cheap bound
+//!   computed for every candidate to order the frontier, and a tighter
+//!   still-admissible bound evaluated lazily only for candidates the
+//!   cheap rung fails to prune.
 
 use crate::error::Error;
 use crate::hierarchy::Hierarchy;
@@ -138,15 +151,60 @@ where
 pub struct PruneStats {
     /// Candidates whose full cost was evaluated.
     pub evaluated: u64,
-    /// Candidates skipped because their lower bound exceeded the
-    /// incumbent best cost.
+    /// Candidates skipped because a lower bound exceeded the incumbent
+    /// best cost (cheap-rung and tight-rung skips combined).
     pub pruned: u64,
+    /// The subset of `pruned` skipped by the **tight** ladder rung — the
+    /// candidates the cheap bound let through but the lazily-evaluated
+    /// tighter bound rejected. Zero for single-bound searches.
+    pub tight_pruned: u64,
 }
 
 impl PruneStats {
-    /// Total candidates considered (evaluated + pruned).
+    /// Total candidates considered (evaluated + pruned). Invariant under
+    /// thread count and scheduling, unlike the evaluated/pruned split of
+    /// the parallel engine (a worker may cost a candidate a slightly
+    /// earlier incumbent would have pruned).
     pub fn candidates(&self) -> u64 {
         self.evaluated + self.pruned
+    }
+
+    fn merge(self, other: PruneStats) -> PruneStats {
+        PruneStats {
+            evaluated: self.evaluated + other.evaluated,
+            pruned: self.pruned + other.pruned,
+            tight_pruned: self.tight_pruned + other.tight_pruned,
+        }
+    }
+}
+
+/// Wall-time accumulators of one search, split by ladder stage: `bound`
+/// covers prepare + cheap + tight rungs, `cost` the full evaluations.
+/// Summed across workers, so the two are comparable CPU-time shares even
+/// when the frontier runs in parallel.
+#[derive(Debug, Default)]
+struct SearchTiming {
+    bound_ns: std::sync::atomic::AtomicU64,
+    cost_ns: std::sync::atomic::AtomicU64,
+}
+
+impl SearchTiming {
+    fn timed<R>(ns: &std::sync::atomic::AtomicU64, f: impl FnOnce() -> R) -> R {
+        let start = std::time::Instant::now();
+        let r = f();
+        ns.fetch_add(
+            start.elapsed().as_nanos() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        r
+    }
+
+    fn bound<R>(&self, f: impl FnOnce() -> R) -> R {
+        Self::timed(&self.bound_ns, f)
+    }
+
+    fn cost<R>(&self, f: impl FnOnce() -> R) -> R {
+        Self::timed(&self.cost_ns, f)
     }
 }
 
@@ -164,36 +222,57 @@ pub struct PrunedRanking {
     pub stats: PruneStats,
 }
 
-/// Branch-and-bound core shared by [`rank_orders_pruned`] and
-/// [`sweep_pruned`]: visit candidates in ascending `(bound, enumeration
-/// index)` order, keep a `(cost, enumeration index)` incumbent, and stop
-/// at the first candidate whose bound *strictly* exceeds the incumbent
-/// cost (bounds are sorted, so every later candidate is prunable too).
+/// The visit order of the frontier: candidate indices sorted by
+/// `(cheap bound, enumeration index)` ascending.
+fn visit_order(bounds: &[f64]) -> Vec<usize> {
+    let mut visit: Vec<usize> = (0..bounds.len()).collect();
+    visit.sort_by(|&a, &b| bounds[a].total_cmp(&bounds[b]).then(a.cmp(&b)));
+    visit
+}
+
+/// Serial branch-and-bound core — the deterministic oracle behind
+/// [`rank_orders_pruned_serial`] / [`sweep_pruned_serial`], and the
+/// fallback of the parallel engine on one worker: visit candidates in
+/// ascending `(bound, enumeration index)` order, keep a `(cost,
+/// enumeration index)` incumbent, and stop at the first candidate whose
+/// cheap bound *strictly* exceeds the incumbent cost (cheap bounds are
+/// sorted, so every later candidate is prunable too). A candidate the
+/// cheap rung admits is optionally re-checked against a lazily-evaluated
+/// `tight` bound; a tight rejection skips only that candidate (tight
+/// bounds are not sorted).
 ///
 /// Strict inequality and the index tie-breaks are what make the result
 /// byte-identical to the exhaustive search: a candidate whose bound
 /// *equals* the incumbent cost could still tie it with a smaller
 /// enumeration index, so it must be evaluated; and any candidate whose
-/// true cost equals the final best has (by admissibility) a bound ≤ that
-/// cost ≤ every incumbent, hence is never skipped.
+/// true cost equals the final best has (by admissibility of **both**
+/// rungs) bounds ≤ that cost ≤ every incumbent, hence is never skipped.
 ///
 /// Returns evaluated `(enumeration index, cost)` pairs sorted by
 /// `(cost, enumeration index)` — position 0 is the provable optimum —
 /// plus the prune counters.
-fn branch_and_bound(
+fn branch_and_bound_serial(
     bounds: &[f64],
-    mut cost: impl FnMut(usize) -> f64,
+    tight: Option<&dyn Fn(usize) -> f64>,
+    cost: &mut dyn FnMut(usize) -> f64,
 ) -> (Vec<(usize, f64)>, PruneStats) {
-    let mut visit: Vec<usize> = (0..bounds.len()).collect();
-    visit.sort_by(|&a, &b| bounds[a].total_cmp(&bounds[b]).then(a.cmp(&b)));
+    let visit = visit_order(bounds);
     let mut evaluated: Vec<(usize, f64)> = Vec::new();
     let mut incumbent: Option<(f64, usize)> = None;
     let mut pruned = 0u64;
+    let mut tight_pruned = 0u64;
     for (pos, &i) in visit.iter().enumerate() {
         if let Some((best_cost, _)) = incumbent {
             if bounds[i].total_cmp(&best_cost) == std::cmp::Ordering::Greater {
-                pruned = (visit.len() - pos) as u64;
+                pruned += (visit.len() - pos) as u64;
                 break;
+            }
+            if let Some(tight) = tight {
+                if tight(i).total_cmp(&best_cost) == std::cmp::Ordering::Greater {
+                    pruned += 1;
+                    tight_pruned += 1;
+                    continue;
+                }
             }
         }
         let c = cost(i);
@@ -211,32 +290,189 @@ fn branch_and_bound(
     let stats = PruneStats {
         evaluated: evaluated.len() as u64,
         pruned,
+        tight_pruned,
     };
     (evaluated, stats)
 }
 
-fn emit_prune_telemetry(stats: PruneStats) {
-    if crate::telemetry::enabled() {
-        crate::telemetry::counter_add("core.order_search.bound.evaluated", stats.evaluated);
-        crate::telemetry::counter_add("core.order_search.bound.pruned", stats.pruned);
+/// Lowers `current` to `candidate` if smaller (by `total_cmp`), CAS-ing
+/// on the f64's bit pattern — the shared incumbent of the parallel
+/// frontier.
+fn cas_min_f64(current: &std::sync::atomic::AtomicU64, candidate: f64) {
+    use std::sync::atomic::Ordering;
+    let mut cur = current.load(Ordering::Acquire);
+    while candidate.total_cmp(&f64::from_bits(cur)) == std::cmp::Ordering::Less {
+        match current.compare_exchange_weak(
+            cur,
+            candidate.to_bits(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
     }
 }
 
-/// Branch-and-bound variant of [`rank_orders_by`]: evaluates candidates
-/// in ascending order of `bound` and skips any whose bound exceeds the
-/// incumbent best cost.
+/// Parallel best-first branch-and-bound: the bound-ordered frontier is
+/// drained by the [`crate::par`] worker pool against a shared atomic
+/// incumbent (CAS on the cost's f64 bits).
+///
+/// The bound-minimal candidate is costed **serially first** to seed the
+/// incumbent — without it, `threads ≥ candidates` would cost the whole
+/// frontier speculatively before any pruning could act. Workers then
+/// claim positions from a shared cursor in bound order; a claim whose
+/// cheap bound strictly exceeds the current incumbent proves every later
+/// position prunable too (bounds ascend along the visit order and the
+/// incumbent only decreases), so the worker forwards the cursor past the
+/// end and retires.
+///
+/// **Determinism.** The set of candidates that pay the full cost may vary
+/// with scheduling (a worker can claim a candidate an instant before a
+/// better incumbent lands), but the *winner* cannot: any candidate whose
+/// true cost equals the global minimum has (by admissibility) every bound
+/// ≤ that cost ≤ every intermediate incumbent, so no interleaving ever
+/// prunes it, and the final `(cost, enumeration index)` sort breaks ties
+/// exactly like the serial and exhaustive paths. `PruneStats::candidates`
+/// is likewise interleaving-invariant.
+fn branch_and_bound_par(
+    bounds: &[f64],
+    tight: Option<&(dyn Fn(usize) -> f64 + Sync)>,
+    cost: &(dyn Fn(usize) -> f64 + Sync),
+) -> (Vec<(usize, f64)>, PruneStats) {
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    let n = bounds.len();
+    let workers = par::threads().min(n.saturating_sub(1));
+    if workers <= 1 {
+        let serial_tight: Option<&dyn Fn(usize) -> f64> = tight.map(|t| t as _);
+        return branch_and_bound_serial(bounds, serial_tight, &mut |i| cost(i));
+    }
+    let visit = visit_order(bounds);
+    let seed_index = visit[0];
+    let seed_cost = cost(seed_index);
+    let incumbent = AtomicU64::new(seed_cost.to_bits());
+    let evaluated = std::sync::Mutex::new(vec![(seed_index, seed_cost)]);
+    let tight_pruned = AtomicU64::new(0);
+    let cursor = AtomicUsize::new(1);
+    par::broadcast(workers, |_| loop {
+        let pos = cursor.fetch_add(1, Ordering::SeqCst);
+        if pos >= visit.len() {
+            break;
+        }
+        let i = visit[pos];
+        let best = f64::from_bits(incumbent.load(Ordering::Acquire));
+        if bounds[i].total_cmp(&best) == std::cmp::Ordering::Greater {
+            // Every later position is prunable too: its cheap bound is at
+            // least this one's, and the incumbent only decreases. Forward
+            // the cursor so idle workers retire immediately. (A worker
+            // that claimed a position just before this store still prunes
+            // it on its own check — same monotonicity.)
+            cursor.store(visit.len(), Ordering::SeqCst);
+            break;
+        }
+        if let Some(tight) = tight {
+            let best = f64::from_bits(incumbent.load(Ordering::Acquire));
+            if tight(i).total_cmp(&best) == std::cmp::Ordering::Greater {
+                tight_pruned.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        }
+        let c = cost(i);
+        cas_min_f64(&incumbent, c);
+        evaluated.lock().unwrap().push((i, c));
+    });
+    let mut evaluated = evaluated.into_inner().unwrap();
+    evaluated.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let stats = PruneStats {
+        evaluated: evaluated.len() as u64,
+        pruned: n as u64 - evaluated.len() as u64,
+        tight_pruned: tight_pruned.load(Ordering::Relaxed),
+    };
+    (evaluated, stats)
+}
+
+fn emit_prune_telemetry(stats: PruneStats, timing: &SearchTiming) {
+    use std::sync::atomic::Ordering;
+    if crate::telemetry::enabled() {
+        crate::telemetry::counter_add("core.order_search.bound.evaluated", stats.evaluated);
+        crate::telemetry::counter_add("core.order_search.bound.pruned", stats.pruned);
+        crate::telemetry::counter_add("core.order_search.bound.tight_pruned", stats.tight_pruned);
+        crate::telemetry::counter_add(
+            "core.order_search.bound.bound_ns",
+            timing.bound_ns.load(Ordering::Relaxed),
+        );
+        crate::telemetry::counter_add(
+            "core.order_search.bound.cost_ns",
+            timing.cost_ns.load(Ordering::Relaxed),
+        );
+    }
+}
+
+/// Builds a [`PrunedRanking`] from the engine's evaluated set.
+fn assemble_ranking(
+    reps: &[OrderCharacterization],
+    evaluated: Vec<(usize, f64)>,
+    stats: PruneStats,
+) -> PrunedRanking {
+    let ranked: Vec<(OrderCharacterization, f64)> = evaluated
+        .into_iter()
+        .map(|(i, c)| (reps[i].clone(), c))
+        .collect();
+    let best = ranked
+        .first()
+        .cloned()
+        .expect("a valid subcommunicator size has at least one representative order");
+    PrunedRanking {
+        best,
+        ranked,
+        stats,
+    }
+}
+
+/// Branch-and-bound variant of [`rank_orders_by`]: candidates are ordered
+/// by `bound` ascending and drained best-first by the [`crate::par`]
+/// worker pool against a shared atomic incumbent; any candidate whose
+/// bound exceeds the incumbent best cost is skipped without paying the
+/// full evaluation.
 ///
 /// `bound` **must be admissible** — `bound(σ) ≤ cost(σ)` for every
 /// candidate (e.g. `mre-simnet::schedule_lower_bound` of the schedule
 /// that `cost` ends up costing). Under that contract the returned
 /// [`PrunedRanking::best`] is byte-identical to the exhaustive
-/// `rank_orders_by(...)[0]`; a non-admissible bound can prune the true
-/// optimum. Bounds are computed on the worker pool (they are cheap but
-/// numerous); costs are evaluated serially in bound order, which is the
-/// point — the search usually stops after a handful of evaluations. When
-/// all candidates must be costed anyway (no pruning potential), prefer
-/// [`rank_orders_by_par`], which parallelizes the expensive part.
+/// `rank_orders_by(...)[0]` **in every thread interleaving**: the
+/// bound-minimal candidate is costed serially first to seed the
+/// incumbent, a cost-minimal candidate's bound never exceeds any
+/// incumbent (admissibility), so it is never skipped, and the final
+/// `(cost, enumeration index)` sort breaks ties exactly like the
+/// exhaustive path. A non-admissible bound can prune the true optimum.
+/// The evaluated/pruned *split* can vary with scheduling (never the
+/// total); [`rank_orders_pruned_serial`] pins it when exact counters
+/// matter (`MRE_PAR_THREADS=1` forces the same).
 pub fn rank_orders_pruned<B, F>(
+    h: &Hierarchy,
+    subcomm_size: usize,
+    bound: B,
+    cost: F,
+) -> Result<PrunedRanking, Error>
+where
+    B: Fn(&Permutation) -> f64 + Sync,
+    F: Fn(&Permutation) -> f64 + Sync,
+{
+    let reps = representatives(h, subcomm_size)?;
+    let timing = SearchTiming::default();
+    let bounds = par::map(&reps, |_, c| timing.bound(|| bound(&c.order)));
+    let (evaluated, stats) =
+        branch_and_bound_par(&bounds, None, &|i| timing.cost(|| cost(&reps[i].order)));
+    emit_prune_telemetry(stats, &timing);
+    Ok(assemble_ranking(&reps, evaluated, stats))
+}
+
+/// The single-threaded spelling of [`rank_orders_pruned`] — the
+/// differential oracle for the parallel frontier (property-tested to
+/// return the same winner, cost, and candidate total), and the variant
+/// whose evaluated/pruned split is fully deterministic. Also accepts a
+/// stateful `FnMut` cost.
+pub fn rank_orders_pruned_serial<B, F>(
     h: &Hierarchy,
     subcomm_size: usize,
     bound: B,
@@ -247,22 +483,68 @@ where
     F: FnMut(&Permutation) -> f64,
 {
     let reps = representatives(h, subcomm_size)?;
-    let bounds = par::map(&reps, |_, c| bound(&c.order));
-    let (evaluated, stats) = branch_and_bound(&bounds, |i| cost(&reps[i].order));
-    emit_prune_telemetry(stats);
-    let ranked: Vec<(OrderCharacterization, f64)> = evaluated
-        .into_iter()
-        .map(|(i, c)| (reps[i].clone(), c))
-        .collect();
-    let best = ranked
-        .first()
-        .cloned()
-        .expect("a valid subcommunicator size has at least one representative order");
-    Ok(PrunedRanking {
-        best,
-        ranked,
-        stats,
+    let timing = SearchTiming::default();
+    let bounds = par::map(&reps, |_, c| timing.bound(|| bound(&c.order)));
+    let (evaluated, stats) =
+        branch_and_bound_serial(&bounds, None, &mut |i| timing.cost(|| cost(&reps[i].order)));
+    emit_prune_telemetry(stats, &timing);
+    Ok(assemble_ranking(&reps, evaluated, stats))
+}
+
+/// [`rank_orders_pruned`] with the two-stage **bound ladder** and
+/// per-candidate preparation (DESIGN.md §7g).
+///
+/// Per candidate σ, `prepare(σ)` builds an artifact `P` exactly once —
+/// typically the collective schedules, the dominant per-candidate cost —
+/// and every later stage receives `(σ, &P)` instead of rebuilding it:
+///
+/// 1. `cheap(σ, &P)` is evaluated for **every** candidate up front (on
+///    the worker pool) and orders the frontier — e.g. the aggregate
+///    capacity bound;
+/// 2. `tight(σ, &P)` runs **lazily**, only for candidates the cheap rung
+///    failed to prune — e.g. the per-rail histogram bound, which
+///    dominates the aggregate on railed fabrics;
+/// 3. `cost(σ, &P)` runs only for candidates both rungs admit.
+///
+/// **Both bounds must be admissible** (`cheap(σ) ≤ cost(σ)` and
+/// `tight(σ) ≤ cost(σ)` pointwise); then the winner is byte-identical to
+/// the exhaustive search by the same argument as [`rank_orders_pruned`].
+/// `tight` need not dominate `cheap` for correctness — only for the
+/// second rung to ever pay off. [`PruneStats::tight_pruned`] counts its
+/// wins; the `core.order_search.bound.{bound_ns,cost_ns}` telemetry
+/// counters expose the ladder-vs-cost time split.
+pub fn rank_orders_pruned_ladder<P, Prep, B1, B2, F>(
+    h: &Hierarchy,
+    subcomm_size: usize,
+    prepare: Prep,
+    cheap: B1,
+    tight: B2,
+    cost: F,
+) -> Result<PrunedRanking, Error>
+where
+    P: Send + Sync,
+    Prep: Fn(&Permutation) -> P + Sync,
+    B1: Fn(&Permutation, &P) -> f64 + Sync,
+    B2: Fn(&Permutation, &P) -> f64 + Sync,
+    F: Fn(&Permutation, &P) -> f64 + Sync,
+{
+    let reps = representatives(h, subcomm_size)?;
+    let timing = SearchTiming::default();
+    let (prepared, bounds): (Vec<P>, Vec<f64>) = par::map(&reps, |_, c| {
+        timing.bound(|| {
+            let p = prepare(&c.order);
+            let b = cheap(&c.order, &p);
+            (p, b)
+        })
     })
+    .into_iter()
+    .unzip();
+    let tight_rung = |i: usize| timing.bound(|| tight(&reps[i].order, &prepared[i]));
+    let (evaluated, stats) = branch_and_bound_par(&bounds, Some(&tight_rung), &|i| {
+        timing.cost(|| cost(&reps[i].order, &prepared[i]))
+    });
+    emit_prune_telemetry(stats, &timing);
+    Ok(assemble_ranking(&reps, evaluated, stats))
 }
 
 /// The grid a [`sweep`] evaluates: every representative order of each
@@ -408,6 +690,121 @@ pub struct PrunedSweepCell {
     pub stats: PruneStats,
 }
 
+/// Builds a [`PrunedSweepCell`] from one cell's engine output.
+fn assemble_cell(
+    reps: &[OrderCharacterization],
+    subcomm_size: usize,
+    payload: u64,
+    evaluated: Vec<(usize, f64)>,
+    stats: PruneStats,
+) -> PrunedSweepCell {
+    let ranked: Vec<(OrderCharacterization, f64)> = evaluated
+        .into_iter()
+        .map(|(i, c)| (reps[i].clone(), c))
+        .collect();
+    let best = ranked
+        .first()
+        .cloned()
+        .expect("a valid subcommunicator size has at least one representative order");
+    PrunedSweepCell {
+        subcomm_size,
+        payload,
+        best,
+        ranked,
+        stats,
+    }
+}
+
+/// Expands deduplicated cells back to spec order and emits the aggregate
+/// prune telemetry.
+fn expand_cells(
+    unique_cells: Vec<PrunedSweepCell>,
+    size_pos: &[usize],
+    payload_pos: &[usize],
+    payloads: usize,
+    timing: &SearchTiming,
+) -> Vec<PrunedSweepCell> {
+    let total = unique_cells
+        .iter()
+        .fold(PruneStats::default(), |acc, c| acc.merge(c.stats));
+    emit_prune_telemetry(total, timing);
+    let mut cells = Vec::with_capacity(size_pos.len() * payload_pos.len());
+    for &si in size_pos {
+        for &pi in payload_pos {
+            cells.push(unique_cells[si * payloads + pi].clone());
+        }
+    }
+    cells
+}
+
+/// The lazily-evaluated second ladder rung as [`sweep_pruned_impl`] sees
+/// it: `None` for the single-bound [`sweep_pruned`].
+type TightRung<'a, P> = Option<&'a (dyn Fn(&Permutation, usize, u64, &P) -> f64 + Sync)>;
+
+/// Shared ladder sweep: distinct cells run in sequence, each draining its
+/// bound-ordered frontier on the worker pool ([`branch_and_bound_par`]).
+/// `tight` is `None` for the single-bound [`sweep_pruned`].
+fn sweep_pruned_impl<P, Prep, B1, F>(
+    h: &Hierarchy,
+    spec: &SweepSpec,
+    prepare: &Prep,
+    cheap: &B1,
+    tight: TightRung<'_, P>,
+    cost: &F,
+) -> Result<Vec<PrunedSweepCell>, Error>
+where
+    P: Send + Sync,
+    Prep: Fn(&Permutation, usize, u64) -> P + Sync,
+    B1: Fn(&Permutation, usize, u64, &P) -> f64 + Sync,
+    F: Fn(&Permutation, usize, u64, &P) -> f64 + Sync,
+{
+    let (sizes, size_pos) = dedup_axis(&spec.subcomm_sizes);
+    let (payloads, payload_pos) = dedup_axis(&spec.payload_sizes);
+    let reps_per_size: Vec<Vec<OrderCharacterization>> = sizes
+        .iter()
+        .map(|&s| representatives(h, s))
+        .collect::<Result<_, _>>()?;
+    let timing = SearchTiming::default();
+    let mut unique_cells: Vec<PrunedSweepCell> = Vec::with_capacity(sizes.len() * payloads.len());
+    // Cells run in sequence — the worker pool drains each cell's frontier,
+    // so nesting a second fan-out across cells would only oversubscribe.
+    for (si, reps) in reps_per_size.iter().enumerate() {
+        for &payload in &payloads {
+            let subcomm_size = sizes[si];
+            let (prepared, bounds): (Vec<P>, Vec<f64>) = par::map(reps, |_, c| {
+                timing.bound(|| {
+                    let p = prepare(&c.order, subcomm_size, payload);
+                    let b = cheap(&c.order, subcomm_size, payload, &p);
+                    (p, b)
+                })
+            })
+            .into_iter()
+            .unzip();
+            let tight_holder;
+            let tight_rung: Option<&(dyn Fn(usize) -> f64 + Sync)> = match tight {
+                Some(t) => {
+                    tight_holder = |i: usize| {
+                        timing.bound(|| t(&reps[i].order, subcomm_size, payload, &prepared[i]))
+                    };
+                    Some(&tight_holder)
+                }
+                None => None,
+            };
+            let (evaluated, stats) = branch_and_bound_par(&bounds, tight_rung, &|i| {
+                timing.cost(|| cost(&reps[i].order, subcomm_size, payload, &prepared[i]))
+            });
+            unique_cells.push(assemble_cell(reps, subcomm_size, payload, evaluated, stats));
+        }
+    }
+    Ok(expand_cells(
+        unique_cells,
+        &size_pos,
+        &payload_pos,
+        payloads.len(),
+        &timing,
+    ))
+}
+
 /// Branch-and-bound variant of [`sweep`]: one incumbent per grid cell,
 /// candidates visited in ascending lower-bound order, and every candidate
 /// whose bound exceeds the incumbent skipped without evaluating `cost`.
@@ -415,14 +812,65 @@ pub struct PrunedSweepCell {
 /// `bound(σ, subcomm_size, payload)` **must be admissible** —
 /// `bound ≤ cost` pointwise (see [`rank_orders_pruned`]); then each
 /// cell's [`PrunedSweepCell::best`] is byte-identical to the exhaustive
-/// [`sweep`]'s `ranked[0]` for that cell. Cells of the deduplicated grid
-/// are independent, so they fan out on the worker pool; *within* a cell
-/// the incumbent loop is inherently serial (each decision depends on the
-/// previous best), which is exactly the work the pruning eliminates.
+/// [`sweep`]'s `ranked[0]` for that cell, in every thread interleaving.
+/// Distinct cells run in sequence; *within* each cell the bound-ordered
+/// frontier is drained best-first by the worker pool against a shared
+/// atomic incumbent ([`rank_orders_pruned`] describes the engine and its
+/// determinism guarantees; [`sweep_pruned_serial`] pins the
+/// evaluated/pruned split when exact counters matter).
 ///
-/// Emits `core.order_search.bound.{evaluated, pruned}` telemetry
-/// counters aggregated over all distinct cells.
+/// Emits `core.order_search.bound.{evaluated, pruned, tight_pruned,
+/// bound_ns, cost_ns}` telemetry counters aggregated over all distinct
+/// cells.
 pub fn sweep_pruned<B, F>(
+    h: &Hierarchy,
+    spec: &SweepSpec,
+    bound: B,
+    cost: F,
+) -> Result<Vec<PrunedSweepCell>, Error>
+where
+    B: Fn(&Permutation, usize, u64) -> f64 + Sync,
+    F: Fn(&Permutation, usize, u64) -> f64 + Sync,
+{
+    sweep_pruned_impl(
+        h,
+        spec,
+        &|_: &Permutation, _, _| (),
+        &|sigma: &Permutation, s, p, _: &()| bound(sigma, s, p),
+        None,
+        &|sigma: &Permutation, s, p, _: &()| cost(sigma, s, p),
+    )
+}
+
+/// [`sweep_pruned`] with the two-stage bound ladder and per-candidate
+/// preparation — the grid counterpart of [`rank_orders_pruned_ladder`]
+/// (same admissibility contract for **both** rungs, same winner
+/// guarantee, same telemetry).
+pub fn sweep_pruned_ladder<P, Prep, B1, B2, F>(
+    h: &Hierarchy,
+    spec: &SweepSpec,
+    prepare: Prep,
+    cheap: B1,
+    tight: B2,
+    cost: F,
+) -> Result<Vec<PrunedSweepCell>, Error>
+where
+    P: Send + Sync,
+    Prep: Fn(&Permutation, usize, u64) -> P + Sync,
+    B1: Fn(&Permutation, usize, u64, &P) -> f64 + Sync,
+    B2: Fn(&Permutation, usize, u64, &P) -> f64 + Sync,
+    F: Fn(&Permutation, usize, u64, &P) -> f64 + Sync,
+{
+    let tight_dyn: &(dyn Fn(&Permutation, usize, u64, &P) -> f64 + Sync) = &tight;
+    sweep_pruned_impl(h, spec, &prepare, &cheap, Some(tight_dyn), &cost)
+}
+
+/// The fully deterministic spelling of [`sweep_pruned`]: distinct cells
+/// fan out on the worker pool and each runs the **serial** incumbent loop
+/// — the pre-frontier engine, kept as the differential oracle and as the
+/// baseline the `prune` bench measures the ladder against. Prune counters
+/// are exact and thread-count-independent.
+pub fn sweep_pruned_serial<B, F>(
     h: &Hierarchy,
     spec: &SweepSpec,
     bound: B,
@@ -438,8 +886,7 @@ where
         .iter()
         .map(|&s| representatives(h, s))
         .collect::<Result<_, _>>()?;
-    // Distinct cells are the parallel unit: each runs its own serial
-    // branch-and-bound loop.
+    let timing = SearchTiming::default();
     let mut grid: Vec<(usize, usize)> = Vec::with_capacity(sizes.len() * payloads.len());
     for si in 0..sizes.len() {
         for pi in 0..payloads.len() {
@@ -451,40 +898,20 @@ where
         let (subcomm_size, payload) = (sizes[si], payloads[pi]);
         let bounds: Vec<f64> = reps
             .iter()
-            .map(|c| bound(&c.order, subcomm_size, payload))
+            .map(|c| timing.bound(|| bound(&c.order, subcomm_size, payload)))
             .collect();
-        let (evaluated, stats) =
-            branch_and_bound(&bounds, |i| cost(&reps[i].order, subcomm_size, payload));
-        let ranked: Vec<(OrderCharacterization, f64)> = evaluated
-            .into_iter()
-            .map(|(i, c)| (reps[i].clone(), c))
-            .collect();
-        let best = ranked
-            .first()
-            .cloned()
-            .expect("a valid subcommunicator size has at least one representative order");
-        PrunedSweepCell {
-            subcomm_size,
-            payload,
-            best,
-            ranked,
-            stats,
-        }
-    });
-    let total = unique_cells
-        .iter()
-        .fold(PruneStats::default(), |acc, c| PruneStats {
-            evaluated: acc.evaluated + c.stats.evaluated,
-            pruned: acc.pruned + c.stats.pruned,
+        let (evaluated, stats) = branch_and_bound_serial(&bounds, None, &mut |i| {
+            timing.cost(|| cost(&reps[i].order, subcomm_size, payload))
         });
-    emit_prune_telemetry(total);
-    let mut cells = Vec::with_capacity(size_pos.len() * payload_pos.len());
-    for &si in &size_pos {
-        for &pi in &payload_pos {
-            cells.push(unique_cells[si * payloads.len() + pi].clone());
-        }
-    }
-    Ok(cells)
+        assemble_cell(reps, subcomm_size, payload, evaluated, stats)
+    });
+    Ok(expand_cells(
+        unique_cells,
+        &size_pos,
+        &payload_pos,
+        payloads.len(),
+        &timing,
+    ))
 }
 
 #[cfg(test)]
@@ -706,6 +1133,117 @@ mod tests {
             total_pruned += p.stats.pruned;
         }
         assert!(total_pruned > 0);
+    }
+
+    #[test]
+    fn parallel_pruned_matches_serial_oracle() {
+        let h = hydra();
+        let cost = bb_cost(&h);
+        for payload in [1u64, 1024, 1 << 20] {
+            let serial = rank_orders_pruned_serial(
+                &h,
+                16,
+                |sigma| cost(sigma, 16, payload) * 0.5,
+                |sigma| cost(sigma, 16, payload),
+            )
+            .unwrap();
+            let parallel = rank_orders_pruned(
+                &h,
+                16,
+                |sigma| cost(sigma, 16, payload) * 0.5,
+                |sigma| cost(sigma, 16, payload),
+            )
+            .unwrap();
+            assert_eq!(serial.best.0, parallel.best.0, "winner order must agree");
+            assert_eq!(serial.best.1.to_bits(), parallel.best.1.to_bits());
+            assert_eq!(serial.stats.candidates(), parallel.stats.candidates());
+        }
+    }
+
+    #[test]
+    fn ladder_matches_exhaustive_and_prunes_on_the_tight_rung() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let h = hydra();
+        let cost = bb_cost(&h);
+        let prepares = AtomicU64::new(0);
+        // prepare carries the exact cost; cheap is a weak admissible bound,
+        // tight is the exact cost itself (the tightest admissible bound),
+        // so every candidate the cheap rung admits but the incumbent beats
+        // is pruned by the tight rung, never costed.
+        let result = rank_orders_pruned_ladder(
+            &h,
+            16,
+            |sigma| {
+                prepares.fetch_add(1, Ordering::Relaxed);
+                cost(sigma, 16, 1024)
+            },
+            |_, &exact: &f64| exact * 0.4,
+            |_, &exact: &f64| exact,
+            |_, &exact: &f64| exact,
+        )
+        .unwrap();
+        let exhaustive = rank_orders_by(&h, 16, |sigma| cost(sigma, 16, 1024)).unwrap();
+        assert_eq!(result.best.0, exhaustive[0].0);
+        assert_eq!(result.best.1.to_bits(), exhaustive[0].1.to_bits());
+        let n = representatives(&h, 16).unwrap().len() as u64;
+        // prepare ran exactly once per candidate, pruned or not.
+        assert_eq!(prepares.load(Ordering::Relaxed), n);
+        assert_eq!(result.stats.candidates(), n);
+        assert!(
+            result.stats.tight_pruned > 0,
+            "the exact tight rung must catch cheap-rung survivors: {:?}",
+            result.stats
+        );
+        assert!(result.stats.tight_pruned <= result.stats.pruned);
+    }
+
+    #[test]
+    fn sweep_pruned_ladder_matches_exhaustive_grid() {
+        let h = hydra();
+        let cost = bb_cost(&h);
+        let spec = SweepSpec {
+            subcomm_sizes: vec![16, 64],
+            payload_sizes: vec![1 << 10, 1 << 20],
+        };
+        let exhaustive = sweep(&h, &spec, &cost).unwrap();
+        let ladder = sweep_pruned_ladder(
+            &h,
+            &spec,
+            |sigma: &Permutation, s, b| cost(sigma, s, b),
+            |_, _, _, &exact: &f64| exact * 0.5,
+            |_, _, _, &exact: &f64| exact * 0.9,
+            |_, _, _, &exact: &f64| exact,
+        )
+        .unwrap();
+        assert_eq!(exhaustive.len(), ladder.len());
+        for (e, l) in exhaustive.iter().zip(&ladder) {
+            assert_eq!(e.subcomm_size, l.subcomm_size);
+            assert_eq!(e.payload, l.payload);
+            assert_eq!(e.ranked[0].0, l.best.0);
+            assert_eq!(e.ranked[0].1.to_bits(), l.best.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_pruned_serial_is_the_deterministic_baseline() {
+        let h = hydra();
+        let cost = bb_cost(&h);
+        let spec = SweepSpec {
+            subcomm_sizes: vec![16],
+            payload_sizes: vec![1 << 10, 1 << 20],
+        };
+        let a = sweep_pruned_serial(&h, &spec, |s, z, b| cost(s, z, b) * 0.5, &cost).unwrap();
+        let b = sweep_pruned_serial(&h, &spec, |s, z, b| cost(s, z, b) * 0.5, &cost).unwrap();
+        let parallel = sweep_pruned(&h, &spec, |s, z, b| cost(s, z, b) * 0.5, &cost).unwrap();
+        for ((x, y), p) in a.iter().zip(&b).zip(&parallel) {
+            // Serial runs are bit-for-bit repeatable, split included.
+            assert_eq!(x.stats, y.stats);
+            assert_eq!(x.ranked.len(), y.ranked.len());
+            // The parallel frontier agrees on winner and candidate total.
+            assert_eq!(x.best.0, p.best.0);
+            assert_eq!(x.best.1.to_bits(), p.best.1.to_bits());
+            assert_eq!(x.stats.candidates(), p.stats.candidates());
+        }
     }
 
     #[test]

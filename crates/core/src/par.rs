@@ -99,6 +99,32 @@ where
         .collect()
 }
 
+/// Runs `f(worker_index)` on `workers` scoped threads and joins them all
+/// — the raw fan-out under [`map`], exposed for engines that coordinate
+/// through shared atomics instead of an input slice (e.g. the
+/// branch-and-bound frontier of `order_search`, whose workers claim
+/// candidates from a shared cursor and race a CAS incumbent).
+///
+/// With `workers <= 1` the closure runs inline on the caller's thread —
+/// no spawn, byte-identical to a serial call. Panics in `f` propagate to
+/// the caller.
+pub fn broadcast<F>(workers: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if workers <= 1 {
+        f(0);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers).map(|w| scope.spawn(move || f(w))).collect();
+        for h in handles {
+            h.join().expect("par worker panicked");
+        }
+    });
+}
+
 /// [`map`] over owned items, consuming the input.
 pub fn map_into<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
@@ -155,5 +181,20 @@ mod tests {
     #[test]
     fn threads_is_positive() {
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn broadcast_runs_every_worker_and_inline_when_single() {
+        use std::sync::atomic::AtomicU64;
+        let mask = AtomicU64::new(0);
+        broadcast(5, |w| {
+            mask.fetch_or(1 << w, Ordering::Relaxed);
+        });
+        assert_eq!(mask.load(Ordering::Relaxed), 0b11111);
+        let main_thread = std::thread::current().id();
+        broadcast(1, |w| {
+            assert_eq!(w, 0);
+            assert_eq!(std::thread::current().id(), main_thread);
+        });
     }
 }

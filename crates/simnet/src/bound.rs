@@ -27,9 +27,25 @@
 //! property-tested against every collective generator in
 //! `tests/proptests.rs` at 1e-12 relative tolerance.
 //!
+//! On multi-rail fabrics the aggregate term is refined **per rail**: the
+//! [`RailPolicy`](crate::rail::RailPolicy) is a pure function of message
+//! endpoints, so each byte's rail is known before any costing, and the
+//! bytes assigned to rail `r` of level `l` in one direction can jointly
+//! drain through at most that rail's active links. The level term becomes
+//! the *max over (direction, rail)* of `rail_bytes / (rail_active ·
+//! bandwidth)`, which dominates the pooled
+//! `total / (min_active_direction · bandwidth)` by the mediant inequality
+//! (a max of fractions is never below the fraction of the sums) while
+//! remaining admissible by the same measure argument applied rail by
+//! rail. The pooled arithmetic survives as
+//! [`NetworkModel::round_lower_bound_aggregate_from`] — the cheap first
+//! rung of the search's bound ladder (DESIGN.md §7g). On single-rail
+//! fabrics the two are byte-identical.
+//!
 //! The per-level totals live in a [`RoundLoad`], built in one pass over a
-//! round's messages; evaluating a bound from a load is O(levels), so a
-//! search that keeps loads around re-bounds in O(levels), not O(messages).
+//! round's messages; evaluating a bound from a load is O(levels · rails),
+//! so a search that keeps loads around re-bounds without touching the
+//! messages again.
 
 use crate::network::NetworkModel;
 use crate::schedule::{Message, Schedule};
@@ -61,11 +77,30 @@ pub struct RoundLoad {
     /// Largest self-message payload in the round (local copies bypass the
     /// link fabric but still take `bytes / local_copy_bandwidth`).
     pub max_local_bytes: u64,
+    /// Per-(level, rail) byte histogram of the **up** (sender-side)
+    /// direction: `rail_bytes_up[l][r]` totals the payloads the active
+    /// [`RailPolicy`](crate::rail::RailPolicy) assigns to rail `r` of
+    /// level `l`. Rows sum to `bytes_through[l]`; single-rail levels have
+    /// one column equal to the aggregate.
+    pub rail_bytes_up: Vec<Vec<u64>>,
+    /// Per-(level, rail) byte histogram of the **down** (receiver-side)
+    /// direction (rows also sum to `bytes_through[l]`).
+    pub rail_bytes_down: Vec<Vec<u64>>,
+    /// Distinct up-direction instances active on each (level, rail):
+    /// `rail_active_up[l]` sums to `active_up[l]` across rails.
+    pub rail_active_up: Vec<Vec<usize>>,
+    /// Distinct down-direction instances active on each (level, rail)
+    /// (sums to `active_down[l]` across rails).
+    pub rail_active_down: Vec<Vec<usize>>,
 }
 
 impl RoundLoad {
-    /// An empty load for a machine of `depth` levels.
-    fn empty(depth: usize) -> Self {
+    /// An empty load for a machine whose level `l` has `rails[l]` rails.
+    fn empty(rails: &[usize]) -> Self {
+        let depth = rails.len();
+        let histogram =
+            |fill| -> Vec<Vec<u64>> { rails.iter().map(|&r| vec![fill; r.max(1)]).collect() };
+        let counts = || -> Vec<Vec<usize>> { rails.iter().map(|&r| vec![0; r.max(1)]).collect() };
         Self {
             bytes_through: vec![0; depth],
             active_up: vec![0; depth],
@@ -73,6 +108,10 @@ impl RoundLoad {
             min_latency_through: vec![0.0; depth],
             max_latency: 0.0,
             max_local_bytes: 0,
+            rail_bytes_up: histogram(0),
+            rail_bytes_down: histogram(0),
+            rail_active_up: counts(),
+            rail_active_down: counts(),
         }
     }
 }
@@ -84,7 +123,7 @@ impl NetworkModel {
         let strides = self.hierarchy().strides();
         let k = strides.len();
         let links = self.links();
-        let mut load = RoundLoad::empty(k);
+        let mut load = RoundLoad::empty(self.rail_counts());
         let mut seen = std::collections::HashSet::new();
         for m in messages {
             if m.src == m.dst {
@@ -105,12 +144,16 @@ impl NetworkModel {
                 // models always yield rail 0, keeping the counts (and the
                 // bound) byte-identical to the pre-rail engine.
                 let up_rail = self.message_rail(level, m.src, m.dst, true);
+                load.rail_bytes_up[level][up_rail] += m.bytes;
                 if seen.insert((level, m.src / stride, true, up_rail)) {
                     load.active_up[level] += 1;
+                    load.rail_active_up[level][up_rail] += 1;
                 }
                 let down_rail = self.message_rail(level, m.src, m.dst, false);
+                load.rail_bytes_down[level][down_rail] += m.bytes;
                 if seen.insert((level, m.dst / stride, false, down_rail)) {
                     load.active_down[level] += 1;
+                    load.rail_active_down[level][down_rail] += 1;
                 }
                 let entry = &mut load.min_latency_through[level];
                 if load.bytes_through[level] == m.bytes {
@@ -124,8 +167,56 @@ impl NetworkModel {
     }
 
     /// Admissible lower bound on [`round_time`](Self::round_time) from a
-    /// precomputed [`RoundLoad`] — O(levels).
+    /// precomputed [`RoundLoad`] — O(levels · rails).
+    ///
+    /// The level term is the max over (direction, rail) of
+    /// `rail_bytes / (rail_active · bandwidth)`: the bytes the rail policy
+    /// pins to one rail of one direction can jointly drain at most through
+    /// that rail's active links, so every such fraction lower-bounds the
+    /// round. This **dominates** the pooled aggregate term of
+    /// [`round_lower_bound_aggregate_from`](Self::round_lower_bound_aggregate_from)
+    /// — `max_r (bytes_r / cap_r) ≥ (Σ bytes_r) / (Σ cap_r)` for any
+    /// positive capacities (mediant inequality) — and degenerates to it
+    /// byte-identically on single-rail fabrics, where each direction has
+    /// exactly one fraction and the max over directions reproduces the
+    /// divide-by-min-active arithmetic.
     pub fn round_lower_bound_from(&self, load: &RoundLoad) -> f64 {
+        let links = self.links();
+        let mut t = load.max_latency;
+        if load.max_local_bytes > 0 {
+            t = t.max(load.max_local_bytes as f64 / self.local_copy_bandwidth());
+        }
+        for (l, link) in links.iter().enumerate() {
+            if load.bytes_through[l] == 0 {
+                continue;
+            }
+            let mut level_term: f64 = 0.0;
+            for (rail_bytes, rail_active) in [
+                (&load.rail_bytes_up[l], &load.rail_active_up[l]),
+                (&load.rail_bytes_down[l], &load.rail_active_down[l]),
+            ] {
+                for (r, &bytes) in rail_bytes.iter().enumerate() {
+                    if bytes == 0 {
+                        continue;
+                    }
+                    let active = rail_active[r].max(1) as f64;
+                    level_term = level_term.max(bytes as f64 / (active * link.uplink_bandwidth));
+                }
+            }
+            t = t.max(load.min_latency_through[l] + level_term);
+        }
+        t
+    }
+
+    /// The pre-rail **aggregate** lower bound from a precomputed
+    /// [`RoundLoad`] — per-level byte totals divided by the pooled
+    /// capacity of the direction with fewer active links. Strictly no
+    /// tighter than [`round_lower_bound_from`](Self::round_lower_bound_from)
+    /// (and equal on single-rail fabrics), but cheaper to evaluate —
+    /// O(levels) — which makes it the first rung of the search's bound
+    /// ladder: candidates it already prunes never pay the per-rail
+    /// histogram walk.
+    pub fn round_lower_bound_aggregate_from(&self, load: &RoundLoad) -> f64 {
         let links = self.links();
         let mut t = load.max_latency;
         if load.max_local_bytes > 0 {
@@ -150,6 +241,13 @@ impl NetworkModel {
         self.round_lower_bound_from(&self.round_load(messages))
     }
 
+    /// Aggregate-capacity lower bound on [`round_time`](Self::round_time)
+    /// (the cheap rung — see
+    /// [`round_lower_bound_aggregate_from`](Self::round_lower_bound_aggregate_from)).
+    pub fn round_lower_bound_aggregate(&self, messages: &[Message]) -> f64 {
+        self.round_lower_bound_aggregate_from(&self.round_load(messages))
+    }
+
     /// Per-round [`RoundLoad`]s of a schedule, for bound evaluations that
     /// want to stay O(levels) per round across repeated calls.
     pub fn schedule_loads(&self, schedule: &Schedule) -> Vec<RoundLoad> {
@@ -172,6 +270,28 @@ impl NetworkModel {
     /// reuse, so a collision can never substitute a wrong (inadmissible)
     /// bound.
     pub fn schedule_lower_bound(&self, schedule: &Schedule) -> f64 {
+        self.schedule_bound_by(schedule, |msgs| self.round_lower_bound(msgs))
+    }
+
+    /// [`schedule_lower_bound`](Self::schedule_lower_bound) built from the
+    /// cheap aggregate round term instead of the per-rail histogram — the
+    /// first rung of the bound ladder. Still admissible (it is a max of
+    /// strictly weaker per-round terms); equal to the full bound on
+    /// single-rail fabrics.
+    pub fn schedule_lower_bound_aggregate(&self, schedule: &Schedule) -> f64 {
+        self.schedule_bound_by(schedule, |msgs| self.round_lower_bound_aggregate(msgs))
+    }
+
+    /// Shared round-memoized sum driving both schedule bounds: equal
+    /// rounds (ring and pairwise collectives re-issue the same message
+    /// set every round) are bounded once. Hash matches are verified by
+    /// full equality before reuse, so a collision can never substitute a
+    /// wrong (inadmissible) bound.
+    fn schedule_bound_by(
+        &self,
+        schedule: &Schedule,
+        round_bound: impl Fn(&[Message]) -> f64,
+    ) -> f64 {
         use std::collections::HashMap;
         use std::hash::{DefaultHasher, Hash, Hasher};
         let mut memo: HashMap<u64, Vec<(&[Message], f64)>> = HashMap::new();
@@ -190,7 +310,7 @@ impl NetworkModel {
                 {
                     return *t;
                 }
-                let t = self.round_lower_bound(&r.messages);
+                let t = round_bound(&r.messages);
                 bucket.push((r.messages.as_slice(), t));
                 t
             })
@@ -203,6 +323,13 @@ impl NetworkModel {
 /// lower bound on `net.schedule_time(schedule)`.
 pub fn schedule_lower_bound(net: &NetworkModel, schedule: &Schedule) -> f64 {
     net.schedule_lower_bound(schedule)
+}
+
+/// Free-function spelling of
+/// [`NetworkModel::schedule_lower_bound_aggregate`]: the cheap
+/// aggregate-capacity rung of the bound ladder.
+pub fn schedule_lower_bound_aggregate(net: &NetworkModel, schedule: &Schedule) -> f64 {
+    net.schedule_lower_bound_aggregate(schedule)
 }
 
 /// Admissible lower bound on [`fluid_time`](crate::fluid::fluid_time) of
@@ -237,13 +364,34 @@ pub fn fluid_lower_bound(net: &NetworkModel, schedules: &[Schedule]) -> f64 {
         .iter()
         .map(|s| net.schedule_lower_bound(s))
         .fold(0.0, f64::max);
-    let all: Vec<Message> = schedules
+    let all: Vec<Message> = pooled_messages(schedules);
+    let aggregate = net.round_lower_bound_from(&net.round_load(&all));
+    per_job.max(aggregate)
+}
+
+/// [`fluid_lower_bound`] built from the cheap aggregate round term — the
+/// fluid counterpart of
+/// [`NetworkModel::schedule_lower_bound_aggregate`], and the first rung
+/// of the fluid bound ladder. Admissible by the same argument (every term
+/// is weakened, never strengthened); equal to [`fluid_lower_bound`] on
+/// single-rail fabrics.
+pub fn fluid_lower_bound_aggregate(net: &NetworkModel, schedules: &[Schedule]) -> f64 {
+    let per_job = schedules
+        .iter()
+        .map(|s| net.schedule_lower_bound_aggregate(s))
+        .fold(0.0, f64::max);
+    let all: Vec<Message> = pooled_messages(schedules);
+    let aggregate = net.round_lower_bound_aggregate_from(&net.round_load(&all));
+    per_job.max(aggregate)
+}
+
+/// Every message of every round of every schedule, as one virtual round.
+fn pooled_messages(schedules: &[Schedule]) -> Vec<Message> {
+    schedules
         .iter()
         .flat_map(|s| s.rounds.iter())
         .flat_map(|r| r.messages.iter().copied())
-        .collect();
-    let aggregate = net.round_lower_bound_from(&net.round_load(&all));
-    per_job.max(aggregate)
+        .collect()
 }
 
 #[cfg(test)]
@@ -399,6 +547,11 @@ mod tests {
                 one.round_lower_bound(&msgs).to_bits(),
                 "single-rail bound must be byte-identical"
             );
+            assert_eq!(
+                one.round_lower_bound(&msgs).to_bits(),
+                one.round_lower_bound_aggregate(&msgs).to_bits(),
+                "on one rail the per-rail and aggregate bounds coincide"
+            );
             for nics in [2, 3] {
                 let railed = toy().with_node_rails(nics, policy);
                 for net in [
@@ -406,11 +559,101 @@ mod tests {
                     railed.with_contention_mode(ContentionMode::EqualShare),
                 ] {
                     let lb = net.round_lower_bound(&msgs);
+                    let agg = net.round_lower_bound_aggregate(&msgs);
                     let t = net.round_time(&msgs);
                     assert!(lb <= t * (1.0 + 1e-12), "{policy} x{nics}: {lb} vs {t}");
+                    assert!(agg <= lb * (1.0 + 1e-12), "{policy} x{nics}: {agg} vs {lb}");
                 }
             }
         }
+    }
+
+    #[test]
+    fn rail_histograms_partition_the_level_totals() {
+        use crate::rail::RailPolicy;
+        let msgs = vec![
+            Message::new(0, 8, 100),
+            Message::new(1, 8, 60),
+            Message::new(2, 10, 50),
+            Message::new(4, 12, 70),
+        ];
+        for policy in RailPolicy::ALL {
+            for nics in [1, 2, 3] {
+                let net = toy().with_node_rails(nics, policy);
+                let load = net.round_load(&msgs);
+                for l in 0..net.hierarchy().depth() {
+                    assert_eq!(
+                        load.rail_bytes_up[l].iter().sum::<u64>(),
+                        load.bytes_through[l],
+                        "{policy} x{nics} level {l}: up rows must partition the bytes"
+                    );
+                    assert_eq!(
+                        load.rail_bytes_down[l].iter().sum::<u64>(),
+                        load.bytes_through[l]
+                    );
+                    assert_eq!(
+                        load.rail_active_up[l].iter().sum::<usize>(),
+                        load.active_up[l]
+                    );
+                    assert_eq!(
+                        load.rail_active_down[l].iter().sum::<usize>(),
+                        load.active_down[l]
+                    );
+                    assert_eq!(load.rail_bytes_up[l].len(), net.rail_counts()[l].max(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_rail_bound_is_strict_on_a_skewed_rail_split() {
+        use crate::rail::RailPolicy;
+        // Two crossings of opposite (src + dst) parity activate both rails
+        // of the sender NIC, but 99% of the bytes ride rail 0. The
+        // aggregate bound pools 1010 bytes over both active rails; the
+        // per-rail histogram sees rail 0 draining 1000 bytes alone and is
+        // strictly larger.
+        let net = toy().with_node_rails(2, RailPolicy::RoundRobin);
+        let msgs = vec![Message::new(0, 8, 1000), Message::new(1, 8, 10)];
+        let load = net.round_load(&msgs);
+        assert_eq!(load.rail_bytes_up[0], vec![1000, 10]);
+        let per_rail = net.round_lower_bound_from(&load);
+        let aggregate = net.round_lower_bound_aggregate_from(&load);
+        assert!(
+            per_rail > aggregate * (1.0 + 1e-9),
+            "per-rail {per_rail} must strictly dominate aggregate {aggregate}"
+        );
+        // …and remains admissible for the exact railed cost.
+        assert!(per_rail <= net.round_time(&msgs) * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn aggregate_schedule_and_fluid_bounds_stay_admissible_rungs() {
+        use crate::rail::RailPolicy;
+        let net = toy().with_node_rails(2, RailPolicy::RoundRobin);
+        let s = Schedule::with(vec![
+            Round::with(vec![Message::new(0, 8, 1000), Message::new(2, 10, 1000)]),
+            Round::with(vec![Message::new(0, 8, 1000), Message::new(2, 10, 1000)]),
+            Round::with(vec![Message::new(1, 9, 500)]),
+        ]);
+        let agg = net.schedule_lower_bound_aggregate(&s);
+        let tight = net.schedule_lower_bound(&s);
+        assert!(agg <= tight, "{agg} vs {tight}");
+        assert!(tight <= net.schedule_time(&s) * (1.0 + 1e-12));
+        let jobs = [s.clone(), s];
+        let fagg = fluid_lower_bound_aggregate(&net, &jobs);
+        let ftight = fluid_lower_bound(&net, &jobs);
+        assert!(fagg <= ftight, "{fagg} vs {ftight}");
+        // Single-rail: both rungs coincide bit-for-bit.
+        let one = toy().with_node_rails(1, RailPolicy::RoundRobin);
+        assert_eq!(
+            one.schedule_lower_bound(&jobs[0]).to_bits(),
+            one.schedule_lower_bound_aggregate(&jobs[0]).to_bits()
+        );
+        assert_eq!(
+            fluid_lower_bound(&one, &jobs).to_bits(),
+            fluid_lower_bound_aggregate(&one, &jobs).to_bits()
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod schedule;
 pub mod timeline;
 pub mod utilization;
 
-pub use bound::{fluid_lower_bound, schedule_lower_bound, RoundLoad};
+pub use bound::{
+    fluid_lower_bound, fluid_lower_bound_aggregate, schedule_lower_bound,
+    schedule_lower_bound_aggregate, RoundLoad,
+};
 pub use congestion::{
     bound_gap_fluid, bound_gap_lockstep, BoundGap, CongestionProbe, LinkUsage, RailOccupancy,
     RateSegment, RoundMark,

@@ -316,8 +316,8 @@ impl CostCache {
     }
 }
 
-/// Thread-safe memo of `(schedule pattern, payload)` → cost, shared across
-/// sweep workers.
+/// Thread-safe memo of `(network model, schedule pattern, payload)` →
+/// cost, shared across sweep workers.
 ///
 /// Where [`CostCache`] memoizes per-round contention *profiles* behind a
 /// `&mut` receiver, this cache memoizes whole evaluated *costs* behind
@@ -326,22 +326,33 @@ impl CostCache {
 /// schedule pattern — all share one pool. Entries are sharded across
 /// several mutex-protected maps to keep lock contention negligible.
 ///
+/// The [`NetworkModel::fingerprint`] — which covers the hierarchy, link
+/// calibration, contention mode, **and the rail count × rail policy** —
+/// is folded into every key, so one cache safely serves a whole grid of
+/// models: a 1/2/4-rail sweep across rail policies (e.g. `fig8_rails` or
+/// the `prune` bench) reuses each configuration's costings without
+/// `clear()` choreography and without ever conflating two fabrics.
+///
 /// # Caller contract
 ///
-/// Keys are `(Schedule::pattern_fingerprint(), payload)`. The pattern
-/// fingerprint covers endpoints and round structure but **not** byte
-/// counts, so the cached cost is only correct if the schedule's bytes are
-/// a deterministic function of (pattern, payload key) — true for every
-/// collective generator in `mre-mpi`, where the payload determines all
-/// message sizes. Do not feed hand-built schedules whose byte assignment
-/// varies independently of the payload key.
+/// Keys are `(net.fingerprint(), Schedule::pattern_fingerprint(),
+/// payload)`. The pattern fingerprint covers endpoints and round
+/// structure but **not** byte counts, so the cached cost is only correct
+/// if the schedule's bytes are a deterministic function of (pattern,
+/// payload key) — true for every collective generator in `mre-mpi`,
+/// where the payload determines all message sizes. Do not feed
+/// hand-built schedules whose byte assignment varies independently of
+/// the payload key.
 #[derive(Debug)]
 pub struct SharedCostCache {
-    shards: Vec<std::sync::Mutex<std::collections::HashMap<(u64, u64), f64>>>,
-    fingerprint: std::sync::Mutex<Option<u64>>,
+    shards: Vec<CostShard>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
 }
+
+/// One lock-striped shard: `(model fingerprint, pattern fingerprint,
+/// payload key)` → cost.
+type CostShard = std::sync::Mutex<std::collections::HashMap<(u64, u64, u64), f64>>;
 
 impl Default for SharedCostCache {
     fn default() -> Self {
@@ -352,13 +363,12 @@ impl Default for SharedCostCache {
 impl SharedCostCache {
     const SHARDS: usize = 16;
 
-    /// An empty cache. The first lookup binds it to that call's model.
+    /// An empty cache, ready for any mix of models.
     pub fn new() -> Self {
         Self {
             shards: (0..Self::SHARDS)
                 .map(|_| std::sync::Mutex::new(std::collections::HashMap::new()))
                 .collect(),
-            fingerprint: std::sync::Mutex::new(None),
             hits: std::sync::atomic::AtomicU64::new(0),
             misses: std::sync::atomic::AtomicU64::new(0),
         }
@@ -373,7 +383,7 @@ impl SharedCostCache {
         )
     }
 
-    /// Number of distinct `(pattern, payload)` costs cached.
+    /// Number of distinct `(model, pattern, payload)` costs cached.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
     }
@@ -383,32 +393,19 @@ impl SharedCostCache {
         self.len() == 0
     }
 
-    /// Drops all cached costs and unbinds the model, keeping the hit/miss
-    /// counters.
+    /// Drops all cached costs, keeping the hit/miss counters. No longer
+    /// required when switching models (the model fingerprint is part of
+    /// every key) — only for reclaiming memory.
     pub fn clear(&self) {
         for shard in &self.shards {
             shard.lock().unwrap().clear();
-        }
-        *self.fingerprint.lock().unwrap() = None;
-    }
-
-    fn check_model(&self, net: &NetworkModel) {
-        let fp = net.fingerprint();
-        let mut bound = self.fingerprint.lock().unwrap();
-        match *bound {
-            None => *bound = Some(fp),
-            Some(prev) => assert_eq!(
-                prev, fp,
-                "SharedCostCache used with a different NetworkModel than it was built \
-                 against; call clear() when switching models"
-            ),
         }
     }
 
     fn shard(
         &self,
-        key: (u64, u64),
-    ) -> &std::sync::Mutex<std::collections::HashMap<(u64, u64), f64>> {
+        key: (u64, u64, u64),
+    ) -> &std::sync::Mutex<std::collections::HashMap<(u64, u64, u64), f64>> {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
@@ -416,29 +413,18 @@ impl SharedCostCache {
     }
 
     /// `schedule_time(schedule)` memoized under the key
-    /// `(schedule.pattern_fingerprint(), payload)` — see the caller
-    /// contract on the type.
+    /// `(net.fingerprint(), schedule.pattern_fingerprint(), payload)` —
+    /// see the caller contract on the type.
     pub fn schedule_time(&self, net: &NetworkModel, schedule: &Schedule, payload: u64) -> f64 {
-        self.check_model(net);
-        let key = (schedule.pattern_fingerprint(), payload);
-        let shard = self.shard(key);
-        if let Some(&cost) = shard.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            return cost;
-        }
-        // Cost outside the lock: a duplicate solve on a race is cheaper
-        // than serializing all workers behind one costing.
-        let cost = net.schedule_time(schedule);
-        self.misses
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        shard.lock().unwrap().insert(key, cost);
-        cost
+        self.time_keyed(net, schedule.pattern_fingerprint(), payload, || {
+            net.schedule_time(schedule)
+        })
     }
 
     /// Memoized cost via an arbitrary costing function — for callers whose
     /// cost is not plain `schedule_time` (e.g. concurrent lockstep runs).
     /// The same caller contract applies: `cost()` must be a deterministic
-    /// function of `(schedule pattern, payload)`.
+    /// function of `(model, schedule pattern, payload)`.
     pub fn time_with(
         &self,
         net: &NetworkModel,
@@ -446,13 +432,30 @@ impl SharedCostCache {
         payload: u64,
         cost: impl FnOnce() -> f64,
     ) -> f64 {
-        self.check_model(net);
-        let key = (schedule.pattern_fingerprint(), payload);
+        self.time_keyed(net, schedule.pattern_fingerprint(), payload, cost)
+    }
+
+    /// Memoized cost under a caller-chosen pattern key — for evaluations
+    /// that are not a single schedule's time (e.g. a fluid job set, keyed
+    /// by a hash of its schedules' pattern fingerprints). The model
+    /// fingerprint is still folded in, so the same key never crosses
+    /// fabrics; `cost()` must be a deterministic function of
+    /// `(model, pattern_key, payload)`.
+    pub fn time_keyed(
+        &self,
+        net: &NetworkModel,
+        pattern_key: u64,
+        payload: u64,
+        cost: impl FnOnce() -> f64,
+    ) -> f64 {
+        let key = (net.fingerprint(), pattern_key, payload);
         let shard = self.shard(key);
         if let Some(&t) = shard.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return t;
         }
+        // Cost outside the lock: a duplicate solve on a race is cheaper
+        // than serializing all workers behind one costing.
         let t = cost();
         self.misses
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -741,18 +744,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different NetworkModel")]
-    fn shared_cache_model_switch_without_clear_panics() {
+    fn shared_cache_keys_models_apart() {
+        // One cache serves a whole model grid: same schedule and payload
+        // under different fabrics get distinct entries, never a stale
+        // cross-model hit — no clear() choreography needed.
         let a = toy_network();
         let b = toy_network().with_contention_mode(ContentionMode::EqualShare);
+        let c = toy_network().with_node_uplink_scale(2.0);
         let cache = SharedCostCache::new();
-        let s = Schedule::with(vec![Round::with(vec![Message::new(0, 8, 1)])]);
-        cache.schedule_time(&a, &s, 1);
-        cache.schedule_time(&b, &s, 1);
+        let s = Schedule::with(vec![Round::with(vec![
+            Message::new(0, 8, 1000),
+            Message::new(1, 9, 1000),
+        ])]);
+        let ta = cache.schedule_time(&a, &s, 1000);
+        let tb = cache.schedule_time(&b, &s, 1000);
+        let tc = cache.schedule_time(&c, &s, 1000);
+        assert_eq!(ta, a.schedule_time(&s));
+        assert_eq!(tb, b.schedule_time(&s));
+        assert_eq!(tc, c.schedule_time(&s));
+        assert_eq!(cache.len(), 3);
+        // Re-asking under the first model is a hit on its own entry.
+        assert_eq!(cache.schedule_time(&a, &s, 1000), ta);
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 3));
     }
 
     #[test]
-    fn shared_cache_clear_rebinds() {
+    fn shared_cache_keys_rail_grids_apart() {
+        use crate::rail::RailPolicy;
+        // The model fingerprint covers rails × policy, so a 1/2-rail
+        // round-robin/affinity grid shares one cache without conflation.
+        let s = Schedule::with(vec![Round::with(vec![
+            Message::new(0, 8, 4096),
+            Message::new(1, 8, 4096),
+        ])]);
+        let cache = SharedCostCache::new();
+        for nics in [1usize, 2] {
+            for policy in [RailPolicy::RoundRobin, RailPolicy::Affinity] {
+                let net = toy_network().with_node_rails(nics, policy);
+                assert_eq!(cache.schedule_time(&net, &s, 4096), net.schedule_time(&s));
+            }
+        }
+        // 1-rail entries collapse across policies (the fingerprint and the
+        // physics agree that policy is irrelevant on one rail) but 2-rail
+        // entries stay distinct per policy.
+        assert!(cache.len() >= 3, "len {}", cache.len());
+    }
+
+    #[test]
+    fn shared_cache_clear_reclaims() {
         let a = toy_network();
         let b = toy_network().with_node_uplink_scale(2.0);
         let cache = SharedCostCache::new();
@@ -761,5 +801,15 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.schedule_time(&b, &s, 1000), b.schedule_time(&s));
+    }
+
+    #[test]
+    fn shared_cache_time_keyed_separates_pattern_keys() {
+        let net = toy_network();
+        let cache = SharedCostCache::new();
+        assert_eq!(cache.time_keyed(&net, 7, 100, || 1.5), 1.5);
+        assert_eq!(cache.time_keyed(&net, 8, 100, || 2.5), 2.5);
+        // Cached per key; the closure is not consulted again.
+        assert_eq!(cache.time_keyed(&net, 7, 100, || unreachable!()), 1.5);
     }
 }

@@ -25,7 +25,7 @@
 use mre_core::{Error, Hierarchy, Permutation};
 use mre_mpi::schedules;
 use mre_mpi::{run, run_instrumented, run_traced, AllreduceAlg, Comm, Proc};
-use mre_simnet::{NetworkModel, Schedule};
+use mre_simnet::{NetworkModel, Schedule, SharedCostCache};
 use mre_trace::{EventKind, MetricsRegistry, Recorder};
 
 // ---------------------------------------------------------------------------
@@ -505,6 +505,27 @@ pub fn estimate_cpd_time(
     net: &NetworkModel,
     flop_rate: f64,
 ) -> Result<CpdCost, Error> {
+    estimate_cpd_time_cached(cfg, machine, sigma, net, flop_rate, &SharedCostCache::new())
+}
+
+/// [`estimate_cpd_time`] reusing `cache` across calls.
+///
+/// Every contention solve — the concurrent layer Alltoallvs of a mode and
+/// the world Allreduce — is memoized under
+/// `(model fingerprint, schedule pattern, payload)`, so a grid of fabrics
+/// (e.g. `fig8_rails`'s 1/2/4-rail sweep over 24 orders) shares one cache
+/// without any `clear()` choreography: identical patterns re-encountered
+/// within an order (the three per-mode world Allreduces) or across orders
+/// are looked up, while different rail counts and policies get distinct
+/// entries through the model fingerprint.
+pub fn estimate_cpd_time_cached(
+    cfg: &SplattConfig,
+    machine: &Hierarchy,
+    sigma: &Permutation,
+    net: &NetworkModel,
+    flop_rate: f64,
+    cache: &SharedCostCache,
+) -> Result<CpdCost, Error> {
     let p = cfg.nprocs();
     if machine.size() != p {
         return Err(Error::RankOutOfRange {
@@ -544,7 +565,8 @@ pub fn estimate_cpd_time(
             .iter()
             .map(|mem| schedules::alltoall_pairwise(mem, per_pair))
             .collect();
-        let t = net.concurrent_time(&layer_schedules);
+        let merged = Schedule::lockstep(&layer_schedules);
+        let t = cache.time_with(net, &merged, per_pair, || net.schedule_time(&merged));
         if m == smallest_mode {
             cost.small_comm_alltoallv += t * cfg.iterations as f64;
         } else {
@@ -553,7 +575,9 @@ pub fn estimate_cpd_time(
         // λ normalization + fit pieces: one world allreduce per mode.
         let world_members: Vec<usize> = (0..p).map(|r| reordering.old_rank(r)).collect();
         let ar = schedules::allreduce_recursive_doubling(&world_members, (cfg.rank * 8) as u64);
-        cost.allreduce += net.schedule_time(&ar) * cfg.iterations as f64;
+        let ar_bytes = (cfg.rank * 8) as u64;
+        cost.allreduce +=
+            cache.time_with(net, &ar, ar_bytes, || net.schedule_time(&ar)) * cfg.iterations as f64;
     }
     // MTTKRP compute: 3 modes × 5·nnz·rank/p flops per iteration.
     let flops = 3.0 * 5.0 * cfg.nnz as f64 * cfg.rank as f64 / p as f64;

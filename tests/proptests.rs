@@ -1214,3 +1214,118 @@ fn congestion_bound_gaps_are_non_negative() {
         }
     });
 }
+
+/// The parallel best-first branch-and-bound frontier is equivalent to
+/// the serial incumbent loop on random hierarchies: same winner order,
+/// byte-identical best cost, and the same candidate total, for an
+/// arbitrary admissible bound. (The evaluated/pruned *split* is
+/// interleaving-dependent by design and is not compared.)
+#[test]
+fn pruned_parallel_frontier_matches_serial_oracle() {
+    use mixed_radix_enum::core::order_search::{
+        rank_orders_pruned, rank_orders_pruned_serial, spreadness,
+    };
+    propcheck(24, 0xD0C0_0030, |rng| {
+        let (h, _) = arb_hierarchy_and_order(rng);
+        let world = h.size();
+        if world < 4 || world % 2 != 0 {
+            return;
+        }
+        let s = if world % 4 == 0 && rng.gen_bool(0.5) {
+            world / 4
+        } else {
+            world / 2
+        };
+        if s < 2 {
+            return;
+        }
+        // Deliberately coarse cost: rounding forces cost ties, so the
+        // deterministic (cost, enumeration index) tie-break is exercised.
+        // Halving keeps the bound admissible while still pruning.
+        let cost =
+            |sigma: &Permutation| (spreadness(&h, sigma, s).expect("valid order") * 4.0).round();
+        let bound = |sigma: &Permutation| cost(sigma) * 0.5;
+        let serial = rank_orders_pruned_serial(&h, s, bound, cost).unwrap();
+        let parallel = rank_orders_pruned(&h, s, bound, cost).unwrap();
+        assert_eq!(
+            serial.best.0.order, parallel.best.0.order,
+            "winner order must be identical"
+        );
+        assert_eq!(
+            serial.best.1.to_bits(),
+            parallel.best.1.to_bits(),
+            "winner cost must be byte-identical"
+        );
+        assert_eq!(
+            serial.stats.candidates(),
+            parallel.stats.candidates(),
+            "candidate totals must agree"
+        );
+    });
+}
+
+/// The per-rail histogram bound **dominates** the aggregate bound on
+/// multi-rail fabrics — `schedule_lower_bound ≥
+/// schedule_lower_bound_aggregate` (and the fluid pair likewise) — for
+/// 2- and 4-rail fabrics under every rail policy and both contention
+/// modes, across the schedule generators. Together with admissibility
+/// (tested above) this is exactly what makes the bound ladder's second
+/// rung sound: it can only prune *more*, never the true optimum.
+#[test]
+fn per_rail_bound_dominates_aggregate_on_railed_fabrics() {
+    use mixed_radix_enum::simnet::{
+        fluid_lower_bound, fluid_lower_bound_aggregate, schedule_lower_bound,
+        schedule_lower_bound_aggregate, ContentionMode, RailPolicy,
+    };
+    propcheck(48, 0xD0C0_0031, |rng| {
+        let base = small_test_network();
+        let nics = if rng.gen_bool(0.5) { 2usize } else { 4 };
+        let policy = *rng.choose(&RailPolicy::ALL).expect("three policies");
+        let p = rng.gen_range(2usize..13);
+        let mut cores: Vec<usize> = (0..16).collect();
+        rng.shuffle(&mut cores);
+        let members = &cores[..p];
+        let bytes = rng.gen_range(1u64..1_000_000);
+        let gens: Vec<(&str, Schedule)> = vec![
+            (
+                "alltoall_pairwise_railed",
+                schedules::alltoall_pairwise_railed(members, bytes, nics),
+            ),
+            (
+                "alltoall_pairwise",
+                schedules::alltoall_pairwise(members, bytes),
+            ),
+            ("alltoall_bruck", schedules::alltoall_bruck(members, bytes)),
+            ("allgather_ring", schedules::allgather_ring(members, bytes)),
+            ("allreduce_ring", schedules::allreduce_ring(members, bytes)),
+            (
+                "reduce_scatter_ring",
+                schedules::reduce_scatter_ring(members, bytes),
+            ),
+        ];
+        for mode in [ContentionMode::MaxMinFair, ContentionMode::EqualShare] {
+            let net = base
+                .clone()
+                .with_rails(vec![nics, 1, nics], policy)
+                .with_contention_mode(mode);
+            for (name, s) in &gens {
+                let per_rail = schedule_lower_bound(&net, s);
+                let aggregate = schedule_lower_bound_aggregate(&net, s);
+                assert!(
+                    per_rail >= aggregate * (1.0 - 1e-12),
+                    "{name} (p={p}, bytes={bytes}, nics={nics}, {policy}, {mode:?}): \
+                     per-rail {per_rail} below aggregate {aggregate}"
+                );
+            }
+            // The fluid pair, over a multi-job split of the same traffic.
+            let jobs: Vec<Schedule> = gens.iter().map(|(_, s)| s.clone()).collect();
+            let per_rail = fluid_lower_bound(&net, &jobs);
+            let aggregate = fluid_lower_bound_aggregate(&net, &jobs);
+            assert!(
+                per_rail >= aggregate * (1.0 - 1e-12),
+                "fluid (p={p}, bytes={bytes}, nics={nics}, {policy}, {mode:?}): \
+                 per-rail {per_rail} below aggregate {aggregate}"
+            );
+        }
+    });
+}
