@@ -101,6 +101,27 @@ echo "== prune bench smoke (asserts ladder winners byte-identical per rail count
 cargo bench -q -p mre-bench --bench prune -- --quick prune \
   | grep "acceptance passed (4 rails)"
 
+echo "== round-memo smoke (warm-cache rail sweep reports round_hits > 0, same recommendation)"
+# The ring allreduce's reduce-scatter and allgather phases reuse the same
+# endpoint rings, so a single pruned sweep resolves almost every round
+# from the round-level memo — and the memoized path must recommend the
+# byte-identical order the memo-free exhaustive sweep does.
+cargo run -q --release -p mre-bench --bin order_sweep -- \
+  8,2,2,8 64 allreduce 4194304 --pruned --nics 4 > target/round_memo_pruned.out
+cargo run -q --release -p mre-bench --bin order_sweep -- \
+  8,2,2,8 64 allreduce 4194304 --nics 4 > target/round_memo_exhaustive.out
+round_hits=$(sed -n 's/^cost cache: .*round_hits=\([0-9]*\).*/\1/p' target/round_memo_pruned.out)
+test -n "$round_hits" && test "$round_hits" -gt 0
+grep "recommended order:" target/round_memo_pruned.out > target/round_memo_best_a
+grep "recommended order:" target/round_memo_exhaustive.out > target/round_memo_best_b
+cmp target/round_memo_best_a target/round_memo_best_b
+
+echo "== sweep bench smoke (symbolic axis >= 1.5x, winners byte-identical per cell)"
+# The bench itself asserts the >=1.5x overall speedup and the per-cell
+# byte-identity against the exhaustive sweep before timing anything.
+cargo bench -q -p mre-bench --bench sweep -- --quick sweep \
+  | grep "overall axis speedup"
+
 echo "== congestion_report smoke (hot link is the node uplink; 2 NICs halve its byte load)"
 cargo run -q --release -p mre-bench --bin congestion_report -- \
   --machine hydra --nodes 16 --bytes 4194304 --top-k 3 \

@@ -11,6 +11,7 @@
 
 use mre_bench::tinybench::{black_box, Bench, Stats};
 use mre_core::order_search::{sweep, sweep_pruned, sweep_pruned_ladder, SweepSpec};
+use mre_core::par;
 use mre_core::subcomm::{subcommunicators, ColorScheme};
 use mre_core::{Hierarchy, Permutation};
 use mre_mpi::{AlgorithmSelector, AllgatherAlg, CollectiveKind};
@@ -98,6 +99,7 @@ struct SweepStats {
     exhaustive: Option<Stats>,
     pruned: Option<Stats>,
     ladder: Option<Stats>,
+    ladder_serial: Option<Stats>,
     warm: Option<Stats>,
     cache_hits: u64,
     cache_misses: u64,
@@ -124,8 +126,11 @@ fn bench_sweeps(
 
     // The two-stage ladder: the merged schedule is prepared once per
     // candidate and shared by the aggregate rung, the per-rail rung and
-    // the costing — no per-stage rebuild (DESIGN.md §7g).
-    let ladder = b.bench("sweep/pruned-ladder/2x2-grid", || {
+    // the costing — no per-stage rebuild (DESIGN.md §7g). The fan-outs
+    // now run on the process-global worker pool (spawned once, parked
+    // between calls), so this sample re-records `ladder_ns` without the
+    // per-invocation spawn/join cost that produced the 1.007x anomaly.
+    let run_ladder = || {
         sweep_pruned_ladder(
             black_box(machine),
             spec,
@@ -135,7 +140,14 @@ fn bench_sweeps(
             |sigma, s, bytes, _| contended_duration(machine, net, sigma, s, bytes),
         )
         .unwrap()
-    });
+    };
+    let ladder = b.bench("sweep/pruned-ladder/pooled/2x2-grid", run_ladder);
+    // The same ladder with the fan-out forced serial — the pool is never
+    // touched. The pooled/serial gap is the cost (or win) of parallelism
+    // itself, with spawn overhead out of the picture on both sides.
+    par::set_threads(1);
+    let ladder_serial = b.bench("sweep/pruned-ladder/serial/2x2-grid", run_ladder);
+    par::set_threads(0);
 
     // Cross-sweep caching: the same cost closure, memoized on the merged
     // schedule's `(pattern fingerprint, payload)`. After one warming
@@ -157,6 +169,7 @@ fn bench_sweeps(
         exhaustive,
         pruned,
         ladder,
+        ladder_serial,
         warm,
         cache_hits,
         cache_misses,
@@ -207,33 +220,69 @@ fn main() {
     let sweeps = bench_sweeps(&mut b, &machine, &net, &spec);
     let (cold, warm_sel) = bench_selector(&mut b, &machine, &net);
 
-    // Machine-readable summary for BENCH_autotune.json.
+    // Machine-readable record, written to BENCH_autotune.json at the root.
     let med = |s: &Option<Stats>| s.as_ref().map_or(f64::NAN, |s| s.median_ns);
     let ratio = |base: &Option<Stats>, other: &Option<Stats>| match (base, other) {
         (Some(b), Some(o)) => b.median_ns / o.median_ns,
         _ => f64::NAN,
     };
-    println!(
-        "\njson: {{\"sweep\": {{\"machine\": \"{machine}\", \"subcomm_sizes\": [16, 32], \
-         \"payload_sizes\": [65536, 4194304], \"exhaustive_ns\": {:.1}, \"pruned_ns\": {:.1}, \
-         \"ladder_ns\": {:.1}, \"pruned_warm_cache_ns\": {:.1}, \"pruned_speedup\": {:.3}, \
-         \"ladder_speedup\": {:.3}, \
-         \"warm_cache_speedup\": {:.3}, \"evaluated\": {evaluated}, \"pruned\": {skipped}, \
-         \"cache_hits\": {}, \"cache_misses\": {}}}, \
-         \"selector\": {{\"total_bytes\": {SELECTOR_BYTES}, \"cold_ns\": {:.1}, \
-         \"warm_ns\": {:.1}, \"warm_speedup\": {:.3}}}}}",
+    let (capacity, broadcasts, jobs) =
+        par::pool_stats().map_or((0, 0, 0), |p| (p.capacity, p.broadcasts, p.jobs));
+    let json = format!(
+        "{{\n  \"bench\": \"autotune\",\n  \"workload\": {{\n    \"machine\": \
+         \"hydra_network({NODES}, 1) = [{NODES}, 2, 2, 8] ({} cores)\",\n    \
+         \"collective\": \"allgather/ring via Microbench\",\n    \
+         \"subcomm_sizes\": [16, 32],\n    \"payload_sizes\": [65536, 4194304]\n  }},\n  \
+         \"sweep\": {{\n    \"candidates\": {},\n    \"evaluated\": {evaluated},\n    \
+         \"pruned\": {skipped},\n    \"exhaustive_ns\": {:.1},\n    \"pruned_ns\": {:.1},\n    \
+         \"ladder_ns\": {:.1},\n    \"ladder_serial_ns\": {:.1},\n    \
+         \"pruned_warm_cache_ns\": {:.1},\n    \"pruned_speedup\": {:.3},\n    \
+         \"ladder_speedup\": {:.3},\n    \"warm_cache_speedup\": {:.3},\n    \
+         \"cache_hits\": {},\n    \"cache_misses\": {}\n  }},\n  \
+         \"pool_reuse\": {{\n    \"before\": {{ \"pool\": \"std::thread::scope spawned and joined \
+         per ladder invocation\", \"ladder_ns\": 5386085.0, \"ladder_speedup\": 1.007 }},\n    \
+         \"after\": {{ \"pool\": \"process-global lazy pool, workers parked on job channels \
+         between invocations\", \"ladder_ns\": {:.1}, \"ladder_speedup\": {:.3}, \
+         \"capacity\": {capacity}, \"broadcasts\": {broadcasts}, \"jobs\": {jobs} }}\n  }},\n  \
+         \"selector\": {{\n    \"collective\": \"allgather over eight 16-core \
+         subcommunicators\",\n    \"total_bytes\": {SELECTOR_BYTES},\n    \"cold_ns\": {:.1},\n    \
+         \"warm_ns\": {:.1},\n    \"warm_speedup\": {:.3}\n  }},\n  \
+         \"notes\": \"The prior record's 1.007x ladder_speedup at the default pool (vs 1.213x \
+         serial) was per-invocation thread spawn/join: every sweep_pruned_ladder call paid a \
+         fresh std::thread::scope. mre_core::par now spawns one process-global pool lazily and \
+         parks the workers between fan-outs, so ladder_ns above is re-recorded with reused \
+         workers; ladder_serial_ns is the same ladder with the fan-out forced serial \
+         (set_threads(1)), isolating the parallelism win from the (now removed) spawn cost. A \
+         pool capacity of 0 or 1 means the host exposes a single core and every fan-out ran \
+         inline — pooled and serial then agree within noise, which *is* the resolution of the \
+         anomaly on such hosts: no threads, no spawn tax. Winners stay byte-identical to the \
+         exhaustive sweep in every cell (asserted before timing). Warming a SharedCostCache \
+         across sweeps removes the remaining contention solves on repeat runs; the \
+         AlgorithmSelector warm/cold gap is the per-subcomm analogue.\"\n}}\n",
+        machine.size(),
+        evaluated + skipped,
         med(&sweeps.exhaustive),
         med(&sweeps.pruned),
         med(&sweeps.ladder),
+        med(&sweeps.ladder_serial),
         med(&sweeps.warm),
         ratio(&sweeps.exhaustive, &sweeps.pruned),
         ratio(&sweeps.exhaustive, &sweeps.ladder),
         ratio(&sweeps.exhaustive, &sweeps.warm),
         sweeps.cache_hits,
         sweeps.cache_misses,
+        med(&sweeps.ladder),
+        ratio(&sweeps.exhaustive, &sweeps.ladder),
         med(&cold),
         med(&warm_sel),
         ratio(&cold, &warm_sel),
     );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_autotune.json");
+    if b.is_quick() {
+        println!("\n--quick run: leaving {path} untouched");
+    } else {
+        std::fs::write(path, &json).expect("write BENCH_autotune.json");
+        println!("\nwrote {path}");
+    }
     b.finish();
 }

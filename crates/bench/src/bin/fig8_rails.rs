@@ -106,10 +106,13 @@ fn main() {
     } else {
         println!("winner stable across rail counts for this configuration");
     }
-    let (hits, misses) = cache.stats();
+    let cs = cache.cache_stats();
     println!(
-        "cost cache over the rail grid: {hits} hits / {misses} contention solves \
-         ({} distinct keys)",
+        "cost cache over the rail grid: core.cost_cache.pattern_hits={} \
+         core.cost_cache.round_hits={} core.cost_cache.misses={} ({} distinct keys)",
+        cs.pattern_hits,
+        cs.round_hits,
+        cs.misses,
         cache.len()
     );
 }

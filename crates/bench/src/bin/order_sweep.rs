@@ -7,10 +7,15 @@
 //! ```text
 //! order_sweep [HIERARCHY] [SUBCOMM] [COLLECTIVE] [SIZE_BYTES] [--pruned] [--fluid]
 //!             [--nics N] [--rail-policy round-robin|src-hash|affinity]
-//!             [--bound aggregate|per-rail] [--congestion]
+//!             [--bound aggregate|per-rail] [--congestion] [--threads N]
 //! order_sweep 16,2,2,8 16 alltoall 4194304
 //! order_sweep 16,2,2,8 16 alltoall 4194304 --nics 2 --fluid
 //! ```
+//!
+//! `--threads N` pins the [`mre_core::par`] worker-pool width for this
+//! run; it takes precedence over the `MRE_PAR_THREADS` environment
+//! variable, which in turn overrides the autodetected core count (see the
+//! README's "Thread-count precedence").
 //!
 //! With `--pruned` the exhaustive evaluation is replaced by the
 //! parallel best-first branch-and-bound search
@@ -108,6 +113,13 @@ fn main() {
     })
     .unwrap_or(1);
     let policy = take_value_flag(&mut args, "--rail-policy", RailPolicy::parse).unwrap_or_default();
+    // Explicit worker-pool width: --threads beats MRE_PAR_THREADS beats
+    // the autodetected core count. Must run before the pool's first use.
+    if let Some(n) = take_value_flag(&mut args, "--threads", |v| {
+        v.parse::<usize>().ok().filter(|&n| n >= 1)
+    }) {
+        mre_core::par::set_threads(n);
+    }
     // Which tight rung the pruned search runs: the per-rail histogram
     // bound (default; dominates on railed fabrics) or none — leaving the
     // cheap aggregate rung alone, for before/after pruning comparisons.
@@ -259,17 +271,27 @@ fn main() {
                 if fluid_mode {
                     cache.time_keyed(&net, fluid_key(&p.all), size, || fluid_time(&net, &p.all))
                 } else {
-                    cache.time_with(&net, &p.merged, size, || net.schedule_time(&p.merged))
+                    // Round-interned costing: rounds shared between
+                    // candidate patterns (and across repeated patterns)
+                    // resolve from the per-round memo without a new
+                    // contention solve — bit-identical to schedule_time.
+                    cache.schedule_time_rounds(&net, &p.merged, size)
                 }
             },
         )
         .expect("valid configuration");
         println!(
-            "branch-and-bound: {} costed, {} pruned ({} by the per-rail rung) of {} candidates\n",
+            "branch-and-bound: {} costed, {} pruned ({} by the per-rail rung) of {} candidates",
             result.stats.evaluated,
             result.stats.pruned,
             result.stats.tight_pruned,
             result.stats.candidates()
+        );
+        let cs = cache.cache_stats();
+        println!(
+            "cost cache: core.cost_cache.pattern_hits={} core.cost_cache.round_hits={} \
+             core.cost_cache.misses={}\n",
+            cs.pattern_hits, cs.round_hits, cs.misses
         );
         result.ranked
     } else {
@@ -307,6 +329,13 @@ fn main() {
             snap.counter("core.order_search.bound.evaluated"),
             snap.counter("core.order_search.bound.pruned"),
             snap.counter("core.order_search.bound.tight_pruned"),
+        );
+        println!(
+            "telemetry: core.cost_cache.pattern_hits={} core.cost_cache.round_hits={} \
+             core.cost_cache.misses={}",
+            snap.counter("core.cost_cache.pattern_hits"),
+            snap.counter("core.cost_cache.round_hits"),
+            snap.counter("core.cost_cache.misses"),
         );
         // The ladder-vs-cost time split: how long the search spent in
         // bound rungs (schedule construction + both bounds) vs in full

@@ -865,6 +865,76 @@ where
     sweep_pruned_impl(h, spec, &prepare, &cheap, Some(tight_dyn), &cost)
 }
 
+/// [`sweep_pruned_ladder`] with the per-candidate preparation hoisted out
+/// of the payload axis: `prepare(σ, subcomm_size)` runs exactly **once per
+/// (subcommunicator size, candidate)** — not once per (candidate, payload)
+/// — and every payload cell of that size receives the same `&P`.
+///
+/// This is the engine behind symbolic payload sweeps (DESIGN.md §7h): the
+/// artifact `P` captures everything payload-independent about a candidate
+/// — typically its schedule structure and solved contention profiles as a
+/// piecewise-linear function of payload bytes — so an axis of `m` payload
+/// points pays the expensive preparation once instead of `m` times, and
+/// each cell's bound/cost evaluations are cheap per-payload lookups or
+/// replays against `&P`.
+///
+/// The admissibility contract and winner guarantee are exactly
+/// [`sweep_pruned_ladder`]'s: both rungs admissible pointwise (now also in
+/// `payload`) ⇒ every cell's [`PrunedSweepCell::best`] is byte-identical
+/// to the exhaustive [`sweep`]'s, in every thread interleaving. Telemetry
+/// is likewise aggregated over all distinct cells.
+pub fn sweep_pruned_axis<P, Prep, B1, B2, F>(
+    h: &Hierarchy,
+    spec: &SweepSpec,
+    prepare: Prep,
+    cheap: B1,
+    tight: B2,
+    cost: F,
+) -> Result<Vec<PrunedSweepCell>, Error>
+where
+    P: Send + Sync,
+    Prep: Fn(&Permutation, usize) -> P + Sync,
+    B1: Fn(&Permutation, usize, u64, &P) -> f64 + Sync,
+    B2: Fn(&Permutation, usize, u64, &P) -> f64 + Sync,
+    F: Fn(&Permutation, usize, u64, &P) -> f64 + Sync,
+{
+    let (sizes, size_pos) = dedup_axis(&spec.subcomm_sizes);
+    let (payloads, payload_pos) = dedup_axis(&spec.payload_sizes);
+    let reps_per_size: Vec<Vec<OrderCharacterization>> = sizes
+        .iter()
+        .map(|&s| representatives(h, s))
+        .collect::<Result<_, _>>()?;
+    let timing = SearchTiming::default();
+    let mut unique_cells: Vec<PrunedSweepCell> = Vec::with_capacity(sizes.len() * payloads.len());
+    for (si, reps) in reps_per_size.iter().enumerate() {
+        let subcomm_size = sizes[si];
+        // The payload-independent prepare — once per candidate, shared by
+        // every payload cell of this subcommunicator size.
+        let prepared: Vec<P> = par::map(reps, |_, c| {
+            timing.bound(|| prepare(&c.order, subcomm_size))
+        });
+        for &payload in &payloads {
+            let bounds: Vec<f64> = par::map(reps, |i, c| {
+                timing.bound(|| cheap(&c.order, subcomm_size, payload, &prepared[i]))
+            });
+            let tight_rung = |i: usize| {
+                timing.bound(|| tight(&reps[i].order, subcomm_size, payload, &prepared[i]))
+            };
+            let (evaluated, stats) = branch_and_bound_par(&bounds, Some(&tight_rung), &|i| {
+                timing.cost(|| cost(&reps[i].order, subcomm_size, payload, &prepared[i]))
+            });
+            unique_cells.push(assemble_cell(reps, subcomm_size, payload, evaluated, stats));
+        }
+    }
+    Ok(expand_cells(
+        unique_cells,
+        &size_pos,
+        &payload_pos,
+        payloads.len(),
+        &timing,
+    ))
+}
+
 /// The fully deterministic spelling of [`sweep_pruned`]: distinct cells
 /// fan out on the worker pool and each runs the **serial** incumbent loop
 /// — the pre-frontier engine, kept as the differential oracle and as the
@@ -1222,6 +1292,54 @@ mod tests {
             assert_eq!(e.ranked[0].0, l.best.0);
             assert_eq!(e.ranked[0].1.to_bits(), l.best.1.to_bits());
         }
+    }
+
+    #[test]
+    fn sweep_pruned_axis_matches_exhaustive_and_hoists_prepare() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let h = hydra();
+        let cost = bb_cost(&h);
+        let spec = SweepSpec {
+            subcomm_sizes: vec![16, 64],
+            payload_sizes: vec![1 << 10, 1 << 14, 1 << 20],
+        };
+        let exhaustive = sweep(&h, &spec, &cost).unwrap();
+        let prepares = AtomicU64::new(0);
+        // P captures the payload-independent factor of the toy cost
+        // (`bb_cost` = ring_cost · (1 + bytes)); the per-cell closures
+        // reconstruct cost(σ, s, payload) from it with the exact same
+        // arithmetic, so winners must be bit-identical.
+        let axis = sweep_pruned_axis(
+            &h,
+            &spec,
+            |sigma: &Permutation, s| {
+                prepares.fetch_add(1, Ordering::Relaxed);
+                characterize_order(&h, sigma, s).unwrap().ring_cost as f64
+            },
+            |_, _, b, &r: &f64| r * (1.0 + b as f64) * 0.5,
+            |_, _, b, &r: &f64| r * (1.0 + b as f64) * 0.9,
+            |_, _, b, &r: &f64| r * (1.0 + b as f64),
+        )
+        .unwrap();
+        assert_eq!(exhaustive.len(), axis.len());
+        for (e, a) in exhaustive.iter().zip(&axis) {
+            assert_eq!(e.subcomm_size, a.subcomm_size);
+            assert_eq!(e.payload, a.payload);
+            assert_eq!(e.ranked[0].0, a.best.0);
+            assert_eq!(
+                e.ranked[0].1.to_bits(),
+                a.best.1.to_bits(),
+                "axis sweep winner cost drifted at ({}, {})",
+                e.subcomm_size,
+                e.payload
+            );
+        }
+        let n: u64 = [16usize, 64]
+            .iter()
+            .map(|&s| representatives(&h, s).unwrap().len() as u64)
+            .sum();
+        // prepare ran once per (size, candidate) — NOT once per payload.
+        assert_eq!(prepares.load(Ordering::Relaxed), n);
     }
 
     #[test]

@@ -95,6 +95,43 @@ pub struct RoundLoad {
 }
 
 impl RoundLoad {
+    /// An empty load for a machine whose level `l` has `rails[l]` rails —
+    /// the reusable counterpart of the internal constructor, for callers
+    /// that keep one load around and [`reset`](Self::reset) it per round.
+    pub fn for_rails(rails: &[usize]) -> Self {
+        Self::empty(rails)
+    }
+
+    /// Zeroes the load for a machine whose level `l` has `rails[l]` rails,
+    /// **keeping every buffer's allocation** when the shape is unchanged.
+    /// `reset` + accumulate produces exactly the state a fresh
+    /// [`for_rails`](Self::for_rails) load would reach, so reusing one load
+    /// across rounds is bit-identical to building fresh ones.
+    pub fn reset(&mut self, rails: &[usize]) {
+        let depth = rails.len();
+        fn reset_rows<T: Copy>(rows: &mut Vec<Vec<T>>, rails: &[usize], zero: T) {
+            rows.resize_with(rails.len(), Vec::new);
+            for (row, &r) in rows.iter_mut().zip(rails) {
+                row.clear();
+                row.resize(r.max(1), zero);
+            }
+        }
+        self.bytes_through.clear();
+        self.bytes_through.resize(depth, 0);
+        self.active_up.clear();
+        self.active_up.resize(depth, 0);
+        self.active_down.clear();
+        self.active_down.resize(depth, 0);
+        self.min_latency_through.clear();
+        self.min_latency_through.resize(depth, 0.0);
+        self.max_latency = 0.0;
+        self.max_local_bytes = 0;
+        reset_rows(&mut self.rail_bytes_up, rails, 0);
+        reset_rows(&mut self.rail_bytes_down, rails, 0);
+        reset_rows(&mut self.rail_active_up, rails, 0);
+        reset_rows(&mut self.rail_active_down, rails, 0);
+    }
+
     /// An empty load for a machine whose level `l` has `rails[l]` rails.
     fn empty(rails: &[usize]) -> Self {
         let depth = rails.len();
@@ -120,11 +157,27 @@ impl NetworkModel {
     /// Aggregates one round of messages into a [`RoundLoad`] (one pass over
     /// the messages; bounds evaluated from the load are O(levels)).
     pub fn round_load(&self, messages: &[Message]) -> RoundLoad {
+        let mut load = RoundLoad::empty(self.rail_counts());
+        let mut seen = std::collections::HashSet::new();
+        self.round_load_into(messages, &mut load, &mut seen);
+        load
+    }
+
+    /// [`round_load`](Self::round_load) into caller-owned storage: `load`
+    /// is [`reset`](RoundLoad::reset) and `seen` cleared first, so reusing
+    /// them across rounds allocates nothing once warm and accumulates
+    /// exactly what a fresh load would.
+    pub fn round_load_into(
+        &self,
+        messages: &[Message],
+        load: &mut RoundLoad,
+        seen: &mut std::collections::HashSet<(usize, usize, bool, usize)>,
+    ) {
         let strides = self.hierarchy().strides();
         let k = strides.len();
         let links = self.links();
-        let mut load = RoundLoad::empty(self.rail_counts());
-        let mut seen = std::collections::HashSet::new();
+        load.reset(self.rail_counts());
+        seen.clear();
         for m in messages {
             if m.src == m.dst {
                 load.max_local_bytes = load.max_local_bytes.max(m.bytes);
@@ -163,7 +216,6 @@ impl NetworkModel {
                 }
             }
         }
-        load
     }
 
     /// Admissible lower bound on [`round_time`](Self::round_time) from a
@@ -237,15 +289,31 @@ impl NetworkModel {
     }
 
     /// Admissible lower bound on [`round_time`](Self::round_time).
+    ///
+    /// Accumulates into the thread-local [`RoundWorkspace`]'s load instead
+    /// of allocating one per call (bit-identical — see
+    /// [`RoundLoad::reset`]).
+    ///
+    /// [`RoundWorkspace`]: crate::workspace::RoundWorkspace
     pub fn round_lower_bound(&self, messages: &[Message]) -> f64 {
-        self.round_lower_bound_from(&self.round_load(messages))
+        crate::workspace::with_thread_local(|ws| {
+            let crate::workspace::RoundWorkspace { load, seen, .. } = ws;
+            let load = load.get_or_insert_with(|| RoundLoad::for_rails(self.rail_counts()));
+            self.round_load_into(messages, load, seen);
+            self.round_lower_bound_from(load)
+        })
     }
 
     /// Aggregate-capacity lower bound on [`round_time`](Self::round_time)
     /// (the cheap rung — see
     /// [`round_lower_bound_aggregate_from`](Self::round_lower_bound_aggregate_from)).
     pub fn round_lower_bound_aggregate(&self, messages: &[Message]) -> f64 {
-        self.round_lower_bound_aggregate_from(&self.round_load(messages))
+        crate::workspace::with_thread_local(|ws| {
+            let crate::workspace::RoundWorkspace { load, seen, .. } = ws;
+            let load = load.get_or_insert_with(|| RoundLoad::for_rails(self.rail_counts()));
+            self.round_load_into(messages, load, seen);
+            self.round_lower_bound_aggregate_from(load)
+        })
     }
 
     /// Per-round [`RoundLoad`]s of a schedule, for bound evaluations that

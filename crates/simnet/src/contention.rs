@@ -43,6 +43,29 @@ impl Ord for Candidate {
     }
 }
 
+/// Reusable scratch for [`max_min_rates_csr`]: every per-solve vector and
+/// the candidate heap's backing buffer. After the first few solves the
+/// buffers reach their high-water marks and subsequent solves perform no
+/// heap allocation — the property the sweep loops' steady state relies on.
+#[derive(Debug, Default)]
+pub struct ContentionWorkspace {
+    count: Vec<usize>,
+    offsets: Vec<usize>,
+    link_flows: Vec<usize>,
+    remaining: Vec<f64>,
+    version: Vec<u64>,
+    frozen: Vec<bool>,
+    heap_buf: Vec<Reverse<Candidate>>,
+    touched: Vec<usize>,
+}
+
+impl ContentionWorkspace {
+    /// An empty workspace (no allocations until the first solve).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Computes max-min fair rates.
 ///
 /// * `flows[f]` — the list of link indices flow `f` traverses. A flow with
@@ -67,62 +90,101 @@ impl Ord for Candidate {
 /// is the true minimum. No tie tolerance is needed at all: links tied with
 /// the bottleneck simply pop next with an unchanged share.
 ///
+/// This is a thin wrapper over [`max_min_rates_csr`] with a throwaway
+/// workspace; hot paths (e.g. `NetworkModel::round_profile`) call the CSR
+/// form with a reused [`ContentionWorkspace`] instead.
 /// [`max_min_rates_reference`] is the original dense solver, kept as an
 /// oracle for property tests and benchmarks.
 pub fn max_min_rates(flows: &[Vec<usize>], capacities: &[f64]) -> Vec<f64> {
-    let nf = flows.len();
-    let nl = capacities.len();
-    let mut rates = vec![f64::INFINITY; nf];
-    if nf == 0 {
-        return rates;
+    let mut offsets = Vec::with_capacity(flows.len() + 1);
+    offsets.push(0usize);
+    let mut links = Vec::with_capacity(flows.iter().map(Vec::len).sum());
+    for f in flows {
+        links.extend_from_slice(f);
+        offsets.push(links.len());
     }
-    let mut count = vec![0usize; nl];
+    let mut ws = ContentionWorkspace::new();
+    let mut rates = Vec::new();
+    max_min_rates_csr(&mut ws, &offsets, &links, capacities, &mut rates);
+    rates
+}
+
+/// [`max_min_rates`] over flows in CSR layout, with caller-owned scratch
+/// and output: flow `f`'s links are
+/// `flow_links[flow_offsets[f]..flow_offsets[f + 1]]`, rates are written
+/// into `rates` (cleared first). Bit-identical to [`max_min_rates`] — the
+/// freezing schedule depends only on the data, not the containers — while
+/// allocating nothing once `ws` and `rates` are warm.
+pub fn max_min_rates_csr(
+    ws: &mut ContentionWorkspace,
+    flow_offsets: &[usize],
+    flow_links: &[usize],
+    capacities: &[f64],
+    rates: &mut Vec<f64>,
+) {
+    let nf = flow_offsets.len().saturating_sub(1);
+    let nl = capacities.len();
+    rates.clear();
+    rates.resize(nf, f64::INFINITY);
+    if nf == 0 {
+        return;
+    }
+    let flow = |f: usize| &flow_links[flow_offsets[f]..flow_offsets[f + 1]];
+    ws.count.clear();
+    ws.count.resize(nl, 0);
     let mut active = 0usize;
-    for (f, links) in flows.iter().enumerate() {
-        for &l in links {
+    for f in 0..nf {
+        for &l in flow(f) {
             assert!(l < nl, "flow {f} references unknown link {l}");
-            count[l] += 1;
+            ws.count[l] += 1;
         }
-        if !links.is_empty() {
+        if !flow(f).is_empty() {
             active += 1;
         }
     }
     // Per-link flow lists in CSR layout (frozen flows are lazily skipped,
     // not removed): link `l`'s flows live at
     // `link_flows[offsets[l]..offsets[l + 1]]`.
-    let mut offsets = vec![0usize; nl + 1];
+    ws.offsets.clear();
+    ws.offsets.resize(nl + 1, 0);
     for l in 0..nl {
-        offsets[l + 1] = offsets[l] + count[l];
+        ws.offsets[l + 1] = ws.offsets[l] + ws.count[l];
     }
-    let mut link_flows = vec![0usize; offsets[nl]];
-    let mut cursor = offsets.clone();
-    for (f, links) in flows.iter().enumerate() {
-        for &l in links {
-            link_flows[cursor[l]] = f;
-            cursor[l] += 1;
+    ws.link_flows.clear();
+    ws.link_flows.resize(ws.offsets[nl], 0);
+    // `count` doubles as the fill cursor (offset from each link's start);
+    // it is rebuilt to flow counts right after.
+    for c in ws.count.iter_mut() {
+        *c = 0;
+    }
+    for f in 0..nf {
+        for &l in flow(f) {
+            ws.link_flows[ws.offsets[l] + ws.count[l]] = f;
+            ws.count[l] += 1;
         }
     }
-    let mut remaining = capacities.to_vec();
-    let mut version = vec![0u64; nl];
-    let mut frozen = vec![false; nf];
-    let mut heap = BinaryHeap::from(
-        (0..nl)
-            .filter(|&l| count[l] > 0)
-            .map(|l| {
-                Reverse(Candidate {
-                    share: remaining[l].max(0.0) / count[l] as f64,
-                    version: 0,
-                    link: l,
-                })
+    ws.remaining.clear();
+    ws.remaining.extend_from_slice(capacities);
+    ws.version.clear();
+    ws.version.resize(nl, 0);
+    ws.frozen.clear();
+    ws.frozen.resize(nf, false);
+    ws.heap_buf.clear();
+    ws.heap_buf
+        .extend((0..nl).filter(|&l| ws.count[l] > 0).map(|l| {
+            Reverse(Candidate {
+                share: ws.remaining[l].max(0.0) / ws.count[l] as f64,
+                version: 0,
+                link: l,
             })
-            .collect::<Vec<_>>(),
-    );
-    let mut touched: Vec<usize> = Vec::new();
+        }));
+    // Heapify the reused buffer; its allocation returns to `ws` below.
+    let mut heap = BinaryHeap::from(std::mem::take(&mut ws.heap_buf));
     let mut freeze_iterations = 0u64;
     while active > 0 {
         let Reverse(candidate) = heap.pop().expect("active flows imply a candidate link");
         let l = candidate.link;
-        if candidate.version != version[l] || count[l] == 0 {
+        if candidate.version != ws.version[l] || ws.count[l] == 0 {
             continue; // superseded by a later state change
         }
         freeze_iterations += 1;
@@ -130,38 +192,42 @@ pub fn max_min_rates(flows: &[Vec<usize>], capacities: &[f64]) -> Vec<f64> {
         debug_assert!(bottleneck_share.is_finite());
         // Freeze every still-active flow through the bottleneck link and
         // return its rate to the links it traverses.
-        touched.clear();
-        for &f in &link_flows[offsets[l]..offsets[l + 1]] {
-            if frozen[f] {
+        ws.touched.clear();
+        for idx in ws.offsets[l]..ws.offsets[l + 1] {
+            let f = ws.link_flows[idx];
+            if ws.frozen[f] {
                 continue;
             }
-            frozen[f] = true;
+            ws.frozen[f] = true;
             active -= 1;
             rates[f] = bottleneck_share;
-            for &l2 in &flows[f] {
-                remaining[l2] -= bottleneck_share;
-                count[l2] -= 1;
-                version[l2] += 1;
+            for &l2 in flow(f) {
+                ws.remaining[l2] -= bottleneck_share;
+                ws.count[l2] -= 1;
+                ws.version[l2] += 1;
                 if l2 != l {
-                    touched.push(l2);
+                    ws.touched.push(l2);
                 }
             }
         }
-        debug_assert_eq!(count[l], 0, "bottleneck link fully drained");
+        debug_assert_eq!(ws.count[l], 0, "bottleneck link fully drained");
         // One refreshed candidate per touched link, reflecting all of this
         // round's freezes at once (per-update pushes would all be stale).
-        touched.sort_unstable();
-        touched.dedup();
-        for &l2 in &touched {
-            if count[l2] > 0 {
+        ws.touched.sort_unstable();
+        ws.touched.dedup();
+        for &l2 in &ws.touched {
+            if ws.count[l2] > 0 {
                 heap.push(Reverse(Candidate {
-                    share: remaining[l2].max(0.0) / count[l2] as f64,
-                    version: version[l2],
+                    share: ws.remaining[l2].max(0.0) / ws.count[l2] as f64,
+                    version: ws.version[l2],
                     link: l2,
                 }));
             }
         }
     }
+    // Hand the heap's buffer back to the workspace for the next solve.
+    ws.heap_buf = heap.into_vec();
+    ws.heap_buf.clear();
     // One coarse telemetry emission per solve (a relaxed load when no
     // collector is installed).
     if mre_core::telemetry::enabled() {
@@ -170,7 +236,6 @@ pub fn max_min_rates(flows: &[Vec<usize>], capacities: &[f64]) -> Vec<f64> {
         mre_core::telemetry::counter_add("simnet.maxmin.flows", nf as u64);
         mre_core::telemetry::observe("simnet.maxmin.iterations.hist", freeze_iterations as f64);
     }
-    rates
 }
 
 /// The original dense water-filling solver: every iteration scans all

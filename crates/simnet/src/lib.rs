@@ -39,8 +39,10 @@ pub mod network;
 pub mod presets;
 pub mod rail;
 pub mod schedule;
+pub mod symbolic;
 pub mod timeline;
 pub mod utilization;
+pub mod workspace;
 
 pub use bound::{
     fluid_lower_bound, fluid_lower_bound_aggregate, schedule_lower_bound,
@@ -50,14 +52,18 @@ pub use congestion::{
     bound_gap_fluid, bound_gap_lockstep, BoundGap, CongestionProbe, LinkUsage, RailOccupancy,
     RateSegment, RoundMark,
 };
-pub use contention::{max_min_rates, max_min_rates_reference};
+pub use contention::{
+    max_min_rates, max_min_rates_csr, max_min_rates_reference, ContentionWorkspace,
+};
 pub use fluid::{
     fluid_time, fluid_time_reference, fluid_time_with_stats, fluid_timeline, FluidMessageSpan,
-    FluidSim, FluidStats, FluidTimeline,
+    FluidSim, FluidStats, FluidTimeline, SimPool,
 };
 pub use memory::MemoryModel;
 pub use network::{ContentionMode, LinkParams, NetworkModel, RoundProfile};
 pub use rail::{assign_rail, RailLinkTable, RailPolicy};
-pub use schedule::{CostCache, Message, Round, Schedule, SharedCostCache};
+pub use schedule::{CacheStats, CostCache, Message, Round, Schedule, SharedCostCache};
+pub use symbolic::{PayloadEnvelope, SymbolicScheduleCost};
 pub use timeline::{MessageTiming, RoundTimeline, ScheduleTimeline};
 pub use utilization::{utilization, utilization_railed, Utilization};
+pub use workspace::{thread_workspace_rounds, RoundWorkspace};

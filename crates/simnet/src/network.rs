@@ -15,11 +15,10 @@
 //! matching how per-level ping-pong latencies are measured on real
 //! machines.
 
-use crate::contention::max_min_rates;
+use crate::contention::max_min_rates_csr;
 use crate::rail::{assign_rail, RailPolicy};
 use crate::schedule::{Message, Schedule};
 use mre_core::Hierarchy;
-use std::collections::HashMap;
 
 /// How concurrent messages share link capacity (the contention-model
 /// ablation of DESIGN.md §6).
@@ -243,26 +242,49 @@ impl NetworkModel {
     /// once can re-cost the same endpoint pattern for any payload sizes
     /// ([`RoundProfile::time`]). [`crate::schedule::CostCache`] builds a
     /// message-size sweep on exactly this property.
+    ///
+    /// Delegates to [`round_profile_with`](Self::round_profile_with) on the
+    /// thread-local [`RoundWorkspace`](crate::workspace::RoundWorkspace),
+    /// so repeated profiling on one thread allocates only the returned
+    /// profile.
     pub fn round_profile(&self, messages: &[Message]) -> RoundProfile {
+        crate::workspace::with_thread_local(|ws| self.round_profile_with(ws, messages))
+    }
+
+    /// [`round_profile`](Self::round_profile) with caller-owned scratch:
+    /// the link-interning table, CSR flow lists and solver state all live
+    /// in `ws` and are reused across calls, so the steady state allocates
+    /// only the returned [`RoundProfile`]. Bit-identical to a fresh-buffer
+    /// build — interning order, capacities and the solver's freezing
+    /// schedule depend only on the message sequence, never on buffer
+    /// history.
+    pub fn round_profile_with(
+        &self,
+        ws: &mut crate::workspace::RoundWorkspace,
+        messages: &[Message],
+    ) -> RoundProfile {
         if messages.is_empty() {
             return RoundProfile {
                 entries: Vec::new(),
                 crossing: Vec::new(),
             };
         }
+        ws.begin_round();
         let k = self.hierarchy.depth();
         // Directed rail-link table: (level, instance, is_up, rail) → dense
         // index. At one rail per level the rail is constantly 0, so the
         // interning order — and with it every dense index, capacity and
         // solved rate — is identical to the single-rail model.
-        let mut link_index: HashMap<(usize, usize, bool, usize), usize> = HashMap::new();
-        let mut capacities: Vec<f64> = Vec::new();
-        let mut flows: Vec<Vec<usize>> = Vec::with_capacity(messages.len());
+        ws.link_index.clear();
+        ws.capacities.clear();
+        ws.flow_offsets.clear();
+        ws.flow_offsets.push(0);
+        ws.flow_links.clear();
         let mut crossing: Vec<Option<usize>> = Vec::with_capacity(messages.len());
         for m in messages {
             debug_assert!(m.src < self.hierarchy.size() && m.dst < self.hierarchy.size());
             if m.src == m.dst {
-                flows.push(Vec::new());
+                ws.flow_offsets.push(ws.flow_links.len());
                 crossing.push(None);
                 continue;
             }
@@ -271,30 +293,43 @@ impl NetworkModel {
                 .iter()
                 .position(|&s| m.src / s != m.dst / s)
                 .expect("distinct cores differ at some level");
-            let mut path = Vec::with_capacity(2 * (k - j));
             for level in j..k {
                 let stride = self.strides[level];
                 for (core, up) in [(m.src, true), (m.dst, false)] {
                     let instance = core / stride;
                     let rail = self.message_rail(level, m.src, m.dst, up);
-                    let next = link_index.len();
-                    let idx = *link_index
+                    let next = ws.link_index.len();
+                    let idx = *ws
+                        .link_index
                         .entry((level, instance, up, rail))
                         .or_insert(next);
-                    if idx == capacities.len() {
-                        capacities.push(self.links[level].uplink_bandwidth);
+                    if idx == ws.capacities.len() {
+                        ws.capacities.push(self.links[level].uplink_bandwidth);
                     }
-                    path.push(idx);
+                    ws.flow_links.push(idx);
                 }
             }
-            flows.push(path);
+            ws.flow_offsets.push(ws.flow_links.len());
             crossing.push(Some(j));
         }
-        let rates = match self.mode {
-            ContentionMode::MaxMinFair => max_min_rates(&flows, &capacities),
-            ContentionMode::EqualShare => equal_share_rates(&flows, &capacities),
+        match self.mode {
+            ContentionMode::MaxMinFair => max_min_rates_csr(
+                &mut ws.contention,
+                &ws.flow_offsets,
+                &ws.flow_links,
+                &ws.capacities,
+                &mut ws.rates,
+            ),
+            ContentionMode::EqualShare => equal_share_rates_csr(
+                &mut ws.counts,
+                &ws.flow_offsets,
+                &ws.flow_links,
+                &ws.capacities,
+                &mut ws.rates,
+            ),
         };
-        let entries = rates
+        let entries = ws
+            .rates
             .iter()
             .zip(&crossing)
             .map(|(&rate, j)| match j {
@@ -428,22 +463,25 @@ impl RoundProfile {
 
 /// Naive equal-split rates: each flow gets the minimum over its links of
 /// `capacity / flows_on_link`, with no redistribution of unused shares.
-fn equal_share_rates(flows: &[Vec<usize>], capacities: &[f64]) -> Vec<f64> {
-    let mut counts = vec![0usize; capacities.len()];
-    for links in flows {
-        for &l in links {
-            counts[l] += 1;
-        }
+fn equal_share_rates_csr(
+    counts: &mut Vec<usize>,
+    flow_offsets: &[usize],
+    flow_links: &[usize],
+    capacities: &[f64],
+    rates: &mut Vec<f64>,
+) {
+    counts.clear();
+    counts.resize(capacities.len(), 0);
+    for &l in flow_links {
+        counts[l] += 1;
     }
-    flows
-        .iter()
-        .map(|links| {
-            links
-                .iter()
-                .map(|&l| capacities[l] / counts[l] as f64)
-                .fold(f64::INFINITY, f64::min)
-        })
-        .collect()
+    rates.clear();
+    rates.extend((0..flow_offsets.len().saturating_sub(1)).map(|f| {
+        flow_links[flow_offsets[f]..flow_offsets[f + 1]]
+            .iter()
+            .map(|&l| capacities[l] / counts[l] as f64)
+            .fold(f64::INFINITY, f64::min)
+    }));
 }
 
 #[cfg(test)]

@@ -61,6 +61,32 @@ impl Round {
         self.messages.extend_from_slice(&other.messages);
     }
 
+    /// Fingerprint of this round's endpoint *sequence* `[(src, dst), …]`,
+    /// ignoring payload bytes.
+    ///
+    /// This is the round-granular analogue of
+    /// [`Schedule::pattern_fingerprint`]: two rounds share it exactly when
+    /// they send the same `(src, dst)` pairs in the same message order.
+    /// Sequence hashing (rather than multiset hashing) is a conservative
+    /// refinement — a reordered copy of the same message set occupies a
+    /// second entry — and is what makes memoized replay **bit-identical**:
+    /// a fingerprint hit guarantees the identical message sequence, hence
+    /// the identical contention solve and the identical floating-point
+    /// fold. Rail assignment under the active [`crate::rail::RailPolicy`]
+    /// is a pure function of `(model, level, endpoints)`, so folding the
+    /// model fingerprint into the cache key (as [`SharedCostCache`] does)
+    /// covers it without hashing rails here.
+    pub fn endpoint_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.messages.len().hash(&mut h);
+        for m in &self.messages {
+            m.src.hash(&mut h);
+            m.dst.hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Checks this round's messages for self-messages and duplicate
     /// `(src, dst)` pairs; `round` is the round's index in its schedule,
     /// used only for error reporting.
@@ -346,13 +372,41 @@ impl CostCache {
 #[derive(Debug)]
 pub struct SharedCostCache {
     shards: Vec<CostShard>,
+    round_times: Vec<CostShard>,
+    round_profiles: Vec<ProfileShard>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
+    pattern_hits: std::sync::atomic::AtomicU64,
+    round_hits: std::sync::atomic::AtomicU64,
+    round_misses: std::sync::atomic::AtomicU64,
 }
 
 /// One lock-striped shard: `(model fingerprint, pattern fingerprint,
-/// payload key)` → cost.
+/// payload key)` → cost. (The round-time tier reuses the same shape with
+/// the round's endpoint fingerprint in the middle slot.)
 type CostShard = std::sync::Mutex<std::collections::HashMap<(u64, u64, u64), f64>>;
+
+/// One lock-striped shard of the round-profile tier: `(model fingerprint,
+/// round endpoint fingerprint)` → solved contention profile. Profiles are
+/// payload-independent (contended rates depend only on endpoints), so
+/// this tier is shared across the whole payload axis.
+type ProfileShard = std::sync::Mutex<
+    std::collections::HashMap<(u64, u64), std::sync::Arc<crate::network::RoundProfile>>,
+>;
+
+/// Snapshot of the round-granular counters of a [`SharedCostCache`] —
+/// the `core.cost_cache.{pattern_hits,round_hits,misses}` telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Whole-schedule costs served from the pattern memo.
+    pub pattern_hits: u64,
+    /// Rounds resolved without a contention solve: either the round-time
+    /// memo hit outright, or the round's profile was already solved and
+    /// only the (cheap) payload replay ran.
+    pub round_hits: u64,
+    /// Rounds that required a full contention solve.
+    pub misses: u64,
+}
 
 impl Default for SharedCostCache {
     fn default() -> Self {
@@ -369,8 +423,17 @@ impl SharedCostCache {
             shards: (0..Self::SHARDS)
                 .map(|_| std::sync::Mutex::new(std::collections::HashMap::new()))
                 .collect(),
+            round_times: (0..Self::SHARDS)
+                .map(|_| std::sync::Mutex::new(std::collections::HashMap::new()))
+                .collect(),
+            round_profiles: (0..Self::SHARDS)
+                .map(|_| std::sync::Mutex::new(std::collections::HashMap::new()))
+                .collect(),
             hits: std::sync::atomic::AtomicU64::new(0),
             misses: std::sync::atomic::AtomicU64::new(0),
+            pattern_hits: std::sync::atomic::AtomicU64::new(0),
+            round_hits: std::sync::atomic::AtomicU64::new(0),
+            round_misses: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -393,12 +456,34 @@ impl SharedCostCache {
         self.len() == 0
     }
 
-    /// Drops all cached costs, keeping the hit/miss counters. No longer
-    /// required when switching models (the model fingerprint is part of
-    /// every key) — only for reclaiming memory.
+    /// Drops all cached costs (pattern costs, round times and round
+    /// profiles), keeping the hit/miss counters. No longer required when
+    /// switching models (the model fingerprint is part of every key) —
+    /// only for reclaiming memory.
     pub fn clear(&self) {
         for shard in &self.shards {
             shard.lock().unwrap().clear();
+        }
+        for shard in &self.round_times {
+            shard.lock().unwrap().clear();
+        }
+        for shard in &self.round_profiles {
+            shard.lock().unwrap().clear();
+        }
+    }
+
+    /// Snapshot of the round-granular counters: pattern hits, rounds
+    /// resolved without a contention solve, and rounds that required one.
+    /// These are what [`schedule_time_rounds`](Self::schedule_time_rounds)
+    /// and the round memo methods maintain; the flat
+    /// [`stats`](Self::stats) pair keeps its historical meaning (pattern
+    /// memo hits vs. pattern costings).
+    pub fn cache_stats(&self) -> CacheStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        CacheStats {
+            pattern_hits: self.pattern_hits.load(Relaxed),
+            round_hits: self.round_hits.load(Relaxed),
+            misses: self.round_misses.load(Relaxed),
         }
     }
 
@@ -459,6 +544,135 @@ impl SharedCostCache {
         let t = cost();
         self.misses
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        shard.lock().unwrap().insert(key, t);
+        t
+    }
+
+    fn shard_index<K: std::hash::Hash>(key: &K) -> usize {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % Self::SHARDS
+    }
+
+    /// The solved contention profile of a round, memoized under
+    /// `(net.fingerprint(), round.endpoint_fingerprint())`.
+    ///
+    /// Profiles are payload-independent, so one solve serves every payload
+    /// on the axis; a returned profile is bit-identical to
+    /// `net.round_profile(&round.messages)` because a fingerprint hit
+    /// implies the identical endpoint sequence and the solve is a
+    /// deterministic function of `(model, endpoints)`. Counts a round hit
+    /// when the profile was already solved, a miss when this call solved
+    /// it.
+    pub fn round_profile_memo(
+        &self,
+        net: &NetworkModel,
+        round: &Round,
+    ) -> std::sync::Arc<crate::network::RoundProfile> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let key = (net.fingerprint(), round.endpoint_fingerprint());
+        let shard = &self.round_profiles[Self::shard_index(&key)];
+        if let Some(p) = shard.lock().unwrap().get(&key) {
+            self.round_hits.fetch_add(1, Relaxed);
+            if mre_core::telemetry::enabled() {
+                mre_core::telemetry::counter_add("core.cost_cache.round_hits", 1);
+            }
+            return p.clone();
+        }
+        // Solve outside the lock; a racing duplicate solve produces the
+        // identical profile.
+        let p = std::sync::Arc::new(net.round_profile(&round.messages));
+        self.round_misses.fetch_add(1, Relaxed);
+        if mre_core::telemetry::enabled() {
+            mre_core::telemetry::counter_add("core.cost_cache.misses", 1);
+        }
+        shard.lock().unwrap().insert(key, p.clone());
+        p
+    }
+
+    /// A round's lockstep time, memoized at round granularity.
+    ///
+    /// Two tiers: the round-*time* memo keyed `(model fingerprint, round
+    /// endpoint fingerprint, payload)` answers repeats outright; on a time
+    /// miss the round-*profile* memo (payload-independent) avoids the
+    /// contention solve and only the `O(messages)` payload replay runs.
+    /// Either tier counts as a `round_hit`; a full solve counts as a
+    /// `miss`. Bit-identical to `net.round_time(&round.messages)` under
+    /// the caller contract on the type (bytes a deterministic function of
+    /// `(pattern, payload)`).
+    pub fn round_time_memo(&self, net: &NetworkModel, round: &Round, payload: u64) -> f64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        let model_fp = net.fingerprint();
+        let rfp = round.endpoint_fingerprint();
+        let tkey = (model_fp, rfp, payload);
+        let tshard = &self.round_times[Self::shard_index(&tkey)];
+        if let Some(&t) = tshard.lock().unwrap().get(&tkey) {
+            self.round_hits.fetch_add(1, Relaxed);
+            if mre_core::telemetry::enabled() {
+                mre_core::telemetry::counter_add("core.cost_cache.round_hits", 1);
+            }
+            return t;
+        }
+        let pkey = (model_fp, rfp);
+        let pshard = &self.round_profiles[Self::shard_index(&pkey)];
+        let cached = pshard.lock().unwrap().get(&pkey).cloned();
+        let (profile, solved) = match cached {
+            Some(p) => (p, false),
+            None => {
+                let p = std::sync::Arc::new(net.round_profile(&round.messages));
+                pshard.lock().unwrap().insert(pkey, p.clone());
+                (p, true)
+            }
+        };
+        if solved {
+            self.round_misses.fetch_add(1, Relaxed);
+        } else {
+            self.round_hits.fetch_add(1, Relaxed);
+        }
+        if mre_core::telemetry::enabled() {
+            let name = if solved {
+                "core.cost_cache.misses"
+            } else {
+                "core.cost_cache.round_hits"
+            };
+            mre_core::telemetry::counter_add(name, 1);
+        }
+        let t = profile.time(&round.messages);
+        tshard.lock().unwrap().insert(tkey, t);
+        t
+    }
+
+    /// `schedule_time(schedule)` memoized at **both** pattern and round
+    /// granularity: a pattern hit answers outright; on a pattern miss each
+    /// round goes through [`round_time_memo`](Self::round_time_memo), so
+    /// candidate orders that share rounds (or re-cost the same rounds at a
+    /// new payload) reuse work at round granularity instead of re-solving
+    /// the whole schedule. Same caller contract — and the same result,
+    /// bit-for-bit — as [`schedule_time`](Self::schedule_time).
+    pub fn schedule_time_rounds(
+        &self,
+        net: &NetworkModel,
+        schedule: &Schedule,
+        payload: u64,
+    ) -> f64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        let key = (net.fingerprint(), schedule.pattern_fingerprint(), payload);
+        let shard = self.shard(key);
+        if let Some(&t) = shard.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Relaxed);
+            self.pattern_hits.fetch_add(1, Relaxed);
+            if mre_core::telemetry::enabled() {
+                mre_core::telemetry::counter_add("core.cost_cache.pattern_hits", 1);
+            }
+            return t;
+        }
+        let t: f64 = schedule
+            .rounds
+            .iter()
+            .map(|r| self.round_time_memo(net, r, payload))
+            .sum();
+        self.misses.fetch_add(1, Relaxed);
         shard.lock().unwrap().insert(key, t);
         t
     }
@@ -801,6 +1015,115 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.schedule_time(&b, &s, 1000), b.schedule_time(&s));
+    }
+
+    #[test]
+    fn round_memoized_schedule_time_is_bit_identical() {
+        let net = toy_network();
+        let cache = SharedCostCache::new();
+        let s = Schedule::with(sweep_rounds());
+        let direct = net.schedule_time(&s);
+        let memo = cache.schedule_time_rounds(&net, &s, 100);
+        assert_eq!(memo.to_bits(), direct.to_bits());
+        // Second ask: a pattern hit, same bits.
+        assert_eq!(
+            cache.schedule_time_rounds(&net, &s, 100).to_bits(),
+            direct.to_bits()
+        );
+        let stats = cache.cache_stats();
+        assert_eq!(stats.pattern_hits, 1);
+        assert_eq!(stats.misses, 3, "one solve per distinct round");
+    }
+
+    #[test]
+    fn round_memo_hits_across_payloads_without_resolving() {
+        let net = toy_network();
+        let cache = SharedCostCache::new();
+        // The same endpoint pattern at two payload keys: the second sweep
+        // point misses at pattern level but replays every round from its
+        // cached profile — round hits, no new contention solves.
+        let at = |bytes: u64| {
+            Schedule::with(
+                sweep_rounds()
+                    .iter()
+                    .map(|r| {
+                        Round::with(
+                            r.messages
+                                .iter()
+                                .map(|m| Message::new(m.src, m.dst, bytes))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let small = at(100);
+        let large = at(1 << 20);
+        assert_eq!(
+            cache.schedule_time_rounds(&net, &small, 100).to_bits(),
+            net.schedule_time(&small).to_bits()
+        );
+        let before = cache.cache_stats();
+        assert_eq!(before.misses, 3);
+        assert_eq!(
+            cache.schedule_time_rounds(&net, &large, 1 << 20).to_bits(),
+            net.schedule_time(&large).to_bits()
+        );
+        let after = cache.cache_stats();
+        assert_eq!(after.misses, 3, "no new solves on the payload axis");
+        assert_eq!(after.round_hits, before.round_hits + 3);
+    }
+
+    #[test]
+    fn shared_rounds_hit_across_different_patterns() {
+        let net = toy_network();
+        let cache = SharedCostCache::new();
+        // Two schedules that are different patterns but share round 0.
+        let shared = Round::with(vec![Message::new(0, 8, 64), Message::new(1, 9, 64)]);
+        let a = Schedule::with(vec![
+            shared.clone(),
+            Round::with(vec![Message::new(0, 1, 64)]),
+        ]);
+        let b = Schedule::with(vec![shared, Round::with(vec![Message::new(2, 3, 64)])]);
+        assert_ne!(a.pattern_fingerprint(), b.pattern_fingerprint());
+        assert_eq!(
+            cache.schedule_time_rounds(&net, &a, 64).to_bits(),
+            net.schedule_time(&a).to_bits()
+        );
+        assert_eq!(
+            cache.schedule_time_rounds(&net, &b, 64).to_bits(),
+            net.schedule_time(&b).to_bits()
+        );
+        let stats = cache.cache_stats();
+        assert_eq!(stats.pattern_hits, 0);
+        assert_eq!(
+            stats.round_hits, 1,
+            "the shared round hit at round granularity"
+        );
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn round_profile_memo_matches_direct_profile() {
+        let net = toy_network();
+        let cache = SharedCostCache::new();
+        let round = Round::with(vec![Message::new(0, 8, 100), Message::new(1, 9, 100)]);
+        let memo = cache.round_profile_memo(&net, &round);
+        assert_eq!(*memo, net.round_profile(&round.messages));
+        // Second ask is a hit returning the same Arc.
+        let again = cache.round_profile_memo(&net, &round);
+        assert!(std::sync::Arc::ptr_eq(&memo, &again));
+        let stats = cache.cache_stats();
+        assert_eq!((stats.round_hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn endpoint_fingerprint_ignores_bytes_not_order() {
+        let a = Round::with(vec![Message::new(0, 8, 1), Message::new(1, 9, 2)]);
+        let b = Round::with(vec![Message::new(0, 8, 77), Message::new(1, 9, 99)]);
+        let swapped = Round::with(vec![Message::new(1, 9, 1), Message::new(0, 8, 2)]);
+        assert_eq!(a.endpoint_fingerprint(), b.endpoint_fingerprint());
+        assert_ne!(a.endpoint_fingerprint(), swapped.endpoint_fingerprint());
     }
 
     #[test]

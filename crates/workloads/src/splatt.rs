@@ -511,13 +511,16 @@ pub fn estimate_cpd_time(
 /// [`estimate_cpd_time`] reusing `cache` across calls.
 ///
 /// Every contention solve — the concurrent layer Alltoallvs of a mode and
-/// the world Allreduce — is memoized under
-/// `(model fingerprint, schedule pattern, payload)`, so a grid of fabrics
-/// (e.g. `fig8_rails`'s 1/2/4-rail sweep over 24 orders) shares one cache
-/// without any `clear()` choreography: identical patterns re-encountered
-/// within an order (the three per-mode world Allreduces) or across orders
-/// are looked up, while different rail counts and policies get distinct
-/// entries through the model fingerprint.
+/// the world Allreduce — goes through the cache's round-interned path
+/// ([`SharedCostCache::schedule_time_rounds`]): whole schedules are
+/// memoized under `(model fingerprint, schedule pattern, payload)` and
+/// individual rounds under `(model fingerprint, round fingerprint,
+/// payload)`, so a grid of fabrics (e.g. `fig8_rails`'s 1/2/4-rail sweep
+/// over 24 orders) shares one cache without any `clear()` choreography:
+/// identical patterns re-encountered within an order (the three per-mode
+/// world Allreduces) hit at pattern granularity, orders that share only
+/// some rounds hit round by round, and different rail counts and policies
+/// get distinct entries through the model fingerprint.
 pub fn estimate_cpd_time_cached(
     cfg: &SplattConfig,
     machine: &Hierarchy,
@@ -566,7 +569,7 @@ pub fn estimate_cpd_time_cached(
             .map(|mem| schedules::alltoall_pairwise(mem, per_pair))
             .collect();
         let merged = Schedule::lockstep(&layer_schedules);
-        let t = cache.time_with(net, &merged, per_pair, || net.schedule_time(&merged));
+        let t = cache.schedule_time_rounds(net, &merged, per_pair);
         if m == smallest_mode {
             cost.small_comm_alltoallv += t * cfg.iterations as f64;
         } else {
@@ -576,8 +579,7 @@ pub fn estimate_cpd_time_cached(
         let world_members: Vec<usize> = (0..p).map(|r| reordering.old_rank(r)).collect();
         let ar = schedules::allreduce_recursive_doubling(&world_members, (cfg.rank * 8) as u64);
         let ar_bytes = (cfg.rank * 8) as u64;
-        cost.allreduce +=
-            cache.time_with(net, &ar, ar_bytes, || net.schedule_time(&ar)) * cfg.iterations as f64;
+        cost.allreduce += cache.schedule_time_rounds(net, &ar, ar_bytes) * cfg.iterations as f64;
     }
     // MTTKRP compute: 3 modes × 5·nnz·rank/p flops per iteration.
     let flops = 3.0 * 5.0 * cfg.nnz as f64 * cfg.rank as f64 / p as f64;
